@@ -1,0 +1,150 @@
+//! The deep "FC" baseline — the paper's RNN [30] extended to stochastic
+//! weights (§VI-A.3 baseline 1, the `FC₁ → GRU → FC_{N·N'·K}` row of
+//! Table I): the sparse tensor is flattened, encoded by a fully-connected
+//! layer, pushed through a sequence-to-sequence GRU, decoded back to a
+//! full tensor and normalized per cell with a softmax.
+//!
+//! Unlike BF/AF there is **no factorization**: the decoder predicts all
+//! `N·N'·K` logits directly, which is exactly why the paper's Figures 8–13
+//! show it trailing both frameworks under sparseness.
+
+use stod_core::{Mode, ModelOutput, OdForecaster};
+use stod_nn::layers::{GruSeq2Seq, Linear};
+use stod_nn::{ParamStore, Tape};
+use stod_tensor::rng::Rng64;
+use stod_tensor::Tensor;
+
+/// Configuration of the FC baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct FcConfig {
+    /// Width of the FC encoder (the paper's tiny `FC₁` bottleneck).
+    pub encode_dim: usize,
+    /// GRU hidden size.
+    pub gru_hidden: usize,
+}
+
+impl Default for FcConfig {
+    fn default() -> Self {
+        FcConfig { encode_dim: 32, gru_hidden: 48 }
+    }
+}
+
+/// The FC/RNN deep baseline.
+pub struct FcModel {
+    store: ParamStore,
+    num_regions: usize,
+    num_buckets: usize,
+    enc: Linear,
+    seq: GruSeq2Seq,
+    dec: Linear,
+}
+
+impl FcModel {
+    /// Builds the baseline for square `N×N×K` tensors.
+    pub fn new(num_regions: usize, num_buckets: usize, cfg: FcConfig, seed: u64) -> FcModel {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::new(seed);
+        let l = num_regions * num_regions * num_buckets;
+        let enc = Linear::new(&mut store, "fc.enc", l, cfg.encode_dim, &mut rng);
+        let seq = GruSeq2Seq::new(&mut store, "fc.seq", cfg.encode_dim, cfg.gru_hidden, &mut rng);
+        let dec = Linear::new(&mut store, "fc.dec", cfg.encode_dim, l, &mut rng);
+        FcModel { store, num_regions, num_buckets, enc, seq, dec }
+    }
+}
+
+impl OdForecaster for FcModel {
+    fn name(&self) -> &str {
+        "FC"
+    }
+
+    fn params(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        inputs: &[Tensor],
+        horizon: usize,
+        mode: Mode,
+        rng: &mut Rng64,
+    ) -> ModelOutput {
+        assert!(!inputs.is_empty(), "FC needs at least one input step");
+        let dims = inputs[0].dims().to_vec();
+        let (b, n, nd, k) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(n, self.num_regions, "region count mismatch");
+        assert_eq!(k, self.num_buckets, "bucket count mismatch");
+        let l = n * nd * k;
+
+        let mut codes = Vec::with_capacity(inputs.len());
+        for t in inputs {
+            let x = tape.constant(t.clone());
+            let flat = tape.reshape(x, &[b, l]);
+            let e = self.enc.apply(tape, &self.store, flat);
+            let e = tape.tanh(e);
+            let e = tape.dropout(e, mode.dropout(), mode.is_train(), rng);
+            codes.push(e);
+        }
+        let future = self.seq.forward(tape, &self.store, &codes, horizon);
+        let predictions = future
+            .into_iter()
+            .map(|code| {
+                let logits = self.dec.apply(tape, &self.store, code);
+                let shaped = tape.reshape(logits, &[b, n, nd, k]);
+                tape.softmax(shaped, 3)
+            })
+            .collect();
+        ModelOutput { predictions, regularizer: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stod_core::{evaluate, train, TrainConfig};
+    use stod_traffic::{CityModel, OdDataset, SimConfig};
+
+    #[test]
+    fn forward_shapes() {
+        let model = FcModel::new(4, 7, FcConfig::default(), 1);
+        let mut tape = Tape::new();
+        let mut rng = Rng64::new(0);
+        let inputs = vec![Tensor::zeros(&[2, 4, 4, 7]); 3];
+        let out = model.forward(&mut tape, &inputs, 2, Mode::Eval, &mut rng);
+        assert_eq!(out.predictions.len(), 2);
+        let v = tape.value(out.predictions[0]);
+        assert_eq!(v.dims(), &[2, 4, 4, 7]);
+        let sums = stod_tensor::sum_axis(v, 3, false);
+        for &s in sums.data() {
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn trains_through_core_trainer() {
+        let cfg = SimConfig {
+            num_days: 2,
+            intervals_per_day: 16,
+            trips_per_interval: 120.0,
+            ..SimConfig::small(17)
+        };
+        let ds = OdDataset::generate(CityModel::small(5), &cfg);
+        let ws = ds.windows(3, 1);
+        let mut model = FcModel::new(5, 7, FcConfig::default(), 2);
+        let report = train(
+            &mut model,
+            &ds,
+            &ws,
+            None,
+            &TrainConfig { epochs: 5, ..TrainConfig::fast_test() },
+        );
+        assert!(report.improved(), "losses: {:?}", report.epoch_losses);
+        let eval = evaluate(&model, &ds, &ws[..6.min(ws.len())], 8);
+        assert_eq!(eval.model, "FC");
+        assert!(eval.per_step[0][2].is_finite());
+    }
+}

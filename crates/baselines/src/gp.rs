@@ -1,0 +1,241 @@
+//! Gaussian Process Regression (baseline 4 of §VI-A.3): each OD pair's
+//! histogram sequence is modeled as independent per-bucket time series
+//! over the interval index, with an RBF kernel.
+//!
+//! For each pair we keep the most recent `max_points` training
+//! observations, precompute `α = (K + σ²I)⁻¹ Y` once via Cholesky, and
+//! predict any future interval as `k(t, X)·α`, clipping negatives and
+//! renormalizing so the output is a valid histogram. Pairs with too few
+//! observations fall back to Naive Histograms.
+
+use crate::nh::NaiveHistograms;
+use crate::HistogramPredictor;
+use stod_tensor::linalg::{cholesky, cholesky_solve};
+use stod_tensor::Tensor;
+use stod_traffic::{OdDataset, Window};
+
+/// Hyper-parameters of the GP baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct GpParams {
+    /// RBF kernel length-scale, in intervals.
+    pub length_scale: f64,
+    /// Observation noise variance σ².
+    pub noise: f64,
+    /// Maximum training observations per pair (most recent kept).
+    pub max_points: usize,
+    /// Minimum observations to fit a pair's GP.
+    pub min_points: usize,
+}
+
+impl Default for GpParams {
+    fn default() -> Self {
+        GpParams { length_scale: 8.0, noise: 0.05, max_points: 48, min_points: 4 }
+    }
+}
+
+/// One fitted pair GP: observation times plus the precomputed α matrix.
+struct PairGp {
+    times: Vec<f64>,
+    /// `alpha[i][b]`, row per observation, column per bucket.
+    alpha: Tensor,
+}
+
+/// The GP baseline.
+pub struct GpRegression {
+    n: usize,
+    k: usize,
+    params: GpParams,
+    pairs: Vec<Option<PairGp>>,
+    fallback: NaiveHistograms,
+}
+
+fn rbf(a: f64, b: f64, ls: f64) -> f32 {
+    (-((a - b) * (a - b)) / (2.0 * ls * ls)).exp() as f32
+}
+
+impl GpRegression {
+    /// Fits per-pair GPs on intervals `[0, train_end)`.
+    pub fn fit(ds: &OdDataset, train_end: usize, params: GpParams) -> GpRegression {
+        let n = ds.num_regions();
+        let k = ds.spec.num_buckets;
+        let fallback = NaiveHistograms::fit(ds, train_end);
+        let mut pairs: Vec<Option<PairGp>> = Vec::with_capacity(n * n);
+        for o in 0..n {
+            for d in 0..n {
+                // Collect the pair's (time, histogram) training points.
+                let mut times = Vec::new();
+                let mut ys = Vec::new();
+                for t in 0..train_end.min(ds.num_intervals()) {
+                    if let Some(h) = ds.tensors[t].histogram(o, d) {
+                        times.push(t as f64);
+                        ys.push(h);
+                    }
+                }
+                if times.len() > params.max_points {
+                    let cut = times.len() - params.max_points;
+                    times.drain(..cut);
+                    ys.drain(..cut);
+                }
+                if times.len() < params.min_points {
+                    pairs.push(None);
+                    continue;
+                }
+                let m = times.len();
+                // Gram matrix with noise on the diagonal.
+                let mut gram = Tensor::zeros(&[m, m]);
+                for i in 0..m {
+                    for j in 0..m {
+                        let mut v = rbf(times[i], times[j], params.length_scale);
+                        if i == j {
+                            v += params.noise as f32;
+                        }
+                        gram.set(&[i, j], v);
+                    }
+                }
+                // Center targets around the pair mean so the GP prior mean
+                // matches the empirical histogram.
+                let mean: Vec<f32> =
+                    (0..k).map(|b| ys.iter().map(|h| h[b]).sum::<f32>() / m as f32).collect();
+                let mut y = Tensor::zeros(&[m, k]);
+                for (i, h) in ys.iter().enumerate() {
+                    for b in 0..k {
+                        y.set(&[i, b], h[b] - mean[b]);
+                    }
+                }
+                let Ok(l) = cholesky(&gram) else {
+                    pairs.push(None);
+                    continue;
+                };
+                let Ok(mut alpha) = cholesky_solve(&l, &y) else {
+                    pairs.push(None);
+                    continue;
+                };
+                // Stash the mean in an extra row for prediction-time re-add.
+                alpha = stod_tensor::concat(
+                    &[&alpha, &Tensor::from_vec(&[1, k], mean)],
+                    0,
+                );
+                pairs.push(Some(PairGp { times, alpha }));
+            }
+        }
+        GpRegression { n, k, params, pairs, fallback }
+    }
+
+    /// Fraction of pairs with a fitted GP.
+    pub fn fitted_fraction(&self) -> f64 {
+        self.pairs.iter().filter(|p| p.is_some()).count() as f64 / self.pairs.len() as f64
+    }
+
+    /// Predicts the histogram of pair `(o, d)` at global interval `t`.
+    pub fn predict_at(&self, o: usize, d: usize, t: usize) -> Option<Vec<f32>> {
+        let gp = self.pairs[o * self.n + d].as_ref()?;
+        let m = gp.times.len();
+        let mut out = vec![0.0f32; self.k];
+        for (b, slot) in out.iter_mut().enumerate() {
+            // k(t, X)·α + mean_b
+            let mut v = gp.alpha.at(&[m, b]); // stored mean row
+            for (i, &ti) in gp.times.iter().enumerate() {
+                v += rbf(t as f64, ti, self.params.length_scale) * gp.alpha.at(&[i, b]);
+            }
+            *slot = v.max(0.0);
+        }
+        let s: f32 = out.iter().sum();
+        if s <= 1e-6 {
+            return None;
+        }
+        for x in &mut out {
+            *x /= s;
+        }
+        Some(out)
+    }
+}
+
+impl HistogramPredictor for GpRegression {
+    fn name(&self) -> &str {
+        "GP"
+    }
+
+    fn predict(&self, _: &OdDataset, o: usize, d: usize, w: &Window, step: usize) -> Vec<f32> {
+        let t = w.target_indices()[step];
+        self.predict_at(o, d, t)
+            .unwrap_or_else(|| self.fallback.pair_histogram(o, d).to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stod_traffic::{CityModel, SimConfig};
+
+    fn ds() -> OdDataset {
+        let cfg = SimConfig {
+            num_days: 2,
+            intervals_per_day: 24,
+            trips_per_interval: 200.0,
+            ..SimConfig::small(21)
+        };
+        OdDataset::generate(CityModel::small(5), &cfg)
+    }
+
+    #[test]
+    fn fit_produces_some_gps() {
+        let d = ds();
+        let gp = GpRegression::fit(&d, 36, GpParams::default());
+        assert!(gp.fitted_fraction() > 0.0, "no pair had enough data");
+    }
+
+    #[test]
+    fn predictions_are_distributions() {
+        let d = ds();
+        let gp = GpRegression::fit(&d, 36, GpParams::default());
+        let w = Window { t_end: 40, s: 3, h: 1 };
+        for o in 0..5 {
+            for dd in 0..5 {
+                let h = gp.predict(&d, o, dd, &w, 0);
+                let s: f32 = h.iter().sum();
+                assert!((s - 1.0).abs() < 1e-4, "({o},{dd}) sums to {s}");
+                assert!(h.iter().all(|&x| x >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_recovers_training_points() {
+        // A GP with small noise must reproduce its own training data at the
+        // training time points.
+        let d = ds();
+        let gp = GpRegression::fit(
+            &d,
+            36,
+            GpParams { noise: 1e-4, length_scale: 1.0, ..GpParams::default() },
+        );
+        let mut checked = 0;
+        for o in 0..5 {
+            for dd in 0..5 {
+                let Some(pair) = gp.pairs[o * 5 + dd].as_ref() else { continue };
+                let t = pair.times[pair.times.len() / 2] as usize;
+                let Some(pred) = gp.predict_at(o, dd, t) else { continue };
+                let truth = d.tensors[t].histogram(o, dd).unwrap();
+                let err: f32 =
+                    pred.iter().zip(truth.iter()).map(|(a, b)| (a - b).abs()).sum();
+                assert!(err < 0.45, "interpolation error {err} at pair ({o},{dd})");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no pair checked");
+    }
+
+    #[test]
+    fn sparse_pairs_fall_back_to_nh() {
+        let d = ds();
+        let gp = GpRegression::fit(
+            &d,
+            36,
+            GpParams { min_points: 10_000, ..GpParams::default() }, // force fallback
+        );
+        assert_eq!(gp.fitted_fraction(), 0.0);
+        let w = Window { t_end: 40, s: 3, h: 1 };
+        let h = gp.predict(&d, 0, 1, &w, 0);
+        assert_eq!(h, gp.fallback.pair_histogram(0, 1).to_vec());
+    }
+}

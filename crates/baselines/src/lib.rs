@@ -1,0 +1,146 @@
+//! # stod-baselines
+//!
+//! The five reference methods of the paper's evaluation (§VI-A.3):
+//!
+//! * [`nh::NaiveHistograms`] — per-OD-pair histogram over all training
+//!   data, used as a constant forecast.
+//! * [`gp::GpRegression`] — Gaussian-process regression per OD pair,
+//!   treating each pair's histogram sequence as independent time series.
+//! * [`var::VarModel`] — ridge-regularized vector autoregression capturing
+//!   linear correlations among the densest OD pairs.
+//! * [`fc::FcModel`] — the deep "RNN [30]" baseline (called FC in
+//!   Table I): flatten → FC encoder → seq2seq GRU → FC decoder → softmax.
+//! * [`mr::MrModel`] — multi-task representation learning in the spirit of
+//!   [2]: region/calendar embeddings through a shared trunk with histogram
+//!   and mean-speed heads; captures daily/weekly patterns but (by design,
+//!   like the original) no near-history.
+//!
+//! Classical methods implement [`HistogramPredictor`] and are scored with
+//! [`evaluate_predictor`], which produces the same [`stod_core::EvalReport`]
+//! as the deep models so every method lands in one table.
+
+pub mod fc;
+pub mod gp;
+pub mod mr;
+pub mod nh;
+pub mod var;
+
+pub use fc::FcModel;
+pub use gp::GpRegression;
+pub use mr::MrModel;
+pub use nh::NaiveHistograms;
+pub use var::VarModel;
+
+use stod_core::EvalReport;
+use stod_metrics::{DisSim, GroupedMean, Metric};
+use stod_traffic::{OdDataset, Window};
+
+/// A per-cell histogram forecaster (the classical baselines).
+pub trait HistogramPredictor {
+    /// Display name used in experiment tables.
+    fn name(&self) -> &str;
+
+    /// Predicts the `(o, d)` histogram for forecast step `step` (0-based)
+    /// of `window`. Implementations may read the window's *input*
+    /// intervals from `ds` but never its targets.
+    fn predict(&self, ds: &OdDataset, o: usize, d: usize, window: &Window, step: usize)
+        -> Vec<f32>;
+}
+
+/// Evaluates a classical predictor with the same protocol as
+/// [`stod_core::evaluate`]: `DisSim` over observed target cells per step,
+/// plus first-step groupings by time of day and OD distance.
+pub fn evaluate_predictor(
+    pred: &dyn HistogramPredictor,
+    ds: &OdDataset,
+    windows: &[Window],
+) -> EvalReport {
+    assert!(!windows.is_empty(), "cannot evaluate on zero windows");
+    let h = windows[0].h;
+    let mut per_step: Vec<[DisSim; 3]> = (0..h).map(|_| Default::default()).collect();
+    let mut by_time = [
+        GroupedMean::time_of_day_bins(),
+        GroupedMean::time_of_day_bins(),
+        GroupedMean::time_of_day_bins(),
+    ];
+    let mut by_distance = [
+        GroupedMean::distance_bins(),
+        GroupedMean::distance_bins(),
+        GroupedMean::distance_bins(),
+    ];
+    let n = ds.num_regions();
+    for w in windows {
+        for (j, &target_t) in w.target_indices().iter().enumerate() {
+            let tensor = &ds.tensors[target_t];
+            let tod_bin =
+                GroupedMean::time_bin(ds.interval_of_day(target_t), ds.intervals_per_day);
+            for o in 0..n {
+                for d in 0..n {
+                    let Some(gt) = tensor.histogram(o, d) else { continue };
+                    let fc = pred.predict(ds, o, d, w, j);
+                    for (m, metric) in Metric::ALL.iter().enumerate() {
+                        let v = metric.eval(&gt, &fc);
+                        per_step[j][m].add(v);
+                        if j == 0 {
+                            by_time[m].add(tod_bin, v);
+                            if let Some(db) =
+                                GroupedMean::distance_bin(ds.city.distance_km(o, d))
+                            {
+                                by_distance[m].add(db, v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    EvalReport {
+        model: pred.name().to_string(),
+        cells_per_step: per_step.iter().map(|s| s[0].count()).collect(),
+        per_step: per_step.iter().map(|s| [s[0].mean(), s[1].mean(), s[2].mean()]).collect(),
+        by_time,
+        by_distance,
+    }
+}
+
+/// Uniform histogram — the last-resort fallback every baseline shares.
+pub(crate) fn uniform_hist(k: usize) -> Vec<f32> {
+    vec![1.0 / k as f32; k]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stod_traffic::{CityModel, SimConfig};
+
+    struct Uniform(usize);
+    impl HistogramPredictor for Uniform {
+        fn name(&self) -> &str {
+            "uniform"
+        }
+        fn predict(&self, _: &OdDataset, _: usize, _: usize, _: &Window, _: usize) -> Vec<f32> {
+            uniform_hist(self.0)
+        }
+    }
+
+    #[test]
+    fn evaluate_predictor_produces_full_report() {
+        let cfg = SimConfig {
+            num_days: 1,
+            intervals_per_day: 16,
+            trips_per_interval: 80.0,
+            ..SimConfig::small(3)
+        };
+        let ds = OdDataset::generate(CityModel::small(5), &cfg);
+        let ws = ds.windows(3, 2);
+        let r = evaluate_predictor(&Uniform(7), &ds, &ws);
+        assert_eq!(r.model, "uniform");
+        assert_eq!(r.per_step.len(), 2);
+        assert!(r.cells_per_step[0] > 0);
+        for s in &r.per_step {
+            for &v in s {
+                assert!(v.is_finite() && v >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Naive Histograms (baseline 3 of §VI-A.3): "for each OD pair, we use all
+//! travel speed records for the OD pair in the training data set to
+//! construct a histogram and use the histogram for predicting the future
+//! stochastic speeds."
+//!
+//! The dataset keeps per-interval histograms rather than raw records, so
+//! the pair histogram is the average of the pair's observed interval
+//! histograms over the training range — identical in expectation. Pairs
+//! never observed during training fall back to the global mean histogram.
+
+use crate::{uniform_hist, HistogramPredictor};
+use stod_traffic::{OdDataset, Window};
+
+/// The NH baseline.
+pub struct NaiveHistograms {
+    n: usize,
+    k: usize,
+    /// Mean training histogram per pair (`None` for never-observed pairs).
+    pair_hists: Vec<Option<Vec<f32>>>,
+    /// Global mean histogram (fallback).
+    global: Vec<f32>,
+}
+
+impl NaiveHistograms {
+    /// Fits NH on intervals `[0, train_end)` of the dataset.
+    pub fn fit(ds: &OdDataset, train_end: usize) -> NaiveHistograms {
+        let n = ds.num_regions();
+        let k = ds.spec.num_buckets;
+        let mut sums = vec![vec![0.0f64; k]; n * n];
+        let mut counts = vec![0usize; n * n];
+        let mut gsum = vec![0.0f64; k];
+        let mut gcount = 0usize;
+        for t in 0..train_end.min(ds.num_intervals()) {
+            let tensor = &ds.tensors[t];
+            for o in 0..n {
+                for d in 0..n {
+                    if let Some(h) = tensor.histogram(o, d) {
+                        for (b, &p) in h.iter().enumerate() {
+                            sums[o * n + d][b] += p as f64;
+                            gsum[b] += p as f64;
+                        }
+                        counts[o * n + d] += 1;
+                        gcount += 1;
+                    }
+                }
+            }
+        }
+        let pair_hists = sums
+            .into_iter()
+            .zip(counts.iter())
+            .map(|(s, &c)| {
+                (c > 0).then(|| s.into_iter().map(|x| (x / c as f64) as f32).collect())
+            })
+            .collect();
+        let global = if gcount > 0 {
+            gsum.into_iter().map(|x| (x / gcount as f64) as f32).collect()
+        } else {
+            uniform_hist(k)
+        };
+        NaiveHistograms { n, k, pair_hists, global }
+    }
+
+    /// The learned histogram for a pair (global fallback applied).
+    pub fn pair_histogram(&self, o: usize, d: usize) -> &[f32] {
+        self.pair_hists[o * self.n + d].as_deref().unwrap_or(&self.global)
+    }
+
+    /// Fraction of pairs with their own histogram.
+    pub fn pair_coverage(&self) -> f64 {
+        self.pair_hists.iter().filter(|h| h.is_some()).count() as f64
+            / self.pair_hists.len() as f64
+    }
+
+    /// Histogram bucket count.
+    pub fn num_buckets(&self) -> usize {
+        self.k
+    }
+}
+
+impl HistogramPredictor for NaiveHistograms {
+    fn name(&self) -> &str {
+        "NH"
+    }
+
+    fn predict(&self, _: &OdDataset, o: usize, d: usize, _: &Window, _: usize) -> Vec<f32> {
+        self.pair_histogram(o, d).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate_predictor;
+    use stod_metrics::Metric;
+    use stod_traffic::{CityModel, SimConfig};
+
+    fn ds() -> OdDataset {
+        let cfg = SimConfig {
+            num_days: 2,
+            intervals_per_day: 16,
+            trips_per_interval: 120.0,
+            ..SimConfig::small(13)
+        };
+        OdDataset::generate(CityModel::small(6), &cfg)
+    }
+
+    #[test]
+    fn histograms_are_valid_distributions() {
+        let d = ds();
+        let nh = NaiveHistograms::fit(&d, 20);
+        for o in 0..6 {
+            for dd in 0..6 {
+                let h = nh.pair_histogram(o, dd);
+                let s: f32 = h.iter().sum();
+                assert!((s - 1.0).abs() < 1e-4, "pair ({o},{dd}) sums to {s}");
+                assert!(h.iter().all(|&x| x >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_used_for_unseen_pairs() {
+        let d = ds();
+        // Fit on zero intervals → everything falls back to uniform global.
+        let nh = NaiveHistograms::fit(&d, 0);
+        assert_eq!(nh.pair_coverage(), 0.0);
+        assert_eq!(nh.pair_histogram(0, 1), uniform_hist(7).as_slice());
+    }
+
+    #[test]
+    fn more_training_data_more_coverage() {
+        let d = ds();
+        let early = NaiveHistograms::fit(&d, 4);
+        let late = NaiveHistograms::fit(&d, 32);
+        assert!(late.pair_coverage() >= early.pair_coverage());
+        assert!(late.pair_coverage() > 0.0);
+    }
+
+    #[test]
+    fn nh_beats_uniform_on_average() {
+        // The whole point of NH: historical pair histograms are closer to
+        // the truth than an uninformed uniform guess.
+        let d = ds();
+        let split_at = 24;
+        let nh = NaiveHistograms::fit(&d, split_at);
+        let windows: Vec<Window> = d
+            .windows(2, 1)
+            .into_iter()
+            .filter(|w| w.t_end + 1 >= split_at)
+            .collect();
+        struct U;
+        impl HistogramPredictor for U {
+            fn name(&self) -> &str {
+                "U"
+            }
+            fn predict(&self, _: &OdDataset, _: usize, _: usize, _: &Window, _: usize) -> Vec<f32> {
+                uniform_hist(7)
+            }
+        }
+        let nh_score = evaluate_predictor(&nh, &d, &windows).step_mean(0, Metric::Emd);
+        let u_score = evaluate_predictor(&U, &d, &windows).step_mean(0, Metric::Emd);
+        assert!(
+            nh_score < u_score,
+            "NH (EMD {nh_score:.4}) must beat uniform (EMD {u_score:.4})"
+        );
+    }
+}

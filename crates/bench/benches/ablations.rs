@@ -1,0 +1,91 @@
+//! Design ablations D1–D4 of DESIGN.md — the component-wise evidence
+//! behind the paper's architecture choices:
+//!
+//! * **D2** — spatial (GCNN) factorization vs FC factorization,
+//! * **D3** — CNRNN (graph-conv GRU) forecaster vs plain GRU,
+//! * **D4** — Dirichlet vs Frobenius factor regularization,
+//! * full AF and BF as the reference points (BF = both ablations at once
+//!   plus Frobenius reg, which also covers D1's shared pipeline).
+
+use stod_bench::{bench_train_config, build_dataset, print_row, print_sep, Dataset, Scale};
+use stod_core::{evaluate, train, AfConfig, AfModel, BfConfig, BfModel, OdForecaster};
+use stod_metrics::Metric;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (s, h) = (6usize, 1usize);
+    println!("# Ablations (NYC-like, s = {s}, h = {h}, {scale:?} scale)\n");
+    let ds = build_dataset(Dataset::Nyc, scale, 11);
+    let split = stod_bench::standard_split(&ds, s, h);
+    let k = ds.spec.num_buckets;
+    let tc = bench_train_config(41);
+
+    let variants: Vec<(&str, AfConfig)> = vec![
+        ("AF (full)", AfConfig::default()),
+        (
+            "AF w/o spatial factorization (D2)",
+            AfConfig { fc_factorization: true, ..AfConfig::default() },
+        ),
+        ("AF w/o graph RNN (D3)", AfConfig { plain_rnn: true, ..AfConfig::default() }),
+        (
+            "AF w/ Frobenius reg (D4)",
+            AfConfig { frobenius_reg: true, ..AfConfig::default() },
+        ),
+    ];
+
+    print_row(&["Variant".into(), "KL".into(), "JS".into(), "EMD".into(), "#weights".into()]);
+    print_sep(5);
+    let mut results = Vec::new();
+    for (name, cfg) in variants {
+        let mut af = AfModel::new(&ds.city.centroids(), k, cfg, 41);
+        let weights = af.num_weights();
+        train(&mut af, &ds, &split.train, None, &tc);
+        let r = evaluate(&af, &ds, &split.test, 32);
+        print_row(&[
+            name.into(),
+            format!("{:.4}", r.per_step[0][0]),
+            format!("{:.4}", r.per_step[0][1]),
+            format!("{:.4}", r.per_step[0][2]),
+            format!("{weights}"),
+        ]);
+        results.push((name, r.per_step[0][2]));
+    }
+    // BF with the attention decoder (paper §VII outlook).
+    let mut bf_attn = BfModel::new(
+        ds.num_regions(),
+        k,
+        BfConfig { attention: true, ..BfConfig::default() },
+        41,
+    );
+    let attn_weights = bf_attn.num_weights();
+    train(&mut bf_attn, &ds, &split.train, None, &tc);
+    let r = evaluate(&bf_attn, &ds, &split.test, 32);
+    print_row(&[
+        "BF + attention (§VII outlook)".into(),
+        format!("{:.4}", r.per_step[0][0]),
+        format!("{:.4}", r.per_step[0][1]),
+        format!("{:.4}", r.per_step[0][2]),
+        format!("{attn_weights}"),
+    ]);
+
+    // BF reference (≈ all three ablations at once).
+    let mut bf = BfModel::new(ds.num_regions(), k, BfConfig::default(), 41);
+    let bf_weights = bf.num_weights();
+    train(&mut bf, &ds, &split.train, None, &tc);
+    let r = evaluate(&bf, &ds, &split.test, 32);
+    print_row(&[
+        "BF (reference)".into(),
+        format!("{:.4}", r.per_step[0][0]),
+        format!("{:.4}", r.per_step[0][1]),
+        format!("{:.4}", r.per_step[0][2]),
+        format!("{bf_weights}"),
+    ]);
+
+    println!();
+    let full = results[0].1;
+    for (name, emd) in &results[1..] {
+        let delta = 100.0 * (emd - full) / full.max(1e-12);
+        println!("{name}: EMD {emd:.4} ({delta:+.1}% vs full AF {full:.4})");
+    }
+    let _ = Metric::ALL;
+}

@@ -1,0 +1,81 @@
+//! Reproduces **Figures 11, 12, 13**: forecast accuracy (EMD / KL / JS)
+//! per OD-distance group (six 0.5 km groups up to 3 km) for FC, BF and AF
+//! on both datasets (h = 1, s = 6 as in §VI-B.3).
+//!
+//! Paper observations to preserve: BF and AF beat FC at every distance;
+//! AF beats BF by a clear margin; accuracy tends to degrade for the
+//! longest (and sparsest) distance groups.
+
+use stod_baselines::{fc::FcConfig, FcModel};
+use stod_bench::{bench_train_config, build_dataset, print_row, print_sep, Dataset, Scale};
+use stod_core::{evaluate, train, AfConfig, AfModel, BfConfig, BfModel, EvalReport};
+use stod_metrics::Metric;
+use stod_traffic::stats::data_share_by_distance;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (s, h) = (6usize, 1usize);
+    println!("# Figures 11–13 — accuracy by OD distance (s = {s}, h = {h}, {scale:?} scale)\n");
+
+    for which in [Dataset::Nyc, Dataset::Chengdu] {
+        let ds = build_dataset(which, scale, 11);
+        let split = stod_bench::standard_split(&ds, s, h);
+        let n = ds.num_regions();
+        let k = ds.spec.num_buckets;
+        let tc = bench_train_config(31);
+
+        let mut fc = FcModel::new(n, k, FcConfig::default(), 31);
+        train(&mut fc, &ds, &split.train, None, &tc);
+        let fc_report = evaluate(&fc, &ds, &split.test, 32);
+
+        let mut bf = BfModel::new(n, k, BfConfig::default(), 31);
+        train(&mut bf, &ds, &split.train, None, &tc);
+        let bf_report = evaluate(&bf, &ds, &split.test, 32);
+
+        let mut af = AfModel::new(&ds.city.centroids(), k, AfConfig::default(), 31);
+        train(&mut af, &ds, &split.train, None, &tc);
+        let af_report = evaluate(&af, &ds, &split.test, 32);
+
+        let shares = data_share_by_distance(&ds);
+        for (fig, metric) in [(11, Metric::Emd), (12, Metric::Kl), (13, Metric::Js)] {
+            println!(
+                "## Figure {fig}{} — {} on {}\n",
+                if which == Dataset::Nyc { "(a)" } else { "(b)" },
+                metric.name(),
+                which.name()
+            );
+            print_row(&[
+                "distance".into(),
+                "FC".into(),
+                "BF".into(),
+                "AF".into(),
+                "data share".into(),
+            ]);
+            print_sep(5);
+            let mi = Metric::ALL.iter().position(|m| *m == metric).expect("metric");
+            let rows = |r: &EvalReport| -> Vec<(String, f64)> {
+                r.by_distance[mi].rows().map(|(l, m, _)| (l.to_string(), m)).collect()
+            };
+            let (fr, br, ar) = (rows(&fc_report), rows(&bf_report), rows(&af_report));
+            let mut af_wins = 0usize;
+            let mut groups = 0usize;
+            for i in 0..fr.len() {
+                if fr[i].1.is_nan() && br[i].1.is_nan() && ar[i].1.is_nan() {
+                    continue;
+                }
+                groups += 1;
+                if ar[i].1 <= fr[i].1 && ar[i].1 <= br[i].1 {
+                    af_wins += 1;
+                }
+                print_row(&[
+                    fr[i].0.clone(),
+                    format!("{:.4}", fr[i].1),
+                    format!("{:.4}", br[i].1),
+                    format!("{:.4}", ar[i].1),
+                    format!("{:.1}%", 100.0 * shares[i]),
+                ]);
+            }
+            println!("\nAF best in {af_wins}/{groups} populated distance groups.\n");
+        }
+    }
+}

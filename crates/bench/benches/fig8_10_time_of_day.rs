@@ -1,0 +1,76 @@
+//! Reproduces **Figures 8, 9, 10**: forecast accuracy (EMD / KL / JS) per
+//! 3-hour time-of-day bin for FC, BF and AF, together with the per-bin
+//! data-share bars, for both datasets (h = 1, s = 6 as in §VI-B.2).
+//!
+//! Paper observations to preserve: AF and BF beat FC in almost all bins;
+//! AF is best overall; bins with little data score worst.
+
+use stod_baselines::{fc::FcConfig, FcModel};
+use stod_bench::{bench_train_config, build_dataset, print_row, print_sep, Dataset, Scale};
+use stod_core::{evaluate, train, AfConfig, AfModel, BfConfig, BfModel, EvalReport};
+use stod_metrics::Metric;
+use stod_traffic::stats::data_share_by_time_of_day;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (s, h) = (6usize, 1usize);
+    println!("# Figures 8–10 — accuracy by time of day (s = {s}, h = {h}, {scale:?} scale)\n");
+
+    for which in [Dataset::Nyc, Dataset::Chengdu] {
+        let ds = build_dataset(which, scale, 11);
+        let split = stod_bench::standard_split(&ds, s, h);
+        let n = ds.num_regions();
+        let k = ds.spec.num_buckets;
+        let tc = bench_train_config(29);
+
+        let mut fc = FcModel::new(n, k, FcConfig::default(), 29);
+        train(&mut fc, &ds, &split.train, None, &tc);
+        let fc_report = evaluate(&fc, &ds, &split.test, 32);
+
+        let mut bf = BfModel::new(n, k, BfConfig::default(), 29);
+        train(&mut bf, &ds, &split.train, None, &tc);
+        let bf_report = evaluate(&bf, &ds, &split.test, 32);
+
+        let mut af = AfModel::new(&ds.city.centroids(), k, AfConfig::default(), 29);
+        train(&mut af, &ds, &split.train, None, &tc);
+        let af_report = evaluate(&af, &ds, &split.test, 32);
+
+        let shares = data_share_by_time_of_day(&ds);
+        for (fig, metric) in [(8, Metric::Emd), (9, Metric::Kl), (10, Metric::Js)] {
+            println!("## Figure {fig}{} — {} on {}\n", if which == Dataset::Nyc { "(a)" } else { "(b)" }, metric.name(), which.name());
+            print_row(&[
+                "3h bin".into(),
+                "FC".into(),
+                "BF".into(),
+                "AF".into(),
+                "data share".into(),
+            ]);
+            print_sep(5);
+            let mi = Metric::ALL.iter().position(|m| *m == metric).expect("metric");
+            let rows = |r: &EvalReport| -> Vec<(String, f64)> {
+                r.by_time[mi].rows().map(|(l, m, _)| (l.to_string(), m)).collect()
+            };
+            let (fr, br, ar) = (rows(&fc_report), rows(&bf_report), rows(&af_report));
+            let mut af_wins = 0usize;
+            let mut bins_with_data = 0usize;
+            for i in 0..fr.len() {
+                let any = !fr[i].1.is_nan() || !br[i].1.is_nan() || !ar[i].1.is_nan();
+                if !any {
+                    continue;
+                }
+                bins_with_data += 1;
+                if ar[i].1 <= fr[i].1 && ar[i].1 <= br[i].1 {
+                    af_wins += 1;
+                }
+                print_row(&[
+                    fr[i].0.clone(),
+                    format!("{:.4}", fr[i].1),
+                    format!("{:.4}", br[i].1),
+                    format!("{:.4}", ar[i].1),
+                    format!("{:.1}%", 100.0 * shares[i]),
+                ]);
+            }
+            println!("\nAF best in {af_wins}/{bins_with_data} populated bins.\n");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Reproduces **Table II**: overall forecast accuracy (KL / JS / EMD, each
+//! at h = 1, 2, 3 steps ahead) for all seven methods on both datasets, at
+//! s = 3 and s = 6 historical intervals.
+//!
+//! Paper observations to preserve (§VI-B.1):
+//!  (1) deep methods beat the shallow baselines,
+//!  (2) BF beats the baselines in most settings,
+//!  (3) AF is best everywhere,
+//!  (4) NYC scores better than CD,
+//!  (5) accuracy degrades as h grows,
+//!  (6) AF at s = 3 is at least as good as at s = 6.
+
+use stod_bench::{
+    build_dataset, print_row, print_sep, run_method, standard_split, Dataset, Scale, METHODS,
+};
+use stod_metrics::Metric;
+
+fn main() {
+    let scale = Scale::from_env();
+    let horizon = 3;
+    println!("# Table II — overall accuracy ({scale:?} scale)\n");
+
+    // results[(dataset, s)][method] = per-step metric means
+    type MethodBlock = Vec<(String, Vec<[f64; 3]>)>;
+    let mut summaries: Vec<(String, MethodBlock)> = Vec::new();
+
+    for s in [3usize, 6] {
+        for which in [Dataset::Nyc, Dataset::Chengdu] {
+            let ds = build_dataset(which, scale, 11);
+            let split = standard_split(&ds, s, horizon);
+            println!("## {} (s = {s})\n", which.name());
+            let mut header = vec!["Method".to_string()];
+            for m in Metric::ALL {
+                for h in 1..=horizon {
+                    header.push(format!("{} h={h}", m.name()));
+                }
+            }
+            print_row(&header);
+            print_sep(header.len());
+            let mut block = Vec::new();
+            for method in METHODS {
+                let report = run_method(method, &ds, &split, 23);
+                let mut row = vec![method.to_string()];
+                for (mi, _) in Metric::ALL.iter().enumerate() {
+                    for h in 0..horizon {
+                        row.push(format!("{:.4}", report.per_step[h][mi]));
+                    }
+                }
+                print_row(&row);
+                block.push((method.to_string(), report.per_step.clone()));
+            }
+            println!();
+            summaries.push((format!("{} s={s}", which.name()), block));
+        }
+    }
+
+    // Check the paper's headline orderings on EMD at h=1.
+    println!("## Qualitative checks (EMD, h = 1)\n");
+    for (label, block) in &summaries {
+        let emd = |name: &str| -> f64 {
+            block.iter().find(|(m, _)| m == name).map(|(_, p)| p[0][2]).unwrap_or(f64::NAN)
+        };
+        let af = emd("AF");
+        let bf = emd("BF");
+        let shallow_best = ["NH", "GP", "VAR"].iter().map(|m| emd(m)).fold(f64::MAX, f64::min);
+        println!(
+            "{label}: AF {af:.4} {} BF {bf:.4}; best shallow {shallow_best:.4} — AF best: {}",
+            if af <= bf { "<=" } else { ">" },
+            af <= bf && af <= shallow_best,
+        );
+        // Horizon degradation for AF.
+        if let Some((_, p)) = block.iter().find(|(m, _)| m == "AF") {
+            println!(
+                "  AF EMD by horizon: h1 {:.4}, h2 {:.4}, h3 {:.4} (monotone degradation: {})",
+                p[0][2],
+                p[1][2],
+                p[2][2],
+                p[0][2] <= p[1][2] && p[1][2] <= p[2][2]
+            );
+        }
+    }
+}

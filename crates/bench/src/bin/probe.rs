@@ -1,0 +1,103 @@
+//! Dev probe: convergence of the deep models on the small NYC dataset.
+use stod_bench::*;
+use stod_core::*;
+use stod_baselines::*;
+use stod_nn::optim::StepDecay;
+
+fn main() {
+    let ds = build_dataset(Dataset::Nyc, Scale::Small, 11);
+    let split = standard_split(&ds, 3, 1);
+    let n = ds.num_regions();
+    let k = ds.spec.num_buckets;
+    let epochs: usize = std::env::var("E").ok().and_then(|v| v.parse().ok()).unwrap_or(20);
+    let lr: f32 = std::env::var("LR").ok().and_then(|v| v.parse().ok()).unwrap_or(3e-3);
+    let dropout: f32 = std::env::var("DO").ok().and_then(|v| v.parse().ok()).unwrap_or(0.2);
+    let tc = TrainConfig {
+        epochs,
+        batch_size: 16,
+        schedule: StepDecay { initial: lr, decay: 0.8, every: 5 },
+        verbose: true,
+        dropout,
+        ..TrainConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let train_end = split.train.iter().map(|w| w.t_end + w.h + 1).max().unwrap();
+    let nh = NaiveHistograms::fit(&ds, train_end);
+    let r = evaluate_predictor(&nh, &ds, &split.test);
+    println!("NH  EMD {:.4}", r.per_step[0][2]);
+    let which = std::env::var("M").unwrap_or_else(|_| "af".into());
+    if which.contains("oracle") {
+        use stod_traffic::speed::{SpeedField, SpeedParams};
+        use stod_traffic::{Window, OdDataset};
+        // Rebuild the latent field exactly as build_dataset(Nyc, Small, 11) does.
+        let city = {
+            let mut c = stod_traffic::CityModel::grid(8, 2, 0.7);
+            c.name = "nyc-small".into();
+            c
+        };
+        let field = SpeedField::simulate(&city, 48, 480, 11, SpeedParams::default());
+        struct Oracle<'a> {
+            field: &'a SpeedField,
+            k: usize,
+        }
+        impl stod_baselines::HistogramPredictor for Oracle<'_> {
+            fn name(&self) -> &str { "oracle" }
+            fn predict(&self, ds: &OdDataset, o: usize, d: usize, w: &Window, step: usize) -> Vec<f32> {
+                let t = w.target_indices()[step];
+                let mut rng = stod_tensor::rng::Rng64::new((o * 1000 + d) as u64);
+                let mut h = vec![0.0f32; self.k];
+                for _ in 0..400 {
+                    let v = self.field.sample_trip_speed(o, d, t, &mut rng);
+                    h[ds.spec.bucket_of(v)] += 1.0 / 400.0;
+                }
+                h
+            }
+        }
+        let oracle = Oracle { field: &field, k };
+        let r = evaluate_predictor(&oracle, &ds, &split.test);
+        println!("ORACLE EMD {:.4}  KL {:.4}", r.per_step[0][2], r.per_step[0][0]);
+    }
+    if which.contains("mr") {
+        let m = MrModel::fit(&ds, train_end, Default::default(), 23);
+        let r = evaluate_predictor(&m, &ds, &split.test);
+        println!("MR  EMD {:.4}", r.per_step[0][2]);
+    }
+    if which.contains("fc") {
+        let mut m = FcModel::new(n, k, Default::default(), 23);
+        println!("-- FC --");
+        train(&mut m, &ds, &split.train, Some(&split.val), &tc);
+        let r = evaluate(&m, &ds, &split.test, 32);
+        println!("FC  EMD {:.4}", r.per_step[0][2]);
+    }
+    if which.contains("var") {
+        let m = VarModel::fit(&ds, train_end, Default::default());
+        let r = evaluate_predictor(&m, &ds, &split.test);
+        println!("VAR EMD {:.4}", r.per_step[0][2]);
+    }
+    if which.contains("bf") {
+        let enc: usize = std::env::var("ENC").ok().and_then(|v| v.parse().ok()).unwrap_or(32);
+        let hid: usize = std::env::var("HID").ok().and_then(|v| v.parse().ok()).unwrap_or(48);
+        let rank: usize = std::env::var("RANK").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+        let lam: f32 = std::env::var("LAM").ok().and_then(|v| v.parse().ok()).unwrap_or(1e-4);
+        let mut m = BfModel::new(n, k, BfConfig { encode_dim: enc, gru_hidden: hid, rank, lambda_r: lam, lambda_c: lam, ..BfConfig::default() }, 23);
+        println!("-- BF --");
+        train(&mut m, &ds, &split.train, Some(&split.val), &tc);
+        let r = evaluate(&m, &ds, &split.test, 32);
+        println!("BF  EMD {:.4}  ({:?})", r.per_step[0][2], t0.elapsed());
+    }
+    if which.contains("af") {
+        let t1 = std::time::Instant::now();
+        let lam: f32 = std::env::var("LAM").ok().and_then(|v| v.parse().ok()).unwrap_or(1e-4);
+        let rh: usize = std::env::var("RH").ok().and_then(|v| v.parse().ok()).unwrap_or(16);
+        let mut m = AfModel::new(
+            &ds.city.centroids(),
+            k,
+            AfConfig { lambda_r: lam, lambda_c: lam, rnn_hidden: rh, ..AfConfig::default() },
+            23,
+        );
+        println!("-- AF --");
+        train(&mut m, &ds, &split.train, Some(&split.val), &tc);
+        let r = evaluate(&m, &ds, &split.test, 32);
+        println!("AF  EMD {:.4}  ({:?})", r.per_step[0][2], t1.elapsed());
+    }
+}

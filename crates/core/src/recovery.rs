@@ -1,0 +1,135 @@
+//! Recovery (§IV-D): turning predicted factor tensors back into full OD
+//! stochastic speed tensors.
+//!
+//! Given `R̂ ∈ R^{B×N×β×K}` and `Ĉ ∈ R^{B×β×N'×K}`, each speed bucket `k`
+//! is recovered independently as the rank-β product `M̂_k = R̂_k · Ĉ_k`,
+//! and a softmax across the bucket dimension turns every `(o, d)` cell
+//! into a valid histogram (Eq. 3).
+
+use stod_nn::{Tape, Var};
+
+/// Multiplies factor tensors per bucket and normalizes with a softmax.
+///
+/// * `r` — `[B, N, β, K]`
+/// * `c` — `[B, β, N', K]`
+/// * `bias` — optional logit offset, broadcastable to `[B, N, N', K]`
+///   (e.g. `[N, N', K]`). Matrix-factorization bias terms are the standard
+///   complement to a low-rank product: without them, `softmax(R·C)` starts
+///   at the uniform distribution and must spend its rank budget on
+///   marginal bucket structure before it can model dynamics.
+///
+/// Returns `[B, N, N', K]` with `Σ_k out[b,o,d,k] = 1` for every cell.
+///
+/// # Panics
+/// Panics when the shapes are inconsistent.
+pub fn recover(tape: &mut Tape, r: Var, c: Var, bias: Option<Var>) -> Var {
+    let rd = tape.value(r).dims().to_vec();
+    let cd = tape.value(c).dims().to_vec();
+    assert_eq!(rd.len(), 4, "R factor must be [B, N, β, K], got {rd:?}");
+    assert_eq!(cd.len(), 4, "C factor must be [B, β, N', K], got {cd:?}");
+    let (b, n, beta, k) = (rd[0], rd[1], rd[2], rd[3]);
+    let (bc, beta_c, n_dest, kc) = (cd[0], cd[1], cd[2], cd[3]);
+    assert_eq!(b, bc, "batch mismatch");
+    assert_eq!(beta, beta_c, "rank mismatch");
+    assert_eq!(k, kc, "bucket mismatch");
+
+    // Rearrange to per-bucket stacks: [B, K, N, β] and [B, K, β, N'].
+    let r_perm = tape.permute(r, &[0, 3, 1, 2]);
+    let c_perm = tape.permute(c, &[0, 3, 1, 2]);
+    let r_flat = tape.reshape(r_perm, &[b * k, n, beta]);
+    let c_flat = tape.reshape(c_perm, &[b * k, beta, n_dest]);
+    let prod = tape.batched_matmul(r_flat, c_flat); // [B·K, N, N']
+    let prod = tape.reshape(prod, &[b, k, n, n_dest]);
+    let mut logits = tape.permute(prod, &[0, 2, 3, 1]); // [B, N, N', K]
+    if let Some(bias) = bias {
+        logits = tape.add(logits, bias);
+    }
+    tape.softmax(logits, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stod_tensor::rng::Rng64;
+    use stod_tensor::{sum_axis, Tensor};
+
+    #[test]
+    fn output_is_per_cell_distribution() {
+        let mut tape = Tape::new();
+        let mut rng = Rng64::new(0);
+        let r = tape.leaf(Tensor::randn(&[2, 4, 3, 5], 1.0, &mut rng));
+        let c = tape.leaf(Tensor::randn(&[2, 3, 6, 5], 1.0, &mut rng));
+        let m = recover(&mut tape, r, c, None);
+        let v = tape.value(m);
+        assert_eq!(v.dims(), &[2, 4, 6, 5]);
+        let sums = sum_axis(v, 3, false);
+        for &s in sums.data() {
+            assert!((s - 1.0).abs() < 1e-5, "cell histogram sums to {s}");
+        }
+        assert!(v.data().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn rank_one_factors_give_expected_argmax() {
+        // R puts weight on bucket 0 for origin 0 and bucket 1 for origin 1;
+        // with uniform C the recovered histograms should follow.
+        let mut tape = Tape::new();
+        let mut r = Tensor::zeros(&[1, 2, 1, 2]);
+        r.set(&[0, 0, 0, 0], 3.0); // origin 0 → bucket 0 strong
+        r.set(&[0, 1, 0, 1], 3.0); // origin 1 → bucket 1 strong
+        let c = Tensor::ones(&[1, 1, 2, 2]);
+        let rv = tape.leaf(r);
+        let cv = tape.leaf(c);
+        let m = recover(&mut tape, rv, cv, None);
+        let v = tape.value(m);
+        assert!(v.at(&[0, 0, 0, 0]) > v.at(&[0, 0, 0, 1]));
+        assert!(v.at(&[0, 1, 0, 1]) > v.at(&[0, 1, 0, 0]));
+    }
+
+    #[test]
+    fn gradients_flow_through_recovery() {
+        stod_nn::gradcheck::assert_grad_ok(
+            &[
+                Tensor::randn(&[1, 2, 2, 3], 0.5, &mut Rng64::new(1)),
+                Tensor::randn(&[1, 2, 2, 3], 0.5, &mut Rng64::new(2)),
+            ],
+            |t, v| {
+                let m = recover(t, v[0], v[1], None);
+                let target = Tensor::zeros(&[1, 2, 2, 3]);
+                let mask = Tensor::ones(&[1, 2, 2, 3]);
+                t.masked_sq_err(m, &target, &mask)
+            },
+        );
+    }
+
+    #[test]
+    fn bias_shifts_distributions() {
+        let mut tape = Tape::new();
+        let r = tape.leaf(Tensor::zeros(&[1, 2, 2, 3]));
+        let c = tape.leaf(Tensor::zeros(&[1, 2, 2, 3]));
+        let mut b = Tensor::zeros(&[2, 2, 3]);
+        // Push all cells towards bucket 2.
+        for o in 0..2 {
+            for d in 0..2 {
+                b.set(&[o, d, 2], 3.0);
+            }
+        }
+        let bias = tape.leaf(b);
+        let m = recover(&mut tape, r, c, Some(bias));
+        let v = tape.value(m);
+        for o in 0..2 {
+            for d in 0..2 {
+                assert!(v.at(&[0, o, d, 2]) > 0.8, "bias must dominate zero factors");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn mismatched_rank_panics() {
+        let mut tape = Tape::new();
+        let r = tape.leaf(Tensor::zeros(&[1, 2, 3, 4]));
+        let c = tape.leaf(Tensor::zeros(&[1, 2, 2, 4]));
+        recover(&mut tape, r, c, None);
+    }
+}

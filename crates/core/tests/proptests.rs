@@ -1,0 +1,83 @@
+//! Property-based tests for the core pipeline: recovery invariants,
+//! batching consistency, and loss behaviour for arbitrary inputs.
+
+use proptest::prelude::*;
+use stod_core::recovery::recover;
+use stod_nn::Tape;
+use stod_tensor::Tensor;
+
+fn factor_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1..=2usize, 2..=4usize, 1..=3usize, 2..=4usize).prop_flat_map(|(b, n, beta, k)| {
+        let rs = proptest::collection::vec(-2.0f32..2.0, b * n * beta * k)
+            .prop_map(move |d| Tensor::from_vec(&[b, n, beta, k], d));
+        let cs = proptest::collection::vec(-2.0f32..2.0, b * beta * n * k)
+            .prop_map(move |d| Tensor::from_vec(&[b, beta, n, k], d));
+        (rs, cs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Recovery always emits valid histograms regardless of factor values.
+    #[test]
+    fn recovery_always_on_simplex(pair in factor_pair()) {
+        let (r, c) = pair;
+        let k = r.dim(3);
+        let mut tape = Tape::new();
+        let rv = tape.leaf(r);
+        let cv = tape.leaf(c);
+        let m = recover(&mut tape, rv, cv, None);
+        let v = tape.value(m);
+        prop_assert!(v.all_finite());
+        prop_assert!(v.data().iter().all(|&x| x >= 0.0));
+        let sums = stod_tensor::sum_axis(v, 3, false);
+        for &s in sums.data() {
+            prop_assert!((s - 1.0).abs() < 1e-4, "cell sums to {s}");
+        }
+        prop_assert_eq!(v.dim(3), k);
+    }
+
+    /// Scaling both factors by a positive constant sharpens but never
+    /// breaks the distributions; scaling by zero gives uniform cells.
+    #[test]
+    fn zero_factors_give_uniform(b in 1usize..3, n in 2usize..4, k in 2usize..5) {
+        let mut tape = Tape::new();
+        let rv = tape.leaf(Tensor::zeros(&[b, n, 2, k]));
+        let cv = tape.leaf(Tensor::zeros(&[b, 2, n, k]));
+        let m = recover(&mut tape, rv, cv, None);
+        let v = tape.value(m);
+        let expect = 1.0 / k as f32;
+        for &x in v.data() {
+            prop_assert!((x - expect).abs() < 1e-6);
+        }
+    }
+
+    /// The masked loss is invariant to the values of masked-out cells.
+    #[test]
+    fn masked_loss_ignores_masked_cells(
+        vals in proptest::collection::vec(-3.0f32..3.0, 12),
+        garbage in proptest::collection::vec(-100.0f32..100.0, 12),
+    ) {
+        let dims = [3usize, 4];
+        let target = Tensor::zeros(&dims);
+        // Mask out the second half of the cells.
+        let mask = Tensor::from_vec(
+            &dims,
+            (0..12).map(|i| if i < 6 { 1.0 } else { 0.0 }).collect(),
+        );
+        let loss_of = |data: Vec<f32>| -> f32 {
+            let mut tape = Tape::new();
+            let pred = tape.leaf(Tensor::from_vec(&dims, data));
+            let l = tape.masked_sq_err(pred, &target, &mask);
+            tape.value(l).item()
+        };
+        let mut a = vals.clone();
+        let mut b = vals.clone();
+        for i in 6..12 {
+            a[i] = garbage[i];
+            b[i] = -garbage[i] * 0.5 + 1.0;
+        }
+        prop_assert!((loss_of(a) - loss_of(b)).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,128 @@
+//! Reference (non-autodiff) Chebyshev basis computation — Eq. 5's
+//! `T^(·) = [t₁ … t_S]` with `t₁ = x`, `t₂ = L̃·x`, `t_s = 2L̃·t_{s−1} −
+//! t_{s−2}`. The `stod-nn` layer is validated against this implementation.
+
+use stod_tensor::{matvec, Tensor};
+
+/// Computes the Chebyshev basis of a node signal `x ∈ R^N` under the
+/// scaled Laplacian `l ∈ R^{N×N}`, returning an `N×S` matrix whose columns
+/// are `t_1 … t_S`.
+///
+/// # Panics
+/// Panics if shapes disagree or `order == 0`.
+pub fn cheby_basis(l: &Tensor, x: &Tensor, order: usize) -> Tensor {
+    assert!(order >= 1, "order must be ≥ 1");
+    assert_eq!(x.ndim(), 1, "signal must be a vector");
+    let n = x.dim(0);
+    assert_eq!(l.dims(), &[n, n], "Laplacian shape mismatch");
+    let mut cols: Vec<Tensor> = Vec::with_capacity(order);
+    cols.push(x.clone());
+    if order >= 2 {
+        cols.push(matvec(l, x));
+    }
+    for s in 2..order {
+        let lt = matvec(l, &cols[s - 1]);
+        let t = Tensor::from_vec(
+            &[n],
+            lt.data()
+                .iter()
+                .zip(cols[s - 2].data())
+                .map(|(&a, &b)| 2.0 * a - b)
+                .collect(),
+        );
+        cols.push(t);
+    }
+    // Arrange as N×S.
+    let mut out = Tensor::zeros(&[n, order]);
+    for (s, col) in cols.iter().enumerate() {
+        for i in 0..n {
+            out.set(&[i, s], col.at(&[i]));
+        }
+    }
+    out
+}
+
+/// Applies one Chebyshev filter `g ∈ R^S` to the basis of `x`:
+/// `y = T·g` (the inner product of Eq. 5 before summing over buckets).
+pub fn cheby_filter(l: &Tensor, x: &Tensor, g: &Tensor) -> Tensor {
+    let basis = cheby_basis(l, x, g.dim(0));
+    matvec(&basis, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplacian::{laplacian, scaled_laplacian};
+
+    fn path3_w() -> Tensor {
+        Tensor::from_vec(&[3, 3], vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0])
+    }
+
+    #[test]
+    fn first_column_is_signal() {
+        let lt = scaled_laplacian(&path3_w());
+        let x = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let b = cheby_basis(&lt, &x, 3);
+        for i in 0..3 {
+            assert_eq!(b.at(&[i, 0]), x.at(&[i]));
+        }
+    }
+
+    #[test]
+    fn second_column_is_lx() {
+        let lt = scaled_laplacian(&path3_w());
+        let x = Tensor::from_vec(&[3], vec![1.0, 0.0, -1.0]);
+        let b = cheby_basis(&lt, &x, 2);
+        let lx = matvec(&lt, &x);
+        for i in 0..3 {
+            assert!((b.at(&[i, 1]) - lx.at(&[i])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn recurrence_holds() {
+        let lt = scaled_laplacian(&path3_w());
+        let x = Tensor::from_vec(&[3], vec![0.5, -1.0, 2.0]);
+        let b = cheby_basis(&lt, &x, 4);
+        for s in 2..4 {
+            let prev: Tensor =
+                Tensor::from_vec(&[3], (0..3).map(|i| b.at(&[i, s - 1])).collect());
+            let lt_prev = matvec(&lt, &prev);
+            for i in 0..3 {
+                let expect = 2.0 * lt_prev.at(&[i]) - b.at(&[i, s - 2]);
+                assert!((b.at(&[i, s]) - expect).abs() < 1e-5, "recurrence broken at s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn filter_with_e1_is_identity() {
+        let lt = scaled_laplacian(&path3_w());
+        let x = Tensor::from_vec(&[3], vec![3.0, 1.0, -2.0]);
+        let g = Tensor::from_vec(&[3], vec![1.0, 0.0, 0.0]);
+        let y = cheby_filter(&lt, &x, &g);
+        assert!(y.approx_eq(&x, 1e-6));
+    }
+
+    #[test]
+    fn basis_values_stay_bounded() {
+        // Chebyshev polynomials of a matrix with spectrum in [−1,1] applied
+        // to a bounded signal stay bounded (|T_s| ≤ 1 on the spectrum).
+        let lt = scaled_laplacian(&path3_w());
+        let x = Tensor::from_vec(&[3], vec![1.0, 1.0, 1.0]);
+        let b = cheby_basis(&lt, &x, 8);
+        assert!(b.max() <= 3.0 && b.min() >= -3.0, "basis exploded: {:?}", b);
+    }
+
+    #[test]
+    fn unscaled_laplacian_would_explode() {
+        // Sanity check of *why* scaling matters: the same recurrence with
+        // the raw Laplacian grows fast.
+        let l = laplacian(&path3_w());
+        let x = Tensor::from_vec(&[3], vec![1.0, 1.0, 1.0]);
+        let raw = cheby_basis(&l, &x, 8);
+        let scaled = cheby_basis(&scaled_laplacian(&path3_w()), &x, 8);
+        assert!(raw.data().iter().map(|x| x.abs()).fold(0.0, f32::max)
+            >= scaled.data().iter().map(|x| x.abs()).fold(0.0, f32::max));
+    }
+}

@@ -1,0 +1,165 @@
+//! Graph Laplacians and the Dirichlet energy.
+
+use stod_tensor::linalg::power_iteration_lambda_max;
+use stod_tensor::Tensor;
+
+/// Combinatorial Laplacian `L = D − W` of a symmetric weight matrix.
+///
+/// # Panics
+/// Panics if `w` is not square.
+pub fn laplacian(w: &Tensor) -> Tensor {
+    assert_eq!(w.ndim(), 2, "weight matrix must be 2-D");
+    let n = w.dim(0);
+    assert_eq!(n, w.dim(1), "weight matrix must be square");
+    let mut l = w.map(|x| -x);
+    for i in 0..n {
+        let degree: f32 = (0..n).map(|j| w.at(&[i, j])).sum();
+        l.set(&[i, i], degree - w.at(&[i, i]));
+    }
+    l
+}
+
+/// Largest eigenvalue of the Laplacian via power iteration.
+pub fn lambda_max(l: &Tensor) -> f32 {
+    power_iteration_lambda_max(l, 200, 0xC0FFEE)
+}
+
+/// Scaled Laplacian `L̃ = 2L/λ_max − I` whose spectrum lies in `[−1, 1]`,
+/// as required by the Chebyshev recurrence (§V-A.2).
+///
+/// For an edgeless graph (`λ_max = 0`) this degenerates to `−I`, which
+/// keeps the Chebyshev basis well-defined.
+pub fn scaled_laplacian(w: &Tensor) -> Tensor {
+    let l = laplacian(w);
+    let lmax = lambda_max(&l).max(1e-6);
+    let n = l.dim(0);
+    let mut lt = l.map(|x| 2.0 * x / lmax);
+    for i in 0..n {
+        let v = lt.at(&[i, i]) - 1.0;
+        lt.set(&[i, i], v);
+    }
+    lt
+}
+
+/// Dirichlet energy `xᵀ·L·x = ½ Σ_ij W_ij (x_i − x_j)²` of a signal over
+/// the graph nodes. For multi-feature signals `x ∈ R^{N×F}` the energies of
+/// the feature columns are summed — the `‖·‖²_W` of the paper's Eq. 11.
+///
+/// # Panics
+/// Panics if the node counts of `l` and `x` disagree.
+pub fn dirichlet_energy(l: &Tensor, x: &Tensor) -> f32 {
+    let n = l.dim(0);
+    assert_eq!(x.dim(0), n, "signal node count mismatch");
+    let f: usize = x.dims()[1..].iter().product::<usize>().max(1);
+    let xd = x.data();
+    let ld = l.data();
+    let mut total = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            let lij = ld[i * n + j] as f64;
+            if lij == 0.0 {
+                continue;
+            }
+            let mut dot = 0.0f64;
+            for k in 0..f {
+                dot += xd[i * f + k] as f64 * xd[j * f + k] as f64;
+            }
+            total += lij * dot;
+        }
+    }
+    total as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Tensor {
+        Tensor::from_vec(&[3, 3], vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0])
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        let l = laplacian(&path3());
+        for i in 0..3 {
+            let row: f32 = (0..3).map(|j| l.at(&[i, j])).sum();
+            assert!(row.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn laplacian_known_values() {
+        let l = laplacian(&path3());
+        assert_eq!(l.at(&[0, 0]), 1.0);
+        assert_eq!(l.at(&[1, 1]), 2.0);
+        assert_eq!(l.at(&[0, 1]), -1.0);
+        assert_eq!(l.at(&[0, 2]), 0.0);
+    }
+
+    #[test]
+    fn lambda_max_of_path3_is_three() {
+        // Path graph P3 Laplacian eigenvalues: 0, 1, 3.
+        let l = laplacian(&path3());
+        assert!((lambda_max(&l) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn scaled_laplacian_spectrum_bounded() {
+        let lt = scaled_laplacian(&path3());
+        // λ_max(L̃) = 2·3/3 − 1 = 1; power iteration on |λ| must give ≤ 1.
+        let m = stod_tensor::linalg::power_iteration_lambda_max(&lt, 300, 7);
+        assert!(m <= 1.0 + 1e-3, "scaled spectrum escaped [−1,1]: {m}");
+    }
+
+    #[test]
+    fn scaled_laplacian_edgeless_graph() {
+        let lt = scaled_laplacian(&Tensor::zeros(&[3, 3]));
+        // Degenerates to −I.
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { -1.0 } else { 0.0 };
+                assert!((lt.at(&[i, j]) - expect).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn dirichlet_energy_constant_signal_is_zero() {
+        let l = laplacian(&path3());
+        let x = Tensor::full(&[3], 5.0);
+        assert!(dirichlet_energy(&l, &x).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dirichlet_energy_penalizes_roughness() {
+        let l = laplacian(&path3());
+        let smooth = Tensor::from_vec(&[3], vec![1.0, 1.1, 1.2]);
+        let rough = Tensor::from_vec(&[3], vec![1.0, -1.0, 1.0]);
+        assert!(dirichlet_energy(&l, &rough) > dirichlet_energy(&l, &smooth));
+    }
+
+    #[test]
+    fn dirichlet_energy_matches_pairwise_formula() {
+        let w = path3();
+        let l = laplacian(&w);
+        let x = Tensor::from_vec(&[3], vec![2.0, -1.0, 0.5]);
+        let lhs = dirichlet_energy(&l, &x);
+        let mut rhs = 0.0f32;
+        for i in 0..3 {
+            for j in 0..3 {
+                rhs += 0.5 * w.at(&[i, j]) * (x.at(&[i]) - x.at(&[j])).powi(2);
+            }
+        }
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dirichlet_energy_multifeature_sums_columns() {
+        let l = laplacian(&path3());
+        let x1 = Tensor::from_vec(&[3], vec![1.0, 0.0, 1.0]);
+        let x2 = Tensor::from_vec(&[3], vec![0.0, 2.0, 0.0]);
+        let both = Tensor::from_vec(&[3, 2], vec![1.0, 0.0, 0.0, 2.0, 1.0, 0.0]);
+        let sum = dirichlet_energy(&l, &x1) + dirichlet_energy(&l, &x2);
+        assert!((dirichlet_energy(&l, &both) - sum).abs() < 1e-4);
+    }
+}

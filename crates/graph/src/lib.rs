@@ -1,0 +1,24 @@
+//! # stod-graph
+//!
+//! The graph machinery behind the paper's advanced framework:
+//!
+//! * [`proximity`] — the thresholded-Gaussian *proximity matrix* `W`
+//!   (§V-A.1) that captures spatial correlation among origin regions and
+//!   among destination regions.
+//! * [`laplacian`] — combinatorial Laplacian `L = D − W`, its scaled form
+//!   `L̃ = 2L/λ_max − I` used by Cheby-Net filters, and the Dirichlet
+//!   energy `xᵀLx` used by the Eq. 11 regularizers.
+//! * [`cheby`] — plain (non-autodiff) Chebyshev basis computation, used by
+//!   tests as a reference for the `stod-nn` layer.
+//! * [`coarsen`] — Graclus-style greedy graph coarsening producing the
+//!   cluster ordering that makes the paper's *geometric pooling* (§V-A.2)
+//!   pool genuinely adjacent regions together.
+
+pub mod cheby;
+pub mod coarsen;
+pub mod laplacian;
+pub mod proximity;
+
+pub use coarsen::{coarsen_for_pooling, Coarsening};
+pub use laplacian::{dirichlet_energy, laplacian, scaled_laplacian};
+pub use proximity::{proximity_matrix, ProximityParams};

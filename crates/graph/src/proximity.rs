@@ -1,0 +1,138 @@
+//! Proximity matrices (§V-A.1).
+//!
+//! Spatial correlation among regions is captured by a thresholded Gaussian
+//! kernel over region-centroid distances — the construction of Shuman et
+//! al. that the paper adopts via its reference [38]:
+//!
+//! ```text
+//! W_ij = exp(−dist(i,j)² / σ²)   if i ≠ j and exp(·) ≥ α, else 0
+//! ```
+//!
+//! `σ` controls the kernel bandwidth, `α` sparsifies the graph. Figure 14
+//! of the paper sweeps both and finds the framework insensitive to them;
+//! the `fig14_proximity` bench reproduces that sweep.
+
+use stod_tensor::Tensor;
+
+/// Parameters of the thresholded Gaussian proximity kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProximityParams {
+    /// Kernel bandwidth σ (same unit as the supplied distances).
+    pub sigma: f32,
+    /// Sparsification threshold α ∈ [0, 1): weights below it become 0.
+    pub alpha: f32,
+}
+
+impl Default for ProximityParams {
+    fn default() -> Self {
+        // Paper defaults (robust per Figure 14): σ = 1 km, α = 0.1.
+        ProximityParams { sigma: 1.0, alpha: 0.1 }
+    }
+}
+
+/// Builds the proximity matrix for regions located at `centroids`
+/// (`(x, y)` pairs, distance = Euclidean).
+///
+/// The diagonal is zero (no self loops). The result is symmetric and
+/// non-negative.
+///
+/// ```
+/// use stod_graph::{proximity_matrix, ProximityParams};
+///
+/// let w = proximity_matrix(
+///     &[(0.0, 0.0), (1.0, 0.0), (5.0, 0.0)],
+///     ProximityParams { sigma: 1.0, alpha: 0.1 },
+/// );
+/// // Nearby regions are linked; the far region is cut off by α.
+/// assert!(w.at(&[0, 1]) > 0.3);
+/// assert_eq!(w.at(&[0, 2]), 0.0);
+/// ```
+pub fn proximity_matrix(centroids: &[(f64, f64)], params: ProximityParams) -> Tensor {
+    let n = centroids.len();
+    let mut w = Tensor::zeros(&[n, n]);
+    assert!(params.sigma > 0.0, "sigma must be positive");
+    assert!((0.0..1.0).contains(&params.alpha), "alpha must be in [0, 1)");
+    let s2 = (params.sigma as f64) * (params.sigma as f64);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = centroids[i].0 - centroids[j].0;
+            let dy = centroids[i].1 - centroids[j].1;
+            let d2 = dx * dx + dy * dy;
+            let v = (-d2 / s2).exp() as f32;
+            if v >= params.alpha {
+                w.set(&[i, j], v);
+                w.set(&[j, i], v);
+            }
+        }
+    }
+    w
+}
+
+/// Mean degree (number of non-zero neighbors) of a proximity matrix —
+/// useful to report graph sparsity in experiments.
+pub fn mean_degree(w: &Tensor) -> f64 {
+    let n = w.dim(0);
+    if n == 0 {
+        return 0.0;
+    }
+    let nnz = w.data().iter().filter(|&&x| x > 0.0).count();
+    nnz as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_centroids(n: usize, spacing: f64) -> Vec<(f64, f64)> {
+        (0..n).map(|i| (i as f64 * spacing, 0.0)).collect()
+    }
+
+    #[test]
+    fn symmetric_zero_diagonal_nonnegative() {
+        let w = proximity_matrix(&line_centroids(5, 0.5), ProximityParams::default());
+        for i in 0..5 {
+            assert_eq!(w.at(&[i, i]), 0.0);
+            for j in 0..5 {
+                assert_eq!(w.at(&[i, j]), w.at(&[j, i]));
+                assert!(w.at(&[i, j]) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn closer_regions_weigh_more() {
+        let w = proximity_matrix(&line_centroids(4, 0.5), ProximityParams::default());
+        assert!(w.at(&[0, 1]) > w.at(&[0, 2]));
+    }
+
+    #[test]
+    fn alpha_sparsifies() {
+        let c = line_centroids(6, 0.8);
+        let dense = proximity_matrix(&c, ProximityParams { sigma: 1.0, alpha: 0.0001 });
+        let sparse = proximity_matrix(&c, ProximityParams { sigma: 1.0, alpha: 0.5 });
+        assert!(mean_degree(&sparse) < mean_degree(&dense));
+    }
+
+    #[test]
+    fn sigma_widens_neighborhood() {
+        let c = line_centroids(6, 1.0);
+        let narrow = proximity_matrix(&c, ProximityParams { sigma: 0.5, alpha: 0.1 });
+        let wide = proximity_matrix(&c, ProximityParams { sigma: 3.0, alpha: 0.1 });
+        assert!(mean_degree(&wide) > mean_degree(&narrow));
+    }
+
+    #[test]
+    fn identical_centroids_get_weight_one() {
+        let w = proximity_matrix(
+            &[(0.0, 0.0), (0.0, 0.0)],
+            ProximityParams { sigma: 1.0, alpha: 0.5 },
+        );
+        assert_eq!(w.at(&[0, 1]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn zero_sigma_panics() {
+        proximity_matrix(&[(0.0, 0.0)], ProximityParams { sigma: 0.0, alpha: 0.1 });
+    }
+}

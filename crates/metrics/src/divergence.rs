@@ -1,0 +1,100 @@
+//! KL and JS divergences between speed histograms (Eqs. 13–14).
+
+/// The paper's smoothing constant δ added inside the logarithm "to prevent
+/// having a zero when using the log function" (δ = 0.001 in §VI-A.4).
+pub const KL_DELTA: f64 = 0.001;
+
+/// Kullback–Leibler divergence with the paper's δ-smoothing:
+///
+/// ```text
+/// KL(m, m̂) = Σ_k m̂_k · log((m̂_k + δ) / (m_k + δ))
+/// ```
+///
+/// Note the paper's Eq. 13 places the *forecast* in front of the log; we
+/// follow it verbatim for fidelity.
+///
+/// # Panics
+/// Panics if the histograms have different lengths.
+pub fn kl_divergence(m: &[f32], m_hat: &[f32]) -> f64 {
+    assert_eq!(m.len(), m_hat.len(), "histogram length mismatch");
+    let mut s = 0.0f64;
+    for (&mk, &hk) in m.iter().zip(m_hat.iter()) {
+        let hk = hk as f64;
+        let mk = mk as f64;
+        s += hk * ((hk + KL_DELTA) / (mk + KL_DELTA)).ln();
+    }
+    s
+}
+
+/// Jensen–Shannon divergence (Eq. 14): the symmetrized, bounded KL against
+/// the midpoint distribution `m̄ = (m + m̂) / 2`.
+pub fn js_divergence(m: &[f32], m_hat: &[f32]) -> f64 {
+    assert_eq!(m.len(), m_hat.len(), "histogram length mismatch");
+    let mid: Vec<f32> = m.iter().zip(m_hat.iter()).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    0.5 * (kl_divergence(&mid, m) + kl_divergence(&mid, m_hat))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UNIFORM4: [f32; 4] = [0.25; 4];
+    const POINT4: [f32; 4] = [1.0, 0.0, 0.0, 0.0];
+
+    #[test]
+    fn kl_identity_is_zero() {
+        assert!(kl_divergence(&UNIFORM4, &UNIFORM4).abs() < 1e-12);
+        assert!(kl_divergence(&POINT4, &POINT4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_positive_for_different_distributions() {
+        assert!(kl_divergence(&UNIFORM4, &POINT4) > 0.0);
+    }
+
+    #[test]
+    fn kl_handles_zeros_via_delta() {
+        let v = kl_divergence(&POINT4, &[0.0, 1.0, 0.0, 0.0]);
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn js_symmetric() {
+        let a = [0.7f32, 0.2, 0.1];
+        let b = [0.1f32, 0.3, 0.6];
+        let ab = js_divergence(&a, &b);
+        let ba = js_divergence(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!(ab > 0.0);
+    }
+
+    #[test]
+    fn js_identity_is_zero() {
+        let a = [0.5f32, 0.25, 0.25];
+        assert!(js_divergence(&a, &a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_bounded_by_ln2() {
+        // JS between maximally different distributions is ≤ ln 2.
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 1.0];
+        let v = js_divergence(&a, &b);
+        assert!(v <= std::f64::consts::LN_2 + 1e-6, "JS = {v}");
+    }
+
+    #[test]
+    fn closer_distribution_has_smaller_divergence() {
+        let truth = [0.6f32, 0.3, 0.1];
+        let close = [0.55f32, 0.35, 0.10];
+        let far = [0.1f32, 0.2, 0.7];
+        assert!(kl_divergence(&truth, &close) < kl_divergence(&truth, &far));
+        assert!(js_divergence(&truth, &close) < js_divergence(&truth, &far));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        kl_divergence(&[0.5, 0.5], &[1.0]);
+    }
+}

@@ -1,0 +1,276 @@
+//! Named parameter storage shared across forward passes, with a simple
+//! binary serialization format for checkpointing.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use stod_tensor::Tensor;
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Raw index of the parameter inside its store.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A flat store of named parameter tensors.
+///
+/// Models register their weights here once; each training step reads the
+/// current values through the tape and writes updates back through an
+/// optimizer. Names must be unique — they key serialization.
+#[derive(Default)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Tensor>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter with a unique name and initial value.
+    ///
+    /// # Panics
+    /// Panics on duplicate names.
+    pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let name = name.into();
+        assert!(
+            !self.names.contains(&name),
+            "duplicate parameter name: {name}"
+        );
+        self.names.push(name);
+        self.values.push(value);
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total scalar weight count across all parameters (the paper's
+    /// `#weights` column in Table I).
+    pub fn num_weights(&self) -> usize {
+        self.values.iter().map(Tensor::numel).sum()
+    }
+
+    /// Current value of a parameter.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Mutable access to a parameter value.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    /// Replaces a parameter value (shape must match).
+    ///
+    /// # Panics
+    /// Panics if the new value's shape differs.
+    pub fn set(&mut self, id: ParamId, value: Tensor) {
+        assert_eq!(
+            self.values[id.0].dims(),
+            value.dims(),
+            "parameter shape changed on set"
+        );
+        self.values[id.0] = value;
+    }
+
+    /// Name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Looks a parameter up by name.
+    pub fn id_of(&self, name: &str) -> Option<ParamId> {
+        self.names.iter().position(|n| n == name).map(ParamId)
+    }
+
+    /// Iterates over `(id, name, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.names
+            .iter()
+            .zip(self.values.iter())
+            .enumerate()
+            .map(|(i, (n, v))| (ParamId(i), n.as_str(), v))
+    }
+
+    /// All parameter ids, in registration order.
+    pub fn ids(&self) -> Vec<ParamId> {
+        (0..self.values.len()).map(ParamId).collect()
+    }
+
+    /// Serializes all parameters (names, shapes, data) to bytes.
+    ///
+    /// Format: magic `STPW`, version u32, count u32, then per parameter:
+    /// name (u32 len + utf8), rank u32, dims (u64 each), f32 data (LE).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"STPW");
+        buf.put_u32_le(1);
+        buf.put_u32_le(self.values.len() as u32);
+        for (name, value) in self.names.iter().zip(self.values.iter()) {
+            buf.put_u32_le(name.len() as u32);
+            buf.put_slice(name.as_bytes());
+            buf.put_u32_le(value.ndim() as u32);
+            for &d in value.dims() {
+                buf.put_u64_le(d as u64);
+            }
+            for &x in value.data() {
+                buf.put_f32_le(x);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes a store written by [`ParamStore::to_bytes`].
+    ///
+    /// Returns `None` on any structural corruption.
+    pub fn from_bytes(mut bytes: Bytes) -> Option<Self> {
+        if bytes.remaining() < 12 || &bytes.copy_to_bytes(4)[..] != b"STPW" {
+            return None;
+        }
+        let version = bytes.get_u32_le();
+        if version != 1 {
+            return None;
+        }
+        let count = bytes.get_u32_le() as usize;
+        let mut store = ParamStore::new();
+        for _ in 0..count {
+            if bytes.remaining() < 4 {
+                return None;
+            }
+            let name_len = bytes.get_u32_le() as usize;
+            if bytes.remaining() < name_len {
+                return None;
+            }
+            let name = String::from_utf8(bytes.copy_to_bytes(name_len).to_vec()).ok()?;
+            if bytes.remaining() < 4 {
+                return None;
+            }
+            let rank = bytes.get_u32_le() as usize;
+            if bytes.remaining() < rank * 8 {
+                return None;
+            }
+            let dims: Vec<usize> = (0..rank).map(|_| bytes.get_u64_le() as usize).collect();
+            let numel: usize = dims.iter().product();
+            if bytes.remaining() < numel * 4 {
+                return None;
+            }
+            let data: Vec<f32> = (0..numel).map(|_| bytes.get_f32_le()).collect();
+            store.register(name, Tensor::from_vec(&dims, data));
+        }
+        Some(store)
+    }
+
+    /// Writes the store to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a store from a file written by [`ParamStore::save`].
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        let data = std::fs::read(path)?;
+        ParamStore::from_bytes(Bytes::from(data)).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "corrupt parameter file")
+        })
+    }
+
+    /// Copies all values from another store with identical layout.
+    ///
+    /// # Panics
+    /// Panics when names or shapes disagree.
+    pub fn copy_from(&mut self, other: &ParamStore) {
+        assert_eq!(self.names, other.names, "parameter layout mismatch");
+        for (dst, src) in self.values.iter_mut().zip(other.values.iter()) {
+            assert_eq!(dst.dims(), src.dims(), "parameter shape mismatch");
+            *dst = src.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut s = ParamStore::new();
+        let a = s.register("w", Tensor::zeros(&[2, 3]));
+        let b = s.register("b", Tensor::ones(&[3]));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_weights(), 9);
+        assert_eq!(s.name(a), "w");
+        assert_eq!(s.id_of("b"), Some(b));
+        assert_eq!(s.id_of("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_name_panics() {
+        let mut s = ParamStore::new();
+        s.register("w", Tensor::zeros(&[1]));
+        s.register("w", Tensor::zeros(&[1]));
+    }
+
+    #[test]
+    fn set_preserves_shape_contract() {
+        let mut s = ParamStore::new();
+        let id = s.register("w", Tensor::zeros(&[2]));
+        s.set(id, Tensor::from_vec(&[2], vec![1.0, 2.0]));
+        assert_eq!(s.get(id).data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape changed")]
+    fn set_wrong_shape_panics() {
+        let mut s = ParamStore::new();
+        let id = s.register("w", Tensor::zeros(&[2]));
+        s.set(id, Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut s = ParamStore::new();
+        s.register("layer.weight", Tensor::from_vec(&[2, 2], vec![1.0, -2.0, 3.5, 0.0]));
+        s.register("layer.bias", Tensor::from_vec(&[2], vec![0.5, -0.5]));
+        let bytes = s.to_bytes();
+        let back = ParamStore::from_bytes(bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.name(ParamId(0)), "layer.weight");
+        assert_eq!(back.get(ParamId(0)).data(), s.get(ParamId(0)).data());
+        assert_eq!(back.get(ParamId(1)).dims(), &[2]);
+    }
+
+    #[test]
+    fn corrupt_bytes_rejected() {
+        assert!(ParamStore::from_bytes(Bytes::from_static(b"nope")).is_none());
+        assert!(ParamStore::from_bytes(Bytes::from_static(b"STPW\x02\x00\x00\x00")).is_none());
+        // Truncated payload.
+        let mut s = ParamStore::new();
+        s.register("w", Tensor::ones(&[4]));
+        let full = s.to_bytes();
+        let truncated = full.slice(0..full.len() - 3);
+        assert!(ParamStore::from_bytes(truncated).is_none());
+    }
+
+    #[test]
+    fn copy_from_matching_layout() {
+        let mut a = ParamStore::new();
+        a.register("w", Tensor::zeros(&[2]));
+        let mut b = ParamStore::new();
+        b.register("w", Tensor::from_vec(&[2], vec![5.0, 6.0]));
+        a.copy_from(&b);
+        assert_eq!(a.get(ParamId(0)).data(), &[5.0, 6.0]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # stod-tensor
+//!
+//! Dense, row-major, `f32` tensor kernels used by every other crate in the
+//! od-forecast workspace. The design goals, in order:
+//!
+//! 1. **Correctness** — every kernel has unit tests; algebraic laws are
+//!    checked with property-based tests.
+//! 2. **Predictability** — tensors are always contiguous row-major buffers;
+//!    there are no lazily-evaluated views to reason about.
+//! 3. **Adequate speed** — the matmul uses an `i-k-j` loop order so the
+//!    inner loop streams both operands, which is sufficient for the model
+//!    sizes of the paper (≤ a few hundred rows/columns).
+//!
+//! The crate also bundles the small amount of dense linear algebra the
+//! project needs beyond neural-network kernels: Cholesky factorization for
+//! the Gaussian-process and VAR baselines, and power iteration for the
+//! maximum Laplacian eigenvalue used by Chebyshev graph convolutions.
+
+pub mod linalg;
+pub mod ops;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use shape::{broadcast_shapes, Shape};
+pub use tensor::Tensor;
+
+pub use ops::elementwise::{self, binary_op, unary_op};
+pub use ops::matmul::{batched_matmul, matmul, matvec};
+pub use ops::reduce::{argmax_axis, max_axis, mean_axis, sum_axis};
+pub use ops::softmax::{log_softmax, softmax};
+pub use ops::transform::{concat, pad_axis, slice_axis, stack, transpose};

@@ -1,0 +1,290 @@
+//! Small dense linear algebra used by the baselines and the graph stack:
+//! Cholesky factorization/solves for Gaussian-process regression and ridge
+//! (VAR) regression, and power iteration for the dominant eigenvalue of a
+//! symmetric matrix (the `λ_max` in scaled Laplacians).
+//!
+//! Everything here accumulates in `f64` — the matrices are small (≤ a few
+//! hundred rows) but can be badly conditioned.
+
+use crate::rng::Rng64;
+use crate::tensor::Tensor;
+
+/// Errors from the linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is not (numerically) symmetric positive definite.
+    NotPositiveDefinite,
+    /// Operand shapes are inconsistent with the operation.
+    ShapeMismatch(String),
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            LinalgError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+///
+/// Returns `L` (row-major, `n×n`, strictly upper part zero) with
+/// `A = L·Lᵀ`.
+pub fn cholesky(a: &Tensor) -> Result<Tensor, LinalgError> {
+    if a.ndim() != 2 || a.dim(0) != a.dim(1) {
+        return Err(LinalgError::ShapeMismatch(format!("cholesky needs square 2-D, got {:?}", a.dims())));
+    }
+    let n = a.dim(0);
+    let mut l = vec![0.0f64; n * n];
+    let ad = a.data();
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = ad[i * n + j] as f64;
+            for k in 0..j {
+                s -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if s <= 0.0 {
+                    return Err(LinalgError::NotPositiveDefinite);
+                }
+                l[i * n + j] = s.sqrt();
+            } else {
+                l[i * n + j] = s / l[j * n + j];
+            }
+        }
+    }
+    Ok(Tensor::from_vec(&[n, n], l.into_iter().map(|x| x as f32).collect()))
+}
+
+/// Solves `A·x = b` given the Cholesky factor `L` of `A` (forward then back
+/// substitution). `b` may be a vector (`n`) or a matrix (`n×m`), solved
+/// column-wise.
+pub fn cholesky_solve(l: &Tensor, b: &Tensor) -> Result<Tensor, LinalgError> {
+    let n = l.dim(0);
+    if l.ndim() != 2 || l.dim(1) != n {
+        return Err(LinalgError::ShapeMismatch("factor must be square".into()));
+    }
+    let (rows, cols) = match b.ndim() {
+        1 => (b.dim(0), 1),
+        2 => (b.dim(0), b.dim(1)),
+        _ => return Err(LinalgError::ShapeMismatch("rhs must be 1-D or 2-D".into())),
+    };
+    if rows != n {
+        return Err(LinalgError::ShapeMismatch(format!("rhs rows {rows} != n {n}")));
+    }
+    let ld = l.data();
+    let mut x = vec![0.0f64; n * cols];
+    for c in 0..cols {
+        // Forward substitution: L·y = b.
+        for i in 0..n {
+            let mut s = b.data()[i * cols + c] as f64;
+            for k in 0..i {
+                s -= ld[i * n + k] as f64 * x[k * cols + c];
+            }
+            x[i * cols + c] = s / ld[i * n + i] as f64;
+        }
+        // Back substitution: Lᵀ·x = y.
+        for i in (0..n).rev() {
+            let mut s = x[i * cols + c];
+            for k in i + 1..n {
+                s -= ld[k * n + i] as f64 * x[k * cols + c];
+            }
+            x[i * cols + c] = s / ld[i * n + i] as f64;
+        }
+    }
+    let data: Vec<f32> = x.into_iter().map(|v| v as f32).collect();
+    Ok(if b.ndim() == 1 {
+        Tensor::from_vec(&[n], data)
+    } else {
+        Tensor::from_vec(&[n, cols], data)
+    })
+}
+
+/// Solves the symmetric positive-definite system `A·x = b` directly.
+pub fn solve_spd(a: &Tensor, b: &Tensor) -> Result<Tensor, LinalgError> {
+    let l = cholesky(a)?;
+    cholesky_solve(&l, b)
+}
+
+/// Ridge-regularized least squares: minimizes `‖X·w − Y‖² + λ‖w‖²` via the
+/// normal equations `(XᵀX + λI)·w = XᵀY`.
+///
+/// `x` is `(samples × features)`, `y` is `(samples × targets)`; the result
+/// is `(features × targets)`.
+pub fn ridge_regression(x: &Tensor, y: &Tensor, lambda: f32) -> Result<Tensor, LinalgError> {
+    if x.ndim() != 2 || y.ndim() != 2 || x.dim(0) != y.dim(0) {
+        return Err(LinalgError::ShapeMismatch(format!(
+            "ridge needs matching 2-D operands, got {:?} and {:?}",
+            x.dims(),
+            y.dims()
+        )));
+    }
+    let (n, f) = (x.dim(0), x.dim(1));
+    let t = y.dim(1);
+    // XᵀX (+ λ on the diagonal), accumulated in f64.
+    let mut xtx = vec![0.0f64; f * f];
+    for s in 0..n {
+        let row = &x.data()[s * f..(s + 1) * f];
+        for i in 0..f {
+            let xi = row[i] as f64;
+            if xi == 0.0 {
+                continue;
+            }
+            for j in i..f {
+                xtx[i * f + j] += xi * row[j] as f64;
+            }
+        }
+    }
+    for i in 0..f {
+        for j in 0..i {
+            xtx[i * f + j] = xtx[j * f + i];
+        }
+        xtx[i * f + i] += lambda as f64;
+    }
+    // XᵀY.
+    let mut xty = vec![0.0f64; f * t];
+    for s in 0..n {
+        let xr = &x.data()[s * f..(s + 1) * f];
+        let yr = &y.data()[s * t..(s + 1) * t];
+        for i in 0..f {
+            let xi = xr[i] as f64;
+            if xi == 0.0 {
+                continue;
+            }
+            for j in 0..t {
+                xty[i * t + j] += xi * yr[j] as f64;
+            }
+        }
+    }
+    let a = Tensor::from_vec(&[f, f], xtx.into_iter().map(|v| v as f32).collect());
+    let b = Tensor::from_vec(&[f, t], xty.into_iter().map(|v| v as f32).collect());
+    solve_spd(&a, &b)
+}
+
+/// Dominant eigenvalue of a symmetric matrix by power iteration.
+///
+/// Converges to `max |λ|`; for PSD matrices (Laplacians) this is `λ_max`.
+/// Returns 0 for the zero matrix.
+pub fn power_iteration_lambda_max(a: &Tensor, iters: usize, seed: u64) -> f32 {
+    assert_eq!(a.ndim(), 2, "power iteration needs a square matrix");
+    let n = a.dim(0);
+    assert_eq!(n, a.dim(1), "power iteration needs a square matrix");
+    if n == 0 {
+        return 0.0;
+    }
+    let mut rng = Rng64::new(seed);
+    let mut v: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+    let mut lambda = 0.0f64;
+    let ad = a.data();
+    for _ in 0..iters {
+        let mut w = vec![0.0f64; n];
+        for i in 0..n {
+            let row = &ad[i * n..(i + 1) * n];
+            w[i] = row.iter().zip(v.iter()).map(|(&a, &b)| a as f64 * b).sum();
+        }
+        let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-30 {
+            return 0.0;
+        }
+        lambda = norm;
+        for (vi, wi) in v.iter_mut().zip(w.iter()) {
+            *vi = wi / norm;
+        }
+    }
+    lambda as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::matmul::{matmul, matvec};
+    use crate::ops::transform::transpose;
+
+    fn spd3() -> Tensor {
+        // A = Bᵀ·B + I is SPD for any B.
+        let b = Tensor::from_vec(&[3, 3], vec![1.0, 2.0, 0.0, -1.0, 1.0, 3.0, 0.5, 0.0, 1.0]);
+        let bt = transpose(&b, 0, 1);
+        let mut a = matmul(&bt, &b);
+        for i in 0..3 {
+            let v = a.at(&[i, i]) + 1.0;
+            a.set(&[i, i], v);
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd3();
+        let l = cholesky(&a).unwrap();
+        let lt = transpose(&l, 0, 1);
+        let rec = matmul(&l, &lt);
+        assert!(rec.approx_eq(&a, 1e-4));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert_eq!(cholesky(&a).unwrap_err(), LinalgError::NotPositiveDefinite);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = Tensor::from_vec(&[3], vec![1.0, -2.0, 0.5]);
+        let b = matvec(&a, &x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-3));
+    }
+
+    #[test]
+    fn solve_matrix_rhs() {
+        let a = spd3();
+        let b = Tensor::from_vec(&[3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let x = solve_spd(&a, &b).unwrap();
+        let back = matmul(&a, &x);
+        assert!(back.approx_eq(&b, 1e-3));
+    }
+
+    #[test]
+    fn ridge_fits_exact_linear_map() {
+        // y = x·W with more samples than features; tiny λ recovers W.
+        let x = Tensor::from_vec(&[4, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, -1.0]);
+        let w_true = Tensor::from_vec(&[2, 2], vec![2.0, -1.0, 0.5, 3.0]);
+        let y = matmul(&x, &w_true);
+        let w = ridge_regression(&x, &y, 1e-6).unwrap();
+        assert!(w.approx_eq(&w_true, 1e-3));
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let x = Tensor::from_vec(&[2, 1], vec![1.0, 1.0]);
+        let y = Tensor::from_vec(&[2, 1], vec![2.0, 2.0]);
+        let w_small = ridge_regression(&x, &y, 1e-6).unwrap().item();
+        let w_big = ridge_regression(&x, &y, 100.0).unwrap().item();
+        assert!((w_small - 2.0).abs() < 1e-3);
+        assert!(w_big < 0.1);
+    }
+
+    #[test]
+    fn power_iteration_diag() {
+        let a = Tensor::from_vec(&[3, 3], vec![5.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 1.0]);
+        let l = power_iteration_lambda_max(&a, 200, 1);
+        assert!((l - 5.0).abs() < 1e-3, "λ = {l}");
+    }
+
+    #[test]
+    fn power_iteration_zero_matrix() {
+        assert_eq!(power_iteration_lambda_max(&Tensor::zeros(&[4, 4]), 50, 1), 0.0);
+    }
+
+    #[test]
+    fn power_iteration_known_symmetric() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Tensor::from_vec(&[2, 2], vec![2.0, 1.0, 1.0, 2.0]);
+        let l = power_iteration_lambda_max(&a, 300, 7);
+        assert!((l - 3.0).abs() < 1e-3, "λ = {l}");
+    }
+}

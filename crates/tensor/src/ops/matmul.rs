@@ -1,0 +1,188 @@
+//! Matrix multiplication kernels.
+//!
+//! The 2-D kernel uses the `i-k-j` loop order: the innermost loop walks a
+//! row of `b` and a row of the output, so both are streamed sequentially
+//! from memory. That is within a small factor of a tuned BLAS for the
+//! matrix sizes this workspace uses (tens to a few hundreds per side).
+
+use crate::tensor::Tensor;
+
+/// 2-D matrix product `a (m×k) · b (k×n) → (m×n)`.
+///
+/// ```
+/// use stod_tensor::{matmul, Tensor};
+///
+/// let a = Tensor::from_vec(&[1, 2], vec![1.0, 2.0]);
+/// let b = Tensor::from_vec(&[2, 1], vec![3.0, 4.0]);
+/// assert_eq!(matmul(&a, &b).item(), 11.0);
+/// ```
+///
+/// # Panics
+/// Panics if either operand is not 2-D or the inner dimensions mismatch.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul lhs must be 2-D, got {:?}", a.dims());
+    assert_eq!(b.ndim(), 2, "matmul rhs must be 2-D, got {:?}", b.dims());
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (k2, n) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul inner dims mismatch: {:?} vs {:?}", a.dims(), b.dims());
+    let mut out = vec![0.0f32; m * n];
+    matmul_into(a.data(), b.data(), &mut out, m, k, n);
+    Tensor::from_vec(&[m, n], out)
+}
+
+/// Raw `i-k-j` matmul kernel writing into a preallocated buffer.
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &aip) in a[i * k..(i + 1) * k].iter().enumerate() {
+            if aip == 0.0 {
+                continue; // sparse factor matrices benefit measurably
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += aip * bv;
+            }
+        }
+    }
+}
+
+/// Matrix–vector product `a (m×k) · x (k) → (m)`.
+///
+/// # Panics
+/// Panics if `a` is not 2-D or the dimensions mismatch.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matvec lhs must be 2-D");
+    assert_eq!(x.ndim(), 1, "matvec rhs must be 1-D");
+    let (m, k) = (a.dim(0), a.dim(1));
+    assert_eq!(k, x.dim(0), "matvec dims mismatch");
+    let mut out = vec![0.0f32; m];
+    for (i, o) in out.iter_mut().enumerate() {
+        let row = &a.data()[i * k..(i + 1) * k];
+        *o = row
+            .iter()
+            .zip(x.data().iter())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum::<f64>() as f32;
+    }
+    Tensor::from_vec(&[m], out)
+}
+
+/// Batched matrix product over the leading dimensions.
+///
+/// Both operands are interpreted as stacks of matrices: shape
+/// `[..., m, k] · [..., k, n] → [..., m, n]`. A 2-D operand is broadcast
+/// across the other operand's batch dimensions.
+///
+/// # Panics
+/// Panics when the batch dimensions are incompatible or inner dims differ.
+pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert!(a.ndim() >= 2 && b.ndim() >= 2, "batched_matmul needs rank ≥ 2 operands");
+    let (m, k) = (a.dim(a.ndim() - 2), a.dim(a.ndim() - 1));
+    let (k2, n) = (b.dim(b.ndim() - 2), b.dim(b.ndim() - 1));
+    assert_eq!(k, k2, "batched_matmul inner dims mismatch: {:?} vs {:?}", a.dims(), b.dims());
+
+    let batch_a: usize = a.dims()[..a.ndim() - 2].iter().product();
+    let batch_b: usize = b.dims()[..b.ndim() - 2].iter().product();
+    let (batch, batch_dims): (usize, Vec<usize>) = if batch_a == 1 && a.ndim() == 2 {
+        (batch_b, b.dims()[..b.ndim() - 2].to_vec())
+    } else if batch_b == 1 && b.ndim() == 2 {
+        (batch_a, a.dims()[..a.ndim() - 2].to_vec())
+    } else {
+        assert_eq!(
+            a.dims()[..a.ndim() - 2],
+            b.dims()[..b.ndim() - 2],
+            "batched_matmul batch dims mismatch: {:?} vs {:?}",
+            a.dims(),
+            b.dims()
+        );
+        (batch_a, a.dims()[..a.ndim() - 2].to_vec())
+    };
+
+    let mut out = vec![0.0f32; batch * m * n];
+    let a_step = if batch_a == 1 && a.ndim() == 2 { 0 } else { m * k };
+    let b_step = if batch_b == 1 && b.ndim() == 2 { 0 } else { k * n };
+    for t in 0..batch {
+        let a_sl = &a.data()[t * a_step..t * a_step + m * k];
+        let b_sl = &b.data()[t * b_step..t * b_step + k * n];
+        matmul_into(a_sl, b_sl, &mut out[t * m * n..(t + 1) * m * n], m, k, n);
+    }
+    let mut dims = batch_dims;
+    dims.push(m);
+    dims.push(n);
+    Tensor::from_vec(&dims, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_basic() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(&[3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(&[2, 2], vec![3.0, -1.0, 2.0, 5.0]);
+        let i = Tensor::eye(2);
+        assert_eq!(matmul(&a, &i), a);
+        assert_eq!(matmul(&i, &a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims mismatch")]
+    fn matmul_dim_mismatch() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[2, 3]));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 0.0, -1.0, 2.0, 1.0, 3.0]);
+        let x = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let y = matvec(&a, &x);
+        assert_eq!(y.data(), &[-2.0, 13.0]);
+    }
+
+    #[test]
+    fn batched_same_batch() {
+        let a = Tensor::from_vec(&[2, 1, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(&[2, 2, 1], vec![1.0, 1.0, 2.0, 0.5]);
+        let c = batched_matmul(&a, &b);
+        assert_eq!(c.dims(), &[2, 1, 1]);
+        assert_eq!(c.data(), &[3.0, 8.0]);
+    }
+
+    #[test]
+    fn batched_broadcast_rhs() {
+        // One shared rhs across a batch of lhs matrices.
+        let a = Tensor::from_vec(&[3, 1, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let b = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let c = batched_matmul(&a, &b);
+        assert_eq!(c.dims(), &[3, 1, 2]);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn batched_broadcast_lhs() {
+        let a = Tensor::eye(2);
+        let b = Tensor::from_vec(&[2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let c = batched_matmul(&a, &b);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn deep_batch_dims() {
+        let a = Tensor::ones(&[2, 3, 2, 2]);
+        let b = Tensor::ones(&[2, 3, 2, 4]);
+        let c = batched_matmul(&a, &b);
+        assert_eq!(c.dims(), &[2, 3, 2, 4]);
+        assert!(c.data().iter().all(|&x| x == 2.0));
+    }
+}

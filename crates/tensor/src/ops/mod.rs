@@ -1,0 +1,7 @@
+//! Tensor kernels grouped by family.
+
+pub mod elementwise;
+pub mod matmul;
+pub mod reduce;
+pub mod softmax;
+pub mod transform;

@@ -1,0 +1,137 @@
+//! Reductions along a single axis.
+
+use crate::tensor::Tensor;
+
+/// Decomposes a shape around `axis` into `(outer, mid, inner)` extents so a
+/// reduction can be expressed as three nested loops.
+fn split(dims: &[usize], axis: usize) -> (usize, usize, usize) {
+    assert!(axis < dims.len(), "axis {axis} out of range for {dims:?}");
+    let outer: usize = dims[..axis].iter().product();
+    let mid = dims[axis];
+    let inner: usize = dims[axis + 1..].iter().product();
+    (outer, mid, inner)
+}
+
+fn reduced_dims(dims: &[usize], axis: usize, keepdim: bool) -> Vec<usize> {
+    let mut out = dims.to_vec();
+    if keepdim {
+        out[axis] = 1;
+    } else {
+        out.remove(axis);
+    }
+    out
+}
+
+/// Sums along `axis`. With `keepdim`, the reduced axis stays with extent 1.
+pub fn sum_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
+    let (outer, mid, inner) = split(a.dims(), axis);
+    let mut out = vec![0.0f32; outer * inner];
+    for o in 0..outer {
+        for m in 0..mid {
+            let base = (o * mid + m) * inner;
+            let dst = &mut out[o * inner..(o + 1) * inner];
+            for (d, &s) in dst.iter_mut().zip(&a.data()[base..base + inner]) {
+                *d += s;
+            }
+        }
+    }
+    Tensor::from_vec(&reduced_dims(a.dims(), axis, keepdim), out)
+}
+
+/// Arithmetic mean along `axis`.
+pub fn mean_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
+    let mid = a.dim(axis) as f32;
+    let mut t = sum_axis(a, axis, keepdim);
+    t.map_inplace(|x| x / mid);
+    t
+}
+
+/// Maximum along `axis`.
+pub fn max_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
+    let (outer, mid, inner) = split(a.dims(), axis);
+    let mut out = vec![f32::NEG_INFINITY; outer * inner];
+    for o in 0..outer {
+        for m in 0..mid {
+            let base = (o * mid + m) * inner;
+            let dst = &mut out[o * inner..(o + 1) * inner];
+            for (d, &s) in dst.iter_mut().zip(&a.data()[base..base + inner]) {
+                *d = d.max(s);
+            }
+        }
+    }
+    Tensor::from_vec(&reduced_dims(a.dims(), axis, keepdim), out)
+}
+
+/// Index of the maximum along `axis` (ties resolve to the lowest index).
+pub fn argmax_axis(a: &Tensor, axis: usize) -> Vec<usize> {
+    let (outer, mid, inner) = split(a.dims(), axis);
+    let mut out = vec![0usize; outer * inner];
+    let mut best = vec![f32::NEG_INFINITY; outer * inner];
+    for o in 0..outer {
+        for m in 0..mid {
+            let base = (o * mid + m) * inner;
+            for i in 0..inner {
+                let v = a.data()[base + i];
+                let slot = o * inner + i;
+                if v > best[slot] {
+                    best[slot] = v;
+                    out[slot] = m;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t23() -> Tensor {
+        Tensor::from_vec(&[2, 3], vec![1.0, 5.0, 3.0, 4.0, 2.0, 6.0])
+    }
+
+    #[test]
+    fn sum_each_axis() {
+        let t = t23();
+        assert_eq!(sum_axis(&t, 0, false).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(sum_axis(&t, 1, false).data(), &[9.0, 12.0]);
+    }
+
+    #[test]
+    fn keepdim_shapes() {
+        let t = t23();
+        assert_eq!(sum_axis(&t, 0, true).dims(), &[1, 3]);
+        assert_eq!(sum_axis(&t, 1, true).dims(), &[2, 1]);
+        assert_eq!(sum_axis(&t, 1, false).dims(), &[2]);
+    }
+
+    #[test]
+    fn mean_matches_sum() {
+        let t = t23();
+        assert_eq!(mean_axis(&t, 1, false).data(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn max_and_argmax() {
+        let t = t23();
+        assert_eq!(max_axis(&t, 1, false).data(), &[5.0, 6.0]);
+        assert_eq!(argmax_axis(&t, 1), vec![1, 2]);
+        assert_eq!(max_axis(&t, 0, false).data(), &[4.0, 5.0, 6.0]);
+        assert_eq!(argmax_axis(&t, 0), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn reduce_3d_middle_axis() {
+        let t = Tensor::from_vec(&[2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let s = sum_axis(&t, 1, false);
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.data(), &[4.0, 6.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis 2 out of range")]
+    fn axis_out_of_range() {
+        sum_axis(&t23(), 2, false);
+    }
+}

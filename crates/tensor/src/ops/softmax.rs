@@ -1,0 +1,124 @@
+//! Numerically stable softmax along an arbitrary axis.
+
+use crate::tensor::Tensor;
+
+/// Softmax along `axis`, computed with the max-subtraction trick so large
+/// logits cannot overflow.
+pub fn softmax(a: &Tensor, axis: usize) -> Tensor {
+    assert!(axis < a.ndim(), "softmax axis out of range");
+    let outer: usize = a.dims()[..axis].iter().product();
+    let mid = a.dim(axis);
+    let inner: usize = a.dims()[axis + 1..].iter().product();
+    let mut out = vec![0.0f32; a.numel()];
+    for o in 0..outer {
+        for i in 0..inner {
+            let mut mx = f32::NEG_INFINITY;
+            for m in 0..mid {
+                mx = mx.max(a.data()[(o * mid + m) * inner + i]);
+            }
+            let mut z = 0.0f64;
+            for m in 0..mid {
+                let e = (a.data()[(o * mid + m) * inner + i] - mx).exp();
+                out[(o * mid + m) * inner + i] = e;
+                z += e as f64;
+            }
+            let inv = 1.0 / z as f32;
+            for m in 0..mid {
+                out[(o * mid + m) * inner + i] *= inv;
+            }
+        }
+    }
+    Tensor::from_vec(a.dims(), out)
+}
+
+/// Log-softmax along `axis` (stable `x - max - ln Σ e^{x-max}`).
+pub fn log_softmax(a: &Tensor, axis: usize) -> Tensor {
+    assert!(axis < a.ndim(), "log_softmax axis out of range");
+    let outer: usize = a.dims()[..axis].iter().product();
+    let mid = a.dim(axis);
+    let inner: usize = a.dims()[axis + 1..].iter().product();
+    let mut out = vec![0.0f32; a.numel()];
+    for o in 0..outer {
+        for i in 0..inner {
+            let mut mx = f32::NEG_INFINITY;
+            for m in 0..mid {
+                mx = mx.max(a.data()[(o * mid + m) * inner + i]);
+            }
+            let mut z = 0.0f64;
+            for m in 0..mid {
+                z += ((a.data()[(o * mid + m) * inner + i] - mx) as f64).exp();
+            }
+            let log_z = z.ln() as f32;
+            for m in 0..mid {
+                let idx = (o * mid + m) * inner + i;
+                out[idx] = a.data()[idx] - mx - log_z;
+            }
+        }
+    }
+    Tensor::from_vec(a.dims(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::reduce::sum_axis;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let s = softmax(&a, 1);
+        let sums = sum_axis(&s, 1, false);
+        for &v in sums.data() {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        let a = Tensor::from_vec(&[2], vec![0.0, 0.0]);
+        let s = softmax(&a, 0);
+        assert!((s.data()[0] - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn shift_invariance() {
+        let a = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let b = a.map(|x| x + 100.0);
+        assert!(softmax(&a, 0).approx_eq(&softmax(&b, 0), 1e-6));
+    }
+
+    #[test]
+    fn stable_at_large_logits() {
+        let a = Tensor::from_vec(&[2], vec![1000.0, 0.0]);
+        let s = softmax(&a, 0);
+        assert!(s.all_finite());
+        assert!((s.data()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_along_inner_axis_of_3d() {
+        let a = Tensor::from_vec(&[2, 2, 2], vec![0.0; 8]);
+        let s = softmax(&a, 2);
+        assert!(s.data().iter().all(|&x| (x - 0.5).abs() < 1e-7));
+    }
+
+    #[test]
+    fn log_softmax_matches_ln_of_softmax() {
+        let a = Tensor::from_vec(&[2, 3], vec![0.5, -1.0, 2.0, 3.0, 0.0, -2.0]);
+        let ls = log_softmax(&a, 1);
+        let s = softmax(&a, 1).map(f32::ln);
+        assert!(ls.approx_eq(&s, 1e-5));
+    }
+
+    #[test]
+    fn softmax_middle_axis() {
+        let a = Tensor::from_vec(&[1, 3, 2], vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        let s = softmax(&a, 1);
+        // column 0 holds logits [1,2,3]; column 1 holds [4,5,6]
+        let col0: f32 = (0..3).map(|m| s.at(&[0, m, 0])).sum();
+        let col1: f32 = (0..3).map(|m| s.at(&[0, m, 1])).sum();
+        assert!((col0 - 1.0).abs() < 1e-6 && (col1 - 1.0).abs() < 1e-6);
+        // equal spacing of logits → identical distributions per column
+        assert!((s.at(&[0, 0, 0]) - s.at(&[0, 0, 1])).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,251 @@
+//! Layout-changing kernels: transpose/permute, concatenation, stacking,
+//! slicing and padding. All of them copy — tensors stay contiguous.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Swaps two axes, copying into a new contiguous tensor.
+pub fn transpose(a: &Tensor, ax0: usize, ax1: usize) -> Tensor {
+    let mut perm: Vec<usize> = (0..a.ndim()).collect();
+    perm.swap(ax0, ax1);
+    permute(a, &perm)
+}
+
+/// Reorders axes according to `perm` (a permutation of `0..ndim`).
+///
+/// # Panics
+/// Panics if `perm` is not a permutation of the axis indices.
+pub fn permute(a: &Tensor, perm: &[usize]) -> Tensor {
+    assert_eq!(perm.len(), a.ndim(), "permutation rank mismatch");
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        assert!(p < perm.len() && !seen[p], "invalid permutation {perm:?}");
+        seen[p] = true;
+    }
+    let src_dims = a.dims();
+    let out_dims: Vec<usize> = perm.iter().map(|&p| src_dims[p]).collect();
+    let out_shape = Shape::new(&out_dims);
+    let src_strides = a.shape().strides();
+    // Stride of output axis i in the source buffer.
+    let strides_in_src: Vec<usize> = perm.iter().map(|&p| src_strides[p]).collect();
+    let n = out_shape.numel();
+    let mut data = Vec::with_capacity(n);
+    let mut idx = vec![0usize; out_dims.len()];
+    let mut src_off = 0usize;
+    for _ in 0..n {
+        data.push(a.data()[src_off]);
+        for axis in (0..out_dims.len()).rev() {
+            idx[axis] += 1;
+            src_off += strides_in_src[axis];
+            if idx[axis] < out_dims[axis] {
+                break;
+            }
+            idx[axis] = 0;
+            src_off -= strides_in_src[axis] * out_dims[axis];
+        }
+    }
+    Tensor::from_vec(&out_dims, data)
+}
+
+/// Concatenates tensors along `axis`. All other dimensions must agree.
+///
+/// # Panics
+/// Panics on an empty input list or mismatched non-concat dimensions.
+pub fn concat(parts: &[&Tensor], axis: usize) -> Tensor {
+    assert!(!parts.is_empty(), "concat of zero tensors");
+    let first = parts[0];
+    let ndim = first.ndim();
+    assert!(axis < ndim, "concat axis out of range");
+    for p in parts {
+        assert_eq!(p.ndim(), ndim, "concat rank mismatch");
+        for d in 0..ndim {
+            if d != axis {
+                assert_eq!(p.dim(d), first.dim(d), "concat non-axis dim mismatch at {d}");
+            }
+        }
+    }
+    let outer: usize = first.dims()[..axis].iter().product();
+    let inner: usize = first.dims()[axis + 1..].iter().product();
+    let total_axis: usize = parts.iter().map(|p| p.dim(axis)).sum();
+    let mut out_dims = first.dims().to_vec();
+    out_dims[axis] = total_axis;
+    let mut data = Vec::with_capacity(outer * total_axis * inner);
+    for o in 0..outer {
+        for p in parts {
+            let mid = p.dim(axis);
+            let start = o * mid * inner;
+            data.extend_from_slice(&p.data()[start..start + mid * inner]);
+        }
+    }
+    Tensor::from_vec(&out_dims, data)
+}
+
+/// Stacks tensors of identical shape along a new leading `axis`.
+pub fn stack(parts: &[&Tensor], axis: usize) -> Tensor {
+    assert!(!parts.is_empty(), "stack of zero tensors");
+    let unsq: Vec<Tensor> = parts
+        .iter()
+        .map(|p| {
+            let mut dims = p.dims().to_vec();
+            dims.insert(axis, 1);
+            p.reshape(&dims)
+        })
+        .collect();
+    let refs: Vec<&Tensor> = unsq.iter().collect();
+    concat(&refs, axis)
+}
+
+/// Takes the half-open range `[start, end)` of `axis`.
+///
+/// # Panics
+/// Panics if the range is invalid for the axis extent.
+pub fn slice_axis(a: &Tensor, axis: usize, start: usize, end: usize) -> Tensor {
+    assert!(axis < a.ndim(), "slice axis out of range");
+    assert!(start <= end && end <= a.dim(axis), "invalid slice [{start},{end}) on axis {axis}");
+    let outer: usize = a.dims()[..axis].iter().product();
+    let mid = a.dim(axis);
+    let inner: usize = a.dims()[axis + 1..].iter().product();
+    let take = end - start;
+    let mut out_dims = a.dims().to_vec();
+    out_dims[axis] = take;
+    let mut data = Vec::with_capacity(outer * take * inner);
+    for o in 0..outer {
+        let base = (o * mid + start) * inner;
+        data.extend_from_slice(&a.data()[base..base + take * inner]);
+    }
+    Tensor::from_vec(&out_dims, data)
+}
+
+/// Selects rows of `axis` by index (duplicates allowed), akin to
+/// `index_select`.
+pub fn index_select(a: &Tensor, axis: usize, indices: &[usize]) -> Tensor {
+    assert!(axis < a.ndim(), "index_select axis out of range");
+    let outer: usize = a.dims()[..axis].iter().product();
+    let mid = a.dim(axis);
+    let inner: usize = a.dims()[axis + 1..].iter().product();
+    let mut out_dims = a.dims().to_vec();
+    out_dims[axis] = indices.len();
+    let mut data = Vec::with_capacity(outer * indices.len() * inner);
+    for o in 0..outer {
+        for &ix in indices {
+            assert!(ix < mid, "index {ix} out of range for axis extent {mid}");
+            let base = (o * mid + ix) * inner;
+            data.extend_from_slice(&a.data()[base..base + inner]);
+        }
+    }
+    Tensor::from_vec(&out_dims, data)
+}
+
+/// Zero-pads `axis` at the end to reach extent `new_len`.
+///
+/// # Panics
+/// Panics if `new_len` is smaller than the current extent.
+pub fn pad_axis(a: &Tensor, axis: usize, new_len: usize) -> Tensor {
+    let mid = a.dim(axis);
+    assert!(new_len >= mid, "pad_axis target {new_len} < current {mid}");
+    if new_len == mid {
+        return a.clone();
+    }
+    let outer: usize = a.dims()[..axis].iter().product();
+    let inner: usize = a.dims()[axis + 1..].iter().product();
+    let mut out_dims = a.dims().to_vec();
+    out_dims[axis] = new_len;
+    let mut data = vec![0.0f32; outer * new_len * inner];
+    for o in 0..outer {
+        let src = &a.data()[o * mid * inner..(o + 1) * mid * inner];
+        let dst = &mut data[o * new_len * inner..o * new_len * inner + mid * inner];
+        dst.copy_from_slice(src);
+    }
+    Tensor::from_vec(&out_dims, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_2d() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = transpose(&a, 0, 1);
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(transpose(&transpose(&a, 0, 1), 0, 1), a);
+    }
+
+    #[test]
+    fn permute_3d() {
+        let a = Tensor::from_vec(&[2, 3, 4], (0..24).map(|x| x as f32).collect());
+        let p = permute(&a, &[2, 0, 1]);
+        assert_eq!(p.dims(), &[4, 2, 3]);
+        assert_eq!(p.at(&[1, 0, 2]), a.at(&[0, 2, 1]));
+        assert_eq!(p.at(&[3, 1, 0]), a.at(&[1, 0, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid permutation")]
+    fn bad_permutation() {
+        permute(&Tensor::zeros(&[2, 2]), &[0, 0]);
+    }
+
+    #[test]
+    fn concat_axis0_and_1() {
+        let a = Tensor::from_vec(&[1, 2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec(&[1, 2], vec![3.0, 4.0]);
+        let c0 = concat(&[&a, &b], 0);
+        assert_eq!(c0.dims(), &[2, 2]);
+        assert_eq!(c0.data(), &[1.0, 2.0, 3.0, 4.0]);
+        let c1 = concat(&[&a, &b], 1);
+        assert_eq!(c1.dims(), &[1, 4]);
+        assert_eq!(c1.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn stack_creates_new_axis() {
+        let a = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec(&[2], vec![3.0, 4.0]);
+        let s = stack(&[&a, &b], 0);
+        assert_eq!(s.dims(), &[2, 2]);
+        let s1 = stack(&[&a, &b], 1);
+        assert_eq!(s1.dims(), &[2, 2]);
+        assert_eq!(s1.data(), &[1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn slice_middle() {
+        let a = Tensor::from_vec(&[2, 4], (0..8).map(|x| x as f32).collect());
+        let s = slice_axis(&a, 1, 1, 3);
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.data(), &[1.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn slice_concat_roundtrip() {
+        let a = Tensor::from_vec(&[3, 2], (0..6).map(|x| x as f32).collect());
+        let top = slice_axis(&a, 0, 0, 1);
+        let rest = slice_axis(&a, 0, 1, 3);
+        assert_eq!(concat(&[&top, &rest], 0), a);
+    }
+
+    #[test]
+    fn index_select_rows() {
+        let a = Tensor::from_vec(&[3, 2], (0..6).map(|x| x as f32).collect());
+        let g = index_select(&a, 0, &[2, 0, 2]);
+        assert_eq!(g.dims(), &[3, 2]);
+        assert_eq!(g.data(), &[4.0, 5.0, 0.0, 1.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn pad_appends_zeros() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let p = pad_axis(&a, 0, 3);
+        assert_eq!(p.dims(), &[3, 2]);
+        assert_eq!(p.data(), &[1.0, 2.0, 3.0, 4.0, 0.0, 0.0]);
+        let p1 = pad_axis(&a, 1, 3);
+        assert_eq!(p1.data(), &[1.0, 2.0, 0.0, 3.0, 4.0, 0.0]);
+    }
+}

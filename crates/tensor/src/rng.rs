@@ -1,0 +1,206 @@
+//! Deterministic random number generation.
+//!
+//! All stochastic components of the workspace (weight initialization, trip
+//! sampling, dropout masks, …) draw from [`Rng64`], a thin wrapper around
+//! [`rand::rngs::StdRng`] seeded explicitly, so every experiment is
+//! reproducible from a single `u64` seed.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A seeded random generator with the handful of draws the workspace needs.
+pub struct Rng64 {
+    inner: StdRng,
+    /// Cached second value of the Box–Muller pair.
+    gauss_spare: Option<f64>,
+}
+
+impl Rng64 {
+    /// Creates a generator from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        Rng64 { inner: StdRng::seed_from_u64(seed), gauss_spare: None }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// subsystem its own stream without coupling their draw counts.
+    pub fn fork(&mut self, salt: u64) -> Rng64 {
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Rng64::new(s)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        self.inner.random::<f32>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn next_below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "next_below(0)");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Standard normal draw (Box–Muller, cached pair).
+    pub fn next_gaussian(&mut self) -> f64 {
+        if let Some(v) = self.gauss_spare.take() {
+            return v;
+        }
+        // Box–Muller transform; u1 is kept away from 0 so ln() is finite.
+        let u1 = self.next_f64().max(1e-12);
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Poisson draw via inversion for small means and normal approximation
+    /// for large means (mean ≥ 30).
+    pub fn next_poisson(&mut self, mean: f64) -> usize {
+        if mean <= 0.0 {
+            return 0;
+        }
+        if mean >= 30.0 {
+            let x = mean + mean.sqrt() * self.next_gaussian();
+            return x.max(0.0).round() as usize;
+        }
+        // Knuth's algorithm.
+        let l = (-mean).exp();
+        let mut k = 0usize;
+        let mut p = 1.0;
+        loop {
+            p *= self.next_f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 10_000 {
+                return k; // numerically impossible, guards infinite loops
+            }
+        }
+    }
+
+    /// Samples an index from unnormalized non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to a non-positive value.
+    pub fn sample_weighted(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "sample_weighted on empty weights");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "sample_weighted requires positive total weight");
+        let mut u = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            u -= w;
+            if u <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng64::new(9);
+        let mut b = Rng64::new(9);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = Rng64::new(5);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_matches() {
+        let mut rng = Rng64::new(11);
+        for &mean in &[0.5, 3.0, 50.0] {
+            let n = 20_000;
+            let s: usize = (0..n).map(|_| rng.next_poisson(mean)).sum();
+            let emp = s as f64 / n as f64;
+            assert!((emp - mean).abs() < 0.15 * mean.max(0.5), "mean {mean} emp {emp}");
+        }
+    }
+
+    #[test]
+    fn poisson_zero_mean() {
+        let mut rng = Rng64::new(1);
+        assert_eq!(rng.next_poisson(0.0), 0);
+        assert_eq!(rng.next_poisson(-1.0), 0);
+    }
+
+    #[test]
+    fn weighted_sampling_respects_weights() {
+        let mut rng = Rng64::new(13);
+        let w = [0.0, 1.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..8000 {
+            counts[rng.sample_weighted(&w)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f64 / counts[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng64::new(17);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_streams_independent() {
+        let mut root = Rng64::new(3);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

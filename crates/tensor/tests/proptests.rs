@@ -1,0 +1,176 @@
+//! Property-based tests for the tensor algebra: the laws that every kernel
+//! must satisfy regardless of operand values.
+
+use proptest::prelude::*;
+use stod_tensor::ops::elementwise as ew;
+use stod_tensor::ops::transform::{index_select, permute};
+use stod_tensor::{
+    batched_matmul, concat, matmul, mean_axis, slice_axis, softmax, sum_axis, transpose, Tensor,
+};
+
+/// Strategy: a 2-D tensor with dims in `[1, 6]` and values in `[-10, 10]`.
+fn mat(max: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max, 1..=max).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(&[r, c], data))
+    })
+}
+
+/// A pair of same-shape matrices.
+fn mat_pair(max: usize) -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1..=max, 1..=max).prop_flat_map(|(r, c)| {
+        (
+            proptest::collection::vec(-10.0f32..10.0, r * c)
+                .prop_map(move |d| Tensor::from_vec(&[r, c], d)),
+            proptest::collection::vec(-10.0f32..10.0, r * c)
+                .prop_map(move |d| Tensor::from_vec(&[r, c], d)),
+        )
+    })
+}
+
+/// A triple of same-shape matrices.
+fn mat_triple(max: usize) -> impl Strategy<Value = (Tensor, Tensor, Tensor)> {
+    (1..=max, 1..=max).prop_flat_map(|(r, c)| {
+        let v = move || {
+            proptest::collection::vec(-5.0f32..5.0, r * c)
+                .prop_map(move |d| Tensor::from_vec(&[r, c], d))
+        };
+        (v(), v(), v())
+    })
+}
+
+/// A pair of matrices with compatible inner dimensions for matmul.
+fn matmul_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1..=5usize, 1..=5usize, 1..=5usize).prop_flat_map(|(m, k, n)| {
+        (
+            proptest::collection::vec(-5.0f32..5.0, m * k)
+                .prop_map(move |d| Tensor::from_vec(&[m, k], d)),
+            proptest::collection::vec(-5.0f32..5.0, k * n)
+                .prop_map(move |d| Tensor::from_vec(&[k, n], d)),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(pair in mat_pair(6)) {
+        let (a, b) = pair;
+        prop_assert!(ew::add(&a, &b).approx_eq(&ew::add(&b, &a), 1e-6));
+    }
+
+    #[test]
+    fn add_neg_is_zero(a in mat(6)) {
+        let z = ew::add(&a, &ew::neg(&a));
+        prop_assert!(z.approx_eq(&Tensor::zeros(a.dims()), 1e-6));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(triple in mat_triple(4)) {
+        let (a, b, c) = triple;
+        let lhs = ew::mul(&a, &ew::add(&b, &c));
+        let rhs = ew::add(&ew::mul(&a, &b), &ew::mul(&a, &c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn transpose_involution(a in mat(6)) {
+        prop_assert_eq!(transpose(&transpose(&a, 0, 1), 0, 1), a);
+    }
+
+    #[test]
+    fn matmul_transpose_law(pair in matmul_pair()) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let (a, b) = pair;
+        let lhs = transpose(&matmul(&a, &b), 0, 1);
+        let rhs = matmul(&transpose(&b, 0, 1), &transpose(&a, 0, 1));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_identity_neutral(a in mat(6)) {
+        let i = Tensor::eye(a.dim(1));
+        prop_assert!(matmul(&a, &i).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn batched_matmul_matches_loop(pair in matmul_pair()) {
+        let (a, b) = pair;
+        let (m, k) = (a.dim(0), a.dim(1));
+        let n = b.dim(1);
+        let a3 = a.reshape(&[1, m, k]);
+        let b3 = b.reshape(&[1, k, n]);
+        let c = batched_matmul(&a3, &b3).reshape(&[m, n]);
+        prop_assert!(c.approx_eq(&matmul(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn sum_axis_total_invariant(a in mat(6)) {
+        let s0 = sum_axis(&a, 0, false).sum();
+        let s1 = sum_axis(&a, 1, false).sum();
+        prop_assert!((s0 - a.sum()).abs() < 1e-3);
+        prop_assert!((s1 - a.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mean_bounded_by_extremes(a in mat(6)) {
+        let m = mean_axis(&a, 0, false);
+        for &v in m.data() {
+            prop_assert!(v >= a.min() - 1e-5 && v <= a.max() + 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_on_simplex(a in mat(6)) {
+        let s = softmax(&a, 1);
+        prop_assert!(s.data().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let sums = sum_axis(&s, 1, false);
+        for &v in sums.data() {
+            prop_assert!((v - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_shift_invariant(a in mat(5), shift in -50.0f32..50.0) {
+        let b = a.map(|x| x + shift);
+        prop_assert!(softmax(&a, 1).approx_eq(&softmax(&b, 1), 1e-4));
+    }
+
+    #[test]
+    fn slice_concat_roundtrip(a in mat(6), cut_frac in 0.0f32..1.0) {
+        let rows = a.dim(0);
+        let cut = ((rows as f32 * cut_frac) as usize).min(rows);
+        let top = slice_axis(&a, 0, 0, cut);
+        let bottom = slice_axis(&a, 0, cut, rows);
+        prop_assert_eq!(concat(&[&top, &bottom], 0), a);
+    }
+
+    #[test]
+    fn permute_preserves_multiset(a in mat(6)) {
+        let p = permute(&a, &[1, 0]);
+        let mut x: Vec<f32> = a.data().to_vec();
+        let mut y: Vec<f32> = p.data().to_vec();
+        x.sort_by(f32::total_cmp);
+        y.sort_by(f32::total_cmp);
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn index_select_identity(a in mat(6)) {
+        let ids: Vec<usize> = (0..a.dim(0)).collect();
+        prop_assert_eq!(index_select(&a, 0, &ids), a);
+    }
+
+    #[test]
+    fn reshape_roundtrip(a in mat(6)) {
+        let n = a.numel();
+        let flat = a.reshape(&[n]);
+        prop_assert_eq!(flat.reshape(a.dims()), a);
+    }
+
+    #[test]
+    fn broadcasting_scalar_equals_map(a in mat(6), s in -3.0f32..3.0) {
+        let via_bc = ew::mul(&a, &Tensor::scalar(s));
+        let via_map = a.map(|x| x * s);
+        prop_assert!(via_bc.approx_eq(&via_map, 1e-6));
+    }
+}

@@ -1,0 +1,212 @@
+//! Synthetic city models: regions with centroids (km coordinates) and the
+//! partition styles of Figure 1 — uniform grids and irregular road-based
+//! partitions — plus presets shaped like the paper's two study areas.
+
+use stod_tensor::rng::Rng64;
+
+/// A city region (taxizone / road-bounded area) identified by its index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    /// Region id, equal to the region's index in the city's region list.
+    pub id: usize,
+    /// Centroid in kilometres from the city origin.
+    pub centroid: (f64, f64),
+    /// Relative attraction weight (population / activity density), ≥ 0.
+    pub attraction: f64,
+}
+
+/// A partitioned city: the spatial substrate of every experiment.
+#[derive(Debug, Clone)]
+pub struct CityModel {
+    /// Human-readable name (e.g. `"nyc-like"`).
+    pub name: String,
+    /// Regions, indexed by id.
+    pub regions: Vec<Region>,
+}
+
+impl CityModel {
+    /// Number of regions `N`.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Centroids as `(x, y)` pairs in km (the input to proximity matrices).
+    pub fn centroids(&self) -> Vec<(f64, f64)> {
+        self.regions.iter().map(|r| r.centroid).collect()
+    }
+
+    /// Euclidean centroid distance between two regions, in km.
+    pub fn distance_km(&self, a: usize, b: usize) -> f64 {
+        let (ax, ay) = self.regions[a].centroid;
+        let (bx, by) = self.regions[b].centroid;
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+
+    /// A uniform `rows × cols` grid partition with `cell_km` cell edge —
+    /// the Figure 1(a) style. Attractions decay from the grid centre.
+    pub fn grid(rows: usize, cols: usize, cell_km: f64) -> CityModel {
+        let mut regions = Vec::with_capacity(rows * cols);
+        let (cx, cy) = ((cols as f64 - 1.0) / 2.0, (rows as f64 - 1.0) / 2.0);
+        for r in 0..rows {
+            for c in 0..cols {
+                let id = r * cols + c;
+                let centroid = ((c as f64 + 0.5) * cell_km, (r as f64 + 0.5) * cell_km);
+                // Center regions attract more traffic (CBD effect).
+                let d = (((c as f64 - cx).powi(2) + (r as f64 - cy).powi(2)).sqrt() + 1.0).recip();
+                regions.push(Region { id, centroid, attraction: 0.3 + d });
+            }
+        }
+        CityModel { name: format!("grid{rows}x{cols}"), regions }
+    }
+
+    /// An irregular road-based partition — Figure 1(b) style — produced by
+    /// jittering seed points inside a disc of radius `radius_km`.
+    pub fn irregular(n: usize, radius_km: f64, seed: u64) -> CityModel {
+        let mut rng = Rng64::new(seed);
+        let mut regions = Vec::with_capacity(n);
+        for id in 0..n {
+            // Rejection-sample points in the disc; sunflower fallback keeps
+            // determinism even for adversarial seeds.
+            let mut p = None;
+            for _ in 0..64 {
+                let x = rng.uniform(-radius_km, radius_km);
+                let y = rng.uniform(-radius_km, radius_km);
+                if x * x + y * y <= radius_km * radius_km {
+                    p = Some((x + radius_km, y + radius_km));
+                    break;
+                }
+            }
+            let centroid = p.unwrap_or_else(|| {
+                let theta = 2.399963 * id as f64; // golden angle
+                let r = radius_km * ((id as f64 + 0.5) / n as f64).sqrt();
+                (r * theta.cos() + radius_km, r * theta.sin() + radius_km)
+            });
+            // Attraction decays with distance from the ring centre, with
+            // heavy-tailed variation (commercial hot spots).
+            let dc = ((centroid.0 - radius_km).powi(2) + (centroid.1 - radius_km).powi(2)).sqrt();
+            let hot = (-rng.next_f64().max(1e-9).ln()).powf(1.5) * 0.3;
+            let attraction = 0.2 + (1.0 - dc / radius_km).max(0.0) + hot;
+            regions.push(Region { id, centroid, attraction });
+        }
+        CityModel { name: format!("irregular{n}"), regions }
+    }
+
+    /// NYC-like preset: 67 regions in a narrow elongated strip (Manhattan
+    /// is ≈ 3.7 km × 21.6 km; the taxizone partition has 67 zones).
+    pub fn nyc_like(seed: u64) -> CityModel {
+        let mut rng = Rng64::new(seed ^ 0x4E5943); // "NYC"
+        let n = 67;
+        let (width, height) = (3.7, 21.6);
+        let mut regions = Vec::with_capacity(n);
+        // Regular strip layout with jitter, densest downtown (low y).
+        let rows = 23;
+        let cols = 3;
+        let mut id = 0usize;
+        'outer: for r in 0..rows {
+            for c in 0..cols {
+                if id >= n {
+                    break 'outer;
+                }
+                let x = (c as f64 + 0.5) / cols as f64 * width + rng.uniform(-0.3, 0.3);
+                let y = (r as f64 + 0.5) / rows as f64 * height + rng.uniform(-0.3, 0.3);
+                // Midtown/downtown attract more (y around 25% and 55%).
+                let yn = y / height;
+                let a = 0.3
+                    + 1.2 * (-((yn - 0.25) / 0.12).powi(2)).exp()
+                    + 0.9 * (-((yn - 0.55) / 0.15).powi(2)).exp();
+                regions.push(Region { id, centroid: (x, y), attraction: a });
+                id += 1;
+            }
+        }
+        // Strip layout yields 69 slots; we stop at 67 like the taxizones.
+        CityModel { name: "nyc-like".into(), regions }
+    }
+
+    /// Chengdu-like preset: 79 irregular regions inside the (circular)
+    /// second ring road, radius ≈ 4.5 km.
+    pub fn chengdu_like(seed: u64) -> CityModel {
+        let mut c = CityModel::irregular(79, 4.5, seed ^ 0x4344); // "CD"
+        c.name = "chengdu-like".into();
+        c
+    }
+
+    /// Small test city: an `n`-region compact grid (n must have an integer
+    /// factorization close to square; any `n` works, extra cells dropped).
+    pub fn small(n: usize) -> CityModel {
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let rows = n.div_ceil(cols);
+        let mut c = CityModel::grid(rows, cols, 0.7);
+        c.regions.truncate(n);
+        c.name = format!("small{n}");
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_layout() {
+        let c = CityModel::grid(2, 3, 1.0);
+        assert_eq!(c.num_regions(), 6);
+        assert_eq!(c.regions[0].centroid, (0.5, 0.5));
+        assert_eq!(c.regions[5].centroid, (2.5, 1.5));
+        // Horizontal neighbors are 1 km apart.
+        assert!((c.distance_km(0, 1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_center_attracts_most() {
+        let c = CityModel::grid(5, 5, 1.0);
+        let center = c.regions[12].attraction;
+        let corner = c.regions[0].attraction;
+        assert!(center > corner);
+    }
+
+    #[test]
+    fn nyc_preset_shape() {
+        let c = CityModel::nyc_like(7);
+        assert_eq!(c.num_regions(), 67);
+        let xs: Vec<f64> = c.regions.iter().map(|r| r.centroid.0).collect();
+        let ys: Vec<f64> = c.regions.iter().map(|r| r.centroid.1).collect();
+        let span_x = xs.iter().cloned().fold(f64::MIN, f64::max)
+            - xs.iter().cloned().fold(f64::MAX, f64::min);
+        let span_y = ys.iter().cloned().fold(f64::MIN, f64::max)
+            - ys.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(span_y > 3.0 * span_x, "Manhattan strip must be elongated");
+    }
+
+    #[test]
+    fn chengdu_preset_inside_ring() {
+        let c = CityModel::chengdu_like(3);
+        assert_eq!(c.num_regions(), 79);
+        for r in &c.regions {
+            let d = ((r.centroid.0 - 4.5).powi(2) + (r.centroid.1 - 4.5).powi(2)).sqrt();
+            assert!(d <= 4.5 + 1e-9, "region {} escaped the ring road", r.id);
+        }
+    }
+
+    #[test]
+    fn presets_deterministic_per_seed() {
+        let a = CityModel::chengdu_like(5);
+        let b = CityModel::chengdu_like(5);
+        assert_eq!(a.regions, b.regions);
+        let c = CityModel::chengdu_like(6);
+        assert_ne!(a.regions, c.regions);
+    }
+
+    #[test]
+    fn small_city_truncates() {
+        let c = CityModel::small(10);
+        assert_eq!(c.num_regions(), 10);
+        assert!(c.regions.iter().enumerate().all(|(i, r)| r.id == i));
+    }
+
+    #[test]
+    fn attractions_positive() {
+        for city in [CityModel::nyc_like(1), CityModel::chengdu_like(1), CityModel::small(9)] {
+            assert!(city.regions.iter().all(|r| r.attraction > 0.0));
+        }
+    }
+}

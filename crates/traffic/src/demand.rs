@@ -1,0 +1,223 @@
+//! Gravity demand model and Poisson trip sampling.
+//!
+//! Demand between regions follows a gravity law — proportional to the
+//! attractions of both endpoints, decaying with distance — modulated by a
+//! daily profile. Trip counts per (OD pair, interval) are Poisson draws,
+//! which is what produces the paper's central difficulty: even large trip
+//! sets leave most OD-pair × interval cells empty, with strong spatial and
+//! temporal skew (the NYC set covers only 65 % of zone pairs *in total*).
+
+use crate::city::CityModel;
+use crate::speed::SpeedField;
+use crate::trip::Trip;
+use stod_tensor::rng::Rng64;
+
+/// Demand model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DemandParams {
+    /// Mean number of trips per interval across the whole city (before the
+    /// temporal profile reshapes the day).
+    pub trips_per_interval: f64,
+    /// Distance-decay constant (km) of the gravity law.
+    pub decay_km: f64,
+    /// When true, demand between 00:00 and 06:00 is zero — matching the
+    /// Chengdu data set, which "does not contain any data from 00:00 to
+    /// 06:00" (§VI-B2).
+    pub night_shutdown: bool,
+}
+
+impl Default for DemandParams {
+    fn default() -> Self {
+        DemandParams { trips_per_interval: 400.0, decay_km: 1.2, night_shutdown: false }
+    }
+}
+
+/// Daily demand profile in `[0, 1]`: low at night, peaks at rush hours.
+pub fn demand_profile(interval_of_day: usize, intervals_per_day: usize, night_shutdown: bool) -> f64 {
+    let h = interval_of_day as f64 / intervals_per_day as f64 * 24.0;
+    if night_shutdown && h < 6.0 {
+        return 0.0;
+    }
+    let peak =
+        |c: f64, w: f64, a: f64| a * (-((h - c) / w).powi(2)).exp();
+    let base = if (1.0..5.0).contains(&h) { 0.03 } else { 0.15 };
+    (base + peak(8.5, 1.8, 0.7) + peak(18.5, 2.2, 0.85) + peak(13.0, 3.0, 0.3)).min(1.0)
+}
+
+/// The gravity demand model over a city.
+pub struct DemandModel {
+    /// Unnormalized per-pair base rates, row-major `N×N` (diagonal zero).
+    rates: Vec<f64>,
+    num_regions: usize,
+    params: DemandParams,
+    /// Normalization so that the mean interval produces
+    /// `params.trips_per_interval` expected trips.
+    scale: f64,
+    intervals_per_day: usize,
+}
+
+impl DemandModel {
+    /// Builds the gravity model for `city`.
+    pub fn new(city: &CityModel, intervals_per_day: usize, params: DemandParams) -> DemandModel {
+        let n = city.num_regions();
+        let mut rates = vec![0.0f64; n * n];
+        for o in 0..n {
+            for d in 0..n {
+                if o == d {
+                    continue;
+                }
+                let dist = city.distance_km(o, d);
+                rates[o * n + d] = city.regions[o].attraction
+                    * city.regions[d].attraction
+                    * (-dist / params.decay_km).exp();
+            }
+        }
+        let total: f64 = rates.iter().sum();
+        // Mean profile value over a day.
+        let mean_profile: f64 = (0..intervals_per_day)
+            .map(|i| demand_profile(i, intervals_per_day, params.night_shutdown))
+            .sum::<f64>()
+            / intervals_per_day as f64;
+        let scale = params.trips_per_interval / (total * mean_profile).max(1e-12);
+        DemandModel { rates, num_regions: n, params, scale, intervals_per_day }
+    }
+
+    /// Expected trip count for pair `(o, d)` during global interval `t`.
+    pub fn rate(&self, o: usize, d: usize, t: usize) -> f64 {
+        let profile = demand_profile(
+            t % self.intervals_per_day,
+            self.intervals_per_day,
+            self.params.night_shutdown,
+        );
+        self.rates[o * self.num_regions + d] * self.scale * profile
+    }
+
+    /// Samples all trips departing during global interval `t`, drawing
+    /// speeds from the latent `field`.
+    pub fn sample_interval(
+        &self,
+        city: &CityModel,
+        field: &SpeedField,
+        t: usize,
+        rng: &mut Rng64,
+    ) -> Vec<Trip> {
+        let n = self.num_regions;
+        let mut trips = Vec::new();
+        for o in 0..n {
+            for d in 0..n {
+                if o == d {
+                    continue;
+                }
+                let lambda = self.rate(o, d, t);
+                if lambda <= 0.0 {
+                    continue;
+                }
+                let count = rng.next_poisson(lambda);
+                if count == 0 {
+                    continue;
+                }
+                let centroid_dist = city.distance_km(o, d);
+                for _ in 0..count {
+                    // Actual driven distance exceeds the centroid distance
+                    // (street network detour factor ~1.3, jittered).
+                    let detour = 1.2 + 0.3 * rng.next_f64();
+                    let distance_km = (centroid_dist * detour).max(0.2);
+                    let speed_ms = field.sample_trip_speed(o, d, t, rng);
+                    trips.push(Trip { origin: o, dest: d, interval: t, distance_km, speed_ms });
+                }
+            }
+        }
+        trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speed::SpeedParams;
+
+    fn setup() -> (CityModel, DemandModel, SpeedField) {
+        let city = CityModel::small(9);
+        let dm = DemandModel::new(
+            &city,
+            48,
+            DemandParams { trips_per_interval: 120.0, ..DemandParams::default() },
+        );
+        let field = SpeedField::simulate(&city, 48, 96, 5, SpeedParams::default());
+        (city, dm, field)
+    }
+
+    #[test]
+    fn no_self_trips() {
+        let (city, dm, field) = setup();
+        let mut rng = Rng64::new(1);
+        for t in 0..20 {
+            for trip in dm.sample_interval(&city, &field, t, &mut rng) {
+                assert_ne!(trip.origin, trip.dest);
+            }
+        }
+    }
+
+    #[test]
+    fn calibrated_volume_roughly_matches() {
+        let (city, dm, field) = setup();
+        let mut rng = Rng64::new(2);
+        let total: usize =
+            (0..96).map(|t| dm.sample_interval(&city, &field, t, &mut rng).len()).sum();
+        let mean = total as f64 / 96.0;
+        assert!(
+            (mean - 120.0).abs() < 40.0,
+            "calibration off: mean {mean} trips/interval, wanted ≈120"
+        );
+    }
+
+    #[test]
+    fn gravity_favours_near_attractive_pairs() {
+        let (_, dm, _) = setup();
+        // Pair (4,5): grid-adjacent and central vs (0,8): corner-to-corner.
+        assert!(dm.rate(4, 5, 20) > dm.rate(0, 8, 20));
+    }
+
+    #[test]
+    fn rush_hour_demand_exceeds_night() {
+        let (_, dm, _) = setup();
+        let ipd = 48;
+        let rush = ipd * 8 / 24 + 1;
+        let night = ipd * 3 / 24;
+        assert!(dm.rate(0, 1, rush) > dm.rate(0, 1, night));
+    }
+
+    #[test]
+    fn night_shutdown_zeroes_early_morning() {
+        let city = CityModel::small(4);
+        let dm = DemandModel::new(
+            &city,
+            48,
+            DemandParams { night_shutdown: true, ..DemandParams::default() },
+        );
+        let three_am = 48 * 3 / 24;
+        assert_eq!(dm.rate(0, 1, three_am), 0.0);
+        let nine_am = 48 * 9 / 24;
+        assert!(dm.rate(0, 1, nine_am) > 0.0);
+    }
+
+    #[test]
+    fn sampling_is_sparse() {
+        // With modest volume most OD pairs must be empty per interval —
+        // the paper's data-sparseness setting.
+        let (city, dm, field) = setup();
+        let mut rng = Rng64::new(3);
+        let t = 24;
+        let trips = dm.sample_interval(&city, &field, t, &mut rng);
+        let mut covered = std::collections::HashSet::new();
+        for tr in &trips {
+            covered.insert((tr.origin, tr.dest));
+        }
+        let pairs = 9 * 8;
+        assert!(
+            covered.len() < pairs,
+            "expected sparse coverage, got {} of {pairs} pairs",
+            covered.len()
+        );
+    }
+}

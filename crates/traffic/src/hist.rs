@@ -1,0 +1,211 @@
+//! Equi-width speed histograms (§III).
+//!
+//! The paper represents a stochastic speed as an equi-width histogram with
+//! `K` buckets; both data sets use 7 buckets of 3 m/s:
+//! `[0,3), [3,6), [6,9), [9,12), [12,15), [15,18), [18,∞)`.
+
+/// Specification of an equi-width histogram with an open-ended last bucket.
+///
+/// ```
+/// use stod_traffic::HistogramSpec;
+///
+/// let spec = HistogramSpec::paper(); // 7 buckets of 3 m/s
+/// let h = spec.build(&[2.0, 4.0, 4.5, 20.0]).unwrap();
+/// assert_eq!(h.len(), 7);
+/// assert_eq!(h[0], 0.25);  // one of four speeds fell in [0, 3)
+/// assert_eq!(h[1], 0.5);   // two in [3, 6)
+/// assert_eq!(h[6], 0.25);  // one in [18, ∞)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSpec {
+    /// Number of buckets `K`.
+    pub num_buckets: usize,
+    /// Width of each (closed) bucket, in m/s.
+    pub bucket_width: f64,
+}
+
+impl HistogramSpec {
+    /// The paper's 7×3 m/s specification.
+    pub fn paper() -> Self {
+        HistogramSpec { num_buckets: 7, bucket_width: 3.0 }
+    }
+
+    /// Bucket index for a speed value (values below 0 clamp to bucket 0;
+    /// values beyond the last boundary land in the open last bucket).
+    pub fn bucket_of(&self, speed_ms: f64) -> usize {
+        if speed_ms <= 0.0 {
+            return 0;
+        }
+        ((speed_ms / self.bucket_width) as usize).min(self.num_buckets - 1)
+    }
+
+    /// `[lo, hi)` bounds of bucket `k`; the last bucket's `hi` is `+∞`.
+    pub fn bounds(&self, k: usize) -> (f64, f64) {
+        assert!(k < self.num_buckets, "bucket {k} out of range");
+        let lo = k as f64 * self.bucket_width;
+        let hi = if k + 1 == self.num_buckets {
+            f64::INFINITY
+        } else {
+            (k + 1) as f64 * self.bucket_width
+        };
+        (lo, hi)
+    }
+
+    /// Representative (midpoint) speed of bucket `k`; the open last bucket
+    /// uses its lower bound plus half a width.
+    pub fn midpoint(&self, k: usize) -> f64 {
+        let (lo, hi) = self.bounds(k);
+        if hi.is_infinite() {
+            lo + 0.5 * self.bucket_width
+        } else {
+            0.5 * (lo + hi)
+        }
+    }
+
+    /// Builds a normalized histogram (probability vector) from observed
+    /// speeds. Returns `None` when no speeds are given — an *empty cell*.
+    pub fn build(&self, speeds: &[f64]) -> Option<Vec<f32>> {
+        if speeds.is_empty() {
+            return None;
+        }
+        let mut h = vec![0.0f32; self.num_buckets];
+        for &v in speeds {
+            h[self.bucket_of(v)] += 1.0;
+        }
+        let inv = 1.0 / speeds.len() as f32;
+        for x in &mut h {
+            *x *= inv;
+        }
+        Some(h)
+    }
+
+    /// Expected speed (m/s) of a histogram under bucket midpoints.
+    pub fn mean_speed(&self, hist: &[f32]) -> f64 {
+        assert_eq!(hist.len(), self.num_buckets, "histogram length mismatch");
+        hist.iter()
+            .enumerate()
+            .map(|(k, &p)| p as f64 * self.midpoint(k))
+            .sum()
+    }
+
+    /// Converts a *speed* histogram over a trip of `distance_km` into a
+    /// travel-time distribution: `(seconds_lo, seconds_hi, probability)`
+    /// triples, slowest speeds (longest times) last. This is the §I
+    /// airport-trip derivation.
+    pub fn travel_time_distribution(
+        &self,
+        hist: &[f32],
+        distance_km: f64,
+    ) -> Vec<(f64, f64, f32)> {
+        assert_eq!(hist.len(), self.num_buckets, "histogram length mismatch");
+        let meters = distance_km * 1000.0;
+        let mut out = Vec::with_capacity(self.num_buckets);
+        for (k, &p) in hist.iter().enumerate() {
+            if p <= 0.0 {
+                continue;
+            }
+            let (lo, hi) = self.bounds(k);
+            // Faster speed → shorter time; lo speed bound gives hi time.
+            let t_hi = if lo <= 0.0 { f64::INFINITY } else { meters / lo };
+            let t_lo = if hi.is_infinite() { 0.0 } else { meters / hi };
+            out.push((t_lo, t_hi, p));
+        }
+        out
+    }
+
+    /// The time (seconds) a traveller must budget to arrive with
+    /// probability at least `quantile` (the paper's "reserve at least 90
+    /// minutes" computation).
+    pub fn travel_time_quantile(&self, hist: &[f32], distance_km: f64, quantile: f64) -> f64 {
+        let mut dist = self.travel_time_distribution(hist, distance_km);
+        dist.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let mut acc = 0.0f64;
+        for (_, t_hi, p) in dist {
+            acc += p as f64;
+            if acc + 1e-9 >= quantile {
+                return t_hi;
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_buckets() {
+        let s = HistogramSpec::paper();
+        assert_eq!(s.bucket_of(0.0), 0);
+        assert_eq!(s.bucket_of(2.99), 0);
+        assert_eq!(s.bucket_of(3.0), 1);
+        assert_eq!(s.bucket_of(17.9), 5);
+        assert_eq!(s.bucket_of(18.0), 6);
+        assert_eq!(s.bucket_of(99.0), 6);
+        assert_eq!(s.bounds(6), (18.0, f64::INFINITY));
+    }
+
+    #[test]
+    fn build_normalizes() {
+        let s = HistogramSpec::paper();
+        let h = s.build(&[1.0, 2.0, 4.0, 20.0]).unwrap();
+        assert_eq!(h[0], 0.5);
+        assert_eq!(h[1], 0.25);
+        assert_eq!(h[6], 0.25);
+        assert!((h.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_speeds_give_none() {
+        assert!(HistogramSpec::paper().build(&[]).is_none());
+    }
+
+    #[test]
+    fn negative_speed_clamps_to_first_bucket() {
+        assert_eq!(HistogramSpec::paper().bucket_of(-3.0), 0);
+    }
+
+    #[test]
+    fn mean_speed_of_point_mass() {
+        let s = HistogramSpec::paper();
+        let mut h = vec![0.0f32; 7];
+        h[2] = 1.0; // [6,9) → midpoint 7.5
+        assert!((s.mean_speed(&h) - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn travel_time_distribution_matches_intro_example() {
+        // §I example: 15 km trip, speeds (km/h) [10,20):0.5, [20,30):0.3,
+        // [30,40):0.2 → times 45–90 min: 0.5, 30–45: 0.3, 22.5–30: 0.2.
+        // Re-expressed in m/s with ~2.78 m/s buckets.
+        let s = HistogramSpec { num_buckets: 4, bucket_width: 10.0 / 3.6 };
+        let hist = [0.0f32, 0.5, 0.3, 0.2]; // bucket 1 = 10-20 km/h, …
+        let dist = s.travel_time_distribution(&hist, 15.0);
+        assert_eq!(dist.len(), 3);
+        // Slowest bucket: hi time = 15 km at 10 km/h = 90 min.
+        let slow = dist.iter().find(|d| d.2 == 0.5).unwrap();
+        assert!((slow.1 / 60.0 - 90.0).abs() < 0.5, "slow hi = {}", slow.1 / 60.0);
+        assert!((slow.0 / 60.0 - 45.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn quantile_reserves_enough_time() {
+        let s = HistogramSpec { num_buckets: 4, bucket_width: 10.0 / 3.6 };
+        let hist = [0.0f32, 0.5, 0.3, 0.2];
+        // To be safe with probability 1.0 the traveller needs 90 minutes.
+        let t = s.travel_time_quantile(&hist, 15.0, 1.0);
+        assert!((t / 60.0 - 90.0).abs() < 0.5);
+        // With probability 0.5, the two fast buckets suffice (45 min).
+        let t50 = s.travel_time_quantile(&hist, 15.0, 0.5);
+        assert!(t50 < t);
+    }
+
+    #[test]
+    fn quantile_with_zero_speed_mass_is_infinite() {
+        let s = HistogramSpec::paper();
+        let mut h = vec![0.0f32; 7];
+        h[0] = 1.0; // [0,3): the pessimistic bound is unbounded time
+        assert!(!s.travel_time_quantile(&h, 1.0, 1.0).is_finite());
+    }
+}

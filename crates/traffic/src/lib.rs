@@ -1,0 +1,51 @@
+//! # stod-traffic
+//!
+//! The data substrate. The paper instantiates its OD tensors from two
+//! proprietary taxi data sets (NYC taxi trips, Chengdu GPS traces) that
+//! cannot be shipped; this crate substitutes a *synthetic city and trip
+//! simulator* whose generated data exhibits — by construction — the
+//! properties the paper's evaluation exercises:
+//!
+//! * **Sparseness** (§I challenge 1): trips are Poisson-sampled from a
+//!   gravity demand model with heavy spatial and temporal skew, so most
+//!   OD pairs are unobserved in most 15-minute intervals.
+//! * **Spatial correlation** (§I challenge 2): travel speeds are driven by
+//!   a latent congestion field that diffuses over the region graph, so
+//!   nearby regions share speed dynamics — the signal the advanced
+//!   framework's graph convolutions are designed to exploit.
+//! * **Temporal dynamics**: a double-peaked daily profile (morning/evening
+//!   rush), slow drift and noise.
+//!
+//! Modules:
+//!
+//! * [`city`] — region models: uniform grids (Figure 1a) and irregular
+//!   road-based partitions (Figure 1b), plus NYC-like (67 regions) and
+//!   Chengdu-like (79 regions) presets.
+//! * [`speed`] — the latent congestion/speed process.
+//! * [`demand`] — gravity demand model and Poisson trip sampling.
+//! * [`trip`] — trip records (§III's `p = (o, d, t, l, v, τ)`).
+//! * [`hist`] — equi-width speed histograms (§III).
+//! * [`io`] — CSV import/export of trip records for users with real data.
+//! * [`od_tensor`] — sparse OD stochastic speed tensors `M ∈ R^{N×N×K}`
+//!   with observation masks Ω.
+//! * [`dataset`] — chronological datasets, sliding windows `(s, h)`,
+//!   train/validation/test splits and batching.
+//! * [`stats`] — sparseness and coverage statistics (Figure 7).
+//! * [`weather`] — optional weather context (the paper's §VII outlook).
+
+pub mod city;
+pub mod dataset;
+pub mod demand;
+pub mod hist;
+pub mod io;
+pub mod od_tensor;
+pub mod speed;
+pub mod stats;
+pub mod trip;
+pub mod weather;
+
+pub use city::{CityModel, Region};
+pub use dataset::{OdDataset, SimConfig, Split, Window};
+pub use hist::HistogramSpec;
+pub use od_tensor::OdTensor;
+pub use trip::Trip;

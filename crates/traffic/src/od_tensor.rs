@@ -1,0 +1,191 @@
+//! Sparse OD stochastic speed tensors — the paper's
+//! `M^(i) ∈ R^{N×N'×K}` with observation indicator `Ω^(i) ∈ {0,1}^{N×N'}`.
+
+use crate::hist::HistogramSpec;
+use crate::trip::Trip;
+use stod_tensor::Tensor;
+
+/// One interval's OD stochastic speed tensor plus its observation mask.
+///
+/// `data[o, d, ·]` is a probability histogram when `mask[o, d] == 1` and
+/// all-zero otherwise (the "∘" cells of Figure 2b).
+#[derive(Debug, Clone)]
+pub struct OdTensor {
+    /// Histogram tensor `N × N' × K`.
+    pub data: Tensor,
+    /// Observation indicator `N × N'` (1.0 = at least one trip observed).
+    pub mask: Tensor,
+}
+
+impl OdTensor {
+    /// An all-empty tensor for `n` origin and `n_dest` destination regions.
+    pub fn empty(n: usize, n_dest: usize, k: usize) -> OdTensor {
+        OdTensor { data: Tensor::zeros(&[n, n_dest, k]), mask: Tensor::zeros(&[n, n_dest]) }
+    }
+
+    /// Builds the tensor for one interval from that interval's trips.
+    pub fn from_trips(n: usize, spec: &HistogramSpec, trips: &[Trip]) -> OdTensor {
+        let k = spec.num_buckets;
+        let mut speeds: std::collections::HashMap<(usize, usize), Vec<f64>> =
+            std::collections::HashMap::new();
+        for t in trips {
+            debug_assert!(t.origin < n && t.dest < n, "trip region out of range");
+            speeds.entry((t.origin, t.dest)).or_default().push(t.speed_ms);
+        }
+        let mut out = OdTensor::empty(n, n, k);
+        for ((o, d), vs) in speeds {
+            if let Some(h) = spec.build(&vs) {
+                for (b, &p) in h.iter().enumerate() {
+                    out.data.set(&[o, d, b], p);
+                }
+                out.mask.set(&[o, d], 1.0);
+            }
+        }
+        out
+    }
+
+    /// Number of origin regions `N`.
+    pub fn num_origins(&self) -> usize {
+        self.data.dim(0)
+    }
+
+    /// Number of destination regions `N'`.
+    pub fn num_dests(&self) -> usize {
+        self.data.dim(1)
+    }
+
+    /// Number of histogram buckets `K`.
+    pub fn num_buckets(&self) -> usize {
+        self.data.dim(2)
+    }
+
+    /// True when the `(o, d)` cell holds an observed histogram.
+    pub fn observed(&self, o: usize, d: usize) -> bool {
+        self.mask.at(&[o, d]) > 0.5
+    }
+
+    /// The `(o, d)` histogram when observed.
+    pub fn histogram(&self, o: usize, d: usize) -> Option<Vec<f32>> {
+        if !self.observed(o, d) {
+            return None;
+        }
+        let k = self.num_buckets();
+        Some((0..k).map(|b| self.data.at(&[o, d, b])).collect())
+    }
+
+    /// Number of observed cells.
+    pub fn num_observed(&self) -> usize {
+        self.mask.data().iter().filter(|&&x| x > 0.5).count()
+    }
+
+    /// Fraction of cells observed (per-interval coverage).
+    pub fn coverage(&self) -> f64 {
+        let total = self.num_origins() * self.num_dests();
+        if total == 0 {
+            0.0
+        } else {
+            self.num_observed() as f64 / total as f64
+        }
+    }
+
+    /// The mask broadcast over buckets, shape `N×N'×K` — the Ω of the loss
+    /// functions (Eq. 4/11) and of `DisSim` (Eq. 12).
+    pub fn mask_over_buckets(&self) -> Tensor {
+        let (n, nd, k) = (self.num_origins(), self.num_dests(), self.num_buckets());
+        let mut m = Tensor::zeros(&[n, nd, k]);
+        for o in 0..n {
+            for d in 0..nd {
+                if self.observed(o, d) {
+                    for b in 0..k {
+                        m.set(&[o, d, b], 1.0);
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Validates internal invariants (each observed cell is a probability
+    /// distribution; unobserved cells are zero).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let (n, nd, k) = (self.num_origins(), self.num_dests(), self.num_buckets());
+        for o in 0..n {
+            for d in 0..nd {
+                let sum: f32 = (0..k).map(|b| self.data.at(&[o, d, b])).sum();
+                if self.observed(o, d) {
+                    if (sum - 1.0).abs() > 1e-4 {
+                        return Err(format!("cell ({o},{d}) sums to {sum}, expected 1"));
+                    }
+                    for b in 0..k {
+                        if self.data.at(&[o, d, b]) < 0.0 {
+                            return Err(format!("cell ({o},{d},{b}) negative"));
+                        }
+                    }
+                } else if sum.abs() > 1e-6 {
+                    return Err(format!("unobserved cell ({o},{d}) has mass {sum}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trip(o: usize, d: usize, v: f64) -> Trip {
+        Trip { origin: o, dest: d, interval: 0, distance_km: 1.0, speed_ms: v }
+    }
+
+    #[test]
+    fn build_from_trips() {
+        let spec = HistogramSpec::paper();
+        let trips =
+            vec![trip(0, 1, 2.0), trip(0, 1, 4.0), trip(0, 1, 4.5), trip(2, 0, 20.0)];
+        let t = OdTensor::from_trips(3, &spec, &trips);
+        assert!(t.observed(0, 1));
+        assert!(t.observed(2, 0));
+        assert!(!t.observed(1, 2));
+        let h = t.histogram(0, 1).unwrap();
+        assert!((h[0] - 1.0 / 3.0).abs() < 1e-6);
+        assert!((h[1] - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(t.histogram(2, 0).unwrap()[6], 1.0);
+        assert_eq!(t.num_observed(), 2);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn coverage_fraction() {
+        let spec = HistogramSpec::paper();
+        let t = OdTensor::from_trips(2, &spec, &[trip(0, 1, 5.0)]);
+        assert!((t.coverage() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let t = OdTensor::empty(3, 3, 7);
+        assert_eq!(t.num_observed(), 0);
+        assert_eq!(t.coverage(), 0.0);
+        assert!(t.histogram(0, 0).is_none());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mask_over_buckets_broadcasts() {
+        let spec = HistogramSpec::paper();
+        let t = OdTensor::from_trips(2, &spec, &[trip(1, 0, 5.0)]);
+        let m = t.mask_over_buckets();
+        assert_eq!(m.dims(), &[2, 2, 7]);
+        assert_eq!(m.at(&[1, 0, 3]), 1.0);
+        assert_eq!(m.at(&[0, 1, 3]), 0.0);
+        assert_eq!(m.sum(), 7.0);
+    }
+
+    #[test]
+    fn invariant_violation_detected() {
+        let mut t = OdTensor::empty(2, 2, 3);
+        t.mask.set(&[0, 0], 1.0); // observed but zero histogram
+        assert!(t.check_invariants().is_err());
+    }
+}

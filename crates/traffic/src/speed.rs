@@ -1,0 +1,369 @@
+//! The latent ground-truth speed process.
+//!
+//! Travel speed between an OD pair is driven by (i) a static per-pair base
+//! speed that grows with trip distance (longer trips ride arterials), and
+//! (ii) a dynamic *congestion field* over regions with the three
+//! properties the paper's models target:
+//!
+//! * a **daily profile** with morning and evening rush peaks,
+//! * **spatial diffusion** over the region graph — congested regions pull
+//!   their neighbors up, producing the spatial correlation §I motivates,
+//! * autoregressive **temporal persistence** plus noise.
+//!
+//! Individual trip speeds are noisy draws around the pair's current mean,
+//! with an occasional slow outlier (signal stops, detours), so that the
+//! per-cell speed *distribution* is genuinely stochastic.
+
+use crate::city::CityModel;
+use crate::weather::WeatherSeries;
+use stod_tensor::rng::Rng64;
+
+/// Parameters of the latent speed process (speeds in m/s, as in the
+/// paper's 7-bucket histogram support `[0,3),…,[18,∞)`).
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedParams {
+    /// Base speed of the shortest trips.
+    pub base_min_ms: f64,
+    /// Asymptotic base speed of long trips.
+    pub base_max_ms: f64,
+    /// Distance constant (km) of the base-speed saturation.
+    pub base_dist_km: f64,
+    /// Speed lost per unit of congestion (m/s at congestion 1.0).
+    pub congestion_gain: f64,
+    /// Fraction of congestion diffusing to graph neighbors per interval.
+    pub diffusion: f64,
+    /// Temporal persistence of congestion per interval.
+    pub decay: f64,
+    /// Std-dev of the congestion innovation noise.
+    pub noise: f64,
+    /// Mean number of traffic incidents per region per day.
+    pub incident_rate_per_day: f64,
+    /// Congestion added by an active incident.
+    pub incident_severity: f64,
+    /// Mean incident duration in intervals.
+    pub incident_duration: f64,
+    /// Std-dev of the per-day severity multiplier (day-to-day variation
+    /// that calendar-only models cannot predict).
+    pub day_severity_std: f64,
+    /// Std-dev of individual trip speeds around the pair mean (m/s).
+    pub trip_noise_ms: f64,
+    /// Probability of a slow outlier trip (speed halved).
+    pub outlier_prob: f64,
+    /// Hard lower bound on speeds (m/s).
+    pub min_speed_ms: f64,
+    /// Hard upper bound on speeds (m/s).
+    pub max_speed_ms: f64,
+}
+
+impl Default for SpeedParams {
+    fn default() -> Self {
+        SpeedParams {
+            base_min_ms: 6.0,
+            base_max_ms: 15.0,
+            base_dist_km: 2.0,
+            congestion_gain: 9.0,
+            diffusion: 0.35,
+            decay: 0.80,
+            noise: 0.10,
+            incident_rate_per_day: 1.2,
+            incident_severity: 0.55,
+            incident_duration: 8.0,
+            day_severity_std: 0.35,
+            trip_noise_ms: 2.0,
+            outlier_prob: 0.06,
+            min_speed_ms: 0.7,
+            max_speed_ms: 23.0,
+        }
+    }
+}
+
+/// Smooth daily congestion profile in `[0, 1]` with rush peaks at 08:00
+/// and 18:00.
+pub fn daily_profile(interval_of_day: usize, intervals_per_day: usize) -> f64 {
+    let h = interval_of_day as f64 / intervals_per_day as f64 * 24.0;
+    let peak = |center: f64, width: f64, height: f64| {
+        height * (-((h - center) / width).powi(2)).exp()
+    };
+    (0.15 + peak(8.0, 1.6, 0.9) + peak(18.0, 2.0, 1.0)).min(1.2)
+}
+
+/// The simulated latent speed field: congestion per region per interval
+/// plus static per-pair base speeds.
+pub struct SpeedField {
+    num_regions: usize,
+    intervals_per_day: usize,
+    /// `congestion[t][i]` ∈ [0, ~1.5].
+    congestion: Vec<Vec<f64>>,
+    /// Static per-pair base speed, row-major `N×N`.
+    base: Vec<f64>,
+    /// Per-region congestion sensitivity.
+    sensitivity: Vec<f64>,
+    params: SpeedParams,
+}
+
+impl SpeedField {
+    /// Simulates the congestion process for `num_intervals` intervals
+    /// under permanently clear weather (the paper's context-free setting).
+    pub fn simulate(
+        city: &CityModel,
+        intervals_per_day: usize,
+        num_intervals: usize,
+        seed: u64,
+        params: SpeedParams,
+    ) -> SpeedField {
+        Self::simulate_with_weather(
+            city,
+            intervals_per_day,
+            num_intervals,
+            seed,
+            params,
+            &WeatherSeries::clear(num_intervals),
+        )
+    }
+
+    /// Simulates the congestion process with an exogenous weather series
+    /// adding city-wide congestion (§VII outlook: contextual information).
+    pub fn simulate_with_weather(
+        city: &CityModel,
+        intervals_per_day: usize,
+        num_intervals: usize,
+        seed: u64,
+        params: SpeedParams,
+        weather: &WeatherSeries,
+    ) -> SpeedField {
+        assert!(weather.len() >= num_intervals, "weather series too short");
+        let n = city.num_regions();
+        let mut rng = Rng64::new(seed ^ 0x5BEED);
+
+        // Static base speeds: distance-saturating + a per-pair offset.
+        let mut base = vec![0.0f64; n * n];
+        for o in 0..n {
+            for d in 0..n {
+                let dist = city.distance_km(o, d);
+                let sat = 1.0 - (-dist / params.base_dist_km).exp();
+                let jitter = rng.uniform(-0.3, 0.3);
+                base[o * n + d] =
+                    params.base_min_ms + (params.base_max_ms - params.base_min_ms) * sat + jitter;
+            }
+        }
+
+        // Region graph for diffusion: neighbors within 1.5 km, row-normalized.
+        let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, list) in neighbors.iter_mut().enumerate() {
+            for j in 0..n {
+                if i != j && city.distance_km(i, j) <= 1.5 {
+                    list.push(j);
+                }
+            }
+        }
+
+        // Congestion sensitivity grows with attraction (busy regions jam).
+        let max_attr =
+            city.regions.iter().map(|r| r.attraction).fold(f64::MIN, f64::max).max(1e-9);
+        let sensitivity: Vec<f64> = city
+            .regions
+            .iter()
+            .map(|r| 0.35 + 0.65 * r.attraction / max_attr + rng.uniform(-0.05, 0.05))
+            .collect();
+
+        // Roll the AR(1)+diffusion process forward, with two sources of
+        // calendar-unpredictable variation: a per-day severity multiplier
+        // and localized incidents that flare up and decay. Both are what
+        // make *near-history* (the last s intervals) genuinely informative
+        // beyond time-of-day patterns.
+        let mut congestion = Vec::with_capacity(num_intervals);
+        let mut c = vec![0.2f64; n];
+        let mut incident = vec![0.0f64; n];
+        let mut day_severity = 1.0f64;
+        let incident_per_interval =
+            params.incident_rate_per_day / intervals_per_day.max(1) as f64;
+        for t in 0..num_intervals {
+            if t % intervals_per_day == 0 {
+                day_severity =
+                    (1.0 + params.day_severity_std * rng.next_gaussian()).clamp(0.4, 1.8);
+            }
+            let profile = daily_profile(t % intervals_per_day, intervals_per_day);
+            let mut next = vec![0.0f64; n];
+            for i in 0..n {
+                // Incidents: Poisson arrivals, exponential decay.
+                if rng.next_f64() < incident_per_interval {
+                    incident[i] += params.incident_severity;
+                }
+                incident[i] *= 1.0 - 1.0 / params.incident_duration.max(1.0);
+                let neigh_mean = if neighbors[i].is_empty() {
+                    c[i]
+                } else {
+                    neighbors[i].iter().map(|&j| c[j]).sum::<f64>() / neighbors[i].len() as f64
+                };
+                let mixed = (1.0 - params.diffusion) * c[i] + params.diffusion * neigh_mean;
+                let drive = (day_severity * profile * sensitivity[i]
+                    + 0.6 * weather.factor(t))
+                    * (1.0 - params.decay);
+                next[i] = (params.decay * mixed
+                    + drive
+                    + incident[i] * (1.0 - params.decay)
+                    + params.noise * rng.next_gaussian())
+                .clamp(0.0, 1.8);
+            }
+            c = next;
+            congestion.push(c.clone());
+        }
+
+        SpeedField { num_regions: n, intervals_per_day, congestion, base, sensitivity, params }
+    }
+
+    /// Number of simulated intervals.
+    pub fn num_intervals(&self) -> usize {
+        self.congestion.len()
+    }
+
+    /// Intervals per day used by the simulation.
+    pub fn intervals_per_day(&self) -> usize {
+        self.intervals_per_day
+    }
+
+    /// Congestion level of region `i` during interval `t`.
+    pub fn congestion(&self, t: usize, i: usize) -> f64 {
+        self.congestion[t][i]
+    }
+
+    /// Mean travel speed (m/s) for OD pair `(o, d)` during interval `t`.
+    pub fn mean_speed_ms(&self, o: usize, d: usize, t: usize) -> f64 {
+        let n = self.num_regions;
+        let cong = 0.5 * (self.congestion[t][o] + self.congestion[t][d]);
+        (self.base[o * n + d] - self.params.congestion_gain * cong)
+            .clamp(self.params.min_speed_ms, self.params.max_speed_ms)
+    }
+
+    /// Draws one trip's average speed (m/s) for `(o, d)` at interval `t`.
+    pub fn sample_trip_speed(&self, o: usize, d: usize, t: usize, rng: &mut Rng64) -> f64 {
+        let mean = self.mean_speed_ms(o, d, t);
+        let mut v = mean + self.params.trip_noise_ms * rng.next_gaussian();
+        if rng.next_f64() < self.params.outlier_prob {
+            v *= 0.5; // signal storms, detours, passenger stops
+        }
+        v.clamp(self.params.min_speed_ms, self.params.max_speed_ms)
+    }
+
+    /// Per-region congestion sensitivity (exposed for tests/diagnostics).
+    pub fn sensitivity(&self, i: usize) -> f64 {
+        self.sensitivity[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::CityModel;
+
+    fn field() -> SpeedField {
+        SpeedField::simulate(&CityModel::small(9), 48, 48 * 3, 1, SpeedParams::default())
+    }
+
+    #[test]
+    fn daily_profile_peaks_at_rush_hours() {
+        let ipd = 96;
+        let at = |h: f64| daily_profile((h / 24.0 * ipd as f64) as usize, ipd);
+        assert!(at(8.0) > at(3.0), "morning rush above night");
+        assert!(at(18.0) > at(12.0), "evening rush above midday");
+        assert!(at(18.0) > at(22.0));
+    }
+
+    #[test]
+    fn congestion_bounded_and_finite() {
+        let f = field();
+        for t in 0..f.num_intervals() {
+            for i in 0..9 {
+                let c = f.congestion(t, i);
+                assert!((0.0..=1.8).contains(&c), "congestion out of range: {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn rush_hour_slower_than_night() {
+        let f = field();
+        // Average over days and pairs: interval at 8:00 vs 03:00.
+        let ipd = 48;
+        let morning = ipd * 8 / 24;
+        let night = ipd * 3 / 24;
+        let mut slow = 0.0;
+        let mut fast = 0.0;
+        for day in 0..3 {
+            for o in 0..9 {
+                for d in 0..9 {
+                    slow += f.mean_speed_ms(o, d, day * ipd + morning);
+                    fast += f.mean_speed_ms(o, d, day * ipd + night);
+                }
+            }
+        }
+        assert!(slow < fast, "rush hour must be slower on average");
+    }
+
+    #[test]
+    fn speeds_within_bounds() {
+        let f = field();
+        let mut rng = Rng64::new(2);
+        let p = SpeedParams::default();
+        for t in (0..f.num_intervals()).step_by(7) {
+            for o in 0..9 {
+                for d in 0..9 {
+                    let v = f.sample_trip_speed(o, d, t, &mut rng);
+                    assert!(v >= p.min_speed_ms && v <= p.max_speed_ms);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn longer_pairs_have_higher_base_speed() {
+        let f = field();
+        // Region 0 and 8 are grid corners (far); 0 and 1 adjacent. Compare
+        // at the same interval so congestion cancels on average.
+        let mut far = 0.0;
+        let mut near = 0.0;
+        for t in 0..f.num_intervals() {
+            far += f.mean_speed_ms(0, 8, t);
+            near += f.mean_speed_ms(0, 1, t);
+        }
+        assert!(far > near, "distance saturation should speed up long trips");
+    }
+
+    #[test]
+    fn spatial_correlation_present() {
+        // Congestion of adjacent regions must correlate more strongly than
+        // congestion of far-apart regions.
+        let city = CityModel::grid(4, 4, 0.7);
+        let f = SpeedField::simulate(&city, 48, 48 * 6, 3, SpeedParams::default());
+        let series = |i: usize| -> Vec<f64> {
+            (0..f.num_intervals()).map(|t| f.congestion(t, i)).collect()
+        };
+        let corr = |a: &[f64], b: &[f64]| -> f64 {
+            let n = a.len() as f64;
+            let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
+            let cov: f64 = a.iter().zip(b).map(|(&x, &y)| (x - ma) * (y - mb)).sum();
+            let va: f64 = a.iter().map(|&x| (x - ma).powi(2)).sum();
+            let vb: f64 = b.iter().map(|&y| (y - mb).powi(2)).sum();
+            cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+        };
+        // Region 5 is adjacent to 6; region 0 and 15 are opposite corners.
+        let c_near = corr(&series(5), &series(6));
+        let c_far = corr(&series(0), &series(15));
+        assert!(
+            c_near > c_far - 0.05,
+            "adjacent congestion should correlate at least as much (near {c_near}, far {c_far})"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let city = CityModel::small(6);
+        let a = SpeedField::simulate(&city, 24, 48, 9, SpeedParams::default());
+        let b = SpeedField::simulate(&city, 24, 48, 9, SpeedParams::default());
+        for t in 0..48 {
+            for i in 0..6 {
+                assert_eq!(a.congestion(t, i), b.congestion(t, i));
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Sparseness and coverage statistics — the Figure 7 analysis ("Sparseness
+//! of Original and Preprocessed Data") and the data-share bars of
+//! Figures 8–10.
+
+use crate::dataset::OdDataset;
+
+/// Summary of a dataset's sparseness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsenessReport {
+    /// Fraction of OD pairs observed at least once anywhere in the data
+    /// (the paper's "65 % of all taxizone pairs" number for NYC).
+    pub overall_pair_coverage: f64,
+    /// Mean per-interval cell coverage (the much sparser 15-minute view).
+    pub mean_interval_coverage: f64,
+    /// Minimum per-interval coverage.
+    pub min_interval_coverage: f64,
+    /// Maximum per-interval coverage.
+    pub max_interval_coverage: f64,
+    /// Total observed (pair, interval) cells.
+    pub observed_cells: usize,
+    /// Total (pair, interval) cells.
+    pub total_cells: usize,
+}
+
+/// Computes the sparseness report for a dataset.
+pub fn sparseness(ds: &OdDataset) -> SparsenessReport {
+    let n = ds.num_regions();
+    let mut ever = vec![false; n * n];
+    let mut observed_cells = 0usize;
+    let mut min_cov = f64::MAX;
+    let mut max_cov = f64::MIN;
+    let mut cov_sum = 0.0f64;
+    for t in &ds.tensors {
+        let cov = t.coverage();
+        min_cov = min_cov.min(cov);
+        max_cov = max_cov.max(cov);
+        cov_sum += cov;
+        observed_cells += t.num_observed();
+        for o in 0..n {
+            for d in 0..n {
+                if t.observed(o, d) {
+                    ever[o * n + d] = true;
+                }
+            }
+        }
+    }
+    let intervals = ds.num_intervals().max(1);
+    SparsenessReport {
+        overall_pair_coverage: ever.iter().filter(|&&x| x).count() as f64 / (n * n) as f64,
+        mean_interval_coverage: cov_sum / intervals as f64,
+        min_interval_coverage: if ds.tensors.is_empty() { 0.0 } else { min_cov },
+        max_interval_coverage: if ds.tensors.is_empty() { 0.0 } else { max_cov },
+        observed_cells,
+        total_cells: n * n * ds.num_intervals(),
+    }
+}
+
+/// Share of observed cells per 3-hour time-of-day bin (the bars of
+/// Figures 8–10). Returns 8 fractions summing to 1 (or all zero).
+pub fn data_share_by_time_of_day(ds: &OdDataset) -> Vec<f64> {
+    let mut counts = vec![0usize; 8];
+    let per_bin = (ds.intervals_per_day / 8).max(1);
+    for (t, tensor) in ds.tensors.iter().enumerate() {
+        let bin = (ds.interval_of_day(t) / per_bin).min(7);
+        counts[bin] += tensor.num_observed();
+    }
+    let total: usize = counts.iter().sum();
+    counts
+        .into_iter()
+        .map(|c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+        .collect()
+}
+
+/// Share of observed cells per 0.5 km OD-distance group, up to 3 km
+/// (6 groups; farther pairs are dropped like in Figures 11–13).
+pub fn data_share_by_distance(ds: &OdDataset) -> Vec<f64> {
+    let n = ds.num_regions();
+    let mut counts = vec![0usize; 6];
+    for tensor in &ds.tensors {
+        for o in 0..n {
+            for d in 0..n {
+                if !tensor.observed(o, d) {
+                    continue;
+                }
+                let dist = ds.city.distance_km(o, d);
+                if dist < 3.0 {
+                    counts[(dist / 0.5) as usize] += 1;
+                }
+            }
+        }
+    }
+    let total: usize = counts.iter().sum();
+    counts
+        .into_iter()
+        .map(|c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::CityModel;
+    use crate::dataset::SimConfig;
+
+    fn ds() -> OdDataset {
+        let cfg = SimConfig {
+            num_days: 2,
+            intervals_per_day: 16,
+            trips_per_interval: 100.0,
+            ..SimConfig::small(11)
+        };
+        OdDataset::generate(CityModel::small(8), &cfg)
+    }
+
+    #[test]
+    fn report_internally_consistent() {
+        let d = ds();
+        let r = sparseness(&d);
+        assert!(r.overall_pair_coverage >= r.mean_interval_coverage);
+        assert!(r.min_interval_coverage <= r.mean_interval_coverage);
+        assert!(r.mean_interval_coverage <= r.max_interval_coverage);
+        assert_eq!(r.total_cells, 8 * 8 * 32);
+        assert!(r.observed_cells <= r.total_cells);
+        assert!(
+            (r.observed_cells as f64 / r.total_cells as f64 - r.mean_interval_coverage).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn interval_view_sparser_than_overall() {
+        // The paper's key observation: per-interval coverage is far below
+        // whole-dataset pair coverage.
+        let r = sparseness(&ds());
+        assert!(r.mean_interval_coverage < r.overall_pair_coverage);
+    }
+
+    #[test]
+    fn time_of_day_shares_sum_to_one() {
+        let shares = data_share_by_time_of_day(&ds());
+        assert_eq!(shares.len(), 8);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Rush-hour bins should dominate the night bins.
+        assert!(shares[2] + shares[6] > shares[0] + shares[1]);
+    }
+
+    #[test]
+    fn distance_shares_sum_to_one() {
+        let shares = data_share_by_distance(&ds());
+        assert_eq!(shares.len(), 6);
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9 || sum == 0.0);
+    }
+
+    #[test]
+    fn empty_dataset_degenerates_gracefully() {
+        let cfg = SimConfig {
+            num_days: 1,
+            intervals_per_day: 4,
+            trips_per_interval: 0.0,
+            ..SimConfig::small(1)
+        };
+        let d = OdDataset::generate(CityModel::small(4), &cfg);
+        let r = sparseness(&d);
+        assert_eq!(r.observed_cells, 0);
+        assert_eq!(r.overall_pair_coverage, 0.0);
+        assert!(data_share_by_time_of_day(&d).iter().all(|&x| x == 0.0));
+    }
+}

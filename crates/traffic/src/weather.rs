@@ -1,0 +1,237 @@
+//! Weather context — the paper's §VII outlook ("extend the framework to
+//! incorporate contextual information such as weather conditions").
+//!
+//! A three-state Markov chain (clear / rain / downpour) produces a
+//! per-interval weather factor in `[0, 1]`; the speed field accepts it as
+//! an additive congestion source, and models can consume the series as an
+//! exogenous context signal. Weather is *off by default* so the headline
+//! experiments match the paper's context-free setting.
+
+use stod_tensor::rng::Rng64;
+
+/// Weather condition states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Weather {
+    /// Dry roads, no effect.
+    Clear,
+    /// Light rain: mild slowdown.
+    Rain,
+    /// Heavy rain: strong slowdown.
+    Downpour,
+}
+
+impl Weather {
+    /// Congestion factor contributed by this condition, in `[0, 1]`.
+    pub fn factor(&self) -> f64 {
+        match self {
+            Weather::Clear => 0.0,
+            Weather::Rain => 0.35,
+            Weather::Downpour => 0.8,
+        }
+    }
+}
+
+/// Parameters of the weather Markov chain (per-interval transition
+/// probabilities).
+#[derive(Debug, Clone, Copy)]
+pub struct WeatherParams {
+    /// P(clear → rain).
+    pub onset: f64,
+    /// P(rain → clear).
+    pub clearing: f64,
+    /// P(rain → downpour).
+    pub worsen: f64,
+    /// P(downpour → rain).
+    pub easing: f64,
+}
+
+impl Default for WeatherParams {
+    fn default() -> Self {
+        WeatherParams { onset: 0.02, clearing: 0.10, worsen: 0.08, easing: 0.25 }
+    }
+}
+
+/// A simulated weather series, one condition per interval.
+#[derive(Debug, Clone)]
+pub struct WeatherSeries {
+    /// Condition per interval.
+    pub conditions: Vec<Weather>,
+}
+
+impl WeatherSeries {
+    /// Simulates `num_intervals` of weather from the Markov chain.
+    pub fn simulate(num_intervals: usize, seed: u64, params: WeatherParams) -> WeatherSeries {
+        let mut rng = Rng64::new(seed ^ 0x7EA7);
+        let mut conditions = Vec::with_capacity(num_intervals);
+        let mut state = Weather::Clear;
+        for _ in 0..num_intervals {
+            let u = rng.next_f64();
+            state = match state {
+                Weather::Clear => {
+                    if u < params.onset {
+                        Weather::Rain
+                    } else {
+                        Weather::Clear
+                    }
+                }
+                Weather::Rain => {
+                    if u < params.clearing {
+                        Weather::Clear
+                    } else if u < params.clearing + params.worsen {
+                        Weather::Downpour
+                    } else {
+                        Weather::Rain
+                    }
+                }
+                Weather::Downpour => {
+                    if u < params.easing {
+                        Weather::Rain
+                    } else {
+                        Weather::Downpour
+                    }
+                }
+            };
+            conditions.push(state);
+        }
+        WeatherSeries { conditions }
+    }
+
+    /// A permanently clear series (the default, context-free setting).
+    pub fn clear(num_intervals: usize) -> WeatherSeries {
+        WeatherSeries { conditions: vec![Weather::Clear; num_intervals] }
+    }
+
+    /// Number of intervals covered.
+    pub fn len(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// True when the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.conditions.is_empty()
+    }
+
+    /// Condition at interval `t`.
+    pub fn at(&self, t: usize) -> Weather {
+        self.conditions[t]
+    }
+
+    /// Congestion factor at interval `t`.
+    pub fn factor(&self, t: usize) -> f64 {
+        self.conditions[t].factor()
+    }
+
+    /// Fraction of intervals with any precipitation.
+    pub fn wet_fraction(&self) -> f64 {
+        if self.conditions.is_empty() {
+            return 0.0;
+        }
+        self.conditions.iter().filter(|c| **c != Weather::Clear).count() as f64
+            / self.conditions.len() as f64
+    }
+
+    /// The factor series as an exogenous context signal (one value per
+    /// interval), e.g. to concatenate onto model inputs.
+    pub fn context_series(&self) -> Vec<f32> {
+        self.conditions.iter().map(|c| c.factor() as f32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_series_has_no_effect() {
+        let w = WeatherSeries::clear(10);
+        assert_eq!(w.len(), 10);
+        assert_eq!(w.wet_fraction(), 0.0);
+        assert!(w.context_series().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn simulated_series_is_deterministic() {
+        let a = WeatherSeries::simulate(200, 5, WeatherParams::default());
+        let b = WeatherSeries::simulate(200, 5, WeatherParams::default());
+        assert_eq!(a.context_series(), b.context_series());
+    }
+
+    #[test]
+    fn rain_occurs_but_not_always() {
+        let w = WeatherSeries::simulate(5000, 7, WeatherParams::default());
+        let wet = w.wet_fraction();
+        assert!(wet > 0.02, "rain never occurred ({wet})");
+        assert!(wet < 0.8, "it practically never cleared up ({wet})");
+    }
+
+    #[test]
+    fn downpour_reachable_and_transient() {
+        let w = WeatherSeries::simulate(5000, 11, WeatherParams::default());
+        let downpours = (0..w.len()).filter(|&t| w.at(t) == Weather::Downpour).count();
+        assert!(downpours > 0, "downpour state unreachable");
+        assert!(downpours < w.len() / 2);
+    }
+
+    #[test]
+    fn factors_ordered_by_severity() {
+        assert!(Weather::Clear.factor() < Weather::Rain.factor());
+        assert!(Weather::Rain.factor() < Weather::Downpour.factor());
+    }
+
+    #[test]
+    fn markov_persistence() {
+        // Rain stretches should be longer than independent coin flips
+        // would produce: count transitions vs. wet intervals.
+        let w = WeatherSeries::simulate(10_000, 13, WeatherParams::default());
+        let mut transitions = 0usize;
+        let mut wet = 0usize;
+        for t in 1..w.len() {
+            if w.at(t) != Weather::Clear {
+                wet += 1;
+                if w.at(t - 1) == Weather::Clear {
+                    transitions += 1;
+                }
+            }
+        }
+        assert!(wet > 0);
+        let mean_spell = wet as f64 / transitions.max(1) as f64;
+        assert!(mean_spell > 3.0, "weather has no persistence: spell {mean_spell}");
+    }
+}
+
+#[cfg(test)]
+mod integration_tests {
+    use super::*;
+    use crate::city::CityModel;
+    use crate::speed::{SpeedField, SpeedParams};
+
+    #[test]
+    fn rain_slows_the_city_down() {
+        let city = CityModel::small(9);
+        let n = 240;
+        let clear = WeatherSeries::clear(n);
+        // A permanently-raining counterfactual.
+        let storm = WeatherSeries {
+            conditions: vec![Weather::Downpour; n],
+        };
+        let f_clear =
+            SpeedField::simulate_with_weather(&city, 48, n, 3, SpeedParams::default(), &clear);
+        let f_storm =
+            SpeedField::simulate_with_weather(&city, 48, n, 3, SpeedParams::default(), &storm);
+        let mean = |f: &SpeedField| {
+            let mut acc = 0.0;
+            for t in 48..n {
+                for o in 0..9 {
+                    for d in 0..9 {
+                        acc += f.mean_speed_ms(o, d, t);
+                    }
+                }
+            }
+            acc
+        };
+        assert!(
+            mean(&f_storm) < mean(&f_clear),
+            "downpour must slow traffic compared to clear weather"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the traffic substrate: histogram validity,
+//! travel-time arithmetic, OD-tensor invariants and window bookkeeping.
+
+use proptest::prelude::*;
+use stod_traffic::{CityModel, HistogramSpec, OdDataset, SimConfig, Trip};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any non-empty speed sample yields a valid probability histogram.
+    #[test]
+    fn histograms_are_distributions(speeds in proptest::collection::vec(0.0f64..30.0, 1..50)) {
+        let spec = HistogramSpec::paper();
+        let h = spec.build(&speeds).expect("non-empty");
+        prop_assert_eq!(h.len(), 7);
+        prop_assert!(h.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        prop_assert!((h.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    /// The bucket index is monotone in speed and consistent with bounds.
+    #[test]
+    fn bucket_of_consistent_with_bounds(v in 0.0f64..40.0) {
+        let spec = HistogramSpec::paper();
+        let k = spec.bucket_of(v);
+        let (lo, hi) = spec.bounds(k);
+        prop_assert!(v >= lo || k == 0);
+        prop_assert!(v < hi || hi.is_infinite());
+    }
+
+    /// Travel-time quantiles are monotone in the confidence level.
+    #[test]
+    fn travel_time_quantile_monotone(
+        raw in proptest::collection::vec(0.01f32..1.0, 7),
+        dist in 0.5f64..20.0,
+        q1 in 0.05f64..0.95,
+        q2 in 0.05f64..0.95,
+    ) {
+        let spec = HistogramSpec::paper();
+        let s: f32 = raw.iter().sum();
+        let hist: Vec<f32> = raw.iter().map(|x| x / s).collect();
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let t_lo = spec.travel_time_quantile(&hist, dist, lo_q);
+        let t_hi = spec.travel_time_quantile(&hist, dist, hi_q);
+        prop_assert!(t_lo <= t_hi, "quantile not monotone: {t_lo} > {t_hi}");
+    }
+
+    /// The mean speed of any histogram lies within the bucket-midpoint range.
+    #[test]
+    fn mean_speed_within_support(raw in proptest::collection::vec(0.0f32..1.0, 7)) {
+        let spec = HistogramSpec::paper();
+        let s: f32 = raw.iter().sum();
+        prop_assume!(s > 0.01);
+        let hist: Vec<f32> = raw.iter().map(|x| x / s).collect();
+        let m = spec.mean_speed(&hist);
+        prop_assert!(m >= spec.midpoint(0) - 1e-6);
+        prop_assert!(m <= spec.midpoint(6) + 1e-6);
+    }
+
+    /// OD tensors built from arbitrary trip sets satisfy their invariants.
+    #[test]
+    fn od_tensor_invariants_hold(
+        trips_raw in proptest::collection::vec((0usize..5, 0usize..5, 0.1f64..25.0), 0..60)
+    ) {
+        let spec = HistogramSpec::paper();
+        let trips: Vec<Trip> = trips_raw
+            .into_iter()
+            .map(|(o, d, v)| Trip {
+                origin: o,
+                dest: d,
+                interval: 0,
+                distance_km: 1.0,
+                speed_ms: v,
+            })
+            .collect();
+        let t = stod_traffic::OdTensor::from_trips(5, &spec, &trips);
+        prop_assert!(t.check_invariants().is_ok());
+        // Every pair with at least one trip must be observed.
+        for tr in &trips {
+            prop_assert!(t.observed(tr.origin, tr.dest));
+        }
+    }
+
+    /// Window bookkeeping: inputs and targets are contiguous and disjoint.
+    #[test]
+    fn windows_are_contiguous_and_disjoint(s in 1usize..6, h in 1usize..4) {
+        let cfg = SimConfig {
+            num_days: 1,
+            intervals_per_day: 16,
+            trips_per_interval: 10.0,
+            ..SimConfig::small(3)
+        };
+        let ds = OdDataset::generate(CityModel::small(4), &cfg);
+        for w in ds.windows(s, h) {
+            let ins = w.input_indices();
+            let outs = w.target_indices();
+            prop_assert_eq!(ins.len(), s);
+            prop_assert_eq!(outs.len(), h);
+            prop_assert_eq!(*ins.last().unwrap() + 1, outs[0]);
+            for pair in ins.windows(2) {
+                prop_assert_eq!(pair[0] + 1, pair[1]);
+            }
+            prop_assert!(*outs.last().unwrap() < ds.num_intervals());
+        }
+    }
+
+    /// Chronological splits never leak test targets into training.
+    #[test]
+    fn splits_never_leak(train_frac in 0.2f64..0.7, val_frac in 0.0f64..0.2) {
+        let cfg = SimConfig {
+            num_days: 2,
+            intervals_per_day: 12,
+            trips_per_interval: 10.0,
+            ..SimConfig::small(4)
+        };
+        let ds = OdDataset::generate(CityModel::small(4), &cfg);
+        let ws = ds.windows(2, 2);
+        let split = ds.split(&ws, train_frac, val_frac);
+        let train_max = split.train.iter().map(|w| w.t_end + w.h).max();
+        let test_min = split.test.iter().map(|w| w.t_end + w.h).min();
+        if let (Some(a), Some(b)) = (train_max, test_min) {
+            prop_assert!(a < b, "training target {a} ≥ test target {b}");
+        }
+        prop_assert_eq!(
+            split.train.len() + split.val.len() + split.test.len(),
+            ws.len()
+        );
+    }
+}

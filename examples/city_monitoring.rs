@@ -1,0 +1,61 @@
+//! City-wide traffic monitoring: train BF and AF once, then watch forecast
+//! quality across the day — the operational view behind Figures 8–10.
+//!
+//! Run with: `cargo run --release --example city_monitoring`
+
+use od_forecast::core::{evaluate, train, AfConfig, AfModel, BfConfig, BfModel, TrainConfig};
+use od_forecast::metrics::Metric;
+use od_forecast::traffic::{CityModel, OdDataset, SimConfig};
+
+fn main() {
+    let cfg = SimConfig {
+        num_days: 6,
+        intervals_per_day: 24,
+        trips_per_interval: 200.0,
+        ..SimConfig::small(77)
+    };
+    let ds = OdDataset::generate(CityModel::small(9), &cfg);
+    let windows = ds.windows(6, 1);
+    let split = ds.split(&windows, 0.7, 0.1);
+    let k = ds.spec.num_buckets;
+    let tc = TrainConfig {
+        epochs: 14,
+        dropout: 0.05,
+        schedule: od_forecast::nn::optim::StepDecay { initial: 4e-3, decay: 0.8, every: 5 },
+        ..TrainConfig::default()
+    };
+
+    let mut bf = BfModel::new(9, k, BfConfig::default(), 2);
+    train(&mut bf, &ds, &split.train, None, &tc);
+    let bf_eval = evaluate(&bf, &ds, &split.test, 16);
+
+    let mut af = AfModel::new(&ds.city.centroids(), k, AfConfig::default(), 2);
+    train(&mut af, &ds, &split.train, None, &tc);
+    let af_eval = evaluate(&af, &ds, &split.test, 16);
+
+    let mi = Metric::ALL.iter().position(|m| *m == Metric::Emd).expect("EMD");
+    println!("EMD by time of day (lower is better):");
+    println!("  3h bin       |     BF |     AF | cells");
+    println!("  -------------|--------|--------|------");
+    let bf_rows: Vec<_> = bf_eval.by_time[mi].rows().collect();
+    let af_rows: Vec<_> = af_eval.by_time[mi].rows().collect();
+    for ((label, bf_m, _), (_, af_m, n)) in bf_rows.iter().zip(af_rows.iter()) {
+        if *n == 0 {
+            continue;
+        }
+        let marker = if af_m <= bf_m { "  ← AF wins" } else { "" };
+        println!("  {label} | {bf_m:>6.4} | {af_m:>6.4} | {n}{marker}");
+    }
+
+    println!("\noverall (1 step ahead):");
+    for (name, e) in [("BF", &bf_eval), ("AF", &af_eval)] {
+        println!(
+            "  {name}: KL {:.4}  JS {:.4}  EMD {:.4}",
+            e.per_step[0][0], e.per_step[0][1], e.per_step[0][2]
+        );
+    }
+    println!(
+        "\nA dispatcher can trust AF's distributions most exactly when the city is\n\
+         busiest — the rush-hour bins hold the bulk of the observed cells."
+    );
+}

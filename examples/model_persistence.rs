@@ -1,0 +1,59 @@
+//! Train once, checkpoint to disk, restore in a "serving" process — the
+//! deployment loop of a production forecaster.
+//!
+//! Run with: `cargo run --release --example model_persistence`
+
+use od_forecast::core::{
+    evaluate, train, AfConfig, AfModel, OdForecaster, TrainConfig,
+};
+use od_forecast::nn::ParamStore;
+use od_forecast::traffic::{CityModel, OdDataset, SimConfig};
+
+fn main() -> std::io::Result<()> {
+    let cfg = SimConfig {
+        num_days: 5,
+        intervals_per_day: 24,
+        trips_per_interval: 150.0,
+        ..SimConfig::small(7)
+    };
+    let ds = OdDataset::generate(CityModel::small(9), &cfg);
+    let windows = ds.windows(3, 1);
+    let split = ds.split(&windows, 0.7, 0.1);
+    let k = ds.spec.num_buckets;
+
+    // --- training process ---
+    let mut model = AfModel::new(&ds.city.centroids(), k, AfConfig::default(), 11);
+    train(
+        &mut model,
+        &ds,
+        &split.train,
+        Some(&split.val),
+        &TrainConfig { epochs: 5, ..TrainConfig::default() },
+    );
+    let trained = evaluate(&model, &ds, &split.test, 16);
+    println!("trained model:  EMD {:.4}", trained.per_step[0][2]);
+
+    let path = std::env::temp_dir().join("od_forecast_af.stpw");
+    model.params().save(&path)?;
+    println!(
+        "checkpointed {} weights ({} bytes) to {}",
+        model.num_weights(),
+        std::fs::metadata(&path)?.len(),
+        path.display()
+    );
+
+    // --- serving process: rebuild architecture, load weights ---
+    let restored_store = ParamStore::load(&path)?;
+    let mut served = AfModel::new(&ds.city.centroids(), k, AfConfig::default(), 999);
+    served.params_mut().copy_from(&restored_store);
+    let served_eval = evaluate(&served, &ds, &split.test, 16);
+    println!("restored model: EMD {:.4}", served_eval.per_step[0][2]);
+
+    assert_eq!(
+        trained.per_step[0], served_eval.per_step[0],
+        "restored model must predict identically"
+    );
+    println!("restored forecasts are bit-identical to the trained model ✓");
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

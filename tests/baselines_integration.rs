@@ -1,0 +1,131 @@
+//! Integration tests for the full method roster: all five baselines plus
+//! the two frameworks run on one shared dataset under the same evaluation
+//! protocol.
+
+use od_forecast::baselines::{
+    evaluate_predictor, fc::FcConfig, gp::GpParams, mr::MrParams, var::VarParams, FcModel,
+    GpRegression, MrModel, NaiveHistograms, VarModel,
+};
+use od_forecast::core::{evaluate, train, BfConfig, BfModel, TrainConfig};
+use od_forecast::traffic::{CityModel, OdDataset, SimConfig};
+
+fn dataset() -> OdDataset {
+    let cfg = SimConfig {
+        num_days: 3,
+        intervals_per_day: 16,
+        trips_per_interval: 150.0,
+        ..SimConfig::small(55)
+    };
+    OdDataset::generate(CityModel::small(6), &cfg)
+}
+
+#[test]
+fn every_method_produces_a_finite_report() {
+    let ds = dataset();
+    let windows = ds.windows(3, 1);
+    let split = ds.split(&windows, 0.7, 0.0);
+    let train_end = split.train.iter().map(|w| w.t_end + w.h + 1).max().unwrap();
+
+    let mut reports = Vec::new();
+
+    let nh = NaiveHistograms::fit(&ds, train_end);
+    reports.push(evaluate_predictor(&nh, &ds, &split.test));
+
+    let gp = GpRegression::fit(&ds, train_end, GpParams::default());
+    reports.push(evaluate_predictor(&gp, &ds, &split.test));
+
+    let var = VarModel::fit(&ds, train_end, VarParams::default());
+    reports.push(evaluate_predictor(&var, &ds, &split.test));
+
+    let mr = MrModel::fit(&ds, train_end, MrParams { epochs: 2, ..MrParams::default() }, 1);
+    reports.push(evaluate_predictor(&mr, &ds, &split.test));
+
+    let mut fc = FcModel::new(6, 7, FcConfig::default(), 1);
+    train(&mut fc, &ds, &split.train, None, &TrainConfig::fast_test());
+    reports.push(evaluate(&fc, &ds, &split.test, 8));
+
+    let mut bf = BfModel::new(6, 7, BfConfig::default(), 1);
+    train(&mut bf, &ds, &split.train, None, &TrainConfig::fast_test());
+    reports.push(evaluate(&bf, &ds, &split.test, 8));
+
+    let names: Vec<&str> = reports.iter().map(|r| r.model.as_str()).collect();
+    assert_eq!(names, ["NH", "GP", "VAR", "MR", "FC", "BF"]);
+    let cells = reports[0].cells_per_step[0];
+    assert!(cells > 0);
+    for r in &reports {
+        assert_eq!(
+            r.cells_per_step[0], cells,
+            "{} evaluated a different cell count — protocol mismatch",
+            r.model
+        );
+        for &v in &r.per_step[0] {
+            assert!(v.is_finite() && v >= 0.0, "{}: bad metric {v}", r.model);
+        }
+    }
+}
+
+#[test]
+fn classical_and_deep_reports_share_grouping_structure() {
+    let ds = dataset();
+    let windows = ds.windows(2, 1);
+    let split = ds.split(&windows, 0.7, 0.0);
+    let train_end = split.train.iter().map(|w| w.t_end + w.h + 1).max().unwrap();
+
+    let nh = NaiveHistograms::fit(&ds, train_end);
+    let classical = evaluate_predictor(&nh, &ds, &split.test);
+
+    let mut bf = BfModel::new(6, 7, BfConfig::default(), 2);
+    train(&mut bf, &ds, &split.train, None, &TrainConfig { epochs: 1, ..TrainConfig::fast_test() });
+    let deep = evaluate(&bf, &ds, &split.test, 8);
+
+    // Same bins, same per-bin cell counts — only the means may differ.
+    for m in 0..3 {
+        let c_rows: Vec<usize> = classical.by_time[m].rows().map(|(_, _, c)| c).collect();
+        let d_rows: Vec<usize> = deep.by_time[m].rows().map(|(_, _, c)| c).collect();
+        assert_eq!(c_rows, d_rows, "time-bin cell counts differ");
+        let c_dist: Vec<usize> = classical.by_distance[m].rows().map(|(_, _, c)| c).collect();
+        let d_dist: Vec<usize> = deep.by_distance[m].rows().map(|(_, _, c)| c).collect();
+        assert_eq!(c_dist, d_dist, "distance-group cell counts differ");
+    }
+}
+
+#[test]
+fn nh_is_a_sensible_lower_bar() {
+    // NH must beat the uniform predictor — any trained method that loses
+    // to uniform is broken, so this pins the bar the frameworks must clear.
+    use od_forecast::baselines::HistogramPredictor;
+    use od_forecast::metrics::Metric;
+    use od_forecast::traffic::Window;
+
+    struct Uniform;
+    impl HistogramPredictor for Uniform {
+        fn name(&self) -> &str {
+            "uniform"
+        }
+        fn predict(&self, _: &OdDataset, _: usize, _: usize, _: &Window, _: usize) -> Vec<f32> {
+            vec![1.0 / 7.0; 7]
+        }
+    }
+    let ds = dataset();
+    let windows = ds.windows(2, 1);
+    let split = ds.split(&windows, 0.7, 0.0);
+    let train_end = split.train.iter().map(|w| w.t_end + w.h + 1).max().unwrap();
+    let nh = NaiveHistograms::fit(&ds, train_end);
+    let nh_emd = evaluate_predictor(&nh, &ds, &split.test).step_mean(0, Metric::Emd);
+    let u_emd = evaluate_predictor(&Uniform, &ds, &split.test).step_mean(0, Metric::Emd);
+    assert!(nh_emd < u_emd, "NH {nh_emd} must beat uniform {u_emd}");
+}
+
+#[test]
+fn var_handles_multistep_horizons() {
+    let ds = dataset();
+    let windows = ds.windows(3, 3);
+    let split = ds.split(&windows, 0.7, 0.0);
+    let train_end = split.train.iter().map(|w| w.t_end + w.h + 1).max().unwrap();
+    let var = VarModel::fit(&ds, train_end, VarParams::default());
+    let r = evaluate_predictor(&var, &ds, &split.test);
+    assert_eq!(r.per_step.len(), 3);
+    for step in &r.per_step {
+        assert!(step[2].is_finite());
+    }
+}

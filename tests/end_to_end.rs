@@ -1,0 +1,167 @@
+//! End-to-end integration tests: simulate → window → train → forecast →
+//! evaluate, across every crate of the workspace.
+
+use od_forecast::core::{
+    evaluate, train, AfConfig, AfModel, BfConfig, BfModel, Mode, OdForecaster, TrainConfig,
+};
+use od_forecast::nn::Tape;
+use od_forecast::tensor::rng::Rng64;
+use od_forecast::traffic::{CityModel, OdDataset, SimConfig};
+
+fn tiny_dataset(seed: u64) -> OdDataset {
+    let cfg = SimConfig {
+        num_days: 2,
+        intervals_per_day: 16,
+        trips_per_interval: 120.0,
+        ..SimConfig::small(seed)
+    };
+    OdDataset::generate(CityModel::small(6), &cfg)
+}
+
+#[test]
+fn bf_pipeline_trains_and_forecasts_valid_distributions() {
+    let ds = tiny_dataset(1);
+    let windows = ds.windows(3, 2);
+    let split = ds.split(&windows, 0.7, 0.0);
+    let mut model = BfModel::new(6, 7, BfConfig::default(), 1);
+    let report = train(&mut model, &ds, &split.train, None, &TrainConfig::fast_test());
+    assert!(report.final_loss().is_finite());
+
+    let eval = evaluate(&model, &ds, &split.test, 8);
+    assert_eq!(eval.per_step.len(), 2);
+    for step in &eval.per_step {
+        for &v in step {
+            assert!(v.is_finite() && v >= 0.0, "metric value {v}");
+        }
+    }
+
+    // Forecast tensors are complete: every cell is a valid histogram.
+    let batch = od_forecast::core::batch::make_batch(&ds, &split.test[..1]);
+    let mut tape = Tape::new();
+    let mut rng = Rng64::new(0);
+    let out = model.forward(&mut tape, &batch.inputs, 2, Mode::Eval, &mut rng);
+    for p in &out.predictions {
+        let v = tape.value(*p);
+        let sums = od_forecast::tensor::sum_axis(v, 3, false);
+        for &s in sums.data() {
+            assert!((s - 1.0).abs() < 1e-4, "forecast cell not a distribution: {s}");
+        }
+    }
+}
+
+#[test]
+fn af_pipeline_trains_and_improves() {
+    let ds = tiny_dataset(2);
+    let windows = ds.windows(3, 1);
+    let split = ds.split(&windows, 0.8, 0.0);
+    let mut model =
+        AfModel::new(&ds.city.centroids(), 7, AfConfig::default(), 2);
+    let report = train(
+        &mut model,
+        &ds,
+        &split.train,
+        None,
+        &TrainConfig { epochs: 4, ..TrainConfig::fast_test() },
+    );
+    assert!(
+        report.improved(),
+        "AF training must reduce the loss: {:?}",
+        report.epoch_losses
+    );
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let ds = tiny_dataset(3);
+        let windows = ds.windows(2, 1);
+        let split = ds.split(&windows, 0.8, 0.0);
+        let mut model = BfModel::new(6, 7, BfConfig::default(), 3);
+        train(
+            &mut model,
+            &ds,
+            &split.train,
+            None,
+            &TrainConfig { epochs: 2, ..TrainConfig::fast_test() },
+        );
+        let eval = evaluate(&model, &ds, &split.test, 8);
+        eval.per_step[0]
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seeds must give identical results");
+}
+
+#[test]
+fn parameter_save_load_roundtrip_preserves_predictions() {
+    let ds = tiny_dataset(4);
+    let windows = ds.windows(2, 1);
+    let split = ds.split(&windows, 0.8, 0.0);
+    let mut model = BfModel::new(6, 7, BfConfig::default(), 4);
+    train(
+        &mut model,
+        &ds,
+        &split.train,
+        None,
+        &TrainConfig { epochs: 2, ..TrainConfig::fast_test() },
+    );
+
+    // Serialize, restore into a freshly built model.
+    let bytes = model.params().to_bytes();
+    let restored_store = od_forecast::nn::ParamStore::from_bytes(bytes).expect("valid bytes");
+    let mut model2 = BfModel::new(6, 7, BfConfig::default(), 999);
+    model2.params_mut().copy_from(&restored_store);
+
+    let batch = od_forecast::core::batch::make_batch(&ds, &split.test[..1]);
+    let predict = |m: &BfModel| {
+        let mut tape = Tape::new();
+        let mut rng = Rng64::new(0);
+        let out = m.forward(&mut tape, &batch.inputs, 1, Mode::Eval, &mut rng);
+        tape.value(out.predictions[0]).clone()
+    };
+    assert_eq!(predict(&model), predict(&model2), "weights round-trip changed predictions");
+}
+
+#[test]
+fn af_ablation_variants_integrate() {
+    let ds = tiny_dataset(5);
+    let windows = ds.windows(2, 1);
+    let split = ds.split(&windows, 0.8, 0.0);
+    for cfg in [
+        AfConfig { fc_factorization: true, ..AfConfig::default() },
+        AfConfig { plain_rnn: true, ..AfConfig::default() },
+        AfConfig { frobenius_reg: true, ..AfConfig::default() },
+    ] {
+        let mut model = AfModel::new(&ds.city.centroids(), 7, cfg, 5);
+        let report = train(
+            &mut model,
+            &ds,
+            &split.train,
+            None,
+            &TrainConfig { epochs: 2, ..TrainConfig::fast_test() },
+        );
+        assert!(report.final_loss().is_finite());
+        let eval = evaluate(&model, &ds, &split.test, 8);
+        assert!(eval.per_step[0][2].is_finite());
+    }
+}
+
+#[test]
+fn horizon_and_history_settings_all_work() {
+    // The paper's grid: s ∈ {3, 6}, h ∈ {1, 2, 3}.
+    let ds = tiny_dataset(6);
+    for s in [3usize, 6] {
+        for h in [1usize, 2, 3] {
+            let windows = ds.windows(s, h);
+            assert!(!windows.is_empty(), "no windows for s={s}, h={h}");
+            let batch = od_forecast::core::batch::make_batch(&ds, &windows[..2]);
+            assert_eq!(batch.inputs.len(), s);
+            assert_eq!(batch.targets.len(), h);
+            let model = BfModel::new(6, 7, BfConfig::default(), 7);
+            let mut tape = Tape::new();
+            let mut rng = Rng64::new(0);
+            let out = model.forward(&mut tape, &batch.inputs, h, Mode::Eval, &mut rng);
+            assert_eq!(out.predictions.len(), h);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Cross-crate property tests tying the implementation to the paper's
+//! claims: the graph stack behaves like §V describes, the data substrate
+//! produces the §I phenomena, and the evaluation metrics behave per
+//! §VI-A.4.
+
+use od_forecast::graph::{
+    coarsen_for_pooling, dirichlet_energy, laplacian, proximity_matrix, scaled_laplacian,
+    ProximityParams,
+};
+use od_forecast::metrics::{emd, js_divergence, kl_divergence};
+use od_forecast::traffic::stats::sparseness;
+use od_forecast::traffic::{CityModel, OdDataset, SimConfig};
+use proptest::prelude::*;
+
+#[test]
+fn proximity_to_laplacian_to_cheby_chain_is_consistent() {
+    // Build the exact chain the AF model uses for a real city preset.
+    let city = CityModel::nyc_like(1);
+    let w = proximity_matrix(&city.centroids(), ProximityParams::default());
+    let l = laplacian(&w);
+    // Laplacian of a proximity graph is PSD: Dirichlet energies ≥ 0.
+    let mut rng = od_forecast::tensor::rng::Rng64::new(2);
+    for _ in 0..10 {
+        let x = od_forecast::tensor::Tensor::randn(&[67], 1.0, &mut rng);
+        assert!(dirichlet_energy(&l, &x) >= -1e-3);
+    }
+    // Scaled Laplacian spectrum within [−1, 1].
+    let lt = scaled_laplacian(&w);
+    let lam = od_forecast::tensor::linalg::power_iteration_lambda_max(&lt, 300, 3);
+    assert!(lam <= 1.0 + 1e-3, "scaled spectrum {lam}");
+    // Coarsening the real proximity graph keeps every region exactly once.
+    let c = coarsen_for_pooling(&w, 2);
+    let mut seen = vec![0usize; 67];
+    for &o in &c.order {
+        if o < 67 {
+            seen[o] += 1;
+        }
+    }
+    assert!(seen.iter().all(|&x| x == 1));
+}
+
+#[test]
+fn simulated_data_shows_paper_phenomena() {
+    let cfg = SimConfig {
+        num_days: 4,
+        intervals_per_day: 48,
+        trips_per_interval: 120.0,
+        ..SimConfig::small(9)
+    };
+    let ds = OdDataset::generate(CityModel::small(16), &cfg);
+    let rep = sparseness(&ds);
+    // §I: overall coverage far above per-interval coverage.
+    assert!(rep.overall_pair_coverage > 2.0 * rep.mean_interval_coverage);
+    // Rush hour must be slower than night on average (mean over buckets).
+    let ipd = 48;
+    let mean_speed_at = |iod: usize| -> f64 {
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        for day in 1..4 {
+            let t = day * ipd + iod;
+            let tensor = &ds.tensors[t];
+            for o in 0..16 {
+                for d in 0..16 {
+                    if let Some(h) = tensor.histogram(o, d) {
+                        acc += ds.spec.mean_speed(&h);
+                        n += 1;
+                    }
+                }
+            }
+        }
+        if n == 0 {
+            f64::NAN
+        } else {
+            acc / n as f64
+        }
+    };
+    let rush = mean_speed_at(ipd * 8 / 24);
+    let night = mean_speed_at(ipd * 3 / 24);
+    assert!(
+        rush < night,
+        "rush-hour speeds ({rush:.2}) must fall below night speeds ({night:.2})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// EMD satisfies the metric axioms on random histograms.
+    #[test]
+    fn emd_metric_axioms(
+        a in proptest::collection::vec(0.0f32..1.0, 7),
+        b in proptest::collection::vec(0.0f32..1.0, 7),
+        c in proptest::collection::vec(0.0f32..1.0, 7),
+    ) {
+        prop_assume!(a.iter().sum::<f32>() > 0.1);
+        prop_assume!(b.iter().sum::<f32>() > 0.1);
+        prop_assume!(c.iter().sum::<f32>() > 0.1);
+        let norm = |v: &[f32]| -> Vec<f32> {
+            let s: f32 = v.iter().sum();
+            v.iter().map(|x| x / s).collect()
+        };
+        let (a, b, c) = (norm(&a), norm(&b), norm(&c));
+        // identity
+        prop_assert!(emd(&a, &a).abs() < 1e-6);
+        // symmetry
+        prop_assert!((emd(&a, &b) - emd(&b, &a)).abs() < 1e-9);
+        // non-negativity
+        prop_assert!(emd(&a, &b) >= 0.0);
+        // triangle inequality
+        prop_assert!(emd(&a, &c) <= emd(&a, &b) + emd(&b, &c) + 1e-6);
+    }
+
+    /// KL and JS are non-negative and zero only at identity.
+    #[test]
+    fn divergences_nonnegative(
+        a in proptest::collection::vec(0.01f32..1.0, 7),
+        b in proptest::collection::vec(0.01f32..1.0, 7),
+    ) {
+        let norm = |v: &[f32]| -> Vec<f32> {
+            let s: f32 = v.iter().sum();
+            v.iter().map(|x| x / s).collect()
+        };
+        let (a, b) = (norm(&a), norm(&b));
+        prop_assert!(js_divergence(&a, &b) >= -1e-9);
+        prop_assert!(js_divergence(&a, &a).abs() < 1e-9);
+        prop_assert!(kl_divergence(&a, &a).abs() < 1e-9);
+        // JS bounded by ln 2.
+        prop_assert!(js_divergence(&a, &b) <= std::f64::consts::LN_2 + 1e-6);
+    }
+
+    /// The proximity matrix is symmetric PSD-compatible (non-negative,
+    /// zero diagonal) for arbitrary centroid sets.
+    #[test]
+    fn proximity_matrix_well_formed(
+        pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 2..12),
+        sigma in 0.2f32..4.0,
+        alpha in 0.0f32..0.9,
+    ) {
+        let w = proximity_matrix(&pts, ProximityParams { sigma, alpha });
+        let n = pts.len();
+        for i in 0..n {
+            prop_assert_eq!(w.at(&[i, i]), 0.0);
+            for j in 0..n {
+                prop_assert!((w.at(&[i, j]) - w.at(&[j, i])).abs() < 1e-9);
+                prop_assert!(w.at(&[i, j]) >= 0.0 && w.at(&[i, j]) <= 1.0);
+            }
+        }
+        // Dirichlet energy of any signal on its Laplacian is ≥ 0 (PSD).
+        let l = laplacian(&w);
+        let mut rng = od_forecast::tensor::rng::Rng64::new(7);
+        let x = od_forecast::tensor::Tensor::randn(&[n], 1.0, &mut rng);
+        prop_assert!(dirichlet_energy(&l, &x) >= -1e-4);
+    }
+
+    /// Coarsening is a partition for arbitrary random graphs.
+    #[test]
+    fn coarsening_partitions_random_graphs(
+        n in 2usize..14,
+        edges in proptest::collection::vec((0usize..14, 0usize..14), 0..40),
+        levels in 0usize..3,
+    ) {
+        let mut w = od_forecast::tensor::Tensor::zeros(&[n, n]);
+        for &(a, b) in &edges {
+            let (a, b) = (a % n, b % n);
+            if a != b {
+                w.set(&[a, b], 1.0);
+                w.set(&[b, a], 1.0);
+            }
+        }
+        let c = coarsen_for_pooling(&w, levels);
+        let mut counts = vec![0usize; n];
+        for &o in &c.order {
+            if o < n {
+                counts[o] += 1;
+            }
+        }
+        prop_assert!(counts.iter().all(|&x| x == 1), "order {:?}", c.order);
+        prop_assert_eq!(c.padded_len(), c.pooled_len * c.pool_size());
+    }
+}
