@@ -1,0 +1,328 @@
+//! Offline stub of the `bytes` crate.
+//!
+//! Implements the subset the workspace uses for checkpoint serialization:
+//! [`Bytes`] (cheaply cloneable, sliceable, consumable via [`Buf`]) and
+//! [`BytesMut`] (growable, filled via [`BufMut`], frozen into [`Bytes`]).
+//! Cheap clones and slices share one `Arc`-backed buffer, like upstream.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable, cheaply cloneable byte buffer.
+///
+/// Reading through [`Buf`] advances an internal cursor; `len()` and the
+/// `Deref`/`AsRef` views always reflect the *remaining* bytes.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::from(Vec::new())
+    }
+
+    /// Wraps a static byte slice (copied; upstream is zero-copy, which no
+    /// caller here depends on).
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Remaining length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-range view sharing the same backing storage.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&x) => x,
+            Bound::Excluded(&x) => x + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&x) => x + 1,
+            Bound::Excluded(&x) => x,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice {lo}..{hi} out of bounds"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// The remaining bytes as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Copies the remaining bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        let end = data.len();
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+/// Read access to a byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `n` bytes.
+    ///
+    /// # Panics
+    /// Panics when fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
+    /// Reads the next `n` bytes into an owned [`Bytes`].
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        assert!(self.remaining() >= n, "copy_to_bytes past end");
+        let out = Bytes::from(self.chunk()[..n].to_vec());
+        self.advance(n);
+        out
+    }
+
+    /// Reads the next `dst.len()` bytes into `dst`.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "copy_to_slice past end");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        self.start += n;
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Default, Debug, Clone)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut w = BytesMut::new();
+        w.put_u8(7);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(42);
+        w.put_f32_le(1.5);
+        w.put_slice(b"ok");
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 1 + 4 + 8 + 4 + 2);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 42);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(&r.copy_to_bytes(2)[..], b"ok");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_shares_and_bounds() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[1, 2, 3]);
+        assert_eq!(&b.slice(..2)[..], &[0, 1]);
+        assert_eq!(b.len(), 5, "slicing must not consume the source");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_past_end_panics() {
+        Bytes::from(vec![1, 2]).slice(0..3);
+    }
+
+    #[test]
+    fn advance_and_chunk() {
+        let mut b = Bytes::from(vec![9, 8, 7]);
+        b.advance(1);
+        assert_eq!(b.chunk(), &[8, 7]);
+        assert_eq!(b.to_vec(), vec![8, 7]);
+    }
+}

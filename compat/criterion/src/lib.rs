@@ -1,0 +1,189 @@
+//! Offline stub of `criterion`.
+//!
+//! Provides the macro/API surface the bench suite uses —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::bench_function`]
+//! with `Bencher::iter`, and the `sample_size`/`measurement_time`/
+//! `warm_up_time` builders — backed by a plain wall-clock harness: per
+//! sample the closure runs enough iterations to fill its time slice, and
+//! the mean/min/max ns-per-iteration across samples are printed. No
+//! statistical outlier analysis, HTML reports, or baselines.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched
+/// work (re-export of `std::hint::black_box` like upstream).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measurement samples.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm up and calibrate: how many iterations fit one sample slice?
+        let mut bench = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1);
+        while warm_start.elapsed() < self.warm_up_time {
+            bench.elapsed = Duration::ZERO;
+            f(&mut bench);
+            per_iter = (bench.elapsed / bench.iters as u32).max(Duration::from_nanos(1));
+        }
+        let slice = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample =
+            (slice.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u32::MAX as u128) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bench.iters = iters_per_sample;
+            bench.elapsed = Duration::ZERO;
+            f(&mut bench);
+            samples_ns.push(bench.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        println!(
+            "{name:<44} time: [{} {} {}]  ({} samples × {iters_per_sample} iters)",
+            fmt_ns(samples_ns[0]),
+            fmt_ns(mean),
+            fmt_ns(*samples_ns.last().unwrap()),
+            samples_ns.len(),
+        );
+        self
+    }
+
+    /// Upstream prints a final summary; nothing to do here.
+    pub fn final_summary(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the harness-chosen number of times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Declares a group of benchmark targets, with or without a custom
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(30));
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0, "the routine must actually execute");
+    }
+
+    #[test]
+    fn group_macro_compiles() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("group-noop", |b| b.iter(|| 1 + 1));
+        }
+        criterion_group! {
+            name = g;
+            config = Criterion::default()
+                .sample_size(2)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(4));
+            targets = target
+        }
+        g();
+    }
+}

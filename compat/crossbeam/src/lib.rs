@@ -1,0 +1,14 @@
+//! Offline stub of the `crossbeam` crate.
+//!
+//! Two modules, matching the surface the workspace uses:
+//!
+//! * [`thread`] — `scope`/`spawn` scoped threads, implemented over
+//!   `std::thread::scope` (std has had native scoped threads since 1.63,
+//!   which is exactly why this stub can stay tiny).
+//! * [`channel`] — MPMC `unbounded`/`bounded` channels with timeouts,
+//!   implemented with a mutex-guarded deque and condvars. Slower than
+//!   upstream's lock-free implementation but semantically equivalent for
+//!   the broker's worker-pool use.
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,96 @@
+//! Scoped threads with the `crossbeam::thread` calling convention
+//! (`scope(|s| …)` returning `Result`, spawn closures receiving `&Scope`).
+
+use std::any::Any;
+
+/// Result type of [`scope`] and of joining a [`ScopedJoinHandle`].
+pub type ThreadResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// A scope handle passed to [`scope`]'s closure and to spawned threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread scoped to `'env` borrows. The closure receives the
+    /// scope again so it can spawn further threads (crossbeam's
+    /// convention — hence the `|_|` in most call sites).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&scope)),
+        }
+    }
+}
+
+/// Handle to a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread and returns its result (`Err` on panic).
+    pub fn join(self) -> ThreadResult<T> {
+        self.inner.join()
+    }
+}
+
+/// Runs `f` with a [`Scope`]; all spawned threads are joined before this
+/// returns. Unlike upstream (which collects panics of unjoined threads
+/// into the `Err` variant), a panic in an unjoined thread propagates as a
+/// panic here — every call site in this workspace joins explicitly, so
+/// the difference is unobservable.
+pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_borrow_and_join() {
+        let data = vec![1, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<i32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn panics_surface_through_join() {
+        let r = scope(|s| s.spawn(|_| panic!("boom")).join());
+        assert!(r.unwrap().is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Accepted size arguments for [`vec`]: an exact length, `lo..hi`, or
+/// `lo..=hi`.
+pub trait IntoSizeRange {
+    /// Inclusive `(lo, hi)` length bounds.
+    fn size_bounds(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn size_bounds(self) -> (usize, usize) {
+        (self, self)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn size_bounds(self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty vec size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn size_bounds(self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty vec size range");
+        (*self.start(), *self.end())
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy; see
+/// [`vec`].
+pub struct VecStrategy<S> {
+    elem: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.min_len == self.max_len {
+            self.min_len
+        } else {
+            self.min_len + rng.below((self.max_len - self.min_len + 1) as u64) as usize
+        };
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// A strategy for `Vec`s with element strategy `elem` and the given size.
+pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min_len, max_len) = size.size_bounds();
+    VecStrategy {
+        elem,
+        min_len,
+        max_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..200 {
+            assert_eq!(vec(0u8..5, 3).generate(&mut rng).len(), 3);
+            let v = vec(0u8..5, 1..4).generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            let w = vec(0u8..5, 2..=2).generate(&mut rng);
+            assert_eq!(w.len(), 2);
+        }
+    }
+
+    #[test]
+    fn elements_respect_inner_strategy() {
+        let mut rng = TestRng::new(10);
+        for x in vec(3u32..6, 100).generate(&mut rng) {
+            assert!((3..6).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Offline stub of `proptest`.
+//!
+//! Supports the subset of the upstream API the workspace's property tests
+//! use: the [`proptest!`] macro (with optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`), range and tuple
+//! strategies, [`collection::vec`], `prop_map`/`prop_flat_map`, and the
+//! `prop_assert*`/`prop_assume` macros.
+//!
+//! Differences from upstream, none of which the test suites rely on:
+//!
+//! * **No shrinking** — a failing case panics with the generated inputs
+//!   (via the assertion message) but is not minimized.
+//! * **Deterministic seeding** — each test's RNG is seeded from the test
+//!   name, so failures reproduce exactly; set `PROPTEST_SEED` to vary.
+//! * `prop_assert*` are plain `assert*` (they panic rather than returning
+//!   `Err`), which inside `#[test]` functions is observationally the same.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests. Each `#[test] fn name(arg in strategy, …) {…}`
+/// item becomes a regular test running `cases` random instantiations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])+
+        fn $name:ident ( $( $arg:pat in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __case in 0..__config.cases {
+                    let ( $($arg,)+ ) = (
+                        $( $crate::strategy::Strategy::generate(&($strat), &mut __rng), )+
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current generated case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}

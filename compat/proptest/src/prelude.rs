@@ -1,0 +1,5 @@
+//! The glob-import surface test files use: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::Config as ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};

@@ -1,0 +1,208 @@
+//! Offline stub of `serde`.
+//!
+//! Upstream serde's data model (generic `Serializer` visitors plus derive
+//! macros) is far more than this workspace needs, and proc-macro crates
+//! cannot be vendored as easily. This stub keeps the central idea — a
+//! `Serialize` trait implemented by values that can export themselves —
+//! but fixes the output format to JSON, which is the only format the
+//! workspace emits (stats snapshots, experiment results).
+//!
+//! Implement [`Serialize`] by hand; the [`json`] module offers escaping
+//! and an object builder so implementations stay declarative:
+//!
+//! ```
+//! use serde::{json, Serialize};
+//!
+//! struct Point { x: f64, y: f64 }
+//! impl Serialize for Point {
+//!     fn serialize_json(&self, out: &mut String) {
+//!         json::object(out, |o| {
+//!             o.field("x", &self.x);
+//!             o.field("y", &self.y);
+//!         });
+//!     }
+//! }
+//! assert_eq!(json::to_string(&Point { x: 1.0, y: 2.5 }), r#"{"x":1,"y":2.5}"#);
+//! ```
+
+/// A value that can serialize itself as JSON.
+pub trait Serialize {
+    /// Appends this value's JSON representation to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// JSON helpers: rendering, escaping and an object builder.
+pub mod json {
+    use super::Serialize;
+
+    /// Serializes any [`Serialize`] value to a JSON string.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        value.serialize_json(&mut out);
+        out
+    }
+
+    /// Appends a JSON string literal with escaping.
+    pub fn write_escaped(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Builder for one JSON object; see [`object`].
+    pub struct ObjectBuilder<'a> {
+        out: &'a mut String,
+        first: bool,
+    }
+
+    impl<'a> ObjectBuilder<'a> {
+        /// Appends one `"key": value` member.
+        pub fn field<T: Serialize + ?Sized>(&mut self, key: &str, value: &T) -> &mut Self {
+            if !self.first {
+                self.out.push(',');
+            }
+            self.first = false;
+            write_escaped(self.out, key);
+            self.out.push(':');
+            value.serialize_json(self.out);
+            self
+        }
+    }
+
+    /// Appends `{ … }`, letting `f` add members through the builder.
+    pub fn object(out: &mut String, f: impl FnOnce(&mut ObjectBuilder<'_>)) {
+        out.push('{');
+        let mut b = ObjectBuilder { out, first: true };
+        f(&mut b);
+        out.push('}');
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // Integral floats print as integers ("1" not "1.0"),
+                    // matching serde_json.
+                    out.push_str(&self.to_string());
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_escaped(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_escaped(out, self);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_collections() {
+        assert_eq!(json::to_string(&42u32), "42");
+        assert_eq!(json::to_string(&-3i64), "-3");
+        assert_eq!(json::to_string(&true), "true");
+        assert_eq!(json::to_string(&2.5f64), "2.5");
+        assert_eq!(json::to_string(&f64::NAN), "null");
+        assert_eq!(json::to_string(&vec![1, 2, 3]), "[1,2,3]");
+        assert_eq!(json::to_string(&None::<u8>), "null");
+        assert_eq!(json::to_string(&Some(7u8)), "7");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(json::to_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json::to_string(&String::from("ok")), r#""ok""#);
+        assert_eq!(json::to_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn object_builder_comma_placement() {
+        let mut out = String::new();
+        json::object(&mut out, |o| {
+            o.field("a", &1u8);
+            o.field("b", "x");
+            o.field("c", &[1u8, 2].as_slice());
+        });
+        assert_eq!(out, r#"{"a":1,"b":"x","c":[1,2]}"#);
+    }
+}

@@ -25,7 +25,10 @@ pub struct FcConfig {
 
 impl Default for FcConfig {
     fn default() -> Self {
-        FcConfig { encode_dim: 32, gru_hidden: 48 }
+        FcConfig {
+            encode_dim: 32,
+            gru_hidden: 48,
+        }
     }
 }
 
@@ -46,9 +49,22 @@ impl FcModel {
         let mut rng = Rng64::new(seed);
         let l = num_regions * num_regions * num_buckets;
         let enc = Linear::new(&mut store, "fc.enc", l, cfg.encode_dim, &mut rng);
-        let seq = GruSeq2Seq::new(&mut store, "fc.seq", cfg.encode_dim, cfg.gru_hidden, &mut rng);
+        let seq = GruSeq2Seq::new(
+            &mut store,
+            "fc.seq",
+            cfg.encode_dim,
+            cfg.gru_hidden,
+            &mut rng,
+        );
         let dec = Linear::new(&mut store, "fc.dec", cfg.encode_dim, l, &mut rng);
-        FcModel { store, num_regions, num_buckets, enc, seq, dec }
+        FcModel {
+            store,
+            num_regions,
+            num_buckets,
+            enc,
+            seq,
+            dec,
+        }
     }
 }
 
@@ -98,7 +114,10 @@ impl OdForecaster for FcModel {
                 tape.softmax(shaped, 3)
             })
             .collect();
-        ModelOutput { predictions, regularizer: None }
+        ModelOutput {
+            predictions,
+            regularizer: None,
+        }
     }
 }
 
@@ -140,7 +159,10 @@ mod tests {
             &ds,
             &ws,
             None,
-            &TrainConfig { epochs: 5, ..TrainConfig::fast_test() },
+            &TrainConfig {
+                epochs: 5,
+                ..TrainConfig::fast_test()
+            },
         );
         assert!(report.improved(), "losses: {:?}", report.epoch_losses);
         let eval = evaluate(&model, &ds, &ws[..6.min(ws.len())], 8);

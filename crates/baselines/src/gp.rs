@@ -29,7 +29,12 @@ pub struct GpParams {
 
 impl Default for GpParams {
     fn default() -> Self {
-        GpParams { length_scale: 8.0, noise: 0.05, max_points: 48, min_points: 4 }
+        GpParams {
+            length_scale: 8.0,
+            noise: 0.05,
+            max_points: 48,
+            min_points: 4,
+        }
     }
 }
 
@@ -94,8 +99,9 @@ impl GpRegression {
                 }
                 // Center targets around the pair mean so the GP prior mean
                 // matches the empirical histogram.
-                let mean: Vec<f32> =
-                    (0..k).map(|b| ys.iter().map(|h| h[b]).sum::<f32>() / m as f32).collect();
+                let mean: Vec<f32> = (0..k)
+                    .map(|b| ys.iter().map(|h| h[b]).sum::<f32>() / m as f32)
+                    .collect();
                 let mut y = Tensor::zeros(&[m, k]);
                 for (i, h) in ys.iter().enumerate() {
                     for b in 0..k {
@@ -111,14 +117,17 @@ impl GpRegression {
                     continue;
                 };
                 // Stash the mean in an extra row for prediction-time re-add.
-                alpha = stod_tensor::concat(
-                    &[&alpha, &Tensor::from_vec(&[1, k], mean)],
-                    0,
-                );
+                alpha = stod_tensor::concat(&[&alpha, &Tensor::from_vec(&[1, k], mean)], 0);
                 pairs.push(Some(PairGp { times, alpha }));
             }
         }
-        GpRegression { n, k, params, pairs, fallback }
+        GpRegression {
+            n,
+            k,
+            params,
+            pairs,
+            fallback,
+        }
     }
 
     /// Fraction of pairs with a fitted GP.
@@ -188,7 +197,11 @@ mod tests {
     fn predictions_are_distributions() {
         let d = ds();
         let gp = GpRegression::fit(&d, 36, GpParams::default());
-        let w = Window { t_end: 40, s: 3, h: 1 };
+        let w = Window {
+            t_end: 40,
+            s: 3,
+            h: 1,
+        };
         for o in 0..5 {
             for dd in 0..5 {
                 let h = gp.predict(&d, o, dd, &w, 0);
@@ -207,17 +220,28 @@ mod tests {
         let gp = GpRegression::fit(
             &d,
             36,
-            GpParams { noise: 1e-4, length_scale: 1.0, ..GpParams::default() },
+            GpParams {
+                noise: 1e-4,
+                length_scale: 1.0,
+                ..GpParams::default()
+            },
         );
         let mut checked = 0;
         for o in 0..5 {
             for dd in 0..5 {
-                let Some(pair) = gp.pairs[o * 5 + dd].as_ref() else { continue };
+                let Some(pair) = gp.pairs[o * 5 + dd].as_ref() else {
+                    continue;
+                };
                 let t = pair.times[pair.times.len() / 2] as usize;
-                let Some(pred) = gp.predict_at(o, dd, t) else { continue };
+                let Some(pred) = gp.predict_at(o, dd, t) else {
+                    continue;
+                };
                 let truth = d.tensors[t].histogram(o, dd).unwrap();
-                let err: f32 =
-                    pred.iter().zip(truth.iter()).map(|(a, b)| (a - b).abs()).sum();
+                let err: f32 = pred
+                    .iter()
+                    .zip(truth.iter())
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
                 assert!(err < 0.45, "interpolation error {err} at pair ({o},{dd})");
                 checked += 1;
             }
@@ -231,10 +255,17 @@ mod tests {
         let gp = GpRegression::fit(
             &d,
             36,
-            GpParams { min_points: 10_000, ..GpParams::default() }, // force fallback
+            GpParams {
+                min_points: 10_000,
+                ..GpParams::default()
+            }, // force fallback
         );
         assert_eq!(gp.fitted_fraction(), 0.0);
-        let w = Window { t_end: 40, s: 3, h: 1 };
+        let w = Window {
+            t_end: 40,
+            s: 3,
+            h: 1,
+        };
         let h = gp.predict(&d, 0, 1, &w, 0);
         assert_eq!(h, gp.fallback.pair_histogram(0, 1).to_vec());
     }

@@ -72,20 +72,19 @@ pub fn evaluate_predictor(
     for w in windows {
         for (j, &target_t) in w.target_indices().iter().enumerate() {
             let tensor = &ds.tensors[target_t];
-            let tod_bin =
-                GroupedMean::time_bin(ds.interval_of_day(target_t), ds.intervals_per_day);
+            let tod_bin = GroupedMean::time_bin(ds.interval_of_day(target_t), ds.intervals_per_day);
             for o in 0..n {
                 for d in 0..n {
-                    let Some(gt) = tensor.histogram(o, d) else { continue };
+                    let Some(gt) = tensor.histogram(o, d) else {
+                        continue;
+                    };
                     let fc = pred.predict(ds, o, d, w, j);
                     for (m, metric) in Metric::ALL.iter().enumerate() {
                         let v = metric.eval(&gt, &fc);
                         per_step[j][m].add(v);
                         if j == 0 {
                             by_time[m].add(tod_bin, v);
-                            if let Some(db) =
-                                GroupedMean::distance_bin(ds.city.distance_km(o, d))
-                            {
+                            if let Some(db) = GroupedMean::distance_bin(ds.city.distance_km(o, d)) {
                                 by_distance[m].add(db, v);
                             }
                         }
@@ -97,7 +96,10 @@ pub fn evaluate_predictor(
     EvalReport {
         model: pred.name().to_string(),
         cells_per_step: per_step.iter().map(|s| s[0].count()).collect(),
-        per_step: per_step.iter().map(|s| [s[0].mean(), s[1].mean(), s[2].mean()]).collect(),
+        per_step: per_step
+            .iter()
+            .map(|s| [s[0].mean(), s[1].mean(), s[2].mean()])
+            .collect(),
         by_time,
         by_distance,
     }

@@ -85,8 +85,10 @@ impl MrModel {
         let e = params.embed_dim;
         let emb_o = store.register("mr.emb_origin", Tensor::randn(&[n, e], 0.1, &mut rng));
         let emb_d = store.register("mr.emb_dest", Tensor::randn(&[n, e], 0.1, &mut rng));
-        let emb_t =
-            store.register("mr.emb_tod", Tensor::randn(&[params.tod_slots, e], 0.1, &mut rng));
+        let emb_t = store.register(
+            "mr.emb_tod",
+            Tensor::randn(&[params.tod_slots, e], 0.1, &mut rng),
+        );
         let emb_w = store.register("mr.emb_dow", Tensor::randn(&[7, e], 0.1, &mut rng));
         let trunk = Linear::new(&mut store, "mr.trunk", 4 * e, params.hidden, &mut rng);
         let head_hist = Linear::new(&mut store, "mr.head_hist", params.hidden, k, &mut rng);
@@ -109,7 +111,10 @@ impl MrModel {
     }
 
     fn tod_slot(&self, interval_of_day: usize) -> usize {
-        let per = self.intervals_per_day.div_ceil(self.params.tod_slots).max(1);
+        let per = self
+            .intervals_per_day
+            .div_ceil(self.params.tod_slots)
+            .max(1);
         (interval_of_day / per).min(self.params.tod_slots - 1)
     }
 
@@ -124,7 +129,14 @@ impl MrModel {
                 for d in 0..n {
                     if let Some(hist) = ds.tensors[t].histogram(o, d) {
                         let mean_speed = ds.spec.mean_speed(&hist) as f32;
-                        cells.push(Cell { origin: o, dest: d, tod, dow, hist, mean_speed });
+                        cells.push(Cell {
+                            origin: o,
+                            dest: d,
+                            tod,
+                            dow,
+                            hist,
+                            mean_speed,
+                        });
                     }
                 }
             }
@@ -171,11 +183,7 @@ impl MrModel {
 
     /// Shared trunk forward for a batch of cells; returns (histograms
     /// `[B, K]` softmaxed, speeds `[B, 1]`).
-    fn forward_batch(
-        &self,
-        tape: &mut Tape,
-        batch: &[&Cell],
-    ) -> (stod_nn::Var, stod_nn::Var) {
+    fn forward_batch(&self, tape: &mut Tape, batch: &[&Cell]) -> (stod_nn::Var, stod_nn::Var) {
         let o_ids: Vec<usize> = batch.iter().map(|c| c.origin).collect();
         let d_ids: Vec<usize> = batch.iter().map(|c| c.dest).collect();
         let t_ids: Vec<usize> = batch.iter().map(|c| c.tod).collect();
@@ -247,7 +255,15 @@ mod tests {
     #[test]
     fn fit_and_predict_distribution() {
         let d = ds();
-        let mr = MrModel::fit(&d, 36, MrParams { epochs: 2, ..MrParams::default() }, 1);
+        let mr = MrModel::fit(
+            &d,
+            36,
+            MrParams {
+                epochs: 2,
+                ..MrParams::default()
+            },
+            1,
+        );
         let h = mr.predict_at(&d, 0, 1, 40);
         assert_eq!(h.len(), 7);
         let s: f32 = h.iter().sum();
@@ -278,15 +294,29 @@ mod tests {
         let night = 42 / ipd * ipd + ipd * 3 / 24;
         let h_rush = mr.predict_at(&d, o, dd, rush);
         let h_night = mr.predict_at(&d, o, dd, night);
-        let diff: f32 =
-            h_rush.iter().zip(h_night.iter()).map(|(a, b)| (a - b).abs()).sum();
-        assert!(diff > 1e-3, "MR learned no time-of-day structure (diff {diff})");
+        let diff: f32 = h_rush
+            .iter()
+            .zip(h_night.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(
+            diff > 1e-3,
+            "MR learned no time-of-day structure (diff {diff})"
+        );
     }
 
     #[test]
     fn empty_training_is_harmless() {
         let d = ds();
-        let mr = MrModel::fit(&d, 0, MrParams { epochs: 1, ..MrParams::default() }, 3);
+        let mr = MrModel::fit(
+            &d,
+            0,
+            MrParams {
+                epochs: 1,
+                ..MrParams::default()
+            },
+            3,
+        );
         let h = mr.predict_at(&d, 0, 1, 10);
         assert!((h.iter().sum::<f32>() - 1.0).abs() < 1e-4);
     }

@@ -48,27 +48,33 @@ impl NaiveHistograms {
         let pair_hists = sums
             .into_iter()
             .zip(counts.iter())
-            .map(|(s, &c)| {
-                (c > 0).then(|| s.into_iter().map(|x| (x / c as f64) as f32).collect())
-            })
+            .map(|(s, &c)| (c > 0).then(|| s.into_iter().map(|x| (x / c as f64) as f32).collect()))
             .collect();
         let global = if gcount > 0 {
-            gsum.into_iter().map(|x| (x / gcount as f64) as f32).collect()
+            gsum.into_iter()
+                .map(|x| (x / gcount as f64) as f32)
+                .collect()
         } else {
             uniform_hist(k)
         };
-        NaiveHistograms { n, k, pair_hists, global }
+        NaiveHistograms {
+            n,
+            k,
+            pair_hists,
+            global,
+        }
     }
 
     /// The learned histogram for a pair (global fallback applied).
     pub fn pair_histogram(&self, o: usize, d: usize) -> &[f32] {
-        self.pair_hists[o * self.n + d].as_deref().unwrap_or(&self.global)
+        self.pair_hists[o * self.n + d]
+            .as_deref()
+            .unwrap_or(&self.global)
     }
 
     /// Fraction of pairs with their own histogram.
     pub fn pair_coverage(&self) -> f64 {
-        self.pair_hists.iter().filter(|h| h.is_some()).count() as f64
-            / self.pair_hists.len() as f64
+        self.pair_hists.iter().filter(|h| h.is_some()).count() as f64 / self.pair_hists.len() as f64
     }
 
     /// Histogram bucket count.

@@ -27,7 +27,11 @@ pub struct VarParams {
 
 impl Default for VarParams {
     fn default() -> Self {
-        VarParams { top_pairs: 24, lags: 3, ridge: 1.0 }
+        VarParams {
+            top_pairs: 24,
+            lags: 3,
+            ridge: 1.0,
+        }
     }
 }
 
@@ -76,12 +80,22 @@ impl VarModel {
         for (slot, &(o, d)) in pairs.iter().enumerate() {
             pair_slot[o * n + d] = Some(slot);
         }
-        let fill: Vec<Vec<f32>> =
-            pairs.iter().map(|&(o, d)| fallback.pair_histogram(o, d).to_vec()).collect();
+        let fill: Vec<Vec<f32>> = pairs
+            .iter()
+            .map(|&(o, d)| fallback.pair_histogram(o, d).to_vec())
+            .collect();
 
         let dim = pairs.len() * k;
         if dim == 0 || train_end <= params.lags + 1 {
-            return VarModel { k, params, pairs, pair_slot, coef: None, fill, fallback };
+            return VarModel {
+                k,
+                params,
+                pairs,
+                pair_slot,
+                coef: None,
+                fill,
+                fallback,
+            };
         }
 
         // Forward-filled state sequence over the training range.
@@ -105,7 +119,15 @@ impl VarModel {
             }
         }
         let coef = ridge_regression(&x, &y, params.ridge).ok();
-        VarModel { k, params, pairs, pair_slot, coef, fill, fallback }
+        VarModel {
+            k,
+            params,
+            pairs,
+            pair_slot,
+            coef,
+            fill,
+            fallback,
+        }
     }
 
     /// Builds forward-filled state vectors for intervals `[from, to)`.
@@ -119,8 +141,10 @@ impl VarModel {
     ) -> Vec<Vec<f32>> {
         let dim = pairs.len() * k;
         let mut states = Vec::with_capacity(to - from);
-        let mut last: Vec<f32> =
-            fill.iter().flat_map(|h| h.iter().copied()).collect::<Vec<f32>>();
+        let mut last: Vec<f32> = fill
+            .iter()
+            .flat_map(|h| h.iter().copied())
+            .collect::<Vec<f32>>();
         debug_assert_eq!(last.len(), dim);
         for t in from..to {
             for (slot, &(o, d)) in pairs.iter().enumerate() {
@@ -146,8 +170,7 @@ impl VarModel {
         let dim = self.pairs.len() * self.k;
         // Build lag states from the window's inputs (never its targets).
         let start = (w.t_end + 1).saturating_sub(p.max(w.s));
-        let states =
-            Self::build_states(ds, &self.pairs, &self.fill, start, w.t_end + 1, self.k);
+        let states = Self::build_states(ds, &self.pairs, &self.fill, start, w.t_end + 1, self.k);
         if states.len() < p {
             return None;
         }
@@ -231,7 +254,11 @@ mod tests {
     fn predictions_are_distributions() {
         let d = ds();
         let var = VarModel::fit(&d, 36, VarParams::default());
-        let w = Window { t_end: 40, s: 4, h: 2 };
+        let w = Window {
+            t_end: 40,
+            s: 4,
+            h: 2,
+        };
         for o in 0..5 {
             for dd in 0..5 {
                 for step in 0..2 {
@@ -247,9 +274,20 @@ mod tests {
     #[test]
     fn degenerate_training_falls_back() {
         let d = ds();
-        let var = VarModel::fit(&d, 2, VarParams { lags: 5, ..VarParams::default() });
+        let var = VarModel::fit(
+            &d,
+            2,
+            VarParams {
+                lags: 5,
+                ..VarParams::default()
+            },
+        );
         assert!(var.coef.is_none());
-        let w = Window { t_end: 40, s: 3, h: 1 };
+        let w = Window {
+            t_end: 40,
+            s: 3,
+            h: 1,
+        };
         let h = var.predict(&d, 0, 1, &w, 0);
         assert_eq!(h, var.fallback.pair_histogram(0, 1).to_vec());
     }
@@ -257,7 +295,14 @@ mod tests {
     #[test]
     fn unmodeled_pair_uses_fallback() {
         let d = ds();
-        let var = VarModel::fit(&d, 36, VarParams { top_pairs: 1, ..VarParams::default() });
+        let var = VarModel::fit(
+            &d,
+            36,
+            VarParams {
+                top_pairs: 1,
+                ..VarParams::default()
+            },
+        );
         // Find a pair that is not the single modeled one.
         let n = d.num_regions();
         let mut other = None;
@@ -269,7 +314,14 @@ mod tests {
             }
         }
         let (o, dd) = other.unwrap();
-        let w = Window { t_end: 40, s: 3, h: 1 };
-        assert_eq!(var.predict(&d, o, dd, &w, 0), var.fallback.pair_histogram(o, dd).to_vec());
+        let w = Window {
+            t_end: 40,
+            s: 3,
+            h: 1,
+        };
+        assert_eq!(
+            var.predict(&d, o, dd, &w, 0),
+            var.fallback.pair_histogram(o, dd).to_vec()
+        );
     }
 }

@@ -24,16 +24,34 @@ fn main() {
         ("AF (full)", AfConfig::default()),
         (
             "AF w/o spatial factorization (D2)",
-            AfConfig { fc_factorization: true, ..AfConfig::default() },
+            AfConfig {
+                fc_factorization: true,
+                ..AfConfig::default()
+            },
         ),
-        ("AF w/o graph RNN (D3)", AfConfig { plain_rnn: true, ..AfConfig::default() }),
+        (
+            "AF w/o graph RNN (D3)",
+            AfConfig {
+                plain_rnn: true,
+                ..AfConfig::default()
+            },
+        ),
         (
             "AF w/ Frobenius reg (D4)",
-            AfConfig { frobenius_reg: true, ..AfConfig::default() },
+            AfConfig {
+                frobenius_reg: true,
+                ..AfConfig::default()
+            },
         ),
     ];
 
-    print_row(&["Variant".into(), "KL".into(), "JS".into(), "EMD".into(), "#weights".into()]);
+    print_row(&[
+        "Variant".into(),
+        "KL".into(),
+        "JS".into(),
+        "EMD".into(),
+        "#weights".into(),
+    ]);
     print_sep(5);
     let mut results = Vec::new();
     for (name, cfg) in variants {
@@ -54,7 +72,10 @@ fn main() {
     let mut bf_attn = BfModel::new(
         ds.num_regions(),
         k,
-        BfConfig { attention: true, ..BfConfig::default() },
+        BfConfig {
+            attention: true,
+            ..BfConfig::default()
+        },
         41,
     );
     let attn_weights = bf_attn.num_weights();

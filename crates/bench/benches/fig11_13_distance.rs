@@ -52,9 +52,15 @@ fn main() {
                 "data share".into(),
             ]);
             print_sep(5);
-            let mi = Metric::ALL.iter().position(|m| *m == metric).expect("metric");
+            let mi = Metric::ALL
+                .iter()
+                .position(|m| *m == metric)
+                .expect("metric");
             let rows = |r: &EvalReport| -> Vec<(String, f64)> {
-                r.by_distance[mi].rows().map(|(l, m, _)| (l.to_string(), m)).collect()
+                r.by_distance[mi]
+                    .rows()
+                    .map(|(l, m, _)| (l.to_string(), m))
+                    .collect()
             };
             let (fr, br, ar) = (rows(&fc_report), rows(&bf_report), rows(&af_report));
             let mut af_wins = 0usize;

@@ -47,7 +47,10 @@ fn main() {
         ]);
         emds.push(m[2]);
     }
-    println!("\nrelative EMD spread over α: {:.1}%\n", 100.0 * spread(&emds));
+    println!(
+        "\nrelative EMD spread over α: {:.1}%\n",
+        100.0 * spread(&emds)
+    );
 
     println!("## Figure 14(b) — varying σ (α = 0.1)\n");
     print_row(&["sigma (km)".into(), "KL".into(), "JS".into(), "EMD".into()]);
@@ -64,7 +67,10 @@ fn main() {
         ]);
         emds.push(m[2]);
     }
-    println!("\nrelative EMD spread over σ: {:.1}%", 100.0 * spread(&emds));
+    println!(
+        "\nrelative EMD spread over σ: {:.1}%",
+        100.0 * spread(&emds)
+    );
     println!("\nPaper claim: AF is insensitive to σ and α (small spreads).");
     let _ = Metric::ALL; // metric order documented by the header
 }

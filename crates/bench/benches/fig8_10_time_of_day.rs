@@ -37,7 +37,12 @@ fn main() {
 
         let shares = data_share_by_time_of_day(&ds);
         for (fig, metric) in [(8, Metric::Emd), (9, Metric::Kl), (10, Metric::Js)] {
-            println!("## Figure {fig}{} — {} on {}\n", if which == Dataset::Nyc { "(a)" } else { "(b)" }, metric.name(), which.name());
+            println!(
+                "## Figure {fig}{} — {} on {}\n",
+                if which == Dataset::Nyc { "(a)" } else { "(b)" },
+                metric.name(),
+                which.name()
+            );
             print_row(&[
                 "3h bin".into(),
                 "FC".into(),
@@ -46,9 +51,15 @@ fn main() {
                 "data share".into(),
             ]);
             print_sep(5);
-            let mi = Metric::ALL.iter().position(|m| *m == metric).expect("metric");
+            let mi = Metric::ALL
+                .iter()
+                .position(|m| *m == metric)
+                .expect("metric");
             let rows = |r: &EvalReport| -> Vec<(String, f64)> {
-                r.by_time[mi].rows().map(|(l, m, _)| (l.to_string(), m)).collect()
+                r.by_time[mi]
+                    .rows()
+                    .map(|(l, m, _)| (l.to_string(), m))
+                    .collect()
             };
             let (fr, br, ar) = (rows(&fc_report), rows(&bf_report), rows(&af_report));
             let mut af_wins = 0usize;

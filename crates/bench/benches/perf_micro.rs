@@ -25,8 +25,9 @@ fn bench_matmul(c: &mut Criterion) {
 }
 
 fn lap(n: usize) -> Tensor {
-    let centroids: Vec<(f64, f64)> =
-        (0..n).map(|i| ((i % 8) as f64 * 0.7, (i / 8) as f64 * 0.7)).collect();
+    let centroids: Vec<(f64, f64)> = (0..n)
+        .map(|i| ((i % 8) as f64 * 0.7, (i / 8) as f64 * 0.7))
+        .collect();
     scaled_laplacian(&proximity_matrix(&centroids, ProximityParams::default()))
 }
 

@@ -13,7 +13,12 @@ use stod_core::{AfConfig, AfModel, BfConfig, BfModel, OdForecaster};
 fn main() {
     let scale = Scale::from_env();
     println!("# Table I — model configurations and weight counts ({scale:?} scale)\n");
-    print_row(&["Data".into(), "Model".into(), "Configuration".into(), "#Weights".into()]);
+    print_row(&[
+        "Data".into(),
+        "Model".into(),
+        "Configuration".into(),
+        "#Weights".into(),
+    ]);
     print_sep(4);
 
     let mut af_weights = Vec::new();
@@ -29,7 +34,10 @@ fn main() {
         print_row(&[
             which.name().into(),
             "FC".into(),
-            format!("FC_{} – GRU_{} – FC_{l}", fc_cfg.encode_dim, fc_cfg.gru_hidden),
+            format!(
+                "FC_{} – GRU_{} – FC_{l}",
+                fc_cfg.encode_dim, fc_cfg.gru_hidden
+            ),
             format!("{}", fc.num_weights()),
         ]);
         others.push(fc.num_weights());
@@ -54,7 +62,14 @@ fn main() {
         let stages: Vec<String> = af_cfg
             .stages
             .iter()
-            .map(|st| format!("GC^{{{}x{}}}–P{}", st.filters, st.order, 1 << st.pool_levels))
+            .map(|st| {
+                format!(
+                    "GC^{{{}x{}}}–P{}",
+                    st.filters,
+                    st.order,
+                    1 << st.pool_levels
+                )
+            })
             .collect();
         print_row(&[
             which.name().into(),

@@ -58,11 +58,18 @@ fn main() {
     println!("## Qualitative checks (EMD, h = 1)\n");
     for (label, block) in &summaries {
         let emd = |name: &str| -> f64 {
-            block.iter().find(|(m, _)| m == name).map(|(_, p)| p[0][2]).unwrap_or(f64::NAN)
+            block
+                .iter()
+                .find(|(m, _)| m == name)
+                .map(|(_, p)| p[0][2])
+                .unwrap_or(f64::NAN)
         };
         let af = emd("AF");
         let bf = emd("BF");
-        let shallow_best = ["NH", "GP", "VAR"].iter().map(|m| emd(m)).fold(f64::MAX, f64::min);
+        let shallow_best = ["NH", "GP", "VAR"]
+            .iter()
+            .map(|m| emd(m))
+            .fold(f64::MAX, f64::min);
         println!(
             "{label}: AF {af:.4} {} BF {bf:.4}; best shallow {shallow_best:.4} — AF best: {}",
             if af <= bf { "<=" } else { ">" },

@@ -1,7 +1,7 @@
 //! Dev probe: convergence of the deep models on the small NYC dataset.
+use stod_baselines::*;
 use stod_bench::*;
 use stod_core::*;
-use stod_baselines::*;
 use stod_nn::optim::StepDecay;
 
 fn main() {
@@ -9,13 +9,26 @@ fn main() {
     let split = standard_split(&ds, 3, 1);
     let n = ds.num_regions();
     let k = ds.spec.num_buckets;
-    let epochs: usize = std::env::var("E").ok().and_then(|v| v.parse().ok()).unwrap_or(20);
-    let lr: f32 = std::env::var("LR").ok().and_then(|v| v.parse().ok()).unwrap_or(3e-3);
-    let dropout: f32 = std::env::var("DO").ok().and_then(|v| v.parse().ok()).unwrap_or(0.2);
+    let epochs: usize = std::env::var("E")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let lr: f32 = std::env::var("LR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3e-3);
+    let dropout: f32 = std::env::var("DO")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2);
     let tc = TrainConfig {
         epochs,
         batch_size: 16,
-        schedule: StepDecay { initial: lr, decay: 0.8, every: 5 },
+        schedule: StepDecay {
+            initial: lr,
+            decay: 0.8,
+            every: 5,
+        },
         verbose: true,
         dropout,
         ..TrainConfig::default()
@@ -28,7 +41,7 @@ fn main() {
     let which = std::env::var("M").unwrap_or_else(|_| "af".into());
     if which.contains("oracle") {
         use stod_traffic::speed::{SpeedField, SpeedParams};
-        use stod_traffic::{Window, OdDataset};
+        use stod_traffic::{OdDataset, Window};
         // Rebuild the latent field exactly as build_dataset(Nyc, Small, 11) does.
         let city = {
             let mut c = stod_traffic::CityModel::grid(8, 2, 0.7);
@@ -41,8 +54,17 @@ fn main() {
             k: usize,
         }
         impl stod_baselines::HistogramPredictor for Oracle<'_> {
-            fn name(&self) -> &str { "oracle" }
-            fn predict(&self, ds: &OdDataset, o: usize, d: usize, w: &Window, step: usize) -> Vec<f32> {
+            fn name(&self) -> &str {
+                "oracle"
+            }
+            fn predict(
+                &self,
+                ds: &OdDataset,
+                o: usize,
+                d: usize,
+                w: &Window,
+                step: usize,
+            ) -> Vec<f32> {
                 let t = w.target_indices()[step];
                 let mut rng = stod_tensor::rng::Rng64::new((o * 1000 + d) as u64);
                 let mut h = vec![0.0f32; self.k];
@@ -55,7 +77,10 @@ fn main() {
         }
         let oracle = Oracle { field: &field, k };
         let r = evaluate_predictor(&oracle, &ds, &split.test);
-        println!("ORACLE EMD {:.4}  KL {:.4}", r.per_step[0][2], r.per_step[0][0]);
+        println!(
+            "ORACLE EMD {:.4}  KL {:.4}",
+            r.per_step[0][2], r.per_step[0][0]
+        );
     }
     if which.contains("mr") {
         let m = MrModel::fit(&ds, train_end, Default::default(), 23);
@@ -75,11 +100,35 @@ fn main() {
         println!("VAR EMD {:.4}", r.per_step[0][2]);
     }
     if which.contains("bf") {
-        let enc: usize = std::env::var("ENC").ok().and_then(|v| v.parse().ok()).unwrap_or(32);
-        let hid: usize = std::env::var("HID").ok().and_then(|v| v.parse().ok()).unwrap_or(48);
-        let rank: usize = std::env::var("RANK").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
-        let lam: f32 = std::env::var("LAM").ok().and_then(|v| v.parse().ok()).unwrap_or(1e-4);
-        let mut m = BfModel::new(n, k, BfConfig { encode_dim: enc, gru_hidden: hid, rank, lambda_r: lam, lambda_c: lam, ..BfConfig::default() }, 23);
+        let enc: usize = std::env::var("ENC")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32);
+        let hid: usize = std::env::var("HID")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(48);
+        let rank: usize = std::env::var("RANK")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5);
+        let lam: f32 = std::env::var("LAM")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1e-4);
+        let mut m = BfModel::new(
+            n,
+            k,
+            BfConfig {
+                encode_dim: enc,
+                gru_hidden: hid,
+                rank,
+                lambda_r: lam,
+                lambda_c: lam,
+                ..BfConfig::default()
+            },
+            23,
+        );
         println!("-- BF --");
         train(&mut m, &ds, &split.train, Some(&split.val), &tc);
         let r = evaluate(&m, &ds, &split.test, 32);
@@ -87,12 +136,23 @@ fn main() {
     }
     if which.contains("af") {
         let t1 = std::time::Instant::now();
-        let lam: f32 = std::env::var("LAM").ok().and_then(|v| v.parse().ok()).unwrap_or(1e-4);
-        let rh: usize = std::env::var("RH").ok().and_then(|v| v.parse().ok()).unwrap_or(16);
+        let lam: f32 = std::env::var("LAM")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1e-4);
+        let rh: usize = std::env::var("RH")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(16);
         let mut m = AfModel::new(
             &ds.city.centroids(),
             k,
-            AfConfig { lambda_r: lam, lambda_c: lam, rnn_hidden: rh, ..AfConfig::default() },
+            AfConfig {
+                lambda_r: lam,
+                lambda_c: lam,
+                rnn_hidden: rh,
+                ..AfConfig::default()
+            },
             23,
         );
         println!("-- AF --");

@@ -16,9 +16,7 @@ use stod_baselines::{
     evaluate_predictor, FcModel, GpRegression, MrModel, NaiveHistograms, VarModel,
 };
 use stod_baselines::{fc::FcConfig, gp::GpParams, mr::MrParams, var::VarParams};
-use stod_core::{
-    evaluate, train, AfConfig, AfModel, BfConfig, BfModel, EvalReport, TrainConfig,
-};
+use stod_core::{evaluate, train, AfConfig, AfModel, BfConfig, BfModel, EvalReport, TrainConfig};
 use stod_traffic::{CityModel, OdDataset, SimConfig, Split};
 
 /// Which of the two study areas to emulate.
@@ -61,7 +59,10 @@ impl Scale {
 
 /// Training epochs: `STOD_EPOCHS` override, otherwise the default.
 pub fn epochs_from_env(default: usize) -> usize {
-    std::env::var("STOD_EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var("STOD_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Builds the simulated stand-in for one of the paper's datasets.
@@ -122,7 +123,11 @@ pub fn bench_train_config(seed: u64) -> TrainConfig {
     TrainConfig {
         epochs: epochs_from_env(30),
         batch_size: 16,
-        schedule: stod_nn::optim::StepDecay { initial: 4e-3, decay: 0.8, every: 5 },
+        schedule: stod_nn::optim::StepDecay {
+            initial: 4e-3,
+            decay: 0.8,
+            every: 5,
+        },
         dropout: 0.05,
         verbose: std::env::var("STOD_VERBOSE").is_ok(),
         seed,
@@ -157,7 +162,14 @@ pub fn run_method(name: &str, ds: &OdDataset, split: &Split, seed: u64) -> EvalR
             evaluate_predictor(&m, ds, &split.test)
         }
         "VAR" => {
-            let m = VarModel::fit(ds, train_end, VarParams { lags: s, ..VarParams::default() });
+            let m = VarModel::fit(
+                ds,
+                train_end,
+                VarParams {
+                    lags: s,
+                    ..VarParams::default()
+                },
+            );
             evaluate_predictor(&m, ds, &split.test)
         }
         "MR" => {

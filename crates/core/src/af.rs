@@ -43,7 +43,11 @@ struct SpatialStage {
 /// A complete factorization path (used twice: R side and C side).
 enum Factorization {
     /// GCNN stages + rank projection (the real AF).
-    Spatial { stages: Vec<SpatialStage>, project: Linear, pooled_nodes: usize },
+    Spatial {
+        stages: Vec<SpatialStage>,
+        project: Linear,
+        pooled_nodes: usize,
+    },
     /// FC bottleneck (ablation D2), mirroring BF's factorization.
     Fc { enc: Linear, dec: Linear },
 }
@@ -84,12 +88,7 @@ impl AfModel {
     /// centroids with the configured (σ, α); they coincide when origins and
     /// destinations share one partition, as in both of the paper's
     /// datasets, but the two code paths stay separate as in the paper.
-    pub fn new(
-        centroids: &[(f64, f64)],
-        num_buckets: usize,
-        cfg: AfConfig,
-        seed: u64,
-    ) -> AfModel {
+    pub fn new(centroids: &[(f64, f64)], num_buckets: usize, cfg: AfConfig, seed: u64) -> AfModel {
         let n = centroids.len();
         assert!(n >= 2, "need at least two regions");
         let mut store = ParamStore::new();
@@ -104,10 +103,22 @@ impl AfModel {
         // origin holds costs to all destinations); C side over the origin
         // graph.
         let r_fact = Self::build_factorization(
-            &mut store, "af.fact_r", &dest_w, n, num_buckets, &cfg, &mut rng,
+            &mut store,
+            "af.fact_r",
+            &dest_w,
+            n,
+            num_buckets,
+            &cfg,
+            &mut rng,
         );
         let c_fact = Self::build_factorization(
-            &mut store, "af.fact_c", &origin_w, n, num_buckets, &cfg, &mut rng,
+            &mut store,
+            "af.fact_c",
+            &origin_w,
+            n,
+            num_buckets,
+            &cfg,
+            &mut rng,
         );
 
         let feat = cfg.rank * num_buckets;
@@ -203,8 +214,11 @@ impl AfModel {
         let mut in_feat = num_buckets;
         for (i, st) in cfg.stages.iter().enumerate() {
             // Last stage keeps Q = K so factors retain per-bucket slices.
-            let filters =
-                if i + 1 == cfg.stages.len() { num_buckets } else { st.filters };
+            let filters = if i + 1 == cfg.stages.len() {
+                num_buckets
+            } else {
+                st.filters
+            };
             let lap = scaled_laplacian(&cur_w);
             let conv = ChebyConv::new(
                 store,
@@ -225,9 +239,18 @@ impl AfModel {
             in_feat = filters;
         }
         let pooled_nodes = cur_w.dim(0);
-        let project =
-            Linear::new(store, &format!("{prefix}.rank_proj"), pooled_nodes, cfg.rank, rng);
-        Factorization::Spatial { stages, project, pooled_nodes }
+        let project = Linear::new(
+            store,
+            &format!("{prefix}.rank_proj"),
+            pooled_nodes,
+            cfg.rank,
+            rng,
+        );
+        Factorization::Spatial {
+            stages,
+            project,
+            pooled_nodes,
+        }
     }
 
     /// Applies one factorization path to slices `[Bslices, nodes, K]`,
@@ -271,23 +294,29 @@ impl AfModel {
 
     /// Factorizes one input step `[B, N, N', K]` into
     /// `R [B, N, β, K]` and `C [B, β, N', K]`.
-    fn factorize(
-        &self,
-        tape: &mut Tape,
-        x: Var,
-        mode: Mode,
-        rng: &mut Rng64,
-    ) -> (Var, Var) {
+    fn factorize(&self, tape: &mut Tape, x: Var, mode: Mode, rng: &mut Rng64) -> (Var, Var) {
         let dims = tape.value(x).dims().to_vec();
         let (b, n, nd, k) = (dims[0], dims[1], dims[2], dims[3]);
         let rank = self.cfg.rank;
 
         let r = match &self.r_fact {
-            Factorization::Spatial { stages, project, pooled_nodes } => {
+            Factorization::Spatial {
+                stages,
+                project,
+                pooled_nodes,
+            } => {
                 // Slice by origin: nodes = destinations.
                 let slices = tape.reshape(x, &[b * n, nd, k]);
                 let f = Self::run_spatial(
-                    tape, &self.store, stages, project, *pooled_nodes, rank, slices, mode, rng,
+                    tape,
+                    &self.store,
+                    stages,
+                    project,
+                    *pooled_nodes,
+                    rank,
+                    slices,
+                    mode,
+                    rng,
                 );
                 tape.reshape(f, &[b, n, rank, k])
             }
@@ -302,12 +331,24 @@ impl AfModel {
         };
 
         let c = match &self.c_fact {
-            Factorization::Spatial { stages, project, pooled_nodes } => {
+            Factorization::Spatial {
+                stages,
+                project,
+                pooled_nodes,
+            } => {
                 // Slice by destination: nodes = origins.
                 let xt = tape.permute(x, &[0, 2, 1, 3]); // [B, N', N, K]
                 let slices = tape.reshape(xt, &[b * nd, n, k]);
                 let f = Self::run_spatial(
-                    tape, &self.store, stages, project, *pooled_nodes, rank, slices, mode, rng,
+                    tape,
+                    &self.store,
+                    stages,
+                    project,
+                    *pooled_nodes,
+                    rank,
+                    slices,
+                    mode,
+                    rng,
                 );
                 let f = tape.reshape(f, &[b, nd, rank, k]);
                 tape.permute(f, &[0, 2, 1, 3]) // [B, β, N', K]
@@ -339,8 +380,10 @@ impl AfModel {
             Forecaster::Plain(rnn) => {
                 let dims = tape.value(seq[0]).dims().to_vec();
                 let (b, nodes, f) = (dims[0], dims[1], dims[2]);
-                let flat: Vec<Var> =
-                    seq.iter().map(|&v| tape.reshape(v, &[b, nodes * f])).collect();
+                let flat: Vec<Var> = seq
+                    .iter()
+                    .map(|&v| tape.reshape(v, &[b, nodes * f]))
+                    .collect();
                 rnn.forward(tape, &self.store, &flat, horizon)
                     .into_iter()
                     .map(|v| tape.reshape(v, &[b, nodes, f]))
@@ -445,7 +488,10 @@ impl OdForecaster for AfModel {
             };
             predictions.push(recover(tape, r4, c4, Some(bias)));
         }
-        ModelOutput { predictions, regularizer: reg }
+        ModelOutput {
+            predictions,
+            regularizer: reg,
+        }
     }
 }
 
@@ -503,9 +549,11 @@ mod tests {
 
     #[test]
     fn ablations_construct_and_run() {
-        for (fc, plain, frob) in
-            [(true, false, false), (false, true, false), (false, false, true)]
-        {
+        for (fc, plain, frob) in [
+            (true, false, false),
+            (false, true, false),
+            (false, false, true),
+        ] {
             let cfg = AfConfig {
                 fc_factorization: fc,
                 plain_rnn: plain,
@@ -528,8 +576,13 @@ mod tests {
         let inputs = toy_inputs(2, 5, 7, 3, 17);
         let mut tape = Tape::new();
         let mut rng = Rng64::new(0);
-        let out =
-            model.forward(&mut tape, &inputs, 2, Mode::Train { dropout: 0.0 }, &mut rng);
+        let out = model.forward(
+            &mut tape,
+            &inputs,
+            2,
+            Mode::Train { dropout: 0.0 },
+            &mut rng,
+        );
         let target = Tensor::zeros(&[2, 5, 5, 7]);
         let mask = Tensor::ones(&[2, 5, 5, 7]);
         let mut loss = tape.masked_sq_err(out.predictions[0], &target, &mask);
@@ -545,7 +598,10 @@ mod tests {
                 missing.push(name.to_string());
             }
         }
-        assert!(missing.is_empty(), "no gradient for parameters: {missing:?}");
+        assert!(
+            missing.is_empty(),
+            "no gradient for parameters: {missing:?}"
+        );
     }
 
     #[test]

@@ -69,11 +69,17 @@ pub fn make_batch(ds: &OdDataset, windows: &[Window]) -> Batch {
             .map(|w| &ds.tensors[w.target_indices()[step]].data)
             .collect();
         targets.push(stack(&tgt, 0));
-        let msk: Vec<&Tensor> =
-            (0..windows.len()).map(|b| &mask_cache[b * h + step]).collect();
+        let msk: Vec<&Tensor> = (0..windows.len())
+            .map(|b| &mask_cache[b * h + step])
+            .collect();
         masks.push(stack(&msk, 0));
     }
-    Batch { inputs, targets, masks, windows: windows.to_vec() }
+    Batch {
+        inputs,
+        targets,
+        masks,
+        windows: windows.to_vec(),
+    }
 }
 
 /// Splits windows into shuffled minibatches of at most `batch_size`.
@@ -85,7 +91,10 @@ pub fn minibatches(
     assert!(batch_size >= 1, "batch size must be ≥ 1");
     let mut shuffled = windows.to_vec();
     rng.shuffle(&mut shuffled);
-    shuffled.chunks(batch_size).map(<[Window]>::to_vec).collect()
+    shuffled
+        .chunks(batch_size)
+        .map(<[Window]>::to_vec)
+        .collect()
 }
 
 #[cfg(test)]

@@ -79,26 +79,40 @@ impl BfModel {
         let (seq_r, seq_c) = if cfg.attention {
             (
                 Forecaster::Attention(AttnGruSeq2Seq::new(
-                    &mut store, "bf.seq_r", r_dim, cfg.gru_hidden, &mut rng,
+                    &mut store,
+                    "bf.seq_r",
+                    r_dim,
+                    cfg.gru_hidden,
+                    &mut rng,
                 )),
                 Forecaster::Attention(AttnGruSeq2Seq::new(
-                    &mut store, "bf.seq_c", c_dim, cfg.gru_hidden, &mut rng,
+                    &mut store,
+                    "bf.seq_c",
+                    c_dim,
+                    cfg.gru_hidden,
+                    &mut rng,
                 )),
             )
         } else {
             (
                 Forecaster::Plain(GruSeq2Seq::new(
-                    &mut store, "bf.seq_r", r_dim, cfg.gru_hidden, &mut rng,
+                    &mut store,
+                    "bf.seq_r",
+                    r_dim,
+                    cfg.gru_hidden,
+                    &mut rng,
                 )),
                 Forecaster::Plain(GruSeq2Seq::new(
-                    &mut store, "bf.seq_c", c_dim, cfg.gru_hidden, &mut rng,
+                    &mut store,
+                    "bf.seq_c",
+                    c_dim,
+                    cfg.gru_hidden,
+                    &mut rng,
                 )),
             )
         };
-        let bias_o =
-            store.register("bf.bias_o", Tensor::zeros(&[num_regions, 1, num_buckets]));
-        let bias_d =
-            store.register("bf.bias_d", Tensor::zeros(&[1, num_regions, num_buckets]));
+        let bias_o = store.register("bf.bias_o", Tensor::zeros(&[num_regions, 1, num_buckets]));
+        let bias_d = store.register("bf.bias_d", Tensor::zeros(&[1, num_regions, num_buckets]));
         let bias_k = store.register("bf.bias_k", Tensor::zeros(&[num_buckets]));
         BfModel {
             store,
@@ -127,13 +141,7 @@ impl BfModel {
     }
 
     /// Factorizes one input step into `(r, c)` factor vectors.
-    fn factorize(
-        &self,
-        tape: &mut Tape,
-        x: Var,
-        mode: Mode,
-        rng: &mut Rng64,
-    ) -> (Var, Var) {
+    fn factorize(&self, tape: &mut Tape, x: Var, mode: Mode, rng: &mut Rng64) -> (Var, Var) {
         let dropout = mode.dropout();
         let b = tape.value(x).dim(0);
         let l = self.num_regions * self.num_regions * self.num_buckets;
@@ -215,7 +223,10 @@ impl OdForecaster for BfModel {
                 None => step_reg,
             });
         }
-        ModelOutput { predictions, regularizer: reg }
+        ModelOutput {
+            predictions,
+            regularizer: reg,
+        }
     }
 }
 
@@ -279,8 +290,24 @@ mod tests {
 
     #[test]
     fn weight_count_scales_with_config() {
-        let small = BfModel::new(4, 7, BfConfig { encode_dim: 8, ..BfConfig::default() }, 1);
-        let big = BfModel::new(4, 7, BfConfig { encode_dim: 64, ..BfConfig::default() }, 1);
+        let small = BfModel::new(
+            4,
+            7,
+            BfConfig {
+                encode_dim: 8,
+                ..BfConfig::default()
+            },
+            1,
+        );
+        let big = BfModel::new(
+            4,
+            7,
+            BfConfig {
+                encode_dim: 64,
+                ..BfConfig::default()
+            },
+            1,
+        );
         assert!(big.num_weights() > small.num_weights());
     }
 
@@ -290,7 +317,13 @@ mod tests {
         let inputs = toy_inputs(2, 3, 7, 3);
         let mut tape = Tape::new();
         let mut rng = Rng64::new(0);
-        let out = model.forward(&mut tape, &inputs, 2, Mode::Train { dropout: 0.1 }, &mut rng);
+        let out = model.forward(
+            &mut tape,
+            &inputs,
+            2,
+            Mode::Train { dropout: 0.1 },
+            &mut rng,
+        );
         let target = Tensor::zeros(&[2, 3, 3, 7]);
         let mask = Tensor::ones(&[2, 3, 3, 7]);
         let mut loss = tape.masked_sq_err(out.predictions[0], &target, &mask);
@@ -306,6 +339,9 @@ mod tests {
                 missing.push(name.to_string());
             }
         }
-        assert!(missing.is_empty(), "no gradient for parameters: {missing:?}");
+        assert!(
+            missing.is_empty(),
+            "no gradient for parameters: {missing:?}"
+        );
     }
 }

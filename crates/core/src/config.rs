@@ -85,8 +85,16 @@ impl Default for AfConfig {
         AfConfig {
             rank: 5,
             stages: vec![
-                GcStage { filters: 16, order: 3, pool_levels: 1 },
-                GcStage { filters: 7, order: 3, pool_levels: 1 },
+                GcStage {
+                    filters: 16,
+                    order: 3,
+                    pool_levels: 1,
+                },
+                GcStage {
+                    filters: 7,
+                    order: 3,
+                    pool_levels: 1,
+                },
             ],
             rnn_order: 2,
             rnn_hidden: 16,
@@ -108,8 +116,16 @@ impl AfConfig {
     pub fn paper_nyc() -> AfConfig {
         AfConfig {
             stages: vec![
-                GcStage { filters: 32, order: 4, pool_levels: 2 },
-                GcStage { filters: 32, order: 2, pool_levels: 1 },
+                GcStage {
+                    filters: 32,
+                    order: 4,
+                    pool_levels: 2,
+                },
+                GcStage {
+                    filters: 32,
+                    order: 2,
+                    pool_levels: 1,
+                },
             ],
             rnn_order: 4,
             rnn_hidden: 32,
@@ -158,7 +174,11 @@ impl TrainConfig {
         TrainConfig {
             epochs: 3,
             batch_size: 8,
-            schedule: StepDecay { initial: 5e-3, decay: 0.9, every: 2 },
+            schedule: StepDecay {
+                initial: 5e-3,
+                decay: 0.9,
+                every: 2,
+            },
             dropout: 0.0,
             ..TrainConfig::default()
         }

@@ -30,7 +30,10 @@ pub struct EvalReport {
 impl EvalReport {
     /// Mean of `metric` for the `(step+1)`-ahead forecast.
     pub fn step_mean(&self, step: usize, metric: Metric) -> f64 {
-        let m = Metric::ALL.iter().position(|x| *x == metric).expect("known metric");
+        let m = Metric::ALL
+            .iter()
+            .position(|x| *x == metric)
+            .expect("known metric");
         self.per_step[step][m]
     }
 }
@@ -205,13 +208,19 @@ mod tests {
                         .collect();
                     preds.push(tape.constant(stod_tensor::stack(&slices, 0)));
                 }
-                crate::model::ModelOutput { predictions: preds, regularizer: None }
+                crate::model::ModelOutput {
+                    predictions: preds,
+                    regularizer: None,
+                }
             }
         }
         let (ds, _) = setup();
         let ws: Vec<Window> = ds.windows(2, 1).into_iter().take(6).collect();
-        let oracle =
-            Oracle { store: stod_nn::ParamStore::new(), ds_ptr: &ds, windows: ws.clone() };
+        let oracle = Oracle {
+            store: stod_nn::ParamStore::new(),
+            ds_ptr: &ds,
+            windows: ws.clone(),
+        };
         let r = evaluate(&oracle, &ds, &ws, ws.len());
         for &v in &r.per_step[0] {
             assert!(v.abs() < 1e-6, "oracle must score 0, got {v}");

@@ -48,8 +48,11 @@ pub fn train(
     assert!(!windows.is_empty(), "cannot train on zero windows");
     let mut adam = Adam::new(cfg.schedule.initial);
     let mut rng = Rng64::new(cfg.seed);
-    let mut report =
-        TrainReport { epoch_losses: Vec::new(), val_emd: Vec::new(), epoch_lrs: Vec::new() };
+    let mut report = TrainReport {
+        epoch_losses: Vec::new(),
+        val_emd: Vec::new(),
+        epoch_lrs: Vec::new(),
+    };
 
     for epoch in 0..cfg.epochs {
         adam.lr = cfg.schedule.lr_at(epoch);
@@ -64,10 +67,16 @@ pub fn train(
                 &mut tape,
                 &batch.inputs,
                 horizon,
-                Mode::Train { dropout: cfg.dropout },
+                Mode::Train {
+                    dropout: cfg.dropout,
+                },
                 &mut rng,
             );
-            assert_eq!(out.predictions.len(), horizon, "model returned wrong horizon");
+            assert_eq!(
+                out.predictions.len(),
+                horizon,
+                "model returned wrong horizon"
+            );
             let mut data_loss: Option<Var> = None;
             for j in 0..horizon {
                 let l = tape.masked_sq_err(out.predictions[j], &batch.targets[j], &batch.masks[j]);
@@ -76,8 +85,10 @@ pub fn train(
                     None => l,
                 });
             }
-            let mut loss =
-                tape.scale(data_loss.expect("horizon ≥ 1"), 1.0 / batch.observed_cells());
+            let mut loss = tape.scale(
+                data_loss.expect("horizon ≥ 1"),
+                1.0 / batch.observed_cells(),
+            );
             if let Some(reg) = out.regularizer {
                 loss = tape.add(loss, reg);
             }
@@ -124,10 +135,15 @@ fn quick_val_emd(
     for chunk in windows.chunks(batch_size) {
         let batch = make_batch(ds, chunk);
         let mut tape = Tape::new();
-        let out = model.forward(&mut tape, &batch.inputs, batch.targets.len(), Mode::Eval, rng);
+        let out = model.forward(
+            &mut tape,
+            &batch.inputs,
+            batch.targets.len(),
+            Mode::Eval,
+            rng,
+        );
         let pred = tape.value(out.predictions[0]);
-        let (bsz, n, nd, k) =
-            (pred.dim(0), pred.dim(1), pred.dim(2), pred.dim(3));
+        let (bsz, n, nd, k) = (pred.dim(0), pred.dim(1), pred.dim(2), pred.dim(3));
         let target = &batch.targets[0];
         let mask = &batch.masks[0];
         for b in 0..bsz {
@@ -168,7 +184,10 @@ mod tests {
         let ds = tiny_ds();
         let windows = ds.windows(3, 1);
         let mut model = BfModel::new(5, 7, BfConfig::default(), 1);
-        let cfg = TrainConfig { epochs: 6, ..TrainConfig::fast_test() };
+        let cfg = TrainConfig {
+            epochs: 6,
+            ..TrainConfig::fast_test()
+        };
         let report = train(&mut model, &ds, &windows, None, &cfg);
         assert_eq!(report.epoch_losses.len(), 6);
         assert!(
@@ -185,7 +204,10 @@ mod tests {
         let ws = ds.windows(2, 1);
         let split = ds.split(&ws, 0.7, 0.15);
         let mut model = BfModel::new(5, 7, BfConfig::default(), 2);
-        let cfg = TrainConfig { epochs: 2, ..TrainConfig::fast_test() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::fast_test()
+        };
         let report = train(&mut model, &ds, &split.train, Some(&split.val), &cfg);
         assert_eq!(report.val_emd.len(), 2);
         for v in &report.val_emd {
@@ -200,7 +222,11 @@ mod tests {
         let mut model = BfModel::new(5, 7, BfConfig::default(), 3);
         let cfg = TrainConfig {
             epochs: 4,
-            schedule: stod_nn::optim::StepDecay { initial: 1e-3, decay: 0.5, every: 2 },
+            schedule: stod_nn::optim::StepDecay {
+                initial: 1e-3,
+                decay: 0.5,
+                every: 2,
+            },
             ..TrainConfig::fast_test()
         };
         let report = train(&mut model, &ds, &windows, None, &cfg);

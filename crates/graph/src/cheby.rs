@@ -85,12 +85,14 @@ mod tests {
         let x = Tensor::from_vec(&[3], vec![0.5, -1.0, 2.0]);
         let b = cheby_basis(&lt, &x, 4);
         for s in 2..4 {
-            let prev: Tensor =
-                Tensor::from_vec(&[3], (0..3).map(|i| b.at(&[i, s - 1])).collect());
+            let prev: Tensor = Tensor::from_vec(&[3], (0..3).map(|i| b.at(&[i, s - 1])).collect());
             let lt_prev = matvec(&lt, &prev);
             for i in 0..3 {
                 let expect = 2.0 * lt_prev.at(&[i]) - b.at(&[i, s - 2]);
-                assert!((b.at(&[i, s]) - expect).abs() < 1e-5, "recurrence broken at s={s}");
+                assert!(
+                    (b.at(&[i, s]) - expect).abs() < 1e-5,
+                    "recurrence broken at s={s}"
+                );
             }
         }
     }
@@ -122,7 +124,9 @@ mod tests {
         let x = Tensor::from_vec(&[3], vec![1.0, 1.0, 1.0]);
         let raw = cheby_basis(&l, &x, 8);
         let scaled = cheby_basis(&scaled_laplacian(&path3_w()), &x, 8);
-        assert!(raw.data().iter().map(|x| x.abs()).fold(0.0, f32::max)
-            >= scaled.data().iter().map(|x| x.abs()).fold(0.0, f32::max));
+        assert!(
+            raw.data().iter().map(|x| x.abs()).fold(0.0, f32::max)
+                >= scaled.data().iter().map(|x| x.abs()).fold(0.0, f32::max)
+        );
     }
 }

@@ -166,7 +166,13 @@ pub fn coarsen_for_pooling(w: &Tensor, levels: usize) -> Coarsening {
     }
 
     let order: Vec<usize> = slots.into_iter().map(|s| s.unwrap_or(n)).collect();
-    Coarsening { num_nodes: n, levels, order, pooled_len: coarsest, coarse_w: current }
+    Coarsening {
+        num_nodes: n,
+        levels,
+        order,
+        pooled_len: coarsest,
+        coarse_w: current,
+    }
 }
 
 #[cfg(test)]

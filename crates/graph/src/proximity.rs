@@ -26,7 +26,10 @@ pub struct ProximityParams {
 impl Default for ProximityParams {
     fn default() -> Self {
         // Paper defaults (robust per Figure 14): σ = 1 km, α = 0.1.
-        ProximityParams { sigma: 1.0, alpha: 0.1 }
+        ProximityParams {
+            sigma: 1.0,
+            alpha: 0.1,
+        }
     }
 }
 
@@ -51,7 +54,10 @@ pub fn proximity_matrix(centroids: &[(f64, f64)], params: ProximityParams) -> Te
     let n = centroids.len();
     let mut w = Tensor::zeros(&[n, n]);
     assert!(params.sigma > 0.0, "sigma must be positive");
-    assert!((0.0..1.0).contains(&params.alpha), "alpha must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&params.alpha),
+        "alpha must be in [0, 1)"
+    );
     let s2 = (params.sigma as f64) * (params.sigma as f64);
     for i in 0..n {
         for j in (i + 1)..n {
@@ -108,16 +114,40 @@ mod tests {
     #[test]
     fn alpha_sparsifies() {
         let c = line_centroids(6, 0.8);
-        let dense = proximity_matrix(&c, ProximityParams { sigma: 1.0, alpha: 0.0001 });
-        let sparse = proximity_matrix(&c, ProximityParams { sigma: 1.0, alpha: 0.5 });
+        let dense = proximity_matrix(
+            &c,
+            ProximityParams {
+                sigma: 1.0,
+                alpha: 0.0001,
+            },
+        );
+        let sparse = proximity_matrix(
+            &c,
+            ProximityParams {
+                sigma: 1.0,
+                alpha: 0.5,
+            },
+        );
         assert!(mean_degree(&sparse) < mean_degree(&dense));
     }
 
     #[test]
     fn sigma_widens_neighborhood() {
         let c = line_centroids(6, 1.0);
-        let narrow = proximity_matrix(&c, ProximityParams { sigma: 0.5, alpha: 0.1 });
-        let wide = proximity_matrix(&c, ProximityParams { sigma: 3.0, alpha: 0.1 });
+        let narrow = proximity_matrix(
+            &c,
+            ProximityParams {
+                sigma: 0.5,
+                alpha: 0.1,
+            },
+        );
+        let wide = proximity_matrix(
+            &c,
+            ProximityParams {
+                sigma: 3.0,
+                alpha: 0.1,
+            },
+        );
         assert!(mean_degree(&wide) > mean_degree(&narrow));
     }
 
@@ -125,7 +155,10 @@ mod tests {
     fn identical_centroids_get_weight_one() {
         let w = proximity_matrix(
             &[(0.0, 0.0), (0.0, 0.0)],
-            ProximityParams { sigma: 1.0, alpha: 0.5 },
+            ProximityParams {
+                sigma: 1.0,
+                alpha: 0.5,
+            },
         );
         assert_eq!(w.at(&[0, 1]), 1.0);
     }
@@ -133,6 +166,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "sigma must be positive")]
     fn zero_sigma_panics() {
-        proximity_matrix(&[(0.0, 0.0)], ProximityParams { sigma: 0.0, alpha: 0.1 });
+        proximity_matrix(
+            &[(0.0, 0.0)],
+            ProximityParams {
+                sigma: 0.0,
+                alpha: 0.1,
+            },
+        );
     }
 }

@@ -30,7 +30,11 @@ pub fn kl_divergence(m: &[f32], m_hat: &[f32]) -> f64 {
 /// the midpoint distribution `m̄ = (m + m̂) / 2`.
 pub fn js_divergence(m: &[f32], m_hat: &[f32]) -> f64 {
     assert_eq!(m.len(), m_hat.len(), "histogram length mismatch");
-    let mid: Vec<f32> = m.iter().zip(m_hat.iter()).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    let mid: Vec<f32> = m
+        .iter()
+        .zip(m_hat.iter())
+        .map(|(&a, &b)| 0.5 * (a + b))
+        .collect();
     0.5 * (kl_divergence(&mid, m) + kl_divergence(&mid, m_hat))
 }
 

@@ -21,7 +21,9 @@ impl GroupedMean {
     /// The paper's eight 3-hour time-of-day bins (`[0,3)…[21,24)`).
     pub fn time_of_day_bins() -> Self {
         GroupedMean::new(
-            (0..8).map(|b| format!("{:02}:00-{:02}:00", 3 * b, 3 * b + 3)).collect(),
+            (0..8)
+                .map(|b| format!("{:02}:00-{:02}:00", 3 * b, 3 * b + 3))
+                .collect(),
         )
     }
 
@@ -83,7 +85,13 @@ impl GroupedMean {
         let total: usize = self.groups.iter().map(DisSim::count).sum();
         self.groups
             .iter()
-            .map(|g| if total == 0 { 0.0 } else { g.count() as f64 / total as f64 })
+            .map(|g| {
+                if total == 0 {
+                    0.0
+                } else {
+                    g.count() as f64 / total as f64
+                }
+            })
             .collect()
     }
 }

@@ -35,7 +35,11 @@ where
     let mut tape = Tape::new();
     let leaves: Vec<Var> = inputs.iter().map(|t| tape.leaf(t.clone())).collect();
     let loss = f(&mut tape, &leaves);
-    assert_eq!(tape.value(loss).numel(), 1, "gradient_check needs a scalar loss");
+    assert_eq!(
+        tape.value(loss).numel(),
+        1,
+        "gradient_check needs a scalar loss"
+    );
     let analytic = tape.backward_wrt(loss, &leaves);
 
     let eval = |perturbed: &[Tensor]| -> f64 {
@@ -67,7 +71,11 @@ where
             max_rel = max_rel.max(rel);
         }
     }
-    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel, ok: max_rel <= tol }
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+        ok: max_rel <= tol,
+    }
 }
 
 /// Asserts that a gradient check passes, with a readable failure message.

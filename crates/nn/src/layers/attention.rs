@@ -36,8 +36,10 @@ impl AttnGruSeq2Seq {
         AttnGruSeq2Seq {
             encoder: GruCell::new(store, &format!("{prefix}.enc"), dim, hidden, rng),
             decoder: GruCell::new(store, &format!("{prefix}.dec"), dim, hidden, rng),
-            w_att: store
-                .register(format!("{prefix}.w_att"), Tensor::glorot(&[hidden, hidden], rng)),
+            w_att: store.register(
+                format!("{prefix}.w_att"),
+                Tensor::glorot(&[hidden, hidden], rng),
+            ),
             head: Linear::new(store, &format!("{prefix}.head"), 2 * hidden, dim, rng),
         }
     }
@@ -109,8 +111,9 @@ mod tests {
         let mut rng = Rng64::new(0);
         let model = AttnGruSeq2Seq::new(&mut store, "a", 3, 6, &mut rng);
         let mut tape = Tape::new();
-        let xs: Vec<Var> =
-            (0..4).map(|i| tape.leaf(Tensor::full(&[2, 3], i as f32 * 0.3))).collect();
+        let xs: Vec<Var> = (0..4)
+            .map(|i| tape.leaf(Tensor::full(&[2, 3], i as f32 * 0.3)))
+            .collect();
         let ys = model.forward(&mut tape, &store, &xs, 2);
         assert_eq!(ys.len(), 2);
         for y in &ys {
@@ -125,7 +128,9 @@ mod tests {
         let mut rng = Rng64::new(1);
         let model = AttnGruSeq2Seq::new(&mut store, "a", 2, 4, &mut rng);
         let mut tape = Tape::new();
-        let xs: Vec<Var> = (0..3).map(|_| tape.constant(Tensor::ones(&[1, 2]))).collect();
+        let xs: Vec<Var> = (0..3)
+            .map(|_| tape.constant(Tensor::ones(&[1, 2])))
+            .collect();
         let ys = model.forward(&mut tape, &store, &xs, 1);
         let sq = tape.mul(ys[0], ys[0]);
         let loss = tape.sum_all(sq);
@@ -148,8 +153,9 @@ mod tests {
             let sign = if step % 2 == 0 { 1.0 } else { -1.0 };
             let mut tape = Tape::new();
             let first = tape.constant(Tensor::full(&[1, 1], sign));
-            let distract: Vec<Var> =
-                (0..4).map(|_| tape.constant(Tensor::zeros(&[1, 1]))).collect();
+            let distract: Vec<Var> = (0..4)
+                .map(|_| tape.constant(Tensor::zeros(&[1, 1])))
+                .collect();
             let mut xs = vec![first];
             xs.extend(distract);
             let ys = model.forward(&mut tape, &store, &xs, 1);

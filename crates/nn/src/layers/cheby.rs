@@ -43,13 +43,24 @@ impl ChebyConv {
     ) -> Self {
         assert!(order >= 1, "Chebyshev order must be ≥ 1");
         assert_eq!(laplacian.ndim(), 2, "Laplacian must be 2-D");
-        assert_eq!(laplacian.dim(0), laplacian.dim(1), "Laplacian must be square");
+        assert_eq!(
+            laplacian.dim(0),
+            laplacian.dim(1),
+            "Laplacian must be square"
+        );
         let ws = store.register(
             format!("{prefix}.ws"),
             Tensor::glorot(&[order * in_feat, out_feat], rng),
         );
         let b = store.register(format!("{prefix}.b"), Tensor::zeros(&[out_feat]));
-        ChebyConv { laplacian, ws, b, order, in_feat, out_feat }
+        ChebyConv {
+            laplacian,
+            ws,
+            b,
+            order,
+            in_feat,
+            out_feat,
+        }
     }
 
     /// Number of graph nodes the layer operates on.
@@ -78,7 +89,11 @@ impl ChebyConv {
     /// Panics on rank/extent mismatches.
     pub fn apply(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
         let dims = tape.value(x).dims().to_vec();
-        assert_eq!(dims.len(), 3, "ChebyConv input must be [B, N, F], got {dims:?}");
+        assert_eq!(
+            dims.len(),
+            3,
+            "ChebyConv input must be [B, N, F], got {dims:?}"
+        );
         let (batch, n, f) = (dims[0], dims[1], dims[2]);
         assert_eq!(n, self.num_nodes(), "node count mismatch");
         assert_eq!(f, self.in_feat, "feature dim mismatch");
@@ -133,8 +148,15 @@ mod tests {
     fn output_shape() {
         let mut store = ParamStore::new();
         let mut rng = Rng64::new(0);
-        let conv =
-            ChebyConv::new(&mut store, "gc", path3_scaled_laplacian(), 3, 2, 5, &mut rng);
+        let conv = ChebyConv::new(
+            &mut store,
+            "gc",
+            path3_scaled_laplacian(),
+            3,
+            2,
+            5,
+            &mut rng,
+        );
         let mut tape = Tape::new();
         let x = tape.leaf(Tensor::ones(&[4, 3, 2]));
         let y = conv.apply(&mut tape, &store, x);
@@ -147,8 +169,15 @@ mod tests {
         // and must be insensitive to the graph.
         let mut store = ParamStore::new();
         let mut rng = Rng64::new(1);
-        let conv =
-            ChebyConv::new(&mut store, "gc", path3_scaled_laplacian(), 1, 2, 2, &mut rng);
+        let conv = ChebyConv::new(
+            &mut store,
+            "gc",
+            path3_scaled_laplacian(),
+            1,
+            2,
+            2,
+            &mut rng,
+        );
         let mut tape = Tape::new();
         // Two nodes with identical features must give identical outputs.
         let x = tape.leaf(Tensor::from_vec(
@@ -167,8 +196,15 @@ mod tests {
         // have identical features but different neighborhoods.
         let mut store = ParamStore::new();
         let mut rng = Rng64::new(2);
-        let conv =
-            ChebyConv::new(&mut store, "gc", path3_scaled_laplacian(), 2, 2, 2, &mut rng);
+        let conv = ChebyConv::new(
+            &mut store,
+            "gc",
+            path3_scaled_laplacian(),
+            2,
+            2,
+            2,
+            &mut rng,
+        );
         let mut tape = Tape::new();
         let x = tape.leaf(Tensor::from_vec(
             &[1, 3, 2],
@@ -177,15 +213,25 @@ mod tests {
         let y = conv.apply(&mut tape, &store, x);
         let v = tape.value(y);
         let diff = (v.at(&[0, 0, 0]) - v.at(&[0, 1, 0])).abs();
-        assert!(diff > 1e-4, "neighborhood information should differentiate nodes");
+        assert!(
+            diff > 1e-4,
+            "neighborhood information should differentiate nodes"
+        );
     }
 
     #[test]
     fn gradients_reach_filters() {
         let mut store = ParamStore::new();
         let mut rng = Rng64::new(3);
-        let conv =
-            ChebyConv::new(&mut store, "gc", path3_scaled_laplacian(), 3, 2, 2, &mut rng);
+        let conv = ChebyConv::new(
+            &mut store,
+            "gc",
+            path3_scaled_laplacian(),
+            3,
+            2,
+            2,
+            &mut rng,
+        );
         let mut tape = Tape::new();
         let x = tape.constant(Tensor::ones(&[2, 3, 2]));
         let y = conv.apply(&mut tape, &store, x);

@@ -77,7 +77,14 @@ impl GcGruCell {
             hidden_feat,
             rng,
         );
-        GcGruCell { conv_s, conv_u, conv_h, num_nodes, in_feat, hidden_feat }
+        GcGruCell {
+            conv_s,
+            conv_u,
+            conv_h,
+            num_nodes,
+            in_feat,
+            hidden_feat,
+        }
     }
 
     /// Number of graph nodes.
@@ -102,8 +109,16 @@ impl GcGruCell {
 
     /// One recurrence step: `(x [B,N,F_in], h [B,N,F_h]) → h' [B,N,F_h]`.
     pub fn step(&self, tape: &mut Tape, store: &ParamStore, x: Var, h: Var) -> Var {
-        assert_eq!(tape.value(x).dim(2), self.in_feat, "GCGRU input feature mismatch");
-        assert_eq!(tape.value(h).dim(2), self.hidden_feat, "GCGRU hidden feature mismatch");
+        assert_eq!(
+            tape.value(x).dim(2),
+            self.in_feat,
+            "GCGRU input feature mismatch"
+        );
+        assert_eq!(
+            tape.value(h).dim(2),
+            self.hidden_feat,
+            "GCGRU hidden feature mismatch"
+        );
 
         let xh = tape.concat(&[x, h], 2);
         let s_in = self.conv_s.apply(tape, store, xh);
@@ -154,8 +169,15 @@ mod tests {
     fn step_shapes_and_finiteness() {
         let mut store = ParamStore::new();
         let mut rng = Rng64::new(0);
-        let cell =
-            GcGruCell::new(&mut store, "cn", ring4_scaled_laplacian(), 2, 3, 5, &mut rng);
+        let cell = GcGruCell::new(
+            &mut store,
+            "cn",
+            ring4_scaled_laplacian(),
+            2,
+            3,
+            5,
+            &mut rng,
+        );
         let mut tape = Tape::new();
         let x = tape.leaf(Tensor::ones(&[2, 4, 3]));
         let h = cell.zero_state(&mut tape, 2);
@@ -168,8 +190,15 @@ mod tests {
     fn hidden_bounded_by_one() {
         let mut store = ParamStore::new();
         let mut rng = Rng64::new(1);
-        let cell =
-            GcGruCell::new(&mut store, "cn", ring4_scaled_laplacian(), 2, 2, 3, &mut rng);
+        let cell = GcGruCell::new(
+            &mut store,
+            "cn",
+            ring4_scaled_laplacian(),
+            2,
+            2,
+            3,
+            &mut rng,
+        );
         let mut tape = Tape::new();
         let mut h = cell.zero_state(&mut tape, 1);
         for i in 0..20 {
@@ -185,8 +214,15 @@ mod tests {
         // the ring) must react differently from the far node 2.
         let mut store = ParamStore::new();
         let mut rng = Rng64::new(2);
-        let cell =
-            GcGruCell::new(&mut store, "cn", ring4_scaled_laplacian(), 2, 1, 1, &mut rng);
+        let cell = GcGruCell::new(
+            &mut store,
+            "cn",
+            ring4_scaled_laplacian(),
+            2,
+            1,
+            1,
+            &mut rng,
+        );
         let mut tape = Tape::new();
         let mut x_data = Tensor::zeros(&[1, 4, 1]);
         x_data.set(&[0, 0, 0], 5.0);
@@ -206,8 +242,15 @@ mod tests {
     fn gradients_reach_all_gates() {
         let mut store = ParamStore::new();
         let mut rng = Rng64::new(3);
-        let cell =
-            GcGruCell::new(&mut store, "cn", ring4_scaled_laplacian(), 2, 2, 2, &mut rng);
+        let cell = GcGruCell::new(
+            &mut store,
+            "cn",
+            ring4_scaled_laplacian(),
+            2,
+            2,
+            2,
+            &mut rng,
+        );
         let mut tape = Tape::new();
         let x = tape.constant(Tensor::ones(&[1, 4, 2]));
         let h0 = cell.zero_state(&mut tape, 1);

@@ -36,12 +36,22 @@ impl GruCell {
         hidden: usize,
         rng: &mut Rng64,
     ) -> Self {
-        let wx =
-            store.register(format!("{prefix}.wx"), Tensor::glorot(&[in_dim, 3 * hidden], rng));
-        let wh =
-            store.register(format!("{prefix}.wh"), Tensor::glorot(&[hidden, 3 * hidden], rng));
+        let wx = store.register(
+            format!("{prefix}.wx"),
+            Tensor::glorot(&[in_dim, 3 * hidden], rng),
+        );
+        let wh = store.register(
+            format!("{prefix}.wh"),
+            Tensor::glorot(&[hidden, 3 * hidden], rng),
+        );
         let b = store.register(format!("{prefix}.b"), Tensor::zeros(&[3 * hidden]));
-        GruCell { wx, wh, b, in_dim, hidden }
+        GruCell {
+            wx,
+            wh,
+            b,
+            in_dim,
+            hidden,
+        }
     }
 
     /// Input feature dimension.
@@ -166,6 +176,9 @@ mod tests {
             let grads = tape.backward(loss);
             adam.step(&mut store, &grads);
         }
-        assert!(final_loss < 0.05, "GRU failed to memorize, loss = {final_loss}");
+        assert!(
+            final_loss < 0.05,
+            "GRU failed to memorize, loss = {final_loss}"
+        );
     }
 }

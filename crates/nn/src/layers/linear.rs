@@ -26,9 +26,17 @@ impl Linear {
         out_dim: usize,
         rng: &mut Rng64,
     ) -> Self {
-        let w = store.register(format!("{prefix}.weight"), Tensor::glorot(&[in_dim, out_dim], rng));
+        let w = store.register(
+            format!("{prefix}.weight"),
+            Tensor::glorot(&[in_dim, out_dim], rng),
+        );
         let b = store.register(format!("{prefix}.bias"), Tensor::zeros(&[out_dim]));
-        Linear { w, b: Some(b), in_dim, out_dim }
+        Linear {
+            w,
+            b: Some(b),
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Same as [`Linear::new`] but without a bias term.
@@ -39,8 +47,16 @@ impl Linear {
         out_dim: usize,
         rng: &mut Rng64,
     ) -> Self {
-        let w = store.register(format!("{prefix}.weight"), Tensor::glorot(&[in_dim, out_dim], rng));
-        Linear { w, b: None, in_dim, out_dim }
+        let w = store.register(
+            format!("{prefix}.weight"),
+            Tensor::glorot(&[in_dim, out_dim], rng),
+        );
+        Linear {
+            w,
+            b: None,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input feature dimension.
@@ -60,7 +76,11 @@ impl Linear {
     pub fn apply(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
         let dims = tape.value(x).dims().to_vec();
         let last = *dims.last().expect("linear input must have ≥ 1 dim");
-        assert_eq!(last, self.in_dim, "linear expected last dim {}, got {last}", self.in_dim);
+        assert_eq!(
+            last, self.in_dim,
+            "linear expected last dim {}, got {last}",
+            self.in_dim
+        );
         let batch: usize = dims[..dims.len() - 1].iter().product();
         let flat = tape.reshape(x, &[batch, self.in_dim]);
         let w = tape.param(store, self.w);
@@ -108,8 +128,14 @@ mod tests {
         let mut store = ParamStore::new();
         let mut rng = Rng64::new(0);
         let lin = Linear::new(&mut store, "fc", 2, 1, &mut rng);
-        store.set(store.id_of("fc.weight").unwrap(), Tensor::from_vec(&[2, 1], vec![2.0, 3.0]));
-        store.set(store.id_of("fc.bias").unwrap(), Tensor::from_vec(&[1], vec![1.0]));
+        store.set(
+            store.id_of("fc.weight").unwrap(),
+            Tensor::from_vec(&[2, 1], vec![2.0, 3.0]),
+        );
+        store.set(
+            store.id_of("fc.bias").unwrap(),
+            Tensor::from_vec(&[1], vec![1.0]),
+        );
         let mut tape = Tape::new();
         let x = tape.leaf(Tensor::from_vec(&[1, 2], vec![1.0, 1.0]));
         let y = lin.apply(&mut tape, &store, x);

@@ -170,8 +170,9 @@ mod tests {
         let mut rng = Rng64::new(0);
         let model = GruSeq2Seq::new(&mut store, "s2s", 3, 8, &mut rng);
         let mut tape = Tape::new();
-        let xs: Vec<Var> =
-            (0..4).map(|i| tape.leaf(Tensor::full(&[2, 3], i as f32))).collect();
+        let xs: Vec<Var> = (0..4)
+            .map(|i| tape.leaf(Tensor::full(&[2, 3], i as f32)))
+            .collect();
         let ys = model.forward(&mut tape, &store, &xs, 3);
         assert_eq!(ys.len(), 3);
         for y in &ys {
@@ -200,7 +201,10 @@ mod tests {
             let grads = tape.backward(loss);
             adam.step(&mut store, &grads);
         }
-        assert!(last_loss < 0.02, "seq2seq failed to fit constant series: {last_loss}");
+        assert!(
+            last_loss < 0.02,
+            "seq2seq failed to fit constant series: {last_loss}"
+        );
     }
 
     #[test]
@@ -222,7 +226,9 @@ mod tests {
         let mut rng = Rng64::new(2);
         let model = GcGruSeq2Seq::new(&mut store, "g", lap, 2, 4, 6, &mut rng);
         let mut tape = Tape::new();
-        let xs: Vec<Var> = (0..3).map(|_| tape.leaf(Tensor::ones(&[2, 3, 4]))).collect();
+        let xs: Vec<Var> = (0..3)
+            .map(|_| tape.leaf(Tensor::ones(&[2, 3, 4])))
+            .collect();
         let ys = model.forward(&mut tape, &store, &xs, 2);
         assert_eq!(ys.len(), 2);
         for y in &ys {

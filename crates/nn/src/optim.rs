@@ -132,7 +132,11 @@ pub struct StepDecay {
 impl StepDecay {
     /// The paper's schedule (0.001, ×0.8 every 5 epochs).
     pub fn paper() -> Self {
-        StepDecay { initial: 1e-3, decay: 0.8, every: 5 }
+        StepDecay {
+            initial: 1e-3,
+            decay: 0.8,
+            every: 5,
+        }
     }
 
     /// Learning rate to use during `epoch` (0-based).

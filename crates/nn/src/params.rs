@@ -170,6 +170,11 @@ impl ParamStore {
             let data: Vec<f32> = (0..numel).map(|_| bytes.get_f32_le()).collect();
             store.register(name, Tensor::from_vec(&dims, data));
         }
+        // A well-formed checkpoint ends exactly with its payload; trailing
+        // garbage means truncated-then-concatenated or corrupted input.
+        if bytes.remaining() != 0 {
+            return None;
+        }
         Some(store)
     }
 
@@ -242,7 +247,10 @@ mod tests {
     #[test]
     fn serialization_roundtrip() {
         let mut s = ParamStore::new();
-        s.register("layer.weight", Tensor::from_vec(&[2, 2], vec![1.0, -2.0, 3.5, 0.0]));
+        s.register(
+            "layer.weight",
+            Tensor::from_vec(&[2, 2], vec![1.0, -2.0, 3.5, 0.0]),
+        );
         s.register("layer.bias", Tensor::from_vec(&[2], vec![0.5, -0.5]));
         let bytes = s.to_bytes();
         let back = ParamStore::from_bytes(bytes).unwrap();
@@ -262,6 +270,18 @@ mod tests {
         let full = s.to_bytes();
         let truncated = full.slice(0..full.len() - 3);
         assert!(ParamStore::from_bytes(truncated).is_none());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut s = ParamStore::new();
+        s.register("w", Tensor::ones(&[4]));
+        let mut padded = s.to_bytes().to_vec();
+        padded.push(0);
+        assert!(
+            ParamStore::from_bytes(Bytes::from(padded)).is_none(),
+            "payload followed by garbage must not deserialize"
+        );
     }
 
     #[test]

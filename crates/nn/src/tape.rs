@@ -117,12 +117,7 @@ impl Tape {
         &self.nodes[v.0].value
     }
 
-    fn push(
-        &mut self,
-        value: Tensor,
-        parents: Vec<usize>,
-        backward: Option<BackwardFn>,
-    ) -> Var {
+    fn push(&mut self, value: Tensor, parents: Vec<usize>, backward: Option<BackwardFn>) -> Var {
         let requires_grad =
             backward.is_some() && parents.iter().any(|&p| self.nodes[p].requires_grad);
         self.nodes.push(Node {
@@ -136,14 +131,24 @@ impl Tape {
 
     /// Adds a constant (non-differentiable) leaf.
     pub fn constant(&mut self, t: Tensor) -> Var {
-        self.nodes.push(Node { value: t, parents: vec![], backward: None, requires_grad: false });
+        self.nodes.push(Node {
+            value: t,
+            parents: vec![],
+            backward: None,
+            requires_grad: false,
+        });
         Var(self.nodes.len() - 1)
     }
 
     /// Adds a differentiable leaf that is *not* a registered parameter
     /// (used by gradient checks).
     pub fn leaf(&mut self, t: Tensor) -> Var {
-        self.nodes.push(Node { value: t, parents: vec![], backward: None, requires_grad: true });
+        self.nodes.push(Node {
+            value: t,
+            parents: vec![],
+            backward: None,
+            requires_grad: true,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -226,7 +231,11 @@ impl Tape {
     /// Addition of a compile-time scalar.
     pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
         let value = ew::add_scalar(self.value(a), s);
-        self.push(value, vec![a.0], Some(Box::new(|g, _, _, _| vec![Some(g.clone())])))
+        self.push(
+            value,
+            vec![a.0],
+            Some(Box::new(|g, _, _, _| vec![Some(g.clone())])),
+        )
     }
 
     /// `1 - a`, a common idiom in gated units.
@@ -525,12 +534,25 @@ impl Tape {
     /// `target` and `mask` are plain tensors (no gradient flows to them),
     /// matching the paper's Eq. 4/11 loss over non-empty ground-truth cells.
     pub fn masked_sq_err(&mut self, pred: Var, target: &Tensor, mask: &Tensor) -> Var {
-        assert_eq!(self.value(pred).dims(), target.dims(), "masked_sq_err target shape");
-        assert_eq!(self.value(pred).dims(), mask.dims(), "masked_sq_err mask shape");
+        assert_eq!(
+            self.value(pred).dims(),
+            target.dims(),
+            "masked_sq_err target shape"
+        );
+        assert_eq!(
+            self.value(pred).dims(),
+            mask.dims(),
+            "masked_sq_err mask shape"
+        );
         let diff = ew::sub(self.value(pred), target);
         let masked = ew::mul(&diff, mask);
         let value = Tensor::scalar(
-            masked.data().iter().zip(diff.data()).map(|(&m, &d)| (m * d) as f64).sum::<f64>() as f32,
+            masked
+                .data()
+                .iter()
+                .zip(diff.data())
+                .map(|(&m, &d)| (m * d) as f64)
+                .sum::<f64>() as f32,
         );
         let target = target.clone();
         let mask = mask.clone();
@@ -572,7 +594,10 @@ impl Tape {
     pub fn avg_pool_axis(&mut self, a: Var, axis: usize, pool: usize) -> Var {
         let src = self.value(a);
         let mid = src.dim(axis);
-        assert!(pool > 0 && mid.is_multiple_of(pool), "axis extent {mid} not divisible by pool {pool}");
+        assert!(
+            pool > 0 && mid.is_multiple_of(pool),
+            "axis extent {mid} not divisible by pool {pool}"
+        );
         let outer: usize = src.dims()[..axis].iter().product();
         let inner: usize = src.dims()[axis + 1..].iter().product();
         let out_mid = mid / pool;
@@ -622,7 +647,10 @@ impl Tape {
     pub fn max_pool_axis(&mut self, a: Var, axis: usize, pool: usize) -> Var {
         let src = self.value(a);
         let mid = src.dim(axis);
-        assert!(pool > 0 && mid.is_multiple_of(pool), "axis extent {mid} not divisible by pool {pool}");
+        assert!(
+            pool > 0 && mid.is_multiple_of(pool),
+            "axis extent {mid} not divisible by pool {pool}"
+        );
         let outer: usize = src.dims()[..axis].iter().product();
         let inner: usize = src.dims()[axis + 1..].iter().product();
         let out_mid = mid / pool;
@@ -682,13 +710,18 @@ impl Tape {
             if grads[i].is_none() || !self.nodes[i].requires_grad {
                 continue;
             }
-            let Some(bw) = &self.nodes[i].backward else { continue };
+            let Some(bw) = &self.nodes[i].backward else {
+                continue;
+            };
             let g = grads[i].take().expect("checked above");
             let node = &self.nodes[i];
             let parent_vals: Vec<&Tensor> =
                 node.parents.iter().map(|&p| &self.nodes[p].value).collect();
-            let needs: Vec<bool> =
-                node.parents.iter().map(|&p| self.nodes[p].requires_grad).collect();
+            let needs: Vec<bool> = node
+                .parents
+                .iter()
+                .map(|&p| self.nodes[p].requires_grad)
+                .collect();
             let pgrads = bw(&g, &parent_vals, &node.value, &needs);
             debug_assert_eq!(pgrads.len(), node.parents.len());
             for (&p, pg) in node.parents.iter().zip(pgrads) {
@@ -696,7 +729,11 @@ impl Tape {
                 if !self.nodes[p].requires_grad {
                     continue;
                 }
-                debug_assert_eq!(pg.dims(), self.nodes[p].value.dims(), "gradient shape mismatch");
+                debug_assert_eq!(
+                    pg.dims(),
+                    self.nodes[p].value.dims(),
+                    "gradient shape mismatch"
+                );
                 match &mut grads[p] {
                     Some(acc) => {
                         for (a, b) in acc.data_mut().iter_mut().zip(pg.data()) {
@@ -709,7 +746,12 @@ impl Tape {
         }
 
         // Collect parameter gradients (accumulate duplicates of the same id).
-        let max_id = self.param_leaves.iter().map(|&(_, id)| id.index() + 1).max().unwrap_or(0);
+        let max_id = self
+            .param_leaves
+            .iter()
+            .map(|&(_, id)| id.index() + 1)
+            .max()
+            .unwrap_or(0);
         let mut by_param: Vec<Option<Tensor>> = (0..max_id).map(|_| None).collect();
         for &(node, id) in &self.param_leaves {
             if let Some(g) = &grads[node] {
@@ -729,7 +771,11 @@ impl Tape {
     /// Gradient w.r.t. an arbitrary leaf (for gradient checking).
     pub fn backward_wrt(&self, loss: Var, leaves: &[Var]) -> Vec<Option<Tensor>> {
         // Re-run the generic pass but harvest arbitrary node gradients.
-        assert_eq!(self.nodes[loss.0].value.numel(), 1, "backward requires scalar loss");
+        assert_eq!(
+            self.nodes[loss.0].value.numel(),
+            1,
+            "backward requires scalar loss"
+        );
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[loss.0] = Some(Tensor::full(self.nodes[loss.0].value.dims(), 1.0));
         let keep: std::collections::HashSet<usize> = leaves.iter().map(|v| v.0).collect();
@@ -737,7 +783,9 @@ impl Tape {
             if grads[i].is_none() || !self.nodes[i].requires_grad {
                 continue;
             }
-            let Some(bw) = &self.nodes[i].backward else { continue };
+            let Some(bw) = &self.nodes[i].backward else {
+                continue;
+            };
             let g = if keep.contains(&i) {
                 grads[i].clone().expect("checked above")
             } else {
@@ -746,8 +794,11 @@ impl Tape {
             let node = &self.nodes[i];
             let parent_vals: Vec<&Tensor> =
                 node.parents.iter().map(|&p| &self.nodes[p].value).collect();
-            let needs: Vec<bool> =
-                node.parents.iter().map(|&p| self.nodes[p].requires_grad).collect();
+            let needs: Vec<bool> = node
+                .parents
+                .iter()
+                .map(|&p| self.nodes[p].requires_grad)
+                .collect();
             let pgrads = bw(&g, &parent_vals, &node.value, &needs);
             for (&p, pg) in node.parents.iter().zip(pgrads) {
                 let Some(pg) = pg else { continue };
@@ -892,7 +943,10 @@ mod tests {
         let vals = tape.value(d).data();
         assert!(vals.iter().all(|&x| x == 0.0 || x == 2.0));
         let mean = tape.value(d).mean();
-        assert!((mean - 1.0).abs() < 0.15, "inverted dropout keeps the mean, got {mean}");
+        assert!(
+            (mean - 1.0).abs() < 0.15,
+            "inverted dropout keeps the mean, got {mean}"
+        );
     }
 
     #[test]

@@ -135,6 +135,30 @@ proptest! {
         }
     }
 
+    /// Any non-empty trailer after a valid payload must be rejected — the
+    /// serving registry treats checkpoints as untrusted input.
+    #[test]
+    fn param_store_rejects_trailing_bytes(
+        tensors in proptest::collection::vec(
+            (1usize..5, 1usize..5, proptest::collection::vec(-10.0f32..10.0, 25)),
+            1..4,
+        ),
+        trailer in proptest::collection::vec(0u8..=255, 1..9),
+    ) {
+        let mut store = ParamStore::new();
+        for (i, (r, c, data)) in tensors.iter().enumerate() {
+            let t = Tensor::from_vec(&[*r, *c], data[..r * c].to_vec());
+            store.register(format!("p{i}"), t);
+        }
+        let mut padded = store.to_bytes().to_vec();
+        padded.extend_from_slice(&trailer);
+        prop_assert!(
+            ParamStore::from_bytes(bytes::Bytes::from(padded)).is_none(),
+            "payload + {} trailing bytes must not deserialize",
+            trailer.len()
+        );
+    }
+
     /// Dropout in training mode preserves expectation (within tolerance).
     #[test]
     fn dropout_preserves_mean(p in 0.05f32..0.7, seed in 0u64..100) {

@@ -1,0 +1,592 @@
+//! Request broker: a crossbeam-channel worker pool that micro-batches
+//! concurrent forecast requests, caches computed interval tensors, and
+//! degrades to the NH historical-average baseline instead of erroring.
+//!
+//! One model forward pass predicts the *full* OD tensor for every horizon
+//! step, so all concurrent requests that share a `(t_end, horizon,
+//! version)` key — no matter which OD pair they ask about — are collapsed
+//! into a single invocation: the first request enqueues the computation
+//! and later ones attach themselves as waiters (`batched_joins`) or hit
+//! the finished cache entry (`cache_hits`).
+//!
+//! Every request carries a deadline. If the computation does not finish in
+//! time, or no checkpoint has been promoted, or the feature window is not
+//! available, the request is answered from the NH baseline
+//! ([`stod_baselines::NaiveHistograms`]) — a valid, if less sharp,
+//! forecast — and the reason is counted in [`crate::ServeStats`].
+
+use crate::ingest::FeatureStore;
+use crate::registry::Registry;
+use crate::stats::ServeStats;
+use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use stod_baselines::NaiveHistograms;
+use stod_tensor::Tensor;
+
+/// Broker tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BrokerConfig {
+    /// Worker threads executing model invocations.
+    pub workers: usize,
+    /// Historical intervals `s` fed to the model per invocation.
+    pub lookback: usize,
+    /// Computed interval tensors kept in the cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> BrokerConfig {
+        BrokerConfig {
+            workers: 2,
+            lookback: 4,
+            cache_capacity: 32,
+        }
+    }
+}
+
+/// One forecast request: the histogram of OD pair `(origin, dest)` for
+/// future step `step` (0-based) of a `horizon`-step forecast anchored at
+/// the last observed interval `t_end`.
+#[derive(Debug, Clone, Copy)]
+pub struct ForecastRequest {
+    /// Origin region id.
+    pub origin: usize,
+    /// Destination region id.
+    pub dest: usize,
+    /// Last observed (sealed) interval the forecast conditions on.
+    pub t_end: usize,
+    /// Number of future steps to predict in one invocation.
+    pub horizon: usize,
+    /// Which of those steps to return (`step < horizon`).
+    pub step: usize,
+    /// Time budget; on expiry the NH fallback answers instead.
+    pub deadline: Duration,
+}
+
+/// Why a request was answered by the NH baseline instead of the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The deadline expired before the model invocation finished.
+    Deadline,
+    /// No checkpoint was promoted (or the broker is shutting down).
+    NoModel,
+    /// The feature store had no sealed tensor for `t_end`.
+    NoFeatures,
+}
+
+/// Who produced a forecast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// The promoted model, at this checkpoint version.
+    Model {
+        /// Registry version that computed the forecast.
+        version: u32,
+    },
+    /// The NH historical-average baseline.
+    Fallback(FallbackReason),
+}
+
+/// A served forecast.
+#[derive(Debug, Clone)]
+pub struct ServedForecast {
+    /// Predicted speed histogram (`K` buckets, sums to 1).
+    pub histogram: Vec<f32>,
+    /// Model or fallback provenance.
+    pub source: Source,
+    /// End-to-end latency of this request.
+    pub latency: Duration,
+}
+
+/// Cache/coalescing key: requests sharing it share one invocation. The
+/// version is part of the key so a hot-swap never serves stale tensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    t_end: usize,
+    horizon: usize,
+    version: u32,
+}
+
+/// A finished full-tensor computation (all horizon steps).
+struct Computed {
+    version: u32,
+    predictions: Vec<Tensor>,
+}
+
+type ComputeResult = Result<Arc<Computed>, FallbackReason>;
+
+enum CacheEntry {
+    /// Being computed; senders of requests waiting for the result.
+    InFlight(Vec<Sender<ComputeResult>>),
+    /// Finished; served straight from the cache.
+    Done(ComputeResult),
+}
+
+struct Shared {
+    registry: Arc<Registry>,
+    features: Arc<FeatureStore>,
+    fallback: NaiveHistograms,
+    stats: Arc<ServeStats>,
+    cfg: BrokerConfig,
+    cache: Mutex<HashMap<Key, CacheEntry>>,
+}
+
+/// The serving broker. Cheap to share by reference across request
+/// threads; dropping it shuts the worker pool down.
+pub struct Broker {
+    shared: Arc<Shared>,
+    jobs: Option<Sender<Key>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Broker {
+    /// Starts `cfg.workers` worker threads over the given registry,
+    /// feature store and pre-fitted NH fallback.
+    pub fn new(
+        registry: Arc<Registry>,
+        features: Arc<FeatureStore>,
+        fallback: NaiveHistograms,
+        stats: Arc<ServeStats>,
+        cfg: BrokerConfig,
+    ) -> Broker {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        assert!(cfg.cache_capacity >= 1, "need a non-empty cache");
+        let shared = Arc::new(Shared {
+            registry,
+            features,
+            fallback,
+            stats,
+            cfg,
+            cache: Mutex::new(HashMap::new()),
+        });
+        let (jobs, job_rx) = unbounded::<Key>();
+        let workers = (0..cfg.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = job_rx.clone();
+                std::thread::spawn(move || {
+                    while let Ok(key) = rx.recv() {
+                        Broker::run_job(&shared, key);
+                    }
+                })
+            })
+            .collect();
+        Broker {
+            shared,
+            jobs: Some(jobs),
+            workers,
+        }
+    }
+
+    /// Serving statistics shared with this broker.
+    pub fn stats(&self) -> Arc<ServeStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// Answers one forecast request, micro-batching with concurrent
+    /// requests for the same key and falling back to NH on any failure.
+    pub fn forecast(&self, req: ForecastRequest) -> ServedForecast {
+        let n = self.shared.features.num_regions();
+        assert!(req.origin < n && req.dest < n, "region id out of range");
+        assert!(req.step < req.horizon, "step must be < horizon");
+        let start = Instant::now();
+        let stats = &self.shared.stats;
+        stats.requests_total.fetch_add(1, Ordering::Relaxed);
+
+        let result = match self.shared.registry.active_version() {
+            None => Err(FallbackReason::NoModel),
+            Some(version) => {
+                let key = Key {
+                    t_end: req.t_end,
+                    horizon: req.horizon,
+                    version,
+                };
+                match self.join_or_enqueue(key) {
+                    Joined::Ready(result) => result,
+                    Joined::Wait(rx) => {
+                        let remaining = req.deadline.saturating_sub(start.elapsed());
+                        match rx.recv_timeout(remaining) {
+                            // The deadline is enforced at hand-back, not
+                            // just as a receive timeout: a computation that
+                            // finishes after the budget — even if its result
+                            // happens to be sitting in the channel already —
+                            // is discarded in favor of the fallback. (The
+                            // tensor still lands in the cache for later
+                            // requests.)
+                            Ok(_) if start.elapsed() > req.deadline => {
+                                Err(FallbackReason::Deadline)
+                            }
+                            Ok(result) => result,
+                            Err(RecvTimeoutError::Timeout) => Err(FallbackReason::Deadline),
+                            Err(RecvTimeoutError::Disconnected) => Err(FallbackReason::NoModel),
+                        }
+                    }
+                }
+            }
+        };
+
+        let (histogram, source) = match result {
+            Ok(computed) => {
+                let pred = &computed.predictions[req.step];
+                let k = pred.dim(3);
+                let hist: Vec<f32> = (0..k)
+                    .map(|b| pred.at(&[0, req.origin, req.dest, b]))
+                    .collect();
+                (
+                    hist,
+                    Source::Model {
+                        version: computed.version,
+                    },
+                )
+            }
+            Err(reason) => {
+                let counter = match reason {
+                    FallbackReason::Deadline => &stats.fallbacks_deadline,
+                    FallbackReason::NoModel => &stats.fallbacks_no_model,
+                    FallbackReason::NoFeatures => &stats.fallbacks_no_features,
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                (
+                    self.shared
+                        .fallback
+                        .pair_histogram(req.origin, req.dest)
+                        .to_vec(),
+                    Source::Fallback(reason),
+                )
+            }
+        };
+
+        let latency = start.elapsed();
+        stats.latency.record(latency);
+        ServedForecast {
+            histogram,
+            source,
+            latency,
+        }
+    }
+
+    /// Joins an in-flight computation, hits the cache, or becomes the
+    /// leader that enqueues a new job.
+    fn join_or_enqueue(&self, key: Key) -> Joined {
+        let (tx, rx) = bounded::<ComputeResult>(1);
+        {
+            let mut cache = self.shared.cache.lock();
+            match cache.get_mut(&key) {
+                Some(CacheEntry::Done(result)) => {
+                    self.shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Joined::Ready(result.clone());
+                }
+                Some(CacheEntry::InFlight(waiters)) => {
+                    self.shared
+                        .stats
+                        .batched_joins
+                        .fetch_add(1, Ordering::Relaxed);
+                    waiters.push(tx);
+                    return Joined::Wait(rx);
+                }
+                None => {
+                    cache.insert(key, CacheEntry::InFlight(vec![tx]));
+                }
+            }
+        }
+        // Leader path: hand the key to the worker pool. A send can only
+        // fail during shutdown; surface that as the no-model fallback.
+        match self.jobs.as_ref().expect("broker running").send(key) {
+            Ok(()) => Joined::Wait(rx),
+            Err(_) => {
+                self.shared.cache.lock().remove(&key);
+                Joined::Ready(Err(FallbackReason::NoModel))
+            }
+        }
+    }
+
+    /// Executes one keyed computation on a worker thread and fans the
+    /// result out to every waiter.
+    fn run_job(shared: &Shared, key: Key) {
+        let result: ComputeResult = match shared.registry.get(key.version) {
+            None => Err(FallbackReason::NoModel),
+            Some(model) => {
+                match shared
+                    .features
+                    .window_inputs(key.t_end, shared.cfg.lookback)
+                {
+                    None => Err(FallbackReason::NoFeatures),
+                    Some(inputs) => {
+                        let predictions = model.forecast(&inputs, key.horizon);
+                        shared
+                            .stats
+                            .model_invocations
+                            .fetch_add(1, Ordering::Relaxed);
+                        Ok(Arc::new(Computed {
+                            version: key.version,
+                            predictions,
+                        }))
+                    }
+                }
+            }
+        };
+        let waiters = {
+            let mut cache = shared.cache.lock();
+            let waiters = match cache.insert(key, CacheEntry::Done(result.clone())) {
+                Some(CacheEntry::InFlight(waiters)) => waiters,
+                _ => Vec::new(),
+            };
+            // Evict oldest finished entries beyond capacity; in-flight
+            // entries are never evicted (their waiters must be answered).
+            while cache.len() > shared.cfg.cache_capacity {
+                let oldest = cache
+                    .iter()
+                    .filter(|(k, e)| matches!(e, CacheEntry::Done(_)) && **k != key)
+                    .map(|(k, _)| *k)
+                    .min_by_key(|k| k.t_end);
+                match oldest {
+                    Some(k) => cache.remove(&k),
+                    None => break,
+                };
+            }
+            waiters
+        };
+        for waiter in waiters {
+            let _ = waiter.send(result.clone());
+        }
+    }
+}
+
+enum Joined {
+    /// The result is already available.
+    Ready(ComputeResult),
+    /// Wait on this receiver (bounded by the request deadline).
+    Wait(crossbeam::channel::Receiver<ComputeResult>),
+}
+
+impl Drop for Broker {
+    fn drop(&mut self) {
+        // Closing the job channel stops the workers after the jobs already
+        // queued; waiters of any remaining in-flight entries see their
+        // sender side dropped and fall back.
+        self.jobs = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ModelConfig, ModelKind};
+    use stod_core::BfConfig;
+    use stod_nn::ParamStore;
+    use stod_traffic::{CityModel, HistogramSpec, OdDataset, SimConfig, Trip};
+
+    const N: usize = 4;
+    const LOOKBACK: usize = 2;
+
+    fn dataset() -> OdDataset {
+        let cfg = SimConfig {
+            num_days: 1,
+            intervals_per_day: 16,
+            trips_per_interval: 80.0,
+            ..SimConfig::small(11)
+        };
+        OdDataset::generate(CityModel::small(N), &cfg)
+    }
+
+    fn serving_stack(promote: bool) -> (Broker, Arc<ServeStats>) {
+        let ds = dataset();
+        let stats = Arc::new(ServeStats::new());
+        let config = ModelConfig {
+            kind: ModelKind::Bf(BfConfig {
+                encode_dim: 8,
+                gru_hidden: 8,
+                ..BfConfig::default()
+            }),
+            centroids: ds.city.centroids(),
+            num_buckets: ds.spec.num_buckets,
+        };
+        let registry = Arc::new(Registry::new(config.clone(), Arc::clone(&stats)));
+        if promote {
+            let model = config.build(1);
+            let store = ParamStore::from_bytes(model.params().to_bytes()).unwrap();
+            let v = registry.register_store(store).unwrap();
+            registry.promote(v).unwrap();
+        }
+        let features = Arc::new(FeatureStore::new(N, ds.spec, 8));
+        for t in 0..8 {
+            features.insert_tensor(t, ds.tensors[t].clone());
+        }
+        let fallback = NaiveHistograms::fit(&ds, 8);
+        let cfg = BrokerConfig {
+            workers: 2,
+            lookback: LOOKBACK,
+            cache_capacity: 4,
+        };
+        (
+            Broker::new(registry, features, fallback, stats.clone(), cfg),
+            stats,
+        )
+    }
+
+    fn req(t_end: usize) -> ForecastRequest {
+        ForecastRequest {
+            origin: 0,
+            dest: 1,
+            t_end,
+            horizon: 2,
+            step: 0,
+            deadline: Duration::from_secs(30),
+        }
+    }
+
+    fn assert_valid_hist(h: &[f32]) {
+        assert_eq!(h.len(), 7);
+        let sum: f32 = h.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "histogram sums to {sum}");
+        assert!(h.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn model_answers_within_deadline() {
+        let (broker, stats) = serving_stack(true);
+        let fc = broker.forecast(req(5));
+        assert!(matches!(fc.source, Source::Model { version: 1 }));
+        assert_valid_hist(&fc.histogram);
+        let snap = stats.snapshot();
+        assert_eq!(snap.requests_total, 1);
+        assert_eq!(snap.model_invocations, 1);
+        assert_eq!(snap.fallbacks_total(), 0);
+    }
+
+    #[test]
+    fn repeat_requests_hit_cache() {
+        let (broker, stats) = serving_stack(true);
+        broker.forecast(req(5));
+        let second = broker.forecast(req(5));
+        assert!(matches!(second.source, Source::Model { .. }));
+        let snap = stats.snapshot();
+        assert_eq!(
+            snap.model_invocations, 1,
+            "second request must not recompute"
+        );
+        assert_eq!(snap.cache_hits, 1);
+    }
+
+    #[test]
+    fn no_model_falls_back_to_nh() {
+        let (broker, stats) = serving_stack(false);
+        let fc = broker.forecast(req(5));
+        assert_eq!(fc.source, Source::Fallback(FallbackReason::NoModel));
+        assert_valid_hist(&fc.histogram);
+        assert_eq!(stats.snapshot().fallbacks_no_model, 1);
+    }
+
+    #[test]
+    fn unsealed_interval_falls_back_to_nh() {
+        let (broker, stats) = serving_stack(true);
+        let fc = broker.forecast(req(99));
+        assert_eq!(fc.source, Source::Fallback(FallbackReason::NoFeatures));
+        assert_valid_hist(&fc.histogram);
+        assert_eq!(stats.snapshot().fallbacks_no_features, 1);
+    }
+
+    #[test]
+    fn zero_deadline_falls_back_to_nh() {
+        let (broker, stats) = serving_stack(true);
+        let fc = broker.forecast(ForecastRequest {
+            deadline: Duration::ZERO,
+            ..req(5)
+        });
+        assert_eq!(fc.source, Source::Fallback(FallbackReason::Deadline));
+        assert_valid_hist(&fc.histogram);
+        assert_eq!(stats.snapshot().fallbacks_deadline, 1);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_share_one_invocation() {
+        let (broker, stats) = serving_stack(true);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|_| broker.forecast(req(6))))
+                .collect();
+            for h in handles {
+                let fc = h.join().unwrap();
+                assert!(matches!(fc.source, Source::Model { .. }));
+                assert_valid_hist(&fc.histogram);
+            }
+        })
+        .unwrap();
+        let snap = stats.snapshot();
+        assert_eq!(snap.requests_total, 4);
+        assert_eq!(
+            snap.model_invocations, 1,
+            "4 identical requests, 1 forward pass"
+        );
+        assert_eq!(
+            snap.batched_joins + snap.cache_hits,
+            3,
+            "the 3 followers must have joined or hit the cache"
+        );
+    }
+
+    #[test]
+    fn different_pairs_same_interval_share_one_invocation() {
+        let (broker, stats) = serving_stack(true);
+        for (o, d) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            let fc = broker.forecast(ForecastRequest {
+                origin: o,
+                dest: d,
+                ..req(7)
+            });
+            assert!(matches!(fc.source, Source::Model { .. }));
+        }
+        assert_eq!(stats.snapshot().model_invocations, 1);
+    }
+
+    #[test]
+    fn trips_streamed_live_can_be_served() {
+        let ds = dataset();
+        let stats = Arc::new(ServeStats::new());
+        let config = ModelConfig {
+            kind: ModelKind::Bf(BfConfig {
+                encode_dim: 8,
+                gru_hidden: 8,
+                ..BfConfig::default()
+            }),
+            centroids: ds.city.centroids(),
+            num_buckets: ds.spec.num_buckets,
+        };
+        let registry = Arc::new(Registry::new(config.clone(), Arc::clone(&stats)));
+        let model = config.build(2);
+        let v = registry
+            .register_store(ParamStore::from_bytes(model.params().to_bytes()).unwrap())
+            .unwrap();
+        registry.promote(v).unwrap();
+        let features = Arc::new(FeatureStore::new(N, HistogramSpec::paper(), 4));
+        for t in 0..3 {
+            for o in 0..N {
+                features.push_trip(Trip {
+                    origin: o,
+                    dest: (o + 1) % N,
+                    interval: t,
+                    distance_km: 2.0,
+                    speed_ms: 8.0,
+                });
+            }
+            assert_eq!(features.seal_interval(t), N);
+        }
+        let fallback = NaiveHistograms::fit(&ds, 8);
+        let cfg = BrokerConfig {
+            workers: 1,
+            lookback: LOOKBACK,
+            cache_capacity: 4,
+        };
+        let broker = Broker::new(registry, features, fallback, stats, cfg);
+        let fc = broker.forecast(req(2));
+        assert!(matches!(fc.source, Source::Model { .. }));
+        assert_valid_hist(&fc.histogram);
+    }
+}

@@ -1,0 +1,253 @@
+//! Streaming feature store: turns incoming [`Trip`] records into the
+//! per-interval sparse OD tensors the models consume, keeps a sliding
+//! window of recent intervals, and evicts anything older than the
+//! configured lookback.
+//!
+//! Two ingestion paths exist: `push_trip` + `seal_interval` for live
+//! streams (trips accumulate per interval until the interval closes), and
+//! `insert_tensor` for replaying already-binned tensors, e.g. out of an
+//! [`stod_traffic::OdDataset`].
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use stod_tensor::{stack, Tensor};
+use stod_traffic::{HistogramSpec, OdTensor, Trip};
+
+/// Thread-safe sliding-window store of recent interval tensors.
+pub struct FeatureStore {
+    num_regions: usize,
+    spec: HistogramSpec,
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Trips of intervals still open, awaiting their seal.
+    pending: BTreeMap<usize, Vec<Trip>>,
+    /// Binned tensors of closed intervals, newest retained `capacity`.
+    sealed: BTreeMap<usize, OdTensor>,
+}
+
+impl FeatureStore {
+    /// A store for `num_regions` regions retaining at most `capacity`
+    /// sealed intervals (use at least the model lookback `s`).
+    pub fn new(num_regions: usize, spec: HistogramSpec, capacity: usize) -> FeatureStore {
+        assert!(capacity >= 1, "capacity must be ≥ 1");
+        FeatureStore {
+            num_regions,
+            spec,
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Number of regions `N`.
+    pub fn num_regions(&self) -> usize {
+        self.num_regions
+    }
+
+    /// Buffers one streamed trip into its (still open) interval.
+    ///
+    /// Trips with out-of-range region ids are dropped — a live feed must
+    /// not be able to crash the server.
+    pub fn push_trip(&self, trip: Trip) {
+        if trip.origin >= self.num_regions || trip.dest >= self.num_regions {
+            return;
+        }
+        self.inner
+            .lock()
+            .pending
+            .entry(trip.interval)
+            .or_default()
+            .push(trip);
+    }
+
+    /// Closes interval `t`: bins its buffered trips into a sparse OD
+    /// tensor, stores it, evicts intervals beyond capacity, and returns
+    /// the number of trips binned. Unseen intervals seal as all-empty.
+    pub fn seal_interval(&self, t: usize) -> usize {
+        let mut inner = self.inner.lock();
+        let trips = inner.pending.remove(&t).unwrap_or_default();
+        let tensor = OdTensor::from_trips(self.num_regions, &self.spec, &trips);
+        inner.sealed.insert(t, tensor);
+        self.evict(&mut inner);
+        trips.len()
+    }
+
+    /// Inserts an already-binned interval tensor (replay path).
+    ///
+    /// # Panics
+    /// Panics if the tensor's shape disagrees with the store's.
+    pub fn insert_tensor(&self, t: usize, tensor: OdTensor) {
+        assert_eq!(
+            tensor.data.dims(),
+            &[self.num_regions, self.num_regions, self.spec.num_buckets],
+            "interval tensor shape mismatch"
+        );
+        let mut inner = self.inner.lock();
+        inner.sealed.insert(t, tensor);
+        self.evict(&mut inner);
+    }
+
+    fn evict(&self, inner: &mut Inner) {
+        while inner.sealed.len() > self.capacity {
+            let oldest = *inner.sealed.keys().next().unwrap();
+            inner.sealed.remove(&oldest);
+        }
+        // Pending trips for intervals at or before the eviction horizon can
+        // never be served; drop them too.
+        if let Some(&newest) = inner.sealed.keys().next_back() {
+            let horizon = (newest + 1).saturating_sub(self.capacity);
+            inner.pending.retain(|&t, _| t >= horizon);
+        }
+    }
+
+    /// Newest sealed interval index, if any.
+    pub fn latest_interval(&self) -> Option<usize> {
+        self.inner.lock().sealed.keys().next_back().copied()
+    }
+
+    /// Number of sealed intervals currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().sealed.len()
+    }
+
+    /// True when no interval has been sealed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Observation coverage of a sealed interval.
+    pub fn coverage(&self, t: usize) -> Option<f64> {
+        self.inner.lock().sealed.get(&t).map(OdTensor::coverage)
+    }
+
+    /// Model inputs for a window of `s` intervals ending at `t_end`
+    /// (inclusive): each step's data as a `[1, N, N, K]` tensor, oldest
+    /// first.
+    ///
+    /// Returns `None` when `t_end` has not been sealed yet (the interval
+    /// is still open — forecasting from it would peek into the future) or
+    /// when the window underflows interval 0. Intervals *inside* the
+    /// window that were evicted or never sealed contribute an all-empty
+    /// tensor: live traffic is sparse and the models are trained on
+    /// sparse inputs.
+    pub fn window_inputs(&self, t_end: usize, s: usize) -> Option<Vec<Tensor>> {
+        assert!(s >= 1, "lookback must be ≥ 1");
+        if t_end + 1 < s {
+            return None;
+        }
+        let inner = self.inner.lock();
+        if !inner.sealed.contains_key(&t_end) {
+            return None;
+        }
+        let empty = OdTensor::empty(self.num_regions, self.num_regions, self.spec.num_buckets);
+        Some(
+            (t_end + 1 - s..=t_end)
+                .map(|t| {
+                    let data = &inner.sealed.get(&t).unwrap_or(&empty).data;
+                    stack(&[data], 0)
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trip(o: usize, d: usize, t: usize, v: f64) -> Trip {
+        Trip {
+            origin: o,
+            dest: d,
+            interval: t,
+            distance_km: 1.0,
+            speed_ms: v,
+        }
+    }
+
+    fn store() -> FeatureStore {
+        FeatureStore::new(3, HistogramSpec::paper(), 4)
+    }
+
+    #[test]
+    fn seal_bins_trips_into_histograms() {
+        let fs = store();
+        fs.push_trip(trip(0, 1, 5, 2.0));
+        fs.push_trip(trip(0, 1, 5, 4.0));
+        fs.push_trip(trip(2, 2, 5, 10.0));
+        assert_eq!(fs.seal_interval(5), 3);
+        let inputs = fs.window_inputs(5, 1).unwrap();
+        assert_eq!(inputs.len(), 1);
+        assert_eq!(inputs[0].dims(), &[1, 3, 3, 7]);
+        // (0,1): one trip in [0,3), one in [3,6).
+        assert_eq!(inputs[0].at(&[0, 0, 1, 0]), 0.5);
+        assert_eq!(inputs[0].at(&[0, 0, 1, 1]), 0.5);
+        // (2,2): one trip in [9,12).
+        assert_eq!(inputs[0].at(&[0, 2, 2, 3]), 1.0);
+        // Unobserved pair stays all-zero.
+        assert_eq!(inputs[0].at(&[0, 1, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_trips_dropped() {
+        let fs = store();
+        fs.push_trip(trip(7, 0, 1, 5.0));
+        fs.push_trip(trip(0, 9, 1, 5.0));
+        assert_eq!(fs.seal_interval(1), 0);
+    }
+
+    #[test]
+    fn window_requires_sealed_t_end() {
+        let fs = store();
+        fs.seal_interval(3);
+        assert!(fs.window_inputs(4, 2).is_none(), "interval 4 still open");
+        assert!(fs.window_inputs(1, 3).is_none(), "window underflows");
+        fs.seal_interval(4);
+        assert!(fs.window_inputs(4, 2).is_some());
+    }
+
+    #[test]
+    fn missing_interior_intervals_are_empty() {
+        let fs = store();
+        fs.push_trip(trip(0, 0, 2, 5.0));
+        fs.seal_interval(2);
+        fs.push_trip(trip(1, 1, 4, 5.0));
+        fs.seal_interval(4); // interval 3 never sealed
+        let inputs = fs.window_inputs(4, 3).unwrap();
+        assert_eq!(inputs.len(), 3);
+        let total: f32 = inputs[1].data().iter().sum();
+        assert_eq!(total, 0.0, "unsealed interval must be empty");
+        assert!(inputs[0].data().iter().sum::<f32>() > 0.0);
+        assert!(inputs[2].data().iter().sum::<f32>() > 0.0);
+    }
+
+    #[test]
+    fn eviction_keeps_newest_capacity_intervals() {
+        let fs = store(); // capacity 4
+        for t in 0..10 {
+            fs.push_trip(trip(0, 0, t, 5.0));
+            fs.seal_interval(t);
+        }
+        assert_eq!(fs.len(), 4);
+        assert_eq!(fs.latest_interval(), Some(9));
+        // Evicted intervals now read as empty inside a window.
+        let inputs = fs.window_inputs(9, 4).unwrap();
+        assert!(inputs.iter().all(|i| i.data().iter().sum::<f32>() > 0.0));
+        assert!(fs.coverage(5).is_none(), "interval 5 evicted");
+        assert!(fs.coverage(6).is_some());
+    }
+
+    #[test]
+    fn stale_pending_trips_pruned() {
+        let fs = store(); // capacity 4
+        fs.push_trip(trip(0, 0, 0, 5.0));
+        for t in 1..8 {
+            fs.seal_interval(t);
+        }
+        // Interval 0 fell behind the horizon; sealing it now bins nothing.
+        assert_eq!(fs.seal_interval(0), 0);
+    }
+}

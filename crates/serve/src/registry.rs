@@ -1,0 +1,340 @@
+//! Versioned model registry with atomic hot-swap.
+//!
+//! Checkpoints (the `ParamStore` binary format of `stod-nn`) are loaded,
+//! validated against the registry's [`ModelConfig`] — every parameter must
+//! exist with the exact name and shape the freshly-built architecture
+//! declares — and kept as immutable versions. [`Registry::promote`] swaps
+//! which version answers new requests by replacing an `Arc` under a
+//! `parking_lot::RwLock`; in-flight computations keep their own `Arc`
+//! clone, so a promotion never drops or corrupts requests already running
+//! against the previous version.
+
+use crate::stats::ServeStats;
+use parking_lot::RwLock;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use stod_core::{AfConfig, BfConfig, Mode, OdForecaster};
+use stod_nn::{ParamStore, Tape};
+use stod_tensor::rng::Rng64;
+use stod_tensor::Tensor;
+
+/// Which architecture the registry serves.
+#[derive(Debug, Clone)]
+pub enum ModelKind {
+    /// Basic Framework (FC factorization + GRU seq2seq).
+    Bf(BfConfig),
+    /// Advanced Framework (graph-convolutional dual-stage).
+    Af(AfConfig),
+}
+
+/// Everything needed to rebuild the served architecture from scratch, so a
+/// checkpoint can be validated parameter-by-parameter before promotion.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Architecture and hyperparameters.
+    pub kind: ModelKind,
+    /// Region centroids (km); their count fixes `N`.
+    pub centroids: Vec<(f64, f64)>,
+    /// Speed histogram buckets `K`.
+    pub num_buckets: usize,
+}
+
+impl ModelConfig {
+    /// Number of regions `N`.
+    pub fn num_regions(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Builds a freshly-initialized model of the configured architecture.
+    pub fn build(&self, seed: u64) -> Box<dyn OdForecaster + Send + Sync> {
+        match &self.kind {
+            ModelKind::Bf(cfg) => Box::new(stod_core::BfModel::new(
+                self.num_regions(),
+                self.num_buckets,
+                *cfg,
+                seed,
+            )),
+            ModelKind::Af(cfg) => Box::new(stod_core::AfModel::new(
+                &self.centroids,
+                self.num_buckets,
+                cfg.clone(),
+                seed,
+            )),
+        }
+    }
+}
+
+/// Why a checkpoint was rejected or a lookup failed.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The checkpoint file could not be read or parsed.
+    Io(std::io::Error),
+    /// The checkpoint's parameters do not match the configured
+    /// architecture (wrong count, name or shape).
+    LayoutMismatch(String),
+    /// No version with this number is registered.
+    UnknownVersion(u32),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            RegistryError::LayoutMismatch(d) => write!(f, "checkpoint layout mismatch: {d}"),
+            RegistryError::UnknownVersion(v) => write!(f, "unknown model version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// One immutable registered model version.
+pub struct ServedModel {
+    version: u32,
+    model: Box<dyn OdForecaster + Send + Sync>,
+}
+
+impl ServedModel {
+    /// This version's number (1-based, in registration order).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The underlying model's display name.
+    pub fn name(&self) -> &str {
+        self.model.name()
+    }
+
+    /// Runs one deterministic evaluation forward pass and materializes the
+    /// predicted tensors (each `[B, N, N', K]`, one per horizon step).
+    pub fn forecast(&self, inputs: &[Tensor], horizon: usize) -> Vec<Tensor> {
+        let mut tape = Tape::new();
+        let mut rng = Rng64::new(0); // unused in Eval mode; forward needs one
+        let out = self
+            .model
+            .forward(&mut tape, inputs, horizon, Mode::Eval, &mut rng);
+        out.predictions
+            .iter()
+            .map(|v| tape.value(*v).clone())
+            .collect()
+    }
+}
+
+/// The versioned checkpoint registry.
+pub struct Registry {
+    config: ModelConfig,
+    versions: RwLock<Vec<Arc<ServedModel>>>,
+    active: RwLock<Option<Arc<ServedModel>>>,
+    stats: Arc<ServeStats>,
+}
+
+impl Registry {
+    /// An empty registry for one architecture. Nothing is active until a
+    /// checkpoint is registered and promoted.
+    pub fn new(config: ModelConfig, stats: Arc<ServeStats>) -> Registry {
+        Registry {
+            config,
+            versions: RwLock::new(Vec::new()),
+            active: RwLock::new(None),
+            stats,
+        }
+    }
+
+    /// The architecture this registry validates against.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Loads a checkpoint file and registers it; see
+    /// [`Registry::register_store`].
+    pub fn register_file(&self, path: &std::path::Path) -> Result<u32, RegistryError> {
+        let store = ParamStore::load(path).map_err(RegistryError::Io)?;
+        self.register_store(store)
+    }
+
+    /// Validates a checkpoint against the configured architecture and
+    /// registers it as a new (inactive) version, returning its number.
+    pub fn register_store(&self, store: ParamStore) -> Result<u32, RegistryError> {
+        let mut model = self.config.build(0);
+        validate_layout(model.params(), &store)?;
+        model.params_mut().copy_from(&store);
+        let mut versions = self.versions.write();
+        let version = versions.len() as u32 + 1;
+        versions.push(Arc::new(ServedModel { version, model }));
+        Ok(version)
+    }
+
+    /// Atomically makes `version` the one answering new requests.
+    ///
+    /// Requests already computing against the previous version finish
+    /// unharmed: they hold their own `Arc` to it.
+    pub fn promote(&self, version: u32) -> Result<(), RegistryError> {
+        let model = self
+            .get(version)
+            .ok_or(RegistryError::UnknownVersion(version))?;
+        let mut active = self.active.write();
+        if active.is_some() {
+            self.stats.hot_swaps.fetch_add(1, Ordering::Relaxed);
+        }
+        *active = Some(model);
+        Ok(())
+    }
+
+    /// The currently active model, if any.
+    pub fn active(&self) -> Option<Arc<ServedModel>> {
+        self.active.read().clone()
+    }
+
+    /// The active model's version number, if any.
+    pub fn active_version(&self) -> Option<u32> {
+        self.active.read().as_ref().map(|m| m.version)
+    }
+
+    /// Looks a registered version up by number.
+    pub fn get(&self, version: u32) -> Option<Arc<ServedModel>> {
+        let versions = self.versions.read();
+        versions.get(version.checked_sub(1)? as usize).cloned()
+    }
+
+    /// Number of registered versions.
+    pub fn num_versions(&self) -> usize {
+        self.versions.read().len()
+    }
+}
+
+/// Checks that `store` has exactly the parameters (names, order, shapes)
+/// of the freshly-built `expected` layout.
+fn validate_layout(expected: &ParamStore, store: &ParamStore) -> Result<(), RegistryError> {
+    if expected.len() != store.len() {
+        return Err(RegistryError::LayoutMismatch(format!(
+            "expected {} parameters, checkpoint has {}",
+            expected.len(),
+            store.len()
+        )));
+    }
+    for ((_, want_name, want_val), (_, got_name, got_val)) in expected.iter().zip(store.iter()) {
+        if want_name != got_name {
+            return Err(RegistryError::LayoutMismatch(format!(
+                "expected parameter '{want_name}', checkpoint has '{got_name}'"
+            )));
+        }
+        if want_val.dims() != got_val.dims() {
+            return Err(RegistryError::LayoutMismatch(format!(
+                "parameter '{want_name}' shape {:?} != checkpoint {:?}",
+                want_val.dims(),
+                got_val.dims()
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stod_tensor::stack;
+    use stod_traffic::CityModel;
+
+    fn bf_config(n: usize) -> ModelConfig {
+        let bf = BfConfig {
+            encode_dim: 8,
+            gru_hidden: 8,
+            ..BfConfig::default()
+        };
+        ModelConfig {
+            kind: ModelKind::Bf(bf),
+            centroids: CityModel::small(n).centroids(),
+            num_buckets: 7,
+        }
+    }
+
+    fn checkpoint_for(config: &ModelConfig, seed: u64) -> ParamStore {
+        let model = config.build(seed);
+        ParamStore::from_bytes(model.params().to_bytes()).unwrap()
+    }
+
+    #[test]
+    fn register_validate_promote() {
+        let config = bf_config(4);
+        let reg = Registry::new(config.clone(), Arc::new(ServeStats::new()));
+        assert!(reg.active().is_none());
+        let v = reg.register_store(checkpoint_for(&config, 1)).unwrap();
+        assert_eq!(v, 1);
+        assert!(reg.active().is_none(), "registration must not auto-promote");
+        reg.promote(v).unwrap();
+        assert_eq!(reg.active_version(), Some(1));
+        assert_eq!(reg.active().unwrap().name(), "BF");
+    }
+
+    #[test]
+    fn layout_mismatch_rejected() {
+        let config = bf_config(4);
+        let reg = Registry::new(config, Arc::new(ServeStats::new()));
+        // A checkpoint for a different city size has wrong shapes.
+        let wrong = checkpoint_for(&bf_config(5), 1);
+        match reg.register_store(wrong) {
+            Err(RegistryError::LayoutMismatch(_)) => {}
+            other => panic!("expected LayoutMismatch, got {other:?}"),
+        }
+        let mut empty = ParamStore::new();
+        empty.register("bogus", Tensor::zeros(&[1]));
+        assert!(matches!(
+            reg.register_store(empty),
+            Err(RegistryError::LayoutMismatch(_))
+        ));
+        assert_eq!(reg.num_versions(), 0);
+    }
+
+    #[test]
+    fn promote_unknown_version_fails() {
+        let reg = Registry::new(bf_config(4), Arc::new(ServeStats::new()));
+        assert!(matches!(
+            reg.promote(1),
+            Err(RegistryError::UnknownVersion(1))
+        ));
+    }
+
+    #[test]
+    fn hot_swap_counts_and_changes_outputs() {
+        let config = bf_config(4);
+        let stats = Arc::new(ServeStats::new());
+        let reg = Registry::new(config.clone(), stats.clone());
+        let v1 = reg.register_store(checkpoint_for(&config, 1)).unwrap();
+        let v2 = reg.register_store(checkpoint_for(&config, 2)).unwrap();
+        reg.promote(v1).unwrap();
+        assert_eq!(
+            stats.snapshot().hot_swaps,
+            0,
+            "first promotion is not a swap"
+        );
+
+        let input = stack(&[&Tensor::ones(&[4, 4, 7])], 0);
+        let before = reg.active().unwrap().forecast(&[input.clone()], 1);
+        reg.promote(v2).unwrap();
+        assert_eq!(stats.snapshot().hot_swaps, 1);
+        let after = reg.active().unwrap().forecast(&[input], 1);
+        assert_ne!(
+            before[0].data(),
+            after[0].data(),
+            "differently-seeded checkpoints must forecast differently"
+        );
+    }
+
+    #[test]
+    fn forecast_outputs_are_histograms() {
+        let config = bf_config(4);
+        let reg = Registry::new(config.clone(), Arc::new(ServeStats::new()));
+        let v = reg.register_store(checkpoint_for(&config, 3)).unwrap();
+        reg.promote(v).unwrap();
+        let input = stack(&[&Tensor::ones(&[4, 4, 7])], 0);
+        let preds = reg.active().unwrap().forecast(&[input], 2);
+        assert_eq!(preds.len(), 2);
+        assert_eq!(preds[0].dims(), &[1, 4, 4, 7]);
+        for o in 0..4 {
+            for d in 0..4 {
+                let sum: f32 = (0..7).map(|k| preds[0].at(&[0, o, d, k])).sum();
+                assert!((sum - 1.0).abs() < 1e-4, "cell ({o},{d}) sums to {sum}");
+            }
+        }
+    }
+}

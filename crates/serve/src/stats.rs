@@ -1,0 +1,227 @@
+//! Serving telemetry: lock-free counters plus a latency histogram with
+//! percentile estimates, exported as a JSON-serializable snapshot.
+//!
+//! The latency histogram follows the same spirit as the equi-width speed
+//! histograms of `stod_traffic::HistogramSpec` — fixed buckets, counts,
+//! quantiles read off the cumulative mass — but uses power-of-two bucket
+//! widths because request latencies span several orders of magnitude
+//! (a cache hit is microseconds, a cold AF forward pass can be seconds).
+
+use serde::{json, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log2 latency buckets: bucket `b` covers `[2^b, 2^{b+1})` µs,
+/// so the range spans 1 µs … ~1.2 h, far beyond any sane deadline.
+const LATENCY_BUCKETS: usize = 32;
+
+/// A fixed-bucket log2 histogram of request latencies in microseconds.
+#[derive(Default)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Records one latency observation.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().max(1) as u64;
+        let bucket = (63 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) in microseconds, estimated as the
+    /// upper edge of the bucket holding the quantile's cumulative mass.
+    /// Returns 0 when nothing has been recorded.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let snapshot: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (b, &c) in snapshot.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return 1u64 << (b + 1);
+            }
+        }
+        1u64 << LATENCY_BUCKETS
+    }
+}
+
+/// Counters and latency telemetry for one serving stack. All methods take
+/// `&self`; share the struct behind an `Arc` between registry, broker and
+/// observers.
+#[derive(Default)]
+pub struct ServeStats {
+    /// Forecast requests received.
+    pub requests_total: AtomicU64,
+    /// Model forward passes actually executed.
+    pub model_invocations: AtomicU64,
+    /// Requests that joined an already-in-flight identical computation.
+    pub batched_joins: AtomicU64,
+    /// Requests answered from the interval tensor cache.
+    pub cache_hits: AtomicU64,
+    /// Requests that fell back to NH because the deadline expired.
+    pub fallbacks_deadline: AtomicU64,
+    /// Requests that fell back to NH because no model was promoted (or the
+    /// broker was shutting down).
+    pub fallbacks_no_model: AtomicU64,
+    /// Requests that fell back to NH because the feature store lacked the
+    /// input window.
+    pub fallbacks_no_features: AtomicU64,
+    /// Model promotions that replaced an already-active model.
+    pub hot_swaps: AtomicU64,
+    /// End-to-end request latencies.
+    pub latency: LatencyHistogram,
+}
+
+impl ServeStats {
+    /// Fresh, all-zero stats.
+    pub fn new() -> ServeStats {
+        ServeStats::default()
+    }
+
+    /// A point-in-time copy of every counter plus latency percentiles.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            requests_total: load(&self.requests_total),
+            model_invocations: load(&self.model_invocations),
+            batched_joins: load(&self.batched_joins),
+            cache_hits: load(&self.cache_hits),
+            fallbacks_deadline: load(&self.fallbacks_deadline),
+            fallbacks_no_model: load(&self.fallbacks_no_model),
+            fallbacks_no_features: load(&self.fallbacks_no_features),
+            hot_swaps: load(&self.hot_swaps),
+            latency_count: self.latency.count(),
+            p50_us: self.latency.quantile_us(0.50),
+            p95_us: self.latency.quantile_us(0.95),
+            p99_us: self.latency.quantile_us(0.99),
+        }
+    }
+}
+
+/// A frozen copy of [`ServeStats`], cheap to pass around and serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// See [`ServeStats::requests_total`].
+    pub requests_total: u64,
+    /// See [`ServeStats::model_invocations`].
+    pub model_invocations: u64,
+    /// See [`ServeStats::batched_joins`].
+    pub batched_joins: u64,
+    /// See [`ServeStats::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`ServeStats::fallbacks_deadline`].
+    pub fallbacks_deadline: u64,
+    /// See [`ServeStats::fallbacks_no_model`].
+    pub fallbacks_no_model: u64,
+    /// See [`ServeStats::fallbacks_no_features`].
+    pub fallbacks_no_features: u64,
+    /// See [`ServeStats::hot_swaps`].
+    pub hot_swaps: u64,
+    /// Number of latency observations behind the percentiles.
+    pub latency_count: u64,
+    /// Median request latency (µs, bucket upper edge).
+    pub p50_us: u64,
+    /// 95th-percentile request latency (µs).
+    pub p95_us: u64,
+    /// 99th-percentile request latency (µs).
+    pub p99_us: u64,
+}
+
+impl StatsSnapshot {
+    /// Requests that any fallback path answered.
+    pub fn fallbacks_total(&self) -> u64 {
+        self.fallbacks_deadline + self.fallbacks_no_model + self.fallbacks_no_features
+    }
+
+    /// This snapshot as a JSON object string.
+    pub fn to_json(&self) -> String {
+        json::to_string(self)
+    }
+}
+
+impl Serialize for StatsSnapshot {
+    fn serialize_json(&self, out: &mut String) {
+        json::object(out, |o| {
+            o.field("requests_total", &self.requests_total);
+            o.field("model_invocations", &self.model_invocations);
+            o.field("batched_joins", &self.batched_joins);
+            o.field("cache_hits", &self.cache_hits);
+            o.field("fallbacks_deadline", &self.fallbacks_deadline);
+            o.field("fallbacks_no_model", &self.fallbacks_no_model);
+            o.field("fallbacks_no_features", &self.fallbacks_no_features);
+            o.field("hot_swaps", &self.hot_swaps);
+            o.field("latency_count", &self.latency_count);
+            o.field("p50_us", &self.p50_us);
+            o.field("p95_us", &self.p95_us);
+            o.field("p99_us", &self.p99_us);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        for _ in 0..90 {
+            h.record(Duration::from_micros(100)); // bucket 6: [64, 128)
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(50)); // bucket 15: [32768, 65536)
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.50), 128);
+        assert_eq!(h.quantile_us(0.90), 128);
+        assert_eq!(h.quantile_us(0.99), 65536);
+        // p95 falls inside the slow tail's bucket.
+        assert_eq!(h.quantile_us(0.95), 65536);
+    }
+
+    #[test]
+    fn zero_duration_counts_in_first_bucket() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_us(1.0), 2);
+    }
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let s = ServeStats::new();
+        s.requests_total.fetch_add(3, Ordering::Relaxed);
+        s.cache_hits.fetch_add(1, Ordering::Relaxed);
+        s.fallbacks_deadline.fetch_add(2, Ordering::Relaxed);
+        s.latency.record(Duration::from_micros(10));
+        let snap = s.snapshot();
+        assert_eq!(snap.requests_total, 3);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.fallbacks_total(), 2);
+        assert_eq!(snap.latency_count, 1);
+    }
+
+    #[test]
+    fn snapshot_serializes_as_json_object() {
+        let snap = ServeStats::new().snapshot();
+        let js = json::to_string(&snap);
+        assert!(js.starts_with('{') && js.ends_with('}'));
+        assert!(js.contains("\"requests_total\":0"));
+        assert!(js.contains("\"p99_us\":0"));
+    }
+}

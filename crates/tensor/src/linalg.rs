@@ -35,7 +35,10 @@ impl std::error::Error for LinalgError {}
 /// `A = L·Lᵀ`.
 pub fn cholesky(a: &Tensor) -> Result<Tensor, LinalgError> {
     if a.ndim() != 2 || a.dim(0) != a.dim(1) {
-        return Err(LinalgError::ShapeMismatch(format!("cholesky needs square 2-D, got {:?}", a.dims())));
+        return Err(LinalgError::ShapeMismatch(format!(
+            "cholesky needs square 2-D, got {:?}",
+            a.dims()
+        )));
     }
     let n = a.dim(0);
     let mut l = vec![0.0f64; n * n];
@@ -56,7 +59,10 @@ pub fn cholesky(a: &Tensor) -> Result<Tensor, LinalgError> {
             }
         }
     }
-    Ok(Tensor::from_vec(&[n, n], l.into_iter().map(|x| x as f32).collect()))
+    Ok(Tensor::from_vec(
+        &[n, n],
+        l.into_iter().map(|x| x as f32).collect(),
+    ))
 }
 
 /// Solves `A·x = b` given the Cholesky factor `L` of `A` (forward then back
@@ -73,7 +79,9 @@ pub fn cholesky_solve(l: &Tensor, b: &Tensor) -> Result<Tensor, LinalgError> {
         _ => return Err(LinalgError::ShapeMismatch("rhs must be 1-D or 2-D".into())),
     };
     if rows != n {
-        return Err(LinalgError::ShapeMismatch(format!("rhs rows {rows} != n {n}")));
+        return Err(LinalgError::ShapeMismatch(format!(
+            "rhs rows {rows} != n {n}"
+        )));
     }
     let ld = l.data();
     let mut x = vec![0.0f64; n * cols];
@@ -277,7 +285,10 @@ mod tests {
 
     #[test]
     fn power_iteration_zero_matrix() {
-        assert_eq!(power_iteration_lambda_max(&Tensor::zeros(&[4, 4]), 50, 1), 0.0);
+        assert_eq!(
+            power_iteration_lambda_max(&Tensor::zeros(&[4, 4]), 50, 1),
+            0.0
+        );
     }
 
     #[test]

@@ -153,7 +153,10 @@ mod tests {
         let row = Tensor::from_vec(&[3], vec![10.0, 20.0, 30.0]);
         let col = Tensor::from_vec(&[2, 1], vec![100.0, 200.0]);
         assert_eq!(add(&m, &row).data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
-        assert_eq!(add(&m, &col).data(), &[101.0, 102.0, 103.0, 204.0, 205.0, 206.0]);
+        assert_eq!(
+            add(&m, &col).data(),
+            &[101.0, 102.0, 103.0, 204.0, 205.0, 206.0]
+        );
     }
 
     #[test]
@@ -196,7 +199,10 @@ mod tests {
         assert_eq!(relu(&t).data(), &[0.0, 4.0]);
         assert_eq!(neg(&t).data(), &[1.0, -4.0]);
         assert_eq!(clamp(&t, 0.0, 2.0).data(), &[0.0, 2.0]);
-        assert_eq!(sqrt(&Tensor::from_vec(&[2], vec![4.0, 9.0])).data(), &[2.0, 3.0]);
+        assert_eq!(
+            sqrt(&Tensor::from_vec(&[2], vec![4.0, 9.0])).data(),
+            &[2.0, 3.0]
+        );
         assert!((exp(&Tensor::scalar(0.0)).item() - 1.0).abs() < 1e-7);
         assert!((ln(&Tensor::scalar(1.0)).item()).abs() < 1e-7);
     }

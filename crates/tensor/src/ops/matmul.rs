@@ -24,7 +24,13 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(b.ndim(), 2, "matmul rhs must be 2-D, got {:?}", b.dims());
     let (m, k) = (a.dim(0), a.dim(1));
     let (k2, n) = (b.dim(0), b.dim(1));
-    assert_eq!(k, k2, "matmul inner dims mismatch: {:?} vs {:?}", a.dims(), b.dims());
+    assert_eq!(
+        k,
+        k2,
+        "matmul inner dims mismatch: {:?} vs {:?}",
+        a.dims(),
+        b.dims()
+    );
     let mut out = vec![0.0f32; m * n];
     matmul_into(a.data(), b.data(), &mut out, m, k, n);
     Tensor::from_vec(&[m, n], out)
@@ -79,10 +85,19 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
 /// # Panics
 /// Panics when the batch dimensions are incompatible or inner dims differ.
 pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    assert!(a.ndim() >= 2 && b.ndim() >= 2, "batched_matmul needs rank ≥ 2 operands");
+    assert!(
+        a.ndim() >= 2 && b.ndim() >= 2,
+        "batched_matmul needs rank ≥ 2 operands"
+    );
     let (m, k) = (a.dim(a.ndim() - 2), a.dim(a.ndim() - 1));
     let (k2, n) = (b.dim(b.ndim() - 2), b.dim(b.ndim() - 1));
-    assert_eq!(k, k2, "batched_matmul inner dims mismatch: {:?} vs {:?}", a.dims(), b.dims());
+    assert_eq!(
+        k,
+        k2,
+        "batched_matmul inner dims mismatch: {:?} vs {:?}",
+        a.dims(),
+        b.dims()
+    );
 
     let batch_a: usize = a.dims()[..a.ndim() - 2].iter().product();
     let batch_b: usize = b.dims()[..b.ndim() - 2].iter().product();
@@ -102,8 +117,16 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
     };
 
     let mut out = vec![0.0f32; batch * m * n];
-    let a_step = if batch_a == 1 && a.ndim() == 2 { 0 } else { m * k };
-    let b_step = if batch_b == 1 && b.ndim() == 2 { 0 } else { k * n };
+    let a_step = if batch_a == 1 && a.ndim() == 2 {
+        0
+    } else {
+        m * k
+    };
+    let b_step = if batch_b == 1 && b.ndim() == 2 {
+        0
+    } else {
+        k * n
+    };
     for t in 0..batch {
         let a_sl = &a.data()[t * a_step..t * a_step + m * k];
         let b_sl = &b.data()[t * b_step..t * b_step + k * n];

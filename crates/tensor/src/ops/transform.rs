@@ -60,7 +60,11 @@ pub fn concat(parts: &[&Tensor], axis: usize) -> Tensor {
         assert_eq!(p.ndim(), ndim, "concat rank mismatch");
         for d in 0..ndim {
             if d != axis {
-                assert_eq!(p.dim(d), first.dim(d), "concat non-axis dim mismatch at {d}");
+                assert_eq!(
+                    p.dim(d),
+                    first.dim(d),
+                    "concat non-axis dim mismatch at {d}"
+                );
             }
         }
     }
@@ -101,7 +105,10 @@ pub fn stack(parts: &[&Tensor], axis: usize) -> Tensor {
 /// Panics if the range is invalid for the axis extent.
 pub fn slice_axis(a: &Tensor, axis: usize, start: usize, end: usize) -> Tensor {
     assert!(axis < a.ndim(), "slice axis out of range");
-    assert!(start <= end && end <= a.dim(axis), "invalid slice [{start},{end}) on axis {axis}");
+    assert!(
+        start <= end && end <= a.dim(axis),
+        "invalid slice [{start},{end}) on axis {axis}"
+    );
     let outer: usize = a.dims()[..axis].iter().product();
     let mid = a.dim(axis);
     let inner: usize = a.dims()[axis + 1..].iter().product();

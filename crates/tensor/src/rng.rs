@@ -18,7 +18,10 @@ pub struct Rng64 {
 impl Rng64 {
     /// Creates a generator from an explicit seed.
     pub fn new(seed: u64) -> Self {
-        Rng64 { inner: StdRng::seed_from_u64(seed), gauss_spare: None }
+        Rng64 {
+            inner: StdRng::seed_from_u64(seed),
+            gauss_spare: None,
+        }
     }
 
     /// Derives an independent child generator; useful for giving each
@@ -104,7 +107,10 @@ impl Rng64 {
     pub fn sample_weighted(&mut self, weights: &[f64]) -> usize {
         assert!(!weights.is_empty(), "sample_weighted on empty weights");
         let total: f64 = weights.iter().sum();
-        assert!(total > 0.0, "sample_weighted requires positive total weight");
+        assert!(
+            total > 0.0,
+            "sample_weighted requires positive total weight"
+        );
         let mut u = self.next_f64() * total;
         for (i, &w) in weights.iter().enumerate() {
             u -= w;
@@ -162,7 +168,10 @@ mod tests {
             let n = 20_000;
             let s: usize = (0..n).map(|_| rng.next_poisson(mean)).sum();
             let emp = s as f64 / n as f64;
-            assert!((emp - mean).abs() < 0.15 * mean.max(0.5), "mean {mean} emp {emp}");
+            assert!(
+                (emp - mean).abs() < 0.15 * mean.max(0.5),
+                "mean {mean} emp {emp}"
+            );
         }
     }
 

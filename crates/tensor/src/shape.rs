@@ -117,8 +117,16 @@ pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
     let ndim = a.len().max(b.len());
     let mut out = vec![0usize; ndim];
     for i in 0..ndim {
-        let da = if i < ndim - a.len() { 1 } else { a[i - (ndim - a.len())] };
-        let db = if i < ndim - b.len() { 1 } else { b[i - (ndim - b.len())] };
+        let da = if i < ndim - a.len() {
+            1
+        } else {
+            a[i - (ndim - a.len())]
+        };
+        let db = if i < ndim - b.len() {
+            1
+        } else {
+            b[i - (ndim - b.len())]
+        };
         out[i] = if da == db {
             da
         } else if da == 1 {
@@ -138,7 +146,10 @@ pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
 /// # Panics
 /// Panics if `src` does not broadcast to `dst`.
 pub fn broadcast_strides(src: &[usize], dst: &[usize]) -> Vec<usize> {
-    assert!(src.len() <= dst.len(), "source rank exceeds destination rank");
+    assert!(
+        src.len() <= dst.len(),
+        "source rank exceeds destination rank"
+    );
     let shift = dst.len() - src.len();
     let src_strides = Shape::new(src).strides();
     let mut out = vec![0usize; dst.len()];

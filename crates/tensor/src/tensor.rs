@@ -57,12 +57,18 @@ impl Tensor {
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
         let n = shape.numel();
-        Tensor { shape, data: vec![value; n] }
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
     }
 
     /// A rank-0 tensor holding a single scalar.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::new(&[]), data: vec![value] }
+        Tensor {
+            shape: Shape::new(&[]),
+            data: vec![value],
+        }
     }
 
     /// The identity matrix of size `n × n`.
@@ -155,7 +161,12 @@ impl Tensor {
     /// # Panics
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.numel(), 1, "item() on tensor with {} elements", self.numel());
+        assert_eq!(
+            self.numel(),
+            1,
+            "item() on tensor with {} elements",
+            self.numel()
+        );
         self.data[0]
     }
 
@@ -174,13 +185,20 @@ impl Tensor {
             shape,
             shape.numel()
         );
-        Tensor { shape, data: self.data.clone() }
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
     }
 
     /// In-place reshape without copying the buffer.
     pub fn reshaped(mut self, dims: &[usize]) -> Tensor {
         let shape = Shape::new(dims);
-        assert_eq!(shape.numel(), self.numel(), "reshape element count mismatch");
+        assert_eq!(
+            shape.numel(),
+            self.numel(),
+            "reshape element count mismatch"
+        );
         self.shape = shape;
         self
     }
@@ -226,7 +244,10 @@ impl Tensor {
 
     /// Squared Frobenius norm `Σ x²`.
     pub fn frob_sq(&self) -> f32 {
-        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>() as f32
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>() as f32
     }
 
     /// True when every element is finite.
@@ -259,7 +280,12 @@ impl fmt::Debug for Tensor {
         if self.numel() <= 16 {
             write!(f, "{:?}", self.data)
         } else {
-            write!(f, "[{} elements, first = {:?}...]", self.numel(), &self.data[..8])
+            write!(
+                f,
+                "[{} elements, first = {:?}...]",
+                self.numel(),
+                &self.data[..8]
+            )
         }
     }
 }

@@ -53,10 +53,17 @@ impl CityModel {
                 let centroid = ((c as f64 + 0.5) * cell_km, (r as f64 + 0.5) * cell_km);
                 // Center regions attract more traffic (CBD effect).
                 let d = (((c as f64 - cx).powi(2) + (r as f64 - cy).powi(2)).sqrt() + 1.0).recip();
-                regions.push(Region { id, centroid, attraction: 0.3 + d });
+                regions.push(Region {
+                    id,
+                    centroid,
+                    attraction: 0.3 + d,
+                });
             }
         }
-        CityModel { name: format!("grid{rows}x{cols}"), regions }
+        CityModel {
+            name: format!("grid{rows}x{cols}"),
+            regions,
+        }
     }
 
     /// An irregular road-based partition — Figure 1(b) style — produced by
@@ -86,9 +93,16 @@ impl CityModel {
             let dc = ((centroid.0 - radius_km).powi(2) + (centroid.1 - radius_km).powi(2)).sqrt();
             let hot = (-rng.next_f64().max(1e-9).ln()).powf(1.5) * 0.3;
             let attraction = 0.2 + (1.0 - dc / radius_km).max(0.0) + hot;
-            regions.push(Region { id, centroid, attraction });
+            regions.push(Region {
+                id,
+                centroid,
+                attraction,
+            });
         }
-        CityModel { name: format!("irregular{n}"), regions }
+        CityModel {
+            name: format!("irregular{n}"),
+            regions,
+        }
     }
 
     /// NYC-like preset: 67 regions in a narrow elongated strip (Manhattan
@@ -114,12 +128,19 @@ impl CityModel {
                 let a = 0.3
                     + 1.2 * (-((yn - 0.25) / 0.12).powi(2)).exp()
                     + 0.9 * (-((yn - 0.55) / 0.15).powi(2)).exp();
-                regions.push(Region { id, centroid: (x, y), attraction: a });
+                regions.push(Region {
+                    id,
+                    centroid: (x, y),
+                    attraction: a,
+                });
                 id += 1;
             }
         }
         // Strip layout yields 69 slots; we stop at 67 like the taxizones.
-        CityModel { name: "nyc-like".into(), regions }
+        CityModel {
+            name: "nyc-like".into(),
+            regions,
+        }
     }
 
     /// Chengdu-like preset: 79 irregular regions inside the (circular)
@@ -205,7 +226,11 @@ mod tests {
 
     #[test]
     fn attractions_positive() {
-        for city in [CityModel::nyc_like(1), CityModel::chengdu_like(1), CityModel::small(9)] {
+        for city in [
+            CityModel::nyc_like(1),
+            CityModel::chengdu_like(1),
+            CityModel::small(9),
+        ] {
             assert!(city.regions.iter().all(|r| r.attraction > 0.0));
         }
     }

@@ -124,8 +124,7 @@ impl OdDataset {
     /// Simulates a dataset: latent speeds → demand → trips → histograms.
     pub fn generate(city: CityModel, cfg: &SimConfig) -> OdDataset {
         let total = cfg.num_intervals();
-        let field =
-            SpeedField::simulate(&city, cfg.intervals_per_day, total, cfg.seed, cfg.speed);
+        let field = SpeedField::simulate(&city, cfg.intervals_per_day, total, cfg.seed, cfg.speed);
         let demand = DemandModel::new(
             &city,
             cfg.intervals_per_day,
@@ -139,7 +138,9 @@ impl OdDataset {
         // own RNG stream forked from the master seed, so the result is
         // identical regardless of thread count or scheduling.
         let mut master = Rng64::new(cfg.seed ^ 0xDA7A);
-        let seeds: Vec<u64> = (0..total).map(|t| master.fork(t as u64).next_u64()).collect();
+        let seeds: Vec<u64> = (0..total)
+            .map(|t| master.fork(t as u64).next_u64())
+            .collect();
         let n = city.num_regions();
         let threads = std::thread::available_parallelism()
             .map(|p| p.get())
@@ -167,14 +168,22 @@ impl OdDataset {
                         .collect::<Vec<_>>()
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("generation worker")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("generation worker"))
+                .collect()
         })
         .expect("generation scope");
         let mut tensors = Vec::with_capacity(total);
         for block in results {
             tensors.extend(block);
         }
-        OdDataset { city, spec: cfg.hist, intervals_per_day: cfg.intervals_per_day, tensors }
+        OdDataset {
+            city,
+            spec: cfg.hist,
+            intervals_per_day: cfg.intervals_per_day,
+            tensors,
+        }
     }
 
     /// Number of regions.
@@ -194,7 +203,9 @@ impl OdDataset {
         if total < s + h {
             return Vec::new();
         }
-        (s - 1..total - h).map(|t_end| Window { t_end, s, h }).collect()
+        (s - 1..total - h)
+            .map(|t_end| Window { t_end, s, h })
+            .collect()
     }
 
     /// Chronological split by fractions (e.g. 0.7/0.1/0.2). Windows whose
@@ -205,7 +216,11 @@ impl OdDataset {
         let total = self.num_intervals();
         let train_end = (total as f64 * train_frac) as usize;
         let val_end = (total as f64 * (train_frac + val_frac)) as usize;
-        let mut split = Split { train: Vec::new(), val: Vec::new(), test: Vec::new() };
+        let mut split = Split {
+            train: Vec::new(),
+            val: Vec::new(),
+            test: Vec::new(),
+        };
         for &w in windows {
             let last_target = w.t_end + w.h;
             if last_target < train_end {
@@ -256,7 +271,10 @@ mod tests {
         let mean_cov: f64 =
             ds.tensors.iter().map(|t| t.coverage()).sum::<f64>() / ds.num_intervals() as f64;
         assert!(mean_cov > 0.02, "no data generated, coverage {mean_cov}");
-        assert!(mean_cov < 0.95, "data unrealistically dense, coverage {mean_cov}");
+        assert!(
+            mean_cov < 0.95,
+            "data unrealistically dense, coverage {mean_cov}"
+        );
     }
 
     #[test]
@@ -281,10 +299,16 @@ mod tests {
         let ds = tiny();
         let ws = ds.windows(3, 1);
         let split = ds.split(&ws, 0.6, 0.2);
-        assert_eq!(split.train.len() + split.val.len() + split.test.len(), ws.len());
+        assert_eq!(
+            split.train.len() + split.val.len() + split.test.len(),
+            ws.len()
+        );
         let max_train = split.train.iter().map(|w| w.t_end + w.h).max().unwrap();
         let min_test = split.test.iter().map(|w| w.t_end + w.h).min().unwrap();
-        assert!(max_train < min_test, "train targets must precede test targets");
+        assert!(
+            max_train < min_test,
+            "train targets must precede test targets"
+        );
         assert!(!split.train.is_empty() && !split.test.is_empty());
     }
 

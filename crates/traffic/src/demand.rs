@@ -28,18 +28,25 @@ pub struct DemandParams {
 
 impl Default for DemandParams {
     fn default() -> Self {
-        DemandParams { trips_per_interval: 400.0, decay_km: 1.2, night_shutdown: false }
+        DemandParams {
+            trips_per_interval: 400.0,
+            decay_km: 1.2,
+            night_shutdown: false,
+        }
     }
 }
 
 /// Daily demand profile in `[0, 1]`: low at night, peaks at rush hours.
-pub fn demand_profile(interval_of_day: usize, intervals_per_day: usize, night_shutdown: bool) -> f64 {
+pub fn demand_profile(
+    interval_of_day: usize,
+    intervals_per_day: usize,
+    night_shutdown: bool,
+) -> f64 {
     let h = interval_of_day as f64 / intervals_per_day as f64 * 24.0;
     if night_shutdown && h < 6.0 {
         return 0.0;
     }
-    let peak =
-        |c: f64, w: f64, a: f64| a * (-((h - c) / w).powi(2)).exp();
+    let peak = |c: f64, w: f64, a: f64| a * (-((h - c) / w).powi(2)).exp();
     let base = if (1.0..5.0).contains(&h) { 0.03 } else { 0.15 };
     (base + peak(8.5, 1.8, 0.7) + peak(18.5, 2.2, 0.85) + peak(13.0, 3.0, 0.3)).min(1.0)
 }
@@ -79,7 +86,13 @@ impl DemandModel {
             .sum::<f64>()
             / intervals_per_day as f64;
         let scale = params.trips_per_interval / (total * mean_profile).max(1e-12);
-        DemandModel { rates, num_regions: n, params, scale, intervals_per_day }
+        DemandModel {
+            rates,
+            num_regions: n,
+            params,
+            scale,
+            intervals_per_day,
+        }
     }
 
     /// Expected trip count for pair `(o, d)` during global interval `t`.
@@ -123,7 +136,13 @@ impl DemandModel {
                     let detour = 1.2 + 0.3 * rng.next_f64();
                     let distance_km = (centroid_dist * detour).max(0.2);
                     let speed_ms = field.sample_trip_speed(o, d, t, rng);
-                    trips.push(Trip { origin: o, dest: d, interval: t, distance_km, speed_ms });
+                    trips.push(Trip {
+                        origin: o,
+                        dest: d,
+                        interval: t,
+                        distance_km,
+                        speed_ms,
+                    });
                 }
             }
         }
@@ -141,7 +160,10 @@ mod tests {
         let dm = DemandModel::new(
             &city,
             48,
-            DemandParams { trips_per_interval: 120.0, ..DemandParams::default() },
+            DemandParams {
+                trips_per_interval: 120.0,
+                ..DemandParams::default()
+            },
         );
         let field = SpeedField::simulate(&city, 48, 96, 5, SpeedParams::default());
         (city, dm, field)
@@ -162,8 +184,9 @@ mod tests {
     fn calibrated_volume_roughly_matches() {
         let (city, dm, field) = setup();
         let mut rng = Rng64::new(2);
-        let total: usize =
-            (0..96).map(|t| dm.sample_interval(&city, &field, t, &mut rng).len()).sum();
+        let total: usize = (0..96)
+            .map(|t| dm.sample_interval(&city, &field, t, &mut rng).len())
+            .sum();
         let mean = total as f64 / 96.0;
         assert!(
             (mean - 120.0).abs() < 40.0,
@@ -193,7 +216,10 @@ mod tests {
         let dm = DemandModel::new(
             &city,
             48,
-            DemandParams { night_shutdown: true, ..DemandParams::default() },
+            DemandParams {
+                night_shutdown: true,
+                ..DemandParams::default()
+            },
         );
         let three_am = 48 * 3 / 24;
         assert_eq!(dm.rate(0, 1, three_am), 0.0);

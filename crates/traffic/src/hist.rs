@@ -27,7 +27,10 @@ pub struct HistogramSpec {
 impl HistogramSpec {
     /// The paper's 7×3 m/s specification.
     pub fn paper() -> Self {
-        HistogramSpec { num_buckets: 7, bucket_width: 3.0 }
+        HistogramSpec {
+            num_buckets: 7,
+            bucket_width: 3.0,
+        }
     }
 
     /// Bucket index for a speed value (values below 0 clamp to bucket 0;
@@ -92,11 +95,7 @@ impl HistogramSpec {
     /// travel-time distribution: `(seconds_lo, seconds_hi, probability)`
     /// triples, slowest speeds (longest times) last. This is the §I
     /// airport-trip derivation.
-    pub fn travel_time_distribution(
-        &self,
-        hist: &[f32],
-        distance_km: f64,
-    ) -> Vec<(f64, f64, f32)> {
+    pub fn travel_time_distribution(&self, hist: &[f32], distance_km: f64) -> Vec<(f64, f64, f32)> {
         assert_eq!(hist.len(), self.num_buckets, "histogram length mismatch");
         let meters = distance_km * 1000.0;
         let mut out = Vec::with_capacity(self.num_buckets);
@@ -106,7 +105,11 @@ impl HistogramSpec {
             }
             let (lo, hi) = self.bounds(k);
             // Faster speed → shorter time; lo speed bound gives hi time.
-            let t_hi = if lo <= 0.0 { f64::INFINITY } else { meters / lo };
+            let t_hi = if lo <= 0.0 {
+                f64::INFINITY
+            } else {
+                meters / lo
+            };
             let t_lo = if hi.is_infinite() { 0.0 } else { meters / hi };
             out.push((t_lo, t_hi, p));
         }
@@ -179,19 +182,29 @@ mod tests {
         // §I example: 15 km trip, speeds (km/h) [10,20):0.5, [20,30):0.3,
         // [30,40):0.2 → times 45–90 min: 0.5, 30–45: 0.3, 22.5–30: 0.2.
         // Re-expressed in m/s with ~2.78 m/s buckets.
-        let s = HistogramSpec { num_buckets: 4, bucket_width: 10.0 / 3.6 };
+        let s = HistogramSpec {
+            num_buckets: 4,
+            bucket_width: 10.0 / 3.6,
+        };
         let hist = [0.0f32, 0.5, 0.3, 0.2]; // bucket 1 = 10-20 km/h, …
         let dist = s.travel_time_distribution(&hist, 15.0);
         assert_eq!(dist.len(), 3);
         // Slowest bucket: hi time = 15 km at 10 km/h = 90 min.
         let slow = dist.iter().find(|d| d.2 == 0.5).unwrap();
-        assert!((slow.1 / 60.0 - 90.0).abs() < 0.5, "slow hi = {}", slow.1 / 60.0);
+        assert!(
+            (slow.1 / 60.0 - 90.0).abs() < 0.5,
+            "slow hi = {}",
+            slow.1 / 60.0
+        );
         assert!((slow.0 / 60.0 - 45.0).abs() < 0.5);
     }
 
     #[test]
     fn quantile_reserves_enough_time() {
-        let s = HistogramSpec { num_buckets: 4, bucket_width: 10.0 / 3.6 };
+        let s = HistogramSpec {
+            num_buckets: 4,
+            bucket_width: 10.0 / 3.6,
+        };
         let hist = [0.0f32, 0.5, 0.3, 0.2];
         // To be safe with probability 1.0 the traveller needs 90 minutes.
         let t = s.travel_time_quantile(&hist, 15.0, 1.0);

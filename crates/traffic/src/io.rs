@@ -91,7 +91,10 @@ pub fn read_trips_csv(path: &Path) -> Result<Vec<Trip>, TripIoError> {
         }
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         if fields.len() != 5 {
-            return Err(TripIoError::Parse(lineno, format!("expected 5 fields, got {}", fields.len())));
+            return Err(TripIoError::Parse(
+                lineno,
+                format!("expected 5 fields, got {}", fields.len()),
+            ));
         }
         let parse_usize = |s: &str, what: &str| {
             s.parse::<usize>()
@@ -111,7 +114,10 @@ pub fn read_trips_csv(path: &Path) -> Result<Vec<Trip>, TripIoError> {
             speed_ms: parse_f64(fields[4], "speed_ms")?,
         };
         if trip.distance_km < 0.0 || trip.speed_ms < 0.0 {
-            return Err(TripIoError::Parse(lineno, "negative distance or speed".into()));
+            return Err(TripIoError::Parse(
+                lineno,
+                "negative distance or speed".into(),
+            ));
         }
         trips.push(trip);
     }
@@ -136,7 +142,10 @@ pub fn dataset_from_trips(
         if t.origin >= n || t.dest >= n {
             return Err(TripIoError::Parse(
                 0,
-                format!("trip references region {}/{} outside partition of {n}", t.origin, t.dest),
+                format!(
+                    "trip references region {}/{} outside partition of {n}",
+                    t.origin, t.dest
+                ),
             ));
         }
         if t.interval >= num_intervals {
@@ -151,7 +160,12 @@ pub fn dataset_from_trips(
         .iter()
         .map(|ts| OdTensor::from_trips(n, &spec, ts))
         .collect();
-    Ok(OdDataset { city, spec, intervals_per_day, tensors })
+    Ok(OdDataset {
+        city,
+        spec,
+        intervals_per_day,
+        tensors,
+    })
 }
 
 #[cfg(test)]
@@ -168,7 +182,10 @@ mod tests {
         let demand = DemandModel::new(
             &city,
             12,
-            DemandParams { trips_per_interval: 40.0, ..DemandParams::default() },
+            DemandParams {
+                trips_per_interval: 40.0,
+                ..DemandParams::default()
+            },
         );
         let mut rng = Rng64::new(2);
         (0..24)
@@ -253,7 +270,13 @@ mod tests {
 
     #[test]
     fn dataset_from_trips_validates_regions() {
-        let trips = vec![Trip { origin: 99, dest: 0, interval: 0, distance_km: 1.0, speed_ms: 5.0 }];
+        let trips = vec![Trip {
+            origin: 99,
+            dest: 0,
+            interval: 0,
+            distance_km: 1.0,
+            speed_ms: 5.0,
+        }];
         let r = dataset_from_trips(CityModel::small(4), HistogramSpec::paper(), 12, 12, &trips);
         assert!(r.is_err());
     }

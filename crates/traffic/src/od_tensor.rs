@@ -20,7 +20,10 @@ pub struct OdTensor {
 impl OdTensor {
     /// An all-empty tensor for `n` origin and `n_dest` destination regions.
     pub fn empty(n: usize, n_dest: usize, k: usize) -> OdTensor {
-        OdTensor { data: Tensor::zeros(&[n, n_dest, k]), mask: Tensor::zeros(&[n, n_dest]) }
+        OdTensor {
+            data: Tensor::zeros(&[n, n_dest, k]),
+            mask: Tensor::zeros(&[n, n_dest]),
+        }
     }
 
     /// Builds the tensor for one interval from that interval's trips.
@@ -30,7 +33,10 @@ impl OdTensor {
             std::collections::HashMap::new();
         for t in trips {
             debug_assert!(t.origin < n && t.dest < n, "trip region out of range");
-            speeds.entry((t.origin, t.dest)).or_default().push(t.speed_ms);
+            speeds
+                .entry((t.origin, t.dest))
+                .or_default()
+                .push(t.speed_ms);
         }
         let mut out = OdTensor::empty(n, n, k);
         for ((o, d), vs) in speeds {
@@ -135,14 +141,24 @@ mod tests {
     use super::*;
 
     fn trip(o: usize, d: usize, v: f64) -> Trip {
-        Trip { origin: o, dest: d, interval: 0, distance_km: 1.0, speed_ms: v }
+        Trip {
+            origin: o,
+            dest: d,
+            interval: 0,
+            distance_km: 1.0,
+            speed_ms: v,
+        }
     }
 
     #[test]
     fn build_from_trips() {
         let spec = HistogramSpec::paper();
-        let trips =
-            vec![trip(0, 1, 2.0), trip(0, 1, 4.0), trip(0, 1, 4.5), trip(2, 0, 20.0)];
+        let trips = vec![
+            trip(0, 1, 2.0),
+            trip(0, 1, 4.0),
+            trip(0, 1, 4.5),
+            trip(2, 0, 20.0),
+        ];
         let t = OdTensor::from_trips(3, &spec, &trips);
         assert!(t.observed(0, 1));
         assert!(t.observed(2, 0));

@@ -81,9 +81,8 @@ impl Default for SpeedParams {
 /// and 18:00.
 pub fn daily_profile(interval_of_day: usize, intervals_per_day: usize) -> f64 {
     let h = interval_of_day as f64 / intervals_per_day as f64 * 24.0;
-    let peak = |center: f64, width: f64, height: f64| {
-        height * (-((h - center) / width).powi(2)).exp()
-    };
+    let peak =
+        |center: f64, width: f64, height: f64| height * (-((h - center) / width).powi(2)).exp();
     (0.15 + peak(8.0, 1.6, 0.9) + peak(18.0, 2.0, 1.0)).min(1.2)
 }
 
@@ -158,8 +157,12 @@ impl SpeedField {
         }
 
         // Congestion sensitivity grows with attraction (busy regions jam).
-        let max_attr =
-            city.regions.iter().map(|r| r.attraction).fold(f64::MIN, f64::max).max(1e-9);
+        let max_attr = city
+            .regions
+            .iter()
+            .map(|r| r.attraction)
+            .fold(f64::MIN, f64::max)
+            .max(1e-9);
         let sensitivity: Vec<f64> = city
             .regions
             .iter()
@@ -175,8 +178,7 @@ impl SpeedField {
         let mut c = vec![0.2f64; n];
         let mut incident = vec![0.0f64; n];
         let mut day_severity = 1.0f64;
-        let incident_per_interval =
-            params.incident_rate_per_day / intervals_per_day.max(1) as f64;
+        let incident_per_interval = params.incident_rate_per_day / intervals_per_day.max(1) as f64;
         for t in 0..num_intervals {
             if t % intervals_per_day == 0 {
                 day_severity =
@@ -196,8 +198,7 @@ impl SpeedField {
                     neighbors[i].iter().map(|&j| c[j]).sum::<f64>() / neighbors[i].len() as f64
                 };
                 let mixed = (1.0 - params.diffusion) * c[i] + params.diffusion * neigh_mean;
-                let drive = (day_severity * profile * sensitivity[i]
-                    + 0.6 * weather.factor(t))
+                let drive = (day_severity * profile * sensitivity[i] + 0.6 * weather.factor(t))
                     * (1.0 - params.decay);
                 next[i] = (params.decay * mixed
                     + drive
@@ -209,7 +210,14 @@ impl SpeedField {
             congestion.push(c.clone());
         }
 
-        SpeedField { num_regions: n, intervals_per_day, congestion, base, sensitivity, params }
+        SpeedField {
+            num_regions: n,
+            intervals_per_day,
+            congestion,
+            base,
+            sensitivity,
+            params,
+        }
     }
 
     /// Number of simulated intervals.
@@ -335,9 +343,8 @@ mod tests {
         // congestion of far-apart regions.
         let city = CityModel::grid(4, 4, 0.7);
         let f = SpeedField::simulate(&city, 48, 48 * 6, 3, SpeedParams::default());
-        let series = |i: usize| -> Vec<f64> {
-            (0..f.num_intervals()).map(|t| f.congestion(t, i)).collect()
-        };
+        let series =
+            |i: usize| -> Vec<f64> { (0..f.num_intervals()).map(|t| f.congestion(t, i)).collect() };
         let corr = |a: &[f64], b: &[f64]| -> f64 {
             let n = a.len() as f64;
             let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);

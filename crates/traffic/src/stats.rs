@@ -67,7 +67,13 @@ pub fn data_share_by_time_of_day(ds: &OdDataset) -> Vec<f64> {
     let total: usize = counts.iter().sum();
     counts
         .into_iter()
-        .map(|c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+        .map(|c| {
+            if total == 0 {
+                0.0
+            } else {
+                c as f64 / total as f64
+            }
+        })
         .collect()
 }
 
@@ -92,7 +98,13 @@ pub fn data_share_by_distance(ds: &OdDataset) -> Vec<f64> {
     let total: usize = counts.iter().sum();
     counts
         .into_iter()
-        .map(|c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+        .map(|c| {
+            if total == 0 {
+                0.0
+            } else {
+                c as f64 / total as f64
+            }
+        })
         .collect()
 }
 

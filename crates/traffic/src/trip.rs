@@ -37,19 +37,37 @@ mod tests {
 
     #[test]
     fn duration_from_speed_and_distance() {
-        let t = Trip { origin: 0, dest: 1, interval: 5, distance_km: 3.6, speed_ms: 10.0 };
+        let t = Trip {
+            origin: 0,
+            dest: 1,
+            interval: 5,
+            distance_km: 3.6,
+            speed_ms: 10.0,
+        };
         assert!((t.duration_s() - 360.0).abs() < 1e-9);
     }
 
     #[test]
     fn zero_speed_is_infinite_duration() {
-        let t = Trip { origin: 0, dest: 1, interval: 0, distance_km: 1.0, speed_ms: 0.0 };
+        let t = Trip {
+            origin: 0,
+            dest: 1,
+            interval: 0,
+            distance_km: 1.0,
+            speed_ms: 0.0,
+        };
         assert!(t.duration_s().is_infinite());
     }
 
     #[test]
     fn interval_of_day_wraps() {
-        let t = Trip { origin: 0, dest: 1, interval: 100, distance_km: 1.0, speed_ms: 5.0 };
+        let t = Trip {
+            origin: 0,
+            dest: 1,
+            interval: 100,
+            distance_km: 1.0,
+            speed_ms: 5.0,
+        };
         assert_eq!(t.interval_of_day(96), 4);
         assert_eq!(t.interval_of_day(48), 4);
     }

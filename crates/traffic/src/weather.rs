@@ -47,7 +47,12 @@ pub struct WeatherParams {
 
 impl Default for WeatherParams {
     fn default() -> Self {
-        WeatherParams { onset: 0.02, clearing: 0.10, worsen: 0.08, easing: 0.25 }
+        WeatherParams {
+            onset: 0.02,
+            clearing: 0.10,
+            worsen: 0.08,
+            easing: 0.25,
+        }
     }
 }
 
@@ -98,7 +103,9 @@ impl WeatherSeries {
 
     /// A permanently clear series (the default, context-free setting).
     pub fn clear(num_intervals: usize) -> WeatherSeries {
-        WeatherSeries { conditions: vec![Weather::Clear; num_intervals] }
+        WeatherSeries {
+            conditions: vec![Weather::Clear; num_intervals],
+        }
     }
 
     /// Number of intervals covered.
@@ -126,7 +133,10 @@ impl WeatherSeries {
         if self.conditions.is_empty() {
             return 0.0;
         }
-        self.conditions.iter().filter(|c| **c != Weather::Clear).count() as f64
+        self.conditions
+            .iter()
+            .filter(|c| **c != Weather::Clear)
+            .count() as f64
             / self.conditions.len() as f64
     }
 
@@ -167,7 +177,9 @@ mod tests {
     #[test]
     fn downpour_reachable_and_transient() {
         let w = WeatherSeries::simulate(5000, 11, WeatherParams::default());
-        let downpours = (0..w.len()).filter(|&t| w.at(t) == Weather::Downpour).count();
+        let downpours = (0..w.len())
+            .filter(|&t| w.at(t) == Weather::Downpour)
+            .count();
         assert!(downpours > 0, "downpour state unreachable");
         assert!(downpours < w.len() / 2);
     }
@@ -195,7 +207,10 @@ mod tests {
         }
         assert!(wet > 0);
         let mean_spell = wet as f64 / transitions.max(1) as f64;
-        assert!(mean_spell > 3.0, "weather has no persistence: spell {mean_spell}");
+        assert!(
+            mean_spell > 3.0,
+            "weather has no persistence: spell {mean_spell}"
+        );
     }
 }
 

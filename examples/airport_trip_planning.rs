@@ -19,16 +19,27 @@ fn main() {
     let ds = OdDataset::generate(CityModel::small(9), &cfg);
     let (home, airport) = (0usize, 8usize);
     let trip_km = ds.city.distance_km(home, airport) * 1.3; // street detour factor
-    println!(
-        "trip: region {home} → region {airport}, ≈{trip_km:.1} km of driving"
-    );
+    println!("trip: region {home} → region {airport}, ≈{trip_km:.1} km of driving");
 
     // Train AF on everything but the last day.
     let windows = ds.windows(3, 1);
     let split = ds.split(&windows, 0.8, 0.0);
-    let mut model =
-        AfModel::new(&ds.city.centroids(), ds.spec.num_buckets, AfConfig::default(), 3);
-    train(&mut model, &ds, &split.train, None, &TrainConfig { epochs: 5, ..TrainConfig::default() });
+    let mut model = AfModel::new(
+        &ds.city.centroids(),
+        ds.spec.num_buckets,
+        AfConfig::default(),
+        3,
+    );
+    train(
+        &mut model,
+        &ds,
+        &split.train,
+        None,
+        &TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        },
+    );
 
     // Forecast the evening rush interval of the last day.
     let w = *split
@@ -44,8 +55,9 @@ fn main() {
     let mut rng = od_forecast::tensor::rng::Rng64::new(0);
     let out = model.forward(&mut tape, &batch.inputs, 1, Mode::Eval, &mut rng);
     let pred = tape.value(out.predictions[0]);
-    let hist: Vec<f32> =
-        (0..ds.spec.num_buckets).map(|k| pred.at(&[0, home, airport, k])).collect();
+    let hist: Vec<f32> = (0..ds.spec.num_buckets)
+        .map(|k| pred.at(&[0, home, airport, k]))
+        .collect();
 
     println!("\nforecast speed distribution for the ride:");
     for (k, p) in hist.iter().enumerate() {

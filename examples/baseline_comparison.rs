@@ -29,7 +29,11 @@ fn main() {
     let tc = TrainConfig {
         epochs: 18,
         dropout: 0.05,
-        schedule: od_forecast::nn::optim::StepDecay { initial: 4e-3, decay: 0.8, every: 5 },
+        schedule: od_forecast::nn::optim::StepDecay {
+            initial: 4e-3,
+            decay: 0.8,
+            every: 5,
+        },
         ..TrainConfig::default()
     };
 
@@ -38,13 +42,22 @@ fn main() {
     let mut rows: Vec<(String, [f64; 3])> = Vec::new();
 
     let nh = NaiveHistograms::fit(&ds, train_end);
-    rows.push(("NH".into(), evaluate_predictor(&nh, &ds, &split.test).per_step[0]));
+    rows.push((
+        "NH".into(),
+        evaluate_predictor(&nh, &ds, &split.test).per_step[0],
+    ));
 
     let gp = GpRegression::fit(&ds, train_end, GpParams::default());
-    rows.push(("GP".into(), evaluate_predictor(&gp, &ds, &split.test).per_step[0]));
+    rows.push((
+        "GP".into(),
+        evaluate_predictor(&gp, &ds, &split.test).per_step[0],
+    ));
 
     let var = VarModel::fit(&ds, train_end, VarParams::default());
-    rows.push(("VAR".into(), evaluate_predictor(&var, &ds, &split.test).per_step[0]));
+    rows.push((
+        "VAR".into(),
+        evaluate_predictor(&var, &ds, &split.test).per_step[0],
+    ));
 
     let mut fc = FcModel::new(9, k, FcConfig::default(), 1);
     train(&mut fc, &ds, &split.train, None, &tc);

@@ -21,7 +21,11 @@ fn main() {
     let tc = TrainConfig {
         epochs: 14,
         dropout: 0.05,
-        schedule: od_forecast::nn::optim::StepDecay { initial: 4e-3, decay: 0.8, every: 5 },
+        schedule: od_forecast::nn::optim::StepDecay {
+            initial: 4e-3,
+            decay: 0.8,
+            every: 5,
+        },
         ..TrainConfig::default()
     };
 
@@ -33,7 +37,10 @@ fn main() {
     train(&mut af, &ds, &split.train, None, &tc);
     let af_eval = evaluate(&af, &ds, &split.test, 16);
 
-    let mi = Metric::ALL.iter().position(|m| *m == Metric::Emd).expect("EMD");
+    let mi = Metric::ALL
+        .iter()
+        .position(|m| *m == Metric::Emd)
+        .expect("EMD");
     println!("EMD by time of day (lower is better):");
     println!("  3h bin       |     BF |     AF | cells");
     println!("  -------------|--------|--------|------");

@@ -1,13 +1,19 @@
 //! Train once, checkpoint to disk, restore in a "serving" process — the
-//! deployment loop of a production forecaster.
+//! deployment loop of a production forecaster — and finally hand the
+//! checkpoint to the online registry and serve a forecast from it.
 //!
 //! Run with: `cargo run --release --example model_persistence`
 
-use od_forecast::core::{
-    evaluate, train, AfConfig, AfModel, OdForecaster, TrainConfig,
-};
+use od_forecast::baselines::NaiveHistograms;
+use od_forecast::core::{evaluate, train, AfConfig, AfModel, OdForecaster, TrainConfig};
 use od_forecast::nn::ParamStore;
+use od_forecast::serve::{
+    Broker, BrokerConfig, FeatureStore, ForecastRequest, ModelConfig, ModelKind, Registry,
+    ServeStats,
+};
 use od_forecast::traffic::{CityModel, OdDataset, SimConfig};
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> std::io::Result<()> {
     let cfg = SimConfig {
@@ -28,7 +34,10 @@ fn main() -> std::io::Result<()> {
         &ds,
         &split.train,
         Some(&split.val),
-        &TrainConfig { epochs: 5, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        },
     );
     let trained = evaluate(&model, &ds, &split.test, 16);
     println!("trained model:  EMD {:.4}", trained.per_step[0][2]);
@@ -54,6 +63,52 @@ fn main() -> std::io::Result<()> {
         "restored model must predict identically"
     );
     println!("restored forecasts are bit-identical to the trained model ✓");
+
+    // --- full lifecycle: register the checkpoint and serve online ---------
+    let stats = Arc::new(ServeStats::new());
+    let registry = Arc::new(Registry::new(
+        ModelConfig {
+            kind: ModelKind::Af(AfConfig::default()),
+            centroids: ds.city.centroids(),
+            num_buckets: k,
+        },
+        Arc::clone(&stats),
+    ));
+    let version = registry.register_file(&path).expect("checkpoint validates");
+    registry.promote(version).expect("version exists");
+
+    let lookback = 3;
+    let features = Arc::new(FeatureStore::new(ds.num_regions(), ds.spec, 2 * lookback));
+    let t_end = ds.num_intervals() - 1;
+    for t in t_end + 1 - lookback..=t_end {
+        features.insert_tensor(t, ds.tensors[t].clone());
+    }
+    let broker = Broker::new(
+        registry,
+        features,
+        NaiveHistograms::fit(&ds, ds.num_intervals()),
+        stats,
+        BrokerConfig {
+            workers: 1,
+            lookback,
+            cache_capacity: 4,
+        },
+    );
+    let fc = broker.forecast(ForecastRequest {
+        origin: 0,
+        dest: 1,
+        t_end,
+        horizon: 1,
+        step: 0,
+        deadline: Duration::from_secs(5),
+    });
+    println!(
+        "served one forecast from registered checkpoint v{version}: source {:?}, {} buckets",
+        fc.source,
+        fc.histogram.len()
+    );
+    assert_eq!(fc.source, od_forecast::serve::Source::Model { version });
+
     std::fs::remove_file(&path)?;
     Ok(())
 }

@@ -33,14 +33,26 @@ fn main() {
     );
 
     // 3. Train the Advanced Framework.
-    let mut model = AfModel::new(&ds.city.centroids(), ds.spec.num_buckets, AfConfig::default(), 7);
-    println!("AF model with {} weights; training…", od_forecast::core::OdForecaster::num_weights(&model));
+    let mut model = AfModel::new(
+        &ds.city.centroids(),
+        ds.spec.num_buckets,
+        AfConfig::default(),
+        7,
+    );
+    println!(
+        "AF model with {} weights; training…",
+        od_forecast::core::OdForecaster::num_weights(&model)
+    );
     let report = train(
         &mut model,
         &ds,
         &split.train,
         Some(&split.val),
-        &TrainConfig { epochs: 5, verbose: true, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: 5,
+            verbose: true,
+            ..TrainConfig::default()
+        },
     );
     println!("final training loss: {:.5}", report.final_loss());
 
@@ -66,7 +78,9 @@ fn main() {
     );
     let pred = tape.value(out.predictions[0]);
     let (o, d) = (0usize, 4usize);
-    let hist: Vec<f32> = (0..ds.spec.num_buckets).map(|k| pred.at(&[0, o, d, k])).collect();
+    let hist: Vec<f32> = (0..ds.spec.num_buckets)
+        .map(|k| pred.at(&[0, o, d, k]))
+        .collect();
     println!("\nforecast speed histogram for OD pair ({o} → {d}), next interval:");
     for (k, p) in hist.iter().enumerate() {
         let (lo, hi) = ds.spec.bounds(k);

@@ -1,0 +1,147 @@
+//! A day in the life of the serving stack: train a BF model on simulated
+//! history, promote its checkpoint, stream the next morning's trips in,
+//! and answer live forecast queries — including a hot-swap to a retrained
+//! checkpoint and a deliberately missed deadline.
+//!
+//! Run with: `cargo run --release --example serve_city`
+
+use od_forecast::baselines::NaiveHistograms;
+use od_forecast::core::{train, BfConfig, BfModel, OdForecaster, TrainConfig};
+use od_forecast::serve::{
+    Broker, BrokerConfig, FeatureStore, ForecastRequest, ModelConfig, ModelKind, Registry,
+    ServeStats,
+};
+use od_forecast::traffic::{CityModel, OdDataset, SimConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const LOOKBACK: usize = 4;
+const HORIZON: usize = 2;
+
+fn main() -> std::io::Result<()> {
+    // --- offline: simulate history and train -------------------------------
+    let sim = SimConfig {
+        num_days: 3,
+        intervals_per_day: 24,
+        trips_per_interval: 150.0,
+        ..SimConfig::small(7)
+    };
+    let city = CityModel::small(8);
+    let ds = OdDataset::generate(city, &sim);
+    let n = ds.num_regions();
+    let windows = ds.windows(LOOKBACK, HORIZON);
+    let split = ds.split(&windows, 0.8, 0.1);
+    let bf = BfConfig {
+        encode_dim: 16,
+        gru_hidden: 16,
+        ..BfConfig::default()
+    };
+    let mut model = BfModel::new(n, ds.spec.num_buckets, bf, 11);
+    println!("training BF on {} windows …", split.train.len());
+    train(
+        &mut model,
+        &ds,
+        &split.train,
+        Some(&split.val),
+        &TrainConfig::fast_test(),
+    );
+    let ckpt = std::env::temp_dir().join("serve_city_bf.stpw");
+    model.params().save(&ckpt)?;
+
+    // --- online: registry, feature store, broker ---------------------------
+    let stats = Arc::new(ServeStats::new());
+    let config = ModelConfig {
+        kind: ModelKind::Bf(bf),
+        centroids: ds.city.centroids(),
+        num_buckets: ds.spec.num_buckets,
+    };
+    let registry = Arc::new(Registry::new(config.clone(), Arc::clone(&stats)));
+    let v1 = registry.register_file(&ckpt).expect("register v1");
+    registry
+        .promote(v1)
+        .unwrap_or_else(|e| panic!("promoting v{v1}: {e}"));
+    println!(
+        "promoted checkpoint v{v1} ({})",
+        registry.active().unwrap().name()
+    );
+
+    let features = Arc::new(FeatureStore::new(n, ds.spec, 2 * LOOKBACK));
+    let fallback = NaiveHistograms::fit(&ds, ds.num_intervals());
+    let broker = Broker::new(
+        Arc::clone(&registry),
+        Arc::clone(&features),
+        fallback,
+        Arc::clone(&stats),
+        BrokerConfig {
+            workers: 2,
+            lookback: LOOKBACK,
+            cache_capacity: 16,
+        },
+    );
+
+    // --- stream the "live" day in and serve as intervals close -------------
+    // Replay the simulated tensors as the closing intervals of a live feed.
+    println!("\n t_end   (o→d)   source             p(fastest bucket)   latency");
+    for t_end in 20..26 {
+        features.insert_tensor(t_end, ds.tensors[t_end].clone());
+        for (o, d) in [(0, 1), (3, 5)] {
+            let fc = broker.forecast(ForecastRequest {
+                origin: o,
+                dest: d,
+                t_end,
+                horizon: HORIZON,
+                step: 0,
+                deadline: Duration::from_millis(500),
+            });
+            println!(
+                " {t_end:>5}   {o}→{d}     {:<18} {:>8.3}           {:>7.1?}",
+                format!("{:?}", fc.source),
+                fc.histogram.last().unwrap(),
+                fc.latency,
+            );
+        }
+    }
+
+    // --- hot-swap a retrained checkpoint without stopping ------------------
+    println!("\nretraining and hot-swapping …");
+    train(
+        &mut model,
+        &ds,
+        &split.train,
+        None,
+        &TrainConfig {
+            epochs: 2,
+            ..TrainConfig::fast_test()
+        },
+    );
+    model.params().save(&ckpt)?;
+    let v2 = registry.register_file(&ckpt).expect("register v2");
+    registry
+        .promote(v2)
+        .unwrap_or_else(|e| panic!("promoting v{v2}: {e}"));
+    let fc = broker.forecast(ForecastRequest {
+        origin: 0,
+        dest: 1,
+        t_end: 25,
+        horizon: HORIZON,
+        step: 0,
+        deadline: Duration::from_millis(500),
+    });
+    println!("after swap, request served by {:?}", fc.source);
+
+    // --- a missed deadline degrades to NH, never errors --------------------
+    features.insert_tensor(26, ds.tensors[26].clone());
+    let fc = broker.forecast(ForecastRequest {
+        origin: 0,
+        dest: 1,
+        t_end: 26,
+        horizon: HORIZON,
+        step: 0,
+        deadline: Duration::ZERO, // hopeless deadline, on purpose
+    });
+    println!("impossible deadline answered by {:?}", fc.source);
+
+    println!("\nserving stats: {}", stats.snapshot().to_json());
+    std::fs::remove_file(&ckpt)?;
+    Ok(())
+}

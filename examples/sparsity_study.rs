@@ -36,14 +36,29 @@ fn main() {
     };
     let ds = OdDataset::generate(CityModel::small(9), &cfg);
     let shares = data_share_by_time_of_day(&ds);
-    println!("\ndata share by 3h bin: {:?}", shares.iter().map(|s| format!("{:.0}%", s * 100.0)).collect::<Vec<_>>());
+    println!(
+        "\ndata share by 3h bin: {:?}",
+        shares
+            .iter()
+            .map(|s| format!("{:.0}%", s * 100.0))
+            .collect::<Vec<_>>()
+    );
 
     // Train BF and count how many *empty* ground-truth cells receive a
     // non-trivial forecast — the "full OD matrix" promise.
     let windows = ds.windows(3, 1);
     let split = ds.split(&windows, 0.8, 0.0);
     let mut model = BfModel::new(9, ds.spec.num_buckets, BfConfig::default(), 9);
-    train(&mut model, &ds, &split.train, None, &TrainConfig { epochs: 5, ..TrainConfig::default() });
+    train(
+        &mut model,
+        &ds,
+        &split.train,
+        None,
+        &TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        },
+    );
 
     let w = split.test[0];
     let batch = od_forecast::core::batch::make_batch(&ds, &[w]);
@@ -76,7 +91,5 @@ fn main() {
          fills {filled} of them with valid histograms",
         n * n
     );
-    println!(
-        "input sparse tensors → factorization → complete forecast: no empty cells remain."
-    );
+    println!("input sparse tensors → factorization → complete forecast: no empty cells remain.");
 }

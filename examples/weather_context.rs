@@ -4,10 +4,10 @@
 //!
 //! Run with: `cargo run --release --example weather_context`
 
+use od_forecast::tensor::rng::Rng64;
 use od_forecast::traffic::speed::{SpeedField, SpeedParams};
 use od_forecast::traffic::weather::{WeatherParams, WeatherSeries};
 use od_forecast::traffic::{CityModel, HistogramSpec};
-use od_forecast::tensor::rng::Rng64;
 
 fn main() {
     let city = CityModel::small(9);
@@ -18,8 +18,7 @@ fn main() {
         100.0 * weather.wet_fraction()
     );
 
-    let clear_field =
-        SpeedField::simulate(&city, 48, intervals, 9, SpeedParams::default());
+    let clear_field = SpeedField::simulate(&city, 48, intervals, 9, SpeedParams::default());
     let wet_field = SpeedField::simulate_with_weather(
         &city,
         48,

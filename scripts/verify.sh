@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Repo verification gate. Run from anywhere; operates on the repo root.
+#
+#   scripts/verify.sh           # tier-1 gate + format + lint
+#   scripts/verify.sh --full    # additionally run the whole workspace suite
+#
+# Tier-1 (the gate CI enforces) is the root package: its integration
+# tests in tests/ exercise every crate end-to-end.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+full=0
+if [[ "${1:-}" == "--full" ]]; then
+  full=1
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy -q --all-targets -- -D warnings
+
+echo "==> tier-1 gate: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+if [[ "$full" == 1 ]]; then
+  echo "==> full workspace test suite"
+  cargo test -q --workspace
+fi
+
+echo "verify: OK"

@@ -20,6 +20,9 @@
 //! * [`baselines`] — NH, GP, VAR, FC/RNN and MR reference methods.
 //! * [`core`] — the paper's contribution: the Basic Framework (BF) and the
 //!   Advanced Framework (AF) with training and evaluation harnesses.
+//! * [`serve`] — online serving: versioned checkpoint registry with
+//!   hot-swap, streaming trip ingest, micro-batching request broker with
+//!   deadline-aware NH fallback, and serving stats.
 //!
 //! See the `examples/` directory for end-to-end usage, `DESIGN.md` for the
 //! system inventory and `EXPERIMENTS.md` for the reproduction results.
@@ -29,6 +32,7 @@ pub use stod_core as core;
 pub use stod_graph as graph;
 pub use stod_metrics as metrics;
 pub use stod_nn as nn;
+pub use stod_serve as serve;
 pub use stod_tensor as tensor;
 pub use stod_traffic as traffic;
 

@@ -37,7 +37,15 @@ fn every_method_produces_a_finite_report() {
     let var = VarModel::fit(&ds, train_end, VarParams::default());
     reports.push(evaluate_predictor(&var, &ds, &split.test));
 
-    let mr = MrModel::fit(&ds, train_end, MrParams { epochs: 2, ..MrParams::default() }, 1);
+    let mr = MrModel::fit(
+        &ds,
+        train_end,
+        MrParams {
+            epochs: 2,
+            ..MrParams::default()
+        },
+        1,
+    );
     reports.push(evaluate_predictor(&mr, &ds, &split.test));
 
     let mut fc = FcModel::new(6, 7, FcConfig::default(), 1);
@@ -75,7 +83,16 @@ fn classical_and_deep_reports_share_grouping_structure() {
     let classical = evaluate_predictor(&nh, &ds, &split.test);
 
     let mut bf = BfModel::new(6, 7, BfConfig::default(), 2);
-    train(&mut bf, &ds, &split.train, None, &TrainConfig { epochs: 1, ..TrainConfig::fast_test() });
+    train(
+        &mut bf,
+        &ds,
+        &split.train,
+        None,
+        &TrainConfig {
+            epochs: 1,
+            ..TrainConfig::fast_test()
+        },
+    );
     let deep = evaluate(&bf, &ds, &split.test, 8);
 
     // Same bins, same per-bin cell counts — only the means may differ.

@@ -24,7 +24,13 @@ fn bf_pipeline_trains_and_forecasts_valid_distributions() {
     let windows = ds.windows(3, 2);
     let split = ds.split(&windows, 0.7, 0.0);
     let mut model = BfModel::new(6, 7, BfConfig::default(), 1);
-    let report = train(&mut model, &ds, &split.train, None, &TrainConfig::fast_test());
+    let report = train(
+        &mut model,
+        &ds,
+        &split.train,
+        None,
+        &TrainConfig::fast_test(),
+    );
     assert!(report.final_loss().is_finite());
 
     let eval = evaluate(&model, &ds, &split.test, 8);
@@ -44,7 +50,10 @@ fn bf_pipeline_trains_and_forecasts_valid_distributions() {
         let v = tape.value(*p);
         let sums = od_forecast::tensor::sum_axis(v, 3, false);
         for &s in sums.data() {
-            assert!((s - 1.0).abs() < 1e-4, "forecast cell not a distribution: {s}");
+            assert!(
+                (s - 1.0).abs() < 1e-4,
+                "forecast cell not a distribution: {s}"
+            );
         }
     }
 }
@@ -54,14 +63,16 @@ fn af_pipeline_trains_and_improves() {
     let ds = tiny_dataset(2);
     let windows = ds.windows(3, 1);
     let split = ds.split(&windows, 0.8, 0.0);
-    let mut model =
-        AfModel::new(&ds.city.centroids(), 7, AfConfig::default(), 2);
+    let mut model = AfModel::new(&ds.city.centroids(), 7, AfConfig::default(), 2);
     let report = train(
         &mut model,
         &ds,
         &split.train,
         None,
-        &TrainConfig { epochs: 4, ..TrainConfig::fast_test() },
+        &TrainConfig {
+            epochs: 4,
+            ..TrainConfig::fast_test()
+        },
     );
     assert!(
         report.improved(),
@@ -82,7 +93,10 @@ fn whole_pipeline_is_deterministic() {
             &ds,
             &split.train,
             None,
-            &TrainConfig { epochs: 2, ..TrainConfig::fast_test() },
+            &TrainConfig {
+                epochs: 2,
+                ..TrainConfig::fast_test()
+            },
         );
         let eval = evaluate(&model, &ds, &split.test, 8);
         eval.per_step[0]
@@ -103,7 +117,10 @@ fn parameter_save_load_roundtrip_preserves_predictions() {
         &ds,
         &split.train,
         None,
-        &TrainConfig { epochs: 2, ..TrainConfig::fast_test() },
+        &TrainConfig {
+            epochs: 2,
+            ..TrainConfig::fast_test()
+        },
     );
 
     // Serialize, restore into a freshly built model.
@@ -119,7 +136,11 @@ fn parameter_save_load_roundtrip_preserves_predictions() {
         let out = m.forward(&mut tape, &batch.inputs, 1, Mode::Eval, &mut rng);
         tape.value(out.predictions[0]).clone()
     };
-    assert_eq!(predict(&model), predict(&model2), "weights round-trip changed predictions");
+    assert_eq!(
+        predict(&model),
+        predict(&model2),
+        "weights round-trip changed predictions"
+    );
 }
 
 #[test]
@@ -128,9 +149,18 @@ fn af_ablation_variants_integrate() {
     let windows = ds.windows(2, 1);
     let split = ds.split(&windows, 0.8, 0.0);
     for cfg in [
-        AfConfig { fc_factorization: true, ..AfConfig::default() },
-        AfConfig { plain_rnn: true, ..AfConfig::default() },
-        AfConfig { frobenius_reg: true, ..AfConfig::default() },
+        AfConfig {
+            fc_factorization: true,
+            ..AfConfig::default()
+        },
+        AfConfig {
+            plain_rnn: true,
+            ..AfConfig::default()
+        },
+        AfConfig {
+            frobenius_reg: true,
+            ..AfConfig::default()
+        },
     ] {
         let mut model = AfModel::new(&ds.city.centroids(), 7, cfg, 5);
         let report = train(
@@ -138,7 +168,10 @@ fn af_ablation_variants_integrate() {
             &ds,
             &split.train,
             None,
-            &TrainConfig { epochs: 2, ..TrainConfig::fast_test() },
+            &TrainConfig {
+                epochs: 2,
+                ..TrainConfig::fast_test()
+            },
         );
         assert!(report.final_loss().is_finite());
         let eval = evaluate(&model, &ds, &split.test, 8);

@@ -1,0 +1,230 @@
+//! End-to-end serving lifecycle: train → checkpoint → serve → hot-swap →
+//! fallback.
+//!
+//! Exercises the full `stod-serve` stack against a trained BF model:
+//! micro-batching of concurrent identical requests, hot-swapping a second
+//! checkpoint under concurrent load without dropping a single request, and
+//! deadline-miss degradation to the NH baseline.
+
+use od_forecast::baselines::NaiveHistograms;
+use od_forecast::core::{train, BfConfig, BfModel, OdForecaster, TrainConfig};
+use od_forecast::serve::{
+    Broker, BrokerConfig, FallbackReason, FeatureStore, ForecastRequest, ModelConfig, ModelKind,
+    Registry, ServeStats, Source,
+};
+use od_forecast::traffic::{CityModel, OdDataset, SimConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const N: usize = 5;
+const LOOKBACK: usize = 3;
+const HORIZON: usize = 2;
+
+fn request(t_end: usize) -> ForecastRequest {
+    ForecastRequest {
+        origin: 0,
+        dest: 1,
+        t_end,
+        horizon: HORIZON,
+        step: 0,
+        deadline: Duration::from_secs(30),
+    }
+}
+
+fn assert_valid_hist(h: &[f32], what: &str) {
+    assert_eq!(h.len(), 7, "{what}: wrong bucket count");
+    let sum: f32 = h.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-3, "{what}: histogram sums to {sum}");
+    assert!(h.iter().all(|&p| p >= 0.0), "{what}: negative mass");
+}
+
+#[test]
+fn serve_end_to_end() {
+    // --- offline: simulate, train, checkpoint ------------------------------
+    let sim = SimConfig {
+        num_days: 2,
+        intervals_per_day: 16,
+        trips_per_interval: 100.0,
+        ..SimConfig::small(17)
+    };
+    let ds = OdDataset::generate(CityModel::small(N), &sim);
+    let windows = ds.windows(LOOKBACK, HORIZON);
+    let split = ds.split(&windows, 0.7, 0.15);
+    let bf = BfConfig {
+        encode_dim: 8,
+        gru_hidden: 8,
+        ..BfConfig::default()
+    };
+    let mut model = BfModel::new(N, ds.spec.num_buckets, bf, 1);
+    train(
+        &mut model,
+        &ds,
+        &split.train,
+        None,
+        &TrainConfig::fast_test(),
+    );
+
+    let dir = std::env::temp_dir();
+    let ckpt_v1 = dir.join("stod_serve_e2e_v1.stpw");
+    let ckpt_v2 = dir.join("stod_serve_e2e_v2.stpw");
+    model.params().save(&ckpt_v1).unwrap();
+    // The "retrained" second checkpoint: same architecture, different
+    // weights (a fresh initialization is enough to prove the swap).
+    BfModel::new(N, ds.spec.num_buckets, bf, 2)
+        .params()
+        .save(&ckpt_v2)
+        .unwrap();
+
+    // --- online: registry + features + broker ------------------------------
+    let stats = Arc::new(ServeStats::new());
+    let config = ModelConfig {
+        kind: ModelKind::Bf(bf),
+        centroids: ds.city.centroids(),
+        num_buckets: ds.spec.num_buckets,
+    };
+    let registry = Arc::new(Registry::new(config, Arc::clone(&stats)));
+    let v1 = registry.register_file(&ckpt_v1).unwrap();
+    registry.promote(v1).unwrap();
+
+    let features = Arc::new(FeatureStore::new(N, ds.spec, ds.num_intervals()));
+    for (t, tensor) in ds.tensors.iter().enumerate() {
+        features.insert_tensor(t, tensor.clone());
+    }
+    let fallback = NaiveHistograms::fit(&ds, ds.num_intervals() * 7 / 10);
+    let broker = Broker::new(
+        Arc::clone(&registry),
+        features,
+        fallback,
+        Arc::clone(&stats),
+        BrokerConfig {
+            workers: 2,
+            lookback: LOOKBACK,
+            cache_capacity: 16,
+        },
+    );
+
+    // --- a model answer within deadline ------------------------------------
+    let fc = broker.forecast(request(10));
+    assert_eq!(fc.source, Source::Model { version: v1 });
+    assert_valid_hist(&fc.histogram, "trained model");
+
+    // --- micro-batching: concurrent identical requests, one invocation -----
+    let invocations_before = stats.snapshot().model_invocations;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| scope.spawn(|| broker.forecast(request(11))))
+            .collect();
+        for h in handles {
+            let fc = h.join().unwrap();
+            assert_eq!(fc.source, Source::Model { version: v1 });
+            assert_valid_hist(&fc.histogram, "batched request");
+        }
+    });
+    let snap = stats.snapshot();
+    assert_eq!(
+        snap.model_invocations,
+        invocations_before + 1,
+        "4 concurrent identical requests must collapse into 1 invocation"
+    );
+    assert!(
+        snap.batched_joins + snap.cache_hits >= 3,
+        "followers must join in flight or hit the cache (joins {}, hits {})",
+        snap.batched_joins,
+        snap.cache_hits
+    );
+
+    // --- hot-swap under load: no request dropped, outputs change -----------
+    let before_swap = broker.forecast(request(12)).histogram;
+    let v2 = registry.register_file(&ckpt_v2).unwrap();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let broker = &broker;
+                scope.spawn(move || broker.forecast(request(8 + (i % 4))))
+            })
+            .collect();
+        registry.promote(v2).unwrap();
+        for h in handles {
+            let fc = h.join().unwrap();
+            // Every request is answered by whichever version it keyed on —
+            // none may be dropped or bounced to the fallback.
+            match fc.source {
+                Source::Model { version } => assert!(version == v1 || version == v2),
+                other => panic!("request dropped to {other:?} during hot-swap"),
+            }
+            assert_valid_hist(&fc.histogram, "request during hot-swap");
+        }
+    });
+    assert_eq!(registry.active_version(), Some(v2));
+    assert_eq!(stats.snapshot().hot_swaps, 1);
+    let after_swap = broker.forecast(request(12));
+    assert_eq!(after_swap.source, Source::Model { version: v2 });
+    assert_ne!(
+        before_swap, after_swap.histogram,
+        "the promoted checkpoint must actually change served outputs"
+    );
+
+    // --- deadline miss: graceful NH degradation ----------------------------
+    let fc = broker.forecast(ForecastRequest {
+        deadline: Duration::ZERO,
+        ..request(13)
+    });
+    assert_eq!(fc.source, Source::Fallback(FallbackReason::Deadline));
+    assert_valid_hist(&fc.histogram, "deadline fallback");
+    assert_eq!(stats.snapshot().fallbacks_deadline, 1);
+
+    // --- telemetry sanity ---------------------------------------------------
+    let snap = stats.snapshot();
+    assert_eq!(snap.requests_total, 1 + 4 + 1 + 8 + 1 + 1);
+    assert_eq!(snap.latency_count, snap.requests_total);
+    assert!(snap.p50_us > 0 && snap.p99_us >= snap.p50_us);
+    let js = snap.to_json();
+    assert!(js.contains("\"hot_swaps\":1"));
+
+    std::fs::remove_file(&ckpt_v1).unwrap();
+    std::fs::remove_file(&ckpt_v2).unwrap();
+}
+
+#[test]
+fn serving_without_any_checkpoint_degrades_to_nh() {
+    let sim = SimConfig {
+        num_days: 1,
+        intervals_per_day: 16,
+        trips_per_interval: 100.0,
+        ..SimConfig::small(23)
+    };
+    let ds = OdDataset::generate(CityModel::small(N), &sim);
+    let stats = Arc::new(ServeStats::new());
+    let config = ModelConfig {
+        kind: ModelKind::Bf(BfConfig::default()),
+        centroids: ds.city.centroids(),
+        num_buckets: ds.spec.num_buckets,
+    };
+    let registry = Arc::new(Registry::new(config, Arc::clone(&stats)));
+    let features = Arc::new(FeatureStore::new(N, ds.spec, 8));
+    for t in 0..8 {
+        features.insert_tensor(t, ds.tensors[t].clone());
+    }
+    let fallback = NaiveHistograms::fit(&ds, 8);
+    let expected = fallback.pair_histogram(0, 1).to_vec();
+    let broker = Broker::new(
+        registry,
+        features,
+        fallback,
+        Arc::clone(&stats),
+        BrokerConfig {
+            workers: 1,
+            lookback: LOOKBACK,
+            cache_capacity: 4,
+        },
+    );
+    let fc = broker.forecast(request(5));
+    assert_eq!(fc.source, Source::Fallback(FallbackReason::NoModel));
+    assert_eq!(
+        fc.histogram, expected,
+        "fallback must serve the NH pair histogram"
+    );
+    assert_valid_hist(&fc.histogram, "NH fallback");
+    assert_eq!(stats.snapshot().fallbacks_no_model, 1);
+    assert_eq!(stats.snapshot().model_invocations, 0);
+}
