@@ -36,7 +36,12 @@ use stod_metrics::{DisSim, GroupedMean, Metric};
 use stod_traffic::{OdDataset, Window};
 
 /// A per-cell histogram forecaster (the classical baselines).
-pub trait HistogramPredictor {
+///
+/// `Send + Sync` is part of the contract: [`evaluate_predictor`] fans
+/// windows across the [`stod_tensor::par`] pool, sharing the predictor
+/// between worker threads. `predict` takes `&self`, so plain-data
+/// implementations (all of the bundled ones) satisfy this for free.
+pub trait HistogramPredictor: Send + Sync {
     /// Display name used in experiment tables.
     fn name(&self) -> &str;
 
@@ -69,7 +74,18 @@ pub fn evaluate_predictor(
         GroupedMean::distance_bins(),
     ];
     let n = ds.num_regions();
-    for w in windows {
+
+    // One window's cell scores, in the exact order the serial loop would
+    // visit them. `groups` is `Some((time_bin, distance_bin))` for
+    // first-step cells, which additionally feed the grouped means.
+    struct CellScore {
+        step: usize,
+        metric: usize,
+        value: f64,
+        groups: Option<(usize, Option<usize>)>,
+    }
+    let score_window = |w: &Window| -> Vec<CellScore> {
+        let mut out = Vec::new();
         for (j, &target_t) in w.target_indices().iter().enumerate() {
             let tensor = &ds.tensors[target_t];
             let tod_bin = GroupedMean::time_bin(ds.interval_of_day(target_t), ds.intervals_per_day);
@@ -79,17 +95,43 @@ pub fn evaluate_predictor(
                         continue;
                     };
                     let fc = pred.predict(ds, o, d, w, j);
+                    let groups = (j == 0).then(|| {
+                        (
+                            tod_bin,
+                            GroupedMean::distance_bin(ds.city.distance_km(o, d)),
+                        )
+                    });
                     for (m, metric) in Metric::ALL.iter().enumerate() {
-                        let v = metric.eval(&gt, &fc);
-                        per_step[j][m].add(v);
-                        if j == 0 {
-                            by_time[m].add(tod_bin, v);
-                            if let Some(db) = GroupedMean::distance_bin(ds.city.distance_km(o, d)) {
-                                by_distance[m].add(db, v);
-                            }
-                        }
+                        out.push(CellScore {
+                            step: j,
+                            metric: m,
+                            value: metric.eval(&gt, &fc),
+                            groups,
+                        });
                     }
                 }
+            }
+        }
+        out
+    };
+
+    // Fan windows across the pool (window scoring is read-only and
+    // independent), then fold the scores in window order on this thread —
+    // the accumulators see contributions in the same order as the serial
+    // loop, so the report is bitwise identical at any thread count.
+    let work = windows.len() * h * n * n;
+    let window_scores: Vec<Vec<CellScore>> =
+        if windows.len() > 1 && stod_tensor::par::should_parallelize(work) {
+            stod_tensor::par::map(windows.len(), |i| score_window(&windows[i]))
+        } else {
+            windows.iter().map(score_window).collect()
+        };
+    for s in window_scores.iter().flatten() {
+        per_step[s.step][s.metric].add(s.value);
+        if let Some((tod_bin, dist_bin)) = s.groups {
+            by_time[s.metric].add(tod_bin, s.value);
+            if let Some(db) = dist_bin {
+                by_distance[s.metric].add(db, s.value);
             }
         }
     }

@@ -1,8 +1,147 @@
-//! Dev probe: convergence of the deep models on the small NYC dataset.
+//! Dev probe: convergence of the deep models on the small NYC dataset,
+//! plus (`M=parallel`) the serial-vs-parallel kernel timing sweep that
+//! seeds `results/BENCH_parallel.json`.
 use stod_baselines::*;
 use stod_bench::*;
 use stod_core::*;
 use stod_nn::optim::StepDecay;
+
+/// Thread counts the parallel sweep compares (serial baseline first).
+const SWEEP_THREADS: [usize; 3] = [1, 2, 4];
+
+/// Best-of-`reps` wall-clock of `f`, in milliseconds.
+fn time_ms_best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Serial vs 2/4-thread wall-clock for the three tentpole hot paths:
+/// paper-scale matmul, the AF forward pass at the paper's NYC shape, and
+/// one BF training epoch. Writes `results/BENCH_parallel.json` and
+/// asserts the epoch loss is bitwise identical across thread counts.
+fn run_parallel_bench(ds: &stod_traffic::OdDataset, split: &stod_traffic::Split) {
+    use stod_tensor::{matmul, par, rng::Rng64, Tensor};
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("-- parallel sweep (host cores: {host_cores}) --");
+    let mut rows: Vec<(String, [f64; 3])> = Vec::new();
+
+    // 1. Paper-scale matmul: a 512³ GEMM, larger than any single product
+    //    in the models, isolating the row-parallel kernel.
+    {
+        let mut rng = Rng64::new(1);
+        let a = Tensor::randn(&[512, 512], 1.0, &mut rng);
+        let b = Tensor::randn(&[512, 512], 1.0, &mut rng);
+        let ms = SWEEP_THREADS.map(|t| {
+            par::with_threads(t, || {
+                time_ms_best_of(3, || {
+                    std::hint::black_box(matmul(&a, &b));
+                })
+            })
+        });
+        rows.push(("matmul_512".into(), ms));
+    }
+
+    // 2. AF forward at the paper's NYC shape (N=67, K=20, batch 4).
+    {
+        let city = stod_traffic::CityModel::nyc_like(7);
+        let k = stod_traffic::HistogramSpec::paper().num_buckets;
+        let n = city.num_regions();
+        let model = AfModel::new(&city.centroids(), k, AfConfig::paper_nyc(), 7);
+        let mut rng = Rng64::new(8);
+        let inputs: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::randn(&[4, n, n, k], 0.5, &mut rng))
+            .collect();
+        let ms = SWEEP_THREADS.map(|t| {
+            par::with_threads(t, || {
+                time_ms_best_of(2, || {
+                    let mut tape = stod_nn::Tape::new();
+                    let mut fwd_rng = Rng64::new(9);
+                    std::hint::black_box(model.forward(
+                        &mut tape,
+                        &inputs,
+                        1,
+                        Mode::Eval,
+                        &mut fwd_rng,
+                    ));
+                })
+            })
+        });
+        rows.push(("af_forward_paper_nyc".into(), ms));
+    }
+
+    // 3. One BF training epoch on the small NYC dataset (first 64 train
+    //    windows). Also the determinism check the bench rides on: the
+    //    epoch loss must be bit-identical at every thread count.
+    {
+        let windows: Vec<stod_traffic::Window> = split.train.iter().copied().take(64).collect();
+        let n = ds.num_regions();
+        let k = ds.spec.num_buckets;
+        let mut losses: Vec<f32> = Vec::new();
+        let ms = SWEEP_THREADS.map(|t| {
+            par::with_threads(t, || {
+                time_ms_best_of(1, || {
+                    let mut m = BfModel::new(n, k, BfConfig::default(), 5);
+                    let cfg = TrainConfig {
+                        epochs: 1,
+                        batch_size: 16,
+                        dropout: 0.2,
+                        seed: 5,
+                        ..TrainConfig::default()
+                    };
+                    let report = train(&mut m, ds, &windows, None, &cfg);
+                    losses.push(report.final_loss());
+                })
+            })
+        });
+        for l in &losses[1..] {
+            assert_eq!(
+                l.to_bits(),
+                losses[0].to_bits(),
+                "epoch loss must be bitwise identical across thread counts"
+            );
+        }
+        println!("epoch loss {} at every thread count (bitwise)", losses[0]);
+        rows.push(("bf_train_epoch_small".into(), ms));
+    }
+
+    // Report + JSON artifact.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str(&format!(
+        "  \"threads\": [{}, {}, {}],\n",
+        SWEEP_THREADS[0], SWEEP_THREADS[1], SWEEP_THREADS[2]
+    ));
+    json.push_str("  \"note\": \"wall-clock ms, best-of-N; speedups require >= 4 host cores\",\n");
+    json.push_str("  \"benches\": [\n");
+    for (i, (name, ms)) in rows.iter().enumerate() {
+        println!(
+            "{name:<24} 1t {:>9.2} ms   2t {:>9.2} ms ({:.2}x)   4t {:>9.2} ms ({:.2}x)",
+            ms[0],
+            ms[1],
+            ms[0] / ms[1],
+            ms[2],
+            ms[0] / ms[2],
+        );
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"serial_ms\": {:.3}, \"t2_ms\": {:.3}, \"t4_ms\": {:.3}, \"speedup_t2\": {:.3}, \"speedup_t4\": {:.3}}}{}\n",
+            ms[0],
+            ms[1],
+            ms[2],
+            ms[0] / ms[1],
+            ms[0] / ms[2],
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("wrote results/BENCH_parallel.json");
+}
 
 fn main() {
     let ds = build_dataset(Dataset::Nyc, Scale::Small, 11);
@@ -39,6 +178,10 @@ fn main() {
     let r = evaluate_predictor(&nh, &ds, &split.test);
     println!("NH  EMD {:.4}", r.per_step[0][2]);
     let which = std::env::var("M").unwrap_or_else(|_| "af".into());
+    if which.contains("parallel") {
+        run_parallel_bench(&ds, &split);
+        return;
+    }
     if which.contains("oracle") {
         use stod_traffic::speed::{SpeedField, SpeedParams};
         use stod_traffic::{OdDataset, Window};

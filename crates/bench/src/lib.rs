@@ -48,11 +48,29 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// Parses a `STOD_SCALE` value. Only the exact strings `small` and
+    /// `paper` are accepted — anything else (e.g. the typo `Paper`) is an
+    /// error rather than a silent fall-through to `small`, which would
+    /// quietly run a many-hour experiment at the wrong scale.
+    pub fn parse(value: &str) -> Result<Scale, String> {
+        match value {
+            "small" => Ok(Scale::Small),
+            "paper" => Ok(Scale::Paper),
+            other => Err(format!(
+                "STOD_SCALE must be \"small\" or \"paper\", got {other:?}"
+            )),
+        }
+    }
+
     /// Reads `STOD_SCALE` (default `small`).
+    ///
+    /// # Panics
+    /// Panics with a clear message when the variable is set to an
+    /// unknown value.
     pub fn from_env() -> Scale {
-        match std::env::var("STOD_SCALE").as_deref() {
-            Ok("paper") => Scale::Paper,
-            _ => Scale::Small,
+        match std::env::var("STOD_SCALE") {
+            Ok(v) => Scale::parse(&v).unwrap_or_else(|e| panic!("{e}")),
+            Err(_) => Scale::Small,
         }
     }
 }
@@ -230,6 +248,19 @@ mod tests {
         // check the default path.
         assert!(matches!(Scale::from_env(), Scale::Small | Scale::Paper));
         assert!(epochs_from_env(7).max(1) >= 1);
+    }
+
+    #[test]
+    fn scale_parse_accepts_known_values_only() {
+        assert_eq!(Scale::parse("small"), Ok(Scale::Small));
+        assert_eq!(Scale::parse("paper"), Ok(Scale::Paper));
+        for bad in ["Paper", "SMALL", "papper", "full", ""] {
+            let err = Scale::parse(bad).unwrap_err();
+            assert!(
+                err.contains("STOD_SCALE") && err.contains(bad),
+                "error must name the variable and the bad value: {err}"
+            );
+        }
     }
 
     #[test]

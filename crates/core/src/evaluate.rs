@@ -175,8 +175,9 @@ mod tests {
         // plumbing (uses the BF model's shapes but bypasses its weights).
         struct Oracle {
             store: stod_nn::ParamStore,
-            ds_ptr: *const OdDataset,
-            windows: Vec<Window>,
+            /// Per-window, per-step target tensors, cloned up front so the
+            /// oracle is plain data (`OdForecaster` requires `Send + Sync`).
+            targets: Vec<Vec<stod_tensor::Tensor>>,
         }
         impl OdForecaster for Oracle {
             fn name(&self) -> &str {
@@ -196,16 +197,14 @@ mod tests {
                 _mode: Mode,
                 _rng: &mut Rng64,
             ) -> crate::model::ModelOutput {
-                // Reconstruct the batch targets from the dataset: the test
-                // keeps windows in evaluation order with batch_size covering
-                // all of them at once.
-                let ds = unsafe { &*self.ds_ptr };
+                // Reconstruct the batch targets: the test keeps windows in
+                // evaluation order with batch_size covering all of them at
+                // once.
                 let b = inputs[0].dim(0);
                 let mut preds = Vec::new();
                 for j in 0..horizon {
-                    let slices: Vec<&stod_tensor::Tensor> = (0..b)
-                        .map(|row| &ds.tensors[self.windows[row].target_indices()[j]].data)
-                        .collect();
+                    let slices: Vec<&stod_tensor::Tensor> =
+                        (0..b).map(|row| &self.targets[row][j]).collect();
                     preds.push(tape.constant(stod_tensor::stack(&slices, 0)));
                 }
                 crate::model::ModelOutput {
@@ -218,8 +217,15 @@ mod tests {
         let ws: Vec<Window> = ds.windows(2, 1).into_iter().take(6).collect();
         let oracle = Oracle {
             store: stod_nn::ParamStore::new(),
-            ds_ptr: &ds,
-            windows: ws.clone(),
+            targets: ws
+                .iter()
+                .map(|w| {
+                    w.target_indices()
+                        .iter()
+                        .map(|&t| ds.tensors[t].data.clone())
+                        .collect()
+                })
+                .collect(),
         };
         let r = evaluate(&oracle, &ds, &ws, ws.len());
         for &v in &r.per_step[0] {

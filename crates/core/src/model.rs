@@ -43,7 +43,13 @@ pub struct ModelOutput {
 }
 
 /// A trainable stochastic-OD-matrix forecaster.
-pub trait OdForecaster {
+///
+/// The `Send + Sync` bound is part of the contract: the trainer fans
+/// minibatch shards across the [`stod_tensor::par`] pool, which requires
+/// sharing `&dyn OdForecaster` between worker threads. `forward` takes
+/// `&self`, so implementations are naturally thread-safe as long as they
+/// avoid interior mutability (all current models are plain data).
+pub trait OdForecaster: Send + Sync {
     /// Human-readable model name (used in experiment tables).
     fn name(&self) -> &str;
 

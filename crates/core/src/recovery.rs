@@ -34,6 +34,9 @@ pub fn recover(tape: &mut Tape, r: Var, c: Var, bias: Option<Var>) -> Var {
     assert_eq!(k, kc, "bucket mismatch");
 
     // Rearrange to per-bucket stacks: [B, K, N, β] and [B, K, β, N'].
+    // The B·K independent rank-β products below are the hot loop; the
+    // batched matmul distributes them over the stod_tensor::par pool
+    // (forward and backward), bitwise identically to serial execution.
     let r_perm = tape.permute(r, &[0, 3, 1, 2]);
     let c_perm = tape.permute(c, &[0, 3, 1, 2]);
     let r_flat = tape.reshape(r_perm, &[b * k, n, beta]);

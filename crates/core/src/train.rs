@@ -1,13 +1,29 @@
 //! The training loop (§VI-A.5): Adam with the paper's step-decay schedule,
 //! dropout, gradient clipping, and masked-loss normalization.
+//!
+//! # Data-parallel shards, deterministically
+//!
+//! Each minibatch is cut into fixed [`SHARD_GRAIN`]-sample shards whose
+//! boundaries depend only on the minibatch size — never on the thread
+//! count. Shards build independent tapes, run the forward/backward pass
+//! (with a per-shard RNG stream pre-drawn in shard order from the
+//! training RNG), and their gradients are merged in shard order on the
+//! calling thread. Scheduling shards across the [`stod_tensor::par`]
+//! pool therefore cannot change a single bit of the result: the loss
+//! trajectory at `STOD_THREADS=4` is identical to `STOD_THREADS=1`.
 
-use crate::batch::{make_batch, minibatches};
+use crate::batch::{make_batch, minibatches, Batch};
 use crate::config::TrainConfig;
 use crate::model::{Mode, OdForecaster};
 use stod_nn::optim::{clip_global_norm, Adam};
-use stod_nn::{Tape, Var};
+use stod_nn::{Gradients, Tape, Var};
 use stod_tensor::rng::Rng64;
 use stod_traffic::{OdDataset, Window};
+
+/// Samples per gradient shard. A constant — deriving it from the thread
+/// count would move shard boundaries (and the f32 summation grouping)
+/// between machines, breaking the bitwise-determinism contract.
+const SHARD_GRAIN: usize = 8;
 
 /// Per-epoch training diagnostics.
 #[derive(Debug, Clone)]
@@ -60,44 +76,89 @@ pub fn train(
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
         for mb in minibatches(windows, cfg.batch_size, &mut rng) {
-            let batch = make_batch(ds, &mb);
-            let horizon = batch.targets.len();
-            let mut tape = Tape::new();
-            let out = model.forward(
-                &mut tape,
-                &batch.inputs,
-                horizon,
-                Mode::Train {
-                    dropout: cfg.dropout,
-                },
-                &mut rng,
-            );
-            assert_eq!(
-                out.predictions.len(),
-                horizon,
-                "model returned wrong horizon"
-            );
-            let mut data_loss: Option<Var> = None;
-            for j in 0..horizon {
-                let l = tape.masked_sq_err(out.predictions[j], &batch.targets[j], &batch.masks[j]);
-                data_loss = Some(match data_loss {
-                    Some(acc) => tape.add(acc, l),
-                    None => l,
-                });
+            // Fixed-grain shards and their RNG seeds, both laid out in
+            // shard order *before* any parallel work starts.
+            let shards = stod_tensor::par::grain_blocks(mb.len(), SHARD_GRAIN);
+            let seeds: Vec<u64> = shards.iter().map(|_| rng.next_u64()).collect();
+            let shard_batches: Vec<Batch> = shards
+                .iter()
+                .map(|r| make_batch(ds, &mb[r.clone()]))
+                .collect();
+            // Eq. 4 normalizes by the observed cells of the *whole*
+            // minibatch; shard regularizers (per-shard means) are scaled
+            // by bₛ/B so their sum is the full-batch mean.
+            let observed_total = shard_batches
+                .iter()
+                .map(|b| b.masks.iter().map(stod_tensor::Tensor::sum).sum::<f32>())
+                .sum::<f32>()
+                .max(1.0);
+            let total_b = mb.len() as f32;
+            let horizon = shard_batches[0].targets.len();
+            let dropout = cfg.dropout;
+
+            let outcomes: Vec<(Gradients, f32)> = {
+                let model_ref: &dyn OdForecaster = model;
+                let run_shard = |i: usize| -> (Gradients, f32) {
+                    let batch = &shard_batches[i];
+                    let mut shard_rng = Rng64::new(seeds[i]);
+                    let mut tape = Tape::new();
+                    let out = model_ref.forward(
+                        &mut tape,
+                        &batch.inputs,
+                        horizon,
+                        Mode::Train { dropout },
+                        &mut shard_rng,
+                    );
+                    assert_eq!(
+                        out.predictions.len(),
+                        horizon,
+                        "model returned wrong horizon"
+                    );
+                    let mut data_loss: Option<Var> = None;
+                    for j in 0..horizon {
+                        let l = tape.masked_sq_err(
+                            out.predictions[j],
+                            &batch.targets[j],
+                            &batch.masks[j],
+                        );
+                        data_loss = Some(match data_loss {
+                            Some(acc) => tape.add(acc, l),
+                            None => l,
+                        });
+                    }
+                    let mut loss =
+                        tape.scale(data_loss.expect("horizon ≥ 1"), 1.0 / observed_total);
+                    if let Some(reg) = out.regularizer {
+                        let reg = tape.scale(reg, batch.len() as f32 / total_b);
+                        loss = tape.add(loss, reg);
+                    }
+                    let loss_val = tape.value(loss).item();
+                    debug_assert!(loss_val.is_finite(), "non-finite loss");
+                    (tape.backward(loss), loss_val)
+                };
+                let work = mb.len() * model_ref.num_weights();
+                if shards.len() > 1 && stod_tensor::par::should_parallelize(work) {
+                    stod_tensor::par::map(shards.len(), run_shard)
+                } else {
+                    (0..shards.len()).map(run_shard).collect()
+                }
+            };
+
+            // Shard-order reduction on this thread: the merged gradient
+            // and minibatch loss are independent of the schedule above.
+            let mut merged: Option<Gradients> = None;
+            let mut mb_loss = 0.0f64;
+            for (g, loss_val) in outcomes {
+                mb_loss += loss_val as f64;
+                match &mut merged {
+                    Some(m) => m.add_assign(&g),
+                    slot => *slot = Some(g),
+                }
             }
-            let mut loss = tape.scale(
-                data_loss.expect("horizon ≥ 1"),
-                1.0 / batch.observed_cells(),
-            );
-            if let Some(reg) = out.regularizer {
-                loss = tape.add(loss, reg);
-            }
-            let loss_val = tape.value(loss).item();
-            debug_assert!(loss_val.is_finite(), "non-finite loss");
-            epoch_loss += loss_val as f64;
+            epoch_loss += mb_loss;
             batches += 1;
 
-            let mut grads = tape.backward(loss);
+            let mut grads = merged.expect("≥ 1 shard");
             clip_global_norm(&mut grads, cfg.clip_norm);
             adam.step(model.params_mut(), &grads);
         }

@@ -53,6 +53,79 @@ proptest! {
         }
     }
 
+    /// Recovery is bitwise identical under the parallel pool: the B·K
+    /// rank-β products and the softmax may be chunked across workers, but
+    /// values (forward AND gradients) never change.
+    #[test]
+    fn recovery_bitwise_identical_serial_vs_parallel(pair in factor_pair()) {
+        let (r, c) = pair;
+        let run = |threads: usize| {
+            stod_tensor::par::with_forced_threads(threads, || {
+                let mut tape = Tape::new();
+                let rv = tape.leaf(r.clone());
+                let cv = tape.leaf(c.clone());
+                let m = recover(&mut tape, rv, cv, None);
+                let target = Tensor::zeros(tape.value(m).dims());
+                let mask = Tensor::ones(tape.value(m).dims());
+                let loss = tape.masked_sq_err(m, &target, &mask);
+                let out = tape.value(m).data().to_vec();
+                let grads = tape.backward_wrt(loss, &[rv, cv]);
+                (out, grads)
+            })
+        };
+        let (out1, g1) = run(1);
+        for threads in [2usize, 4] {
+            let (outn, gn) = run(threads);
+            prop_assert!(
+                out1.iter().zip(&outn).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "forward differs at {threads} threads"
+            );
+            for (a, b) in g1.iter().zip(&gn) {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                prop_assert!(
+                    a.data().iter().zip(b.data()).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "gradients differ at {threads} threads"
+                );
+            }
+        }
+    }
+
+    /// Eq. 4 through the full recovery path: the loss only reads observed
+    /// cells, so whatever garbage the ground-truth tensor holds in empty
+    /// (mask-0) cells leaves the loss value unchanged.
+    #[test]
+    fn eq4_loss_ignores_empty_ground_truth_cells(
+        pair in factor_pair(),
+        garbage in proptest::collection::vec(-50.0f32..50.0, 256),
+    ) {
+        let (r, c) = pair;
+        let (b, n, k) = (r.dim(0), r.dim(1), r.dim(3));
+        let numel = b * n * n * k;
+        // Every odd cell is unobserved.
+        let mask = Tensor::from_vec(
+            &[b, n, n, k],
+            (0..numel).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect(),
+        );
+        let loss_of = |target: Tensor| -> f32 {
+            let mut tape = Tape::new();
+            let rv = tape.leaf(r.clone());
+            let cv = tape.leaf(c.clone());
+            let m = recover(&mut tape, rv, cv, None);
+            let l = tape.masked_sq_err(m, &target, &mask);
+            tape.value(l).item()
+        };
+        let base = loss_of(Tensor::zeros(&[b, n, n, k]));
+        let mut poisoned = Tensor::zeros(&[b, n, n, k]);
+        for i in (1..numel).step_by(2) {
+            poisoned.data_mut()[i] = garbage[i % garbage.len()];
+        }
+        let with_garbage = loss_of(poisoned);
+        prop_assert_eq!(
+            base.to_bits(), with_garbage.to_bits(),
+            "empty-cell ground truth leaked into Eq. 4: {} vs {}", base, with_garbage
+        );
+    }
+
     /// The masked loss is invariant to the values of masked-out cells.
     #[test]
     fn masked_loss_ignores_masked_cells(

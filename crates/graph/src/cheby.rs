@@ -49,6 +49,25 @@ pub fn cheby_filter(l: &Tensor, x: &Tensor, g: &Tensor) -> Tensor {
     matvec(&basis, g)
 }
 
+/// Computes [`cheby_basis`] for many independent signals, fanning the
+/// signals across the [`stod_tensor::par`] pool.
+///
+/// The recurrence itself is sequential in `s`, but distinct signals (the
+/// K buckets of the AF stack, or the channels of a feature matrix) are
+/// independent — this is the "parallel over buckets" axis of Eq. 5.
+/// Results are in input order and bitwise identical to calling
+/// [`cheby_basis`] serially: each signal's basis is produced by the exact
+/// same code on a single thread.
+pub fn cheby_basis_multi(l: &Tensor, signals: &[Tensor], order: usize) -> Vec<Tensor> {
+    let n = l.dim(0);
+    let work = signals.len() * order * n * n;
+    if signals.len() > 1 && stod_tensor::par::should_parallelize(work) {
+        stod_tensor::par::map(signals.len(), |i| cheby_basis(l, &signals[i], order))
+    } else {
+        signals.iter().map(|x| cheby_basis(l, x, order)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +123,30 @@ mod tests {
         let g = Tensor::from_vec(&[3], vec![1.0, 0.0, 0.0]);
         let y = cheby_filter(&lt, &x, &g);
         assert!(y.approx_eq(&x, 1e-6));
+    }
+
+    #[test]
+    fn multi_signal_basis_bitwise_matches_serial() {
+        let lt = scaled_laplacian(&path3_w());
+        let signals: Vec<Tensor> = (0..9)
+            .map(|i| {
+                Tensor::from_vec(
+                    &[3],
+                    vec![i as f32 * 0.3 - 1.0, (i as f32).sin(), 1.0 - i as f32 * 0.1],
+                )
+            })
+            .collect();
+        let serial =
+            stod_tensor::par::with_forced_threads(1, || cheby_basis_multi(&lt, &signals, 5));
+        for t in [2, 4] {
+            let par =
+                stod_tensor::par::with_forced_threads(t, || cheby_basis_multi(&lt, &signals, 5));
+            assert_eq!(par, serial, "threads={t}");
+        }
+        // And each entry matches the single-signal reference.
+        for (x, b) in signals.iter().zip(serial.iter()) {
+            assert_eq!(b, &cheby_basis(&lt, x, 5));
+        }
     }
 
     #[test]

@@ -91,6 +91,67 @@ where
     );
 }
 
+/// Analytic gradients of `f`'s scalar output w.r.t. each input leaf
+/// (`None` when an input does not reach the loss).
+///
+/// Exposed so tests can compare the backward pass across pool
+/// configurations: run it under [`stod_tensor::par::with_forced_threads`]
+/// at different thread counts and the results must match bitwise.
+pub fn analytic_gradients<F>(inputs: &[Tensor], f: F) -> Vec<Option<Tensor>>
+where
+    F: Fn(&mut Tape, &[Var]) -> Var,
+{
+    let mut tape = Tape::new();
+    let leaves: Vec<Var> = inputs.iter().map(|t| tape.leaf(t.clone())).collect();
+    let loss = f(&mut tape, &leaves);
+    assert_eq!(
+        tape.value(loss).numel(),
+        1,
+        "analytic_gradients needs a scalar loss"
+    );
+    tape.backward_wrt(loss, &leaves)
+}
+
+/// The full layer contract under the parallel kernel pool:
+///
+/// 1. finite differences validate the analytic gradients (serial), and
+/// 2. the analytic gradients are **bitwise identical** at every thread
+///    count in `thread_counts` — the pool may move work, never values.
+///
+/// The thread sweep uses forced parallelism so tiny test operands really
+/// exercise the parallel code paths instead of the small-op fallback.
+pub fn assert_grad_ok_at_threads<F>(inputs: &[Tensor], f: F, thread_counts: &[usize])
+where
+    F: Fn(&mut Tape, &[Var]) -> Var,
+{
+    let reference = stod_tensor::par::with_forced_threads(1, || analytic_gradients(inputs, &f));
+    assert_grad_ok(inputs, &f);
+    for &threads in thread_counts {
+        let got = stod_tensor::par::with_forced_threads(threads, || analytic_gradients(inputs, &f));
+        assert_eq!(got.len(), reference.len());
+        for (which, (g, r)) in got.iter().zip(reference.iter()).enumerate() {
+            match (g, r) {
+                (None, None) => {}
+                (Some(g), Some(r)) => {
+                    assert_eq!(g.dims(), r.dims(), "input {which}, threads={threads}");
+                    let same = g
+                        .data()
+                        .iter()
+                        .zip(r.data())
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                    assert!(
+                        same,
+                        "gradient of input {which} differs at {threads} threads \
+                         (max |Δ| = {})",
+                        g.max_abs_diff(r)
+                    );
+                }
+                _ => panic!("gradient presence differs for input {which} at {threads} threads"),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -25,6 +25,6 @@ pub mod optim;
 pub mod params;
 pub mod tape;
 
-pub use gradcheck::gradient_check;
+pub use gradcheck::{analytic_gradients, assert_grad_ok_at_threads, gradient_check};
 pub use params::{ParamId, ParamStore};
-pub use tape::{Tape, Var};
+pub use tape::{Gradients, Tape, Var};

@@ -59,6 +59,33 @@ impl Gradients {
         }
     }
 
+    /// Accumulates `other` into `self` (`self += other`), element-wise per
+    /// parameter.
+    ///
+    /// Used to merge per-shard gradients: the trainer folds shard
+    /// gradients in fixed shard order on one thread, so the merged sum is
+    /// independent of how the shards were scheduled across the pool.
+    ///
+    /// # Panics
+    /// Panics if a parameter's gradient shapes disagree.
+    pub fn add_assign(&mut self, other: &Gradients) {
+        if other.by_param.len() > self.by_param.len() {
+            self.by_param.resize_with(other.by_param.len(), || None);
+        }
+        for (i, g) in other.by_param.iter().enumerate() {
+            let Some(g) = g else { continue };
+            match &mut self.by_param[i] {
+                Some(acc) => {
+                    assert_eq!(acc.dims(), g.dims(), "gradient shape mismatch");
+                    for (a, &b) in acc.data_mut().iter_mut().zip(g.data()) {
+                        *a += b;
+                    }
+                }
+                slot => *slot = Some(g.clone()),
+            }
+        }
+    }
+
     /// Iterates over `(ParamId, gradient)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
         self.by_param

@@ -1,0 +1,167 @@
+//! Gradcheck gauntlet for every AF-model layer (ISSUE satellite 1).
+//!
+//! Each test rebuilds one layer's math from leaf tensors (so finite
+//! differences see the weights directly) and runs it through
+//! [`stod_nn::assert_grad_ok_at_threads`], which
+//!
+//! 1. validates the tape gradients against central finite differences
+//!    (serial), and
+//! 2. recomputes the analytic gradients under the forced parallel pool at
+//!    2 and 4 threads and asserts they are **bitwise identical** to the
+//!    single-thread result.
+//!
+//! Forced parallelism bypasses the small-op threshold, so these tiny
+//! operands genuinely exercise the chunked kernels.
+
+use stod_nn::assert_grad_ok_at_threads;
+use stod_tensor::rng::Rng64;
+use stod_tensor::Tensor;
+
+/// Thread counts swept in every test (1 is always the reference).
+const THREADS: [usize; 2] = [2, 4];
+
+fn rt(dims: &[usize], seed: u64) -> Tensor {
+    Tensor::randn(dims, 0.5, &mut Rng64::new(seed))
+}
+
+/// Graph convolution (Eq. 6): the order-2 Chebyshev recurrence
+/// `T0 = X, T1 = L̃·X, T2 = 2·L̃·T1 − T0`, stacked along features and
+/// projected by a leaf weight.
+#[test]
+fn gradcheck_gcn_cheby_recurrence() {
+    let n = 3;
+    let f = 2;
+    // A symmetric scaled-Laplacian-like constant operator.
+    let mut lap = Tensor::randn(&[n, n], 0.4, &mut Rng64::new(40));
+    for i in 0..n {
+        for j in 0..i {
+            let s = 0.5 * (lap.at(&[i, j]) + lap.at(&[j, i]));
+            lap.set(&[i, j], s);
+            lap.set(&[j, i], s);
+        }
+    }
+    let x = rt(&[2, n, f], 41); // [B, N, F]
+    let w = rt(&[3 * f, 4], 42); // [(order+1)·F, out]
+    assert_grad_ok_at_threads(
+        &[x, w],
+        move |t, v| {
+            let l = t.constant(lap.clone());
+            let t0 = v[0];
+            let t1 = t.batched_matmul(l, t0);
+            let lt1 = t.batched_matmul(l, t1);
+            let two_lt1 = t.scale(lt1, 2.0);
+            let t2 = t.sub(two_lt1, t0);
+            let stacked = t.concat(&[t0, t1, t2], 2); // [B, N, 3F]
+            let flat = t.reshape(stacked, &[2 * 3, 3 * 2]);
+            let y = t.matmul(flat, v[1]);
+            let a = t.tanh(y);
+            let sq = t.mul(a, a);
+            t.sum_all(sq)
+        },
+        &THREADS,
+    );
+}
+
+/// GRU cell (§IV-C): fused gates rebuilt from leaf weights.
+///
+/// `z = σ(x·Wxz + h·Whz + bz)`, `r = σ(x·Wxr + h·Whr + br)`,
+/// `c = tanh(x·Wxc + r ⊙ (h·Whc) + bc)`, `h' = z ⊙ h + (1−z) ⊙ c`
+/// — the exact formulation of `stod_nn::layers::GruCell::step`.
+#[test]
+fn gradcheck_gru_cell() {
+    let (i, h) = (3, 2);
+    let x = rt(&[2, i], 50);
+    let h0 = rt(&[2, h], 51);
+    let wx = rt(&[i, 3 * h], 52);
+    let wh = rt(&[h, 3 * h], 53);
+    let b = rt(&[3 * h], 54);
+    assert_grad_ok_at_threads(
+        &[x, h0, wx, wh, b],
+        move |t, v| {
+            let gx = t.matmul(v[0], v[2]);
+            let gx = t.add(gx, v[4]);
+            let gh = t.matmul(v[1], v[3]);
+            let gx_z = t.slice_axis(gx, 1, 0, h);
+            let gx_r = t.slice_axis(gx, 1, h, 2 * h);
+            let gx_c = t.slice_axis(gx, 1, 2 * h, 3 * h);
+            let gh_z = t.slice_axis(gh, 1, 0, h);
+            let gh_r = t.slice_axis(gh, 1, h, 2 * h);
+            let gh_c = t.slice_axis(gh, 1, 2 * h, 3 * h);
+            let z_in = t.add(gx_z, gh_z);
+            let z = t.sigmoid(z_in);
+            let r_in = t.add(gx_r, gh_r);
+            let r = t.sigmoid(r_in);
+            let rh = t.mul(r, gh_c);
+            let c_in = t.add(gx_c, rh);
+            let c = t.tanh(c_in);
+            let zh = t.mul(z, v[1]);
+            let omz = t.one_minus(z);
+            let zc = t.mul(omz, c);
+            let h1 = t.add(zh, zc);
+            let sq = t.mul(h1, h1);
+            t.sum_all(sq)
+        },
+        &THREADS,
+    );
+}
+
+/// Factorization FCs: the two affine heads that map the decoder state to
+/// the R̂/Ĉ factor tensors (`Linear::apply` = reshape → matmul → bias add
+/// → reshape), with a tanh nonlinearity between state and heads.
+#[test]
+fn gradcheck_factorization_fcs() {
+    let (hid, beta_k) = (3, 4);
+    let state = rt(&[2, 2, hid], 60); // [B, N, hidden]
+    let wr = rt(&[hid, beta_k], 61);
+    let br = rt(&[beta_k], 62);
+    let wc = rt(&[hid, beta_k], 63);
+    let bc = rt(&[beta_k], 64);
+    assert_grad_ok_at_threads(
+        &[state, wr, br, wc, bc],
+        move |t, v| {
+            let flat = t.reshape(v[0], &[2 * 2, hid]);
+            let a = t.tanh(flat);
+            let r = t.matmul(a, v[1]);
+            let r = t.add(r, v[2]);
+            let c = t.matmul(a, v[3]);
+            let c = t.add(c, v[4]);
+            let rs = t.mul(r, r);
+            let cs = t.mul(c, c);
+            let sum = t.add(rs, cs);
+            t.sum_all(sum)
+        },
+        &THREADS,
+    );
+}
+
+/// Recovery softmax (Eq. 3): per-bucket rank-β products `M̂_k = R̂_k·Ĉ_k`
+/// via permute → reshape → batched matmul, softmax over the bucket axis,
+/// and the masked Eq. 4 loss on top — the exact op chain of
+/// `stod_core::recovery::recover`, rebuilt here from leaves.
+#[test]
+fn gradcheck_recovery_softmax() {
+    let (b, n, beta, k) = (1, 2, 2, 3);
+    let r = rt(&[b, n, beta, k], 70);
+    let c = rt(&[b, beta, n, k], 71);
+    let target = rt(&[b, n, n, k], 72);
+    let mut mask = Tensor::ones(&[b, n, n, k]);
+    // Leave one cell unobserved so the masked loss path is exercised.
+    for kk in 0..k {
+        mask.set(&[0, 1, 0, kk], 0.0);
+    }
+    assert_grad_ok_at_threads(
+        &[r, c],
+        move |t, v| {
+            let r_perm = t.permute(v[0], &[0, 3, 1, 2]);
+            let c_perm = t.permute(v[1], &[0, 3, 1, 2]);
+            let r_flat = t.reshape(r_perm, &[b * k, n, beta]);
+            let c_flat = t.reshape(c_perm, &[b * k, beta, n]);
+            let prod = t.batched_matmul(r_flat, c_flat);
+            let prod = t.reshape(prod, &[b, k, n, n]);
+            let logits = t.permute(prod, &[0, 2, 3, 1]);
+            let hist = t.softmax(logits, 3);
+            t.masked_sq_err(hist, &target, &mask)
+        },
+        &THREADS,
+    );
+}

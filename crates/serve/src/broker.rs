@@ -42,7 +42,11 @@ pub struct BrokerConfig {
 impl Default for BrokerConfig {
     fn default() -> BrokerConfig {
         BrokerConfig {
-            workers: 2,
+            // Reuse the kernel pool's sizing (STOD_THREADS / available
+            // cores): request-level parallelism is the serving tier's
+            // dominant axis, so the broker takes the whole budget and
+            // each worker runs its kernels with a proportional share.
+            workers: stod_tensor::par::num_threads(),
             lookback: 4,
             cache_capacity: 32,
         }
@@ -164,13 +168,21 @@ impl Broker {
             cache: Mutex::new(HashMap::new()),
         });
         let (jobs, job_rx) = unbounded::<Key>();
+        // Split the kernel pool's thread budget across the workers so a
+        // fully busy broker does not oversubscribe the machine: N workers
+        // each run their model invocation on ~num_threads/N threads.
+        // (Purely a scheduling choice — kernels are bitwise identical at
+        // any thread count.)
+        let kernel_threads = (stod_tensor::par::num_threads() / cfg.workers).max(1);
         let workers = (0..cfg.workers)
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 let rx = job_rx.clone();
                 std::thread::spawn(move || {
                     while let Ok(key) = rx.recv() {
-                        Broker::run_job(&shared, key);
+                        stod_tensor::par::with_threads(kernel_threads, || {
+                            Broker::run_job(&shared, key);
+                        });
                     }
                 })
             })

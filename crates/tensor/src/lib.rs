@@ -18,6 +18,7 @@
 
 pub mod linalg;
 pub mod ops;
+pub mod par;
 pub mod rng;
 pub mod shape;
 pub mod tensor;

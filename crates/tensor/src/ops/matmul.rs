@@ -4,7 +4,13 @@
 //! row of `b` and a row of the output, so both are streamed sequentially
 //! from memory. That is within a small factor of a tuned BLAS for the
 //! matrix sizes this workspace uses (tens to a few hundreds per side).
+//!
+//! Large products fan out across [`crate::par`]: output rows (2-D) or
+//! batch items (batched) are distributed over the pool, and every
+//! row/item is still produced by the identical serial inner kernel — so
+//! results are bitwise identical at any `STOD_THREADS`.
 
+use crate::par;
 use crate::tensor::Tensor;
 
 /// 2-D matrix product `a (m×k) · b (k×n) → (m×n)`.
@@ -32,8 +38,22 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         b.dims()
     );
     let mut out = vec![0.0f32; m * n];
-    matmul_into(a.data(), b.data(), &mut out, m, k, n);
+    matmul_rows(a.data(), b.data(), &mut out, m, k, n);
     Tensor::from_vec(&[m, n], out)
+}
+
+/// Row-parallel dispatch over [`matmul_into`]: splits the output rows
+/// across the pool when the product is large enough, otherwise runs the
+/// serial kernel directly. Either way each row is computed by the same
+/// inner loops, so the result is bitwise independent of the schedule.
+pub(crate) fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if m > 1 && par::should_parallelize(m * k * n) {
+        par::for_each_row_chunk(out, m, n, |rows, chunk| {
+            matmul_into(&a[rows.start * k..rows.end * k], b, chunk, rows.len(), k, n);
+        });
+    } else {
+        matmul_into(a, b, out, m, k, n);
+    }
 }
 
 /// Raw `i-k-j` matmul kernel writing into a preallocated buffer.
@@ -65,13 +85,20 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
     let (m, k) = (a.dim(0), a.dim(1));
     assert_eq!(k, x.dim(0), "matvec dims mismatch");
     let mut out = vec![0.0f32; m];
-    for (i, o) in out.iter_mut().enumerate() {
-        let row = &a.data()[i * k..(i + 1) * k];
-        *o = row
-            .iter()
-            .zip(x.data().iter())
-            .map(|(&a, &b)| (a as f64) * (b as f64))
-            .sum::<f64>() as f32;
+    let fill = |rows: std::ops::Range<usize>, chunk: &mut [f32]| {
+        for (o, i) in chunk.iter_mut().zip(rows) {
+            let row = &a.data()[i * k..(i + 1) * k];
+            *o = row
+                .iter()
+                .zip(x.data().iter())
+                .map(|(&a, &b)| (a as f64) * (b as f64))
+                .sum::<f64>() as f32;
+        }
+    };
+    if m > 1 && par::should_parallelize(m * k) {
+        par::for_each_row_chunk(&mut out, m, 1, fill);
+    } else {
+        fill(0..m, &mut out);
     }
     Tensor::from_vec(&[m], out)
 }
@@ -127,10 +154,31 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
     } else {
         k * n
     };
-    for t in 0..batch {
-        let a_sl = &a.data()[t * a_step..t * a_step + m * k];
-        let b_sl = &b.data()[t * b_step..t * b_step + k * n];
-        matmul_into(a_sl, b_sl, &mut out[t * m * n..(t + 1) * m * n], m, k, n);
+    if batch == 1 {
+        // A single item: the row-parallel 2-D path covers it.
+        matmul_rows(&a.data()[..m * k], &b.data()[..k * n], &mut out, m, k, n);
+    } else if par::should_parallelize(batch * m * k * n) {
+        // Batch items are fully independent — distribute them whole.
+        par::for_each_row_chunk(&mut out, batch, m * n, |items, chunk| {
+            for (local, t) in items.enumerate() {
+                let a_sl = &a.data()[t * a_step..t * a_step + m * k];
+                let b_sl = &b.data()[t * b_step..t * b_step + k * n];
+                matmul_into(
+                    a_sl,
+                    b_sl,
+                    &mut chunk[local * m * n..(local + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+        });
+    } else {
+        for t in 0..batch {
+            let a_sl = &a.data()[t * a_step..t * a_step + m * k];
+            let b_sl = &b.data()[t * b_step..t * b_step + k * n];
+            matmul_into(a_sl, b_sl, &mut out[t * m * n..(t + 1) * m * n], m, k, n);
+        }
     }
     let mut dims = batch_dims;
     dims.push(m);
@@ -198,6 +246,50 @@ mod tests {
         let b = Tensor::from_vec(&[2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
         let c = batched_matmul(&a, &b);
         assert_eq!(c, b);
+    }
+
+    fn arb(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = crate::rng::Rng64::new(seed);
+        let n: usize = dims.iter().product();
+        Tensor::from_vec(dims, (0..n).map(|_| rng.next_gaussian() as f32).collect())
+    }
+
+    #[test]
+    fn matmul_bitwise_identical_serial_vs_parallel() {
+        let a = arb(&[37, 19], 1);
+        let b = arb(&[19, 23], 2);
+        let serial = crate::par::with_forced_threads(1, || matmul(&a, &b));
+        for t in [2, 4, 7] {
+            let par = crate::par::with_forced_threads(t, || matmul(&a, &b));
+            assert_eq!(par, serial, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn matvec_bitwise_identical_serial_vs_parallel() {
+        let a = arb(&[53, 17], 3);
+        let x = arb(&[17], 4);
+        let serial = crate::par::with_forced_threads(1, || matvec(&a, &x));
+        for t in [2, 4] {
+            let par = crate::par::with_forced_threads(t, || matvec(&a, &x));
+            assert_eq!(par, serial, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn batched_matmul_bitwise_identical_serial_vs_parallel() {
+        let a = arb(&[6, 5, 4], 5);
+        let b = arb(&[6, 4, 3], 6);
+        let shared = arb(&[4, 3], 7);
+        let serial = crate::par::with_forced_threads(1, || {
+            (batched_matmul(&a, &b), batched_matmul(&a, &shared))
+        });
+        for t in [2, 4] {
+            let par = crate::par::with_forced_threads(t, || {
+                (batched_matmul(&a, &b), batched_matmul(&a, &shared))
+            });
+            assert_eq!(par, serial, "threads={t}");
+        }
     }
 
     #[test]

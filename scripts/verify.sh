@@ -23,11 +23,21 @@ cargo clippy -q --all-targets -- -D warnings
 
 echo "==> tier-1 gate: cargo build --release && cargo test -q"
 cargo build --release
-cargo test -q
+
+# The tier-1 suite runs twice: once with the parallel kernel pool pinned
+# to a single thread (exact serial fallback) and once at 4 threads. The
+# determinism contract of stod_tensor::par says both runs see bitwise
+# identical numerics, so both must pass identically.
+echo "==> tier-1 tests, STOD_THREADS=1 (serial fallback)"
+STOD_THREADS=1 cargo test -q
+
+echo "==> tier-1 tests, STOD_THREADS=4 (parallel pool)"
+STOD_THREADS=4 cargo test -q
 
 if [[ "$full" == 1 ]]; then
-  echo "==> full workspace test suite"
-  cargo test -q --workspace
+  echo "==> full workspace test suite (STOD_THREADS=1 and 4)"
+  STOD_THREADS=1 cargo test -q --workspace
+  STOD_THREADS=4 cargo test -q --workspace
 fi
 
 echo "verify: OK"
