@@ -1,0 +1,153 @@
+//! Shared-fixture conformance check: all five baselines of the paper's
+//! evaluation (§VI-A.3) emit valid probability histograms on the same
+//! small synthetic city — length `K`, non-negative, summing to 1. A
+//! baseline that leaks raw counts, unnormalized scores, or NaNs out of
+//! its fallback path fails here before it can poison an experiment table.
+
+use stod_baselines::fc::FcConfig;
+use stod_baselines::gp::GpParams;
+use stod_baselines::mr::MrParams;
+use stod_baselines::var::VarParams;
+use stod_baselines::{
+    FcModel, GpRegression, HistogramPredictor, MrModel, NaiveHistograms, VarModel,
+};
+use stod_core::{Mode, OdForecaster};
+use stod_nn::Tape;
+use stod_tensor::rng::Rng64;
+use stod_tensor::{stack, Tensor};
+use stod_traffic::{CityModel, OdDataset, SimConfig, Window};
+
+const S: usize = 3;
+const H: usize = 2;
+
+fn fixture() -> (OdDataset, Vec<Window>, usize) {
+    let cfg = SimConfig {
+        num_days: 2,
+        intervals_per_day: 16,
+        trips_per_interval: 80.0,
+        ..SimConfig::small(11)
+    };
+    let ds = OdDataset::generate(CityModel::small(5), &cfg);
+    let windows = ds.windows(S, H);
+    assert!(!windows.is_empty(), "fixture produced no windows");
+    let train_end = ds.num_intervals() * 3 / 4;
+    (ds, windows, train_end)
+}
+
+fn assert_histogram(h: &[f32], k: usize, what: &str) {
+    assert_eq!(h.len(), k, "{what}: histogram length");
+    let mut sum = 0.0f64;
+    for &v in h {
+        assert!(v.is_finite() && v >= 0.0, "{what}: bucket value {v}");
+        sum += v as f64;
+    }
+    assert!((sum - 1.0).abs() < 1e-4, "{what}: histogram sums to {sum}");
+}
+
+fn check_predictor(pred: &dyn HistogramPredictor, ds: &OdDataset, windows: &[Window]) {
+    let n = ds.num_regions();
+    let k = ds.spec.num_buckets;
+    for w in windows.iter().take(4) {
+        for step in 0..H {
+            for o in 0..n {
+                for d in 0..n {
+                    let h = pred.predict(ds, o, d, w, step);
+                    assert_histogram(&h, k, &format!("{} ({o},{d}) step {step}", pred.name()));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn naive_histograms_emit_simplices() {
+    let (ds, windows, train_end) = fixture();
+    check_predictor(&NaiveHistograms::fit(&ds, train_end), &ds, &windows);
+}
+
+#[test]
+fn gp_regression_emits_simplices() {
+    let (ds, windows, train_end) = fixture();
+    let gp = GpRegression::fit(
+        &ds,
+        train_end,
+        GpParams {
+            length_scale: 8.0,
+            noise: 0.05,
+            max_points: 48,
+            min_points: 4,
+        },
+    );
+    check_predictor(&gp, &ds, &windows);
+}
+
+#[test]
+fn var_model_emits_simplices() {
+    let (ds, windows, train_end) = fixture();
+    let var = VarModel::fit(
+        &ds,
+        train_end,
+        VarParams {
+            top_pairs: 24,
+            lags: 3,
+            ridge: 1.0,
+        },
+    );
+    check_predictor(&var, &ds, &windows);
+}
+
+#[test]
+fn mr_model_emits_simplices() {
+    let (ds, windows, train_end) = fixture();
+    let mr = MrModel::fit(
+        &ds,
+        train_end,
+        MrParams {
+            embed_dim: 8,
+            hidden: 32,
+            tod_slots: 24,
+            epochs: 8,
+            batch_size: 256,
+            lr: 5e-3,
+            aux_weight: 0.3,
+        },
+        7,
+    );
+    check_predictor(&mr, &ds, &windows);
+}
+
+#[test]
+fn fc_model_emits_simplices() {
+    let (ds, windows, _) = fixture();
+    let n = ds.num_regions();
+    let k = ds.spec.num_buckets;
+    let fc = FcModel::new(
+        n,
+        k,
+        FcConfig {
+            encode_dim: 32,
+            gru_hidden: 48,
+        },
+        7,
+    );
+    // The deep baseline goes through the OdForecaster path on the same
+    // fixture windows.
+    for w in windows.iter().take(2) {
+        let inputs: Vec<Tensor> = w
+            .input_indices()
+            .iter()
+            .map(|&t| stack(&[&ds.tensors[t].data], 0))
+            .collect();
+        let mut tape = Tape::new();
+        let mut rng = Rng64::new(0);
+        let out = fc.forward(&mut tape, &inputs, H, Mode::Eval, &mut rng);
+        assert_eq!(out.predictions.len(), H);
+        for (step, &p) in out.predictions.iter().enumerate() {
+            let pred = tape.value(p);
+            assert_eq!(pred.dims(), &[1, n, n, k]);
+            for (cell, chunk) in pred.data().chunks(k).enumerate() {
+                assert_histogram(chunk, k, &format!("FC cell {cell} step {step}"));
+            }
+        }
+    }
+}

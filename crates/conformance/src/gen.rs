@@ -1,0 +1,181 @@
+//! Deterministic case generation: value corpora for the differential
+//! fuzzer.
+//!
+//! Every buffer is a pure function of an `Rng64` stream, which is itself
+//! seeded from the case seed — so a dumped `(kernel, seed, dims)` triple
+//! regenerates its exact inputs (see [`crate::fuzz::replay`]).
+
+use stod_tensor::rng::Rng64;
+
+/// Which distribution a generated buffer draws from. Classes rotate per
+/// case so every kernel sees dense, sparse and extreme-magnitude inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueClass {
+    /// Standard Gaussian values — the typical activations regime.
+    Gaussian,
+    /// Mostly zeros (the sparse OD tensors of §III), Gaussian survivors.
+    Sparse,
+    /// NaN-adjacent extremes: signed zeros, subnormal-scale and huge
+    /// magnitudes that stress underflow/overflow paths without actually
+    /// producing non-finite inputs.
+    Extreme,
+    /// A mix of all of the above.
+    Mixed,
+}
+
+impl ValueClass {
+    /// All classes, in rotation order.
+    pub const ALL: [ValueClass; 4] = [
+        ValueClass::Gaussian,
+        ValueClass::Sparse,
+        ValueClass::Extreme,
+        ValueClass::Mixed,
+    ];
+
+    /// Deterministic class for a case seed.
+    pub fn for_seed(seed: u64) -> ValueClass {
+        Self::ALL[(seed >> 8) as usize % Self::ALL.len()]
+    }
+}
+
+/// The finite extreme values the `Extreme` class draws from. Magnitudes
+/// stay ≤ 1e15 so pairwise products (≤ 1e30) cannot overflow `f32` even
+/// after summation — overflow to ∞ would make oracle comparison vacuous.
+const EXTREMES: [f32; 12] = [
+    0.0,
+    -0.0,
+    1.0,
+    -1.0,
+    1e15,
+    -1e15,
+    1e-30,
+    -1e-30,
+    1e-38,
+    -1e-38,
+    f32::MIN_POSITIVE,
+    f32::EPSILON,
+];
+
+/// Fills a buffer of `len` values of the given class.
+pub fn fill(rng: &mut Rng64, class: ValueClass, len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|_| match class {
+            ValueClass::Gaussian => rng.next_gaussian() as f32,
+            ValueClass::Sparse => {
+                if rng.next_f64() < 0.8 {
+                    0.0
+                } else {
+                    rng.next_gaussian() as f32
+                }
+            }
+            ValueClass::Extreme => EXTREMES[rng.next_below(EXTREMES.len())],
+            ValueClass::Mixed => match rng.next_below(3) {
+                0 => rng.next_gaussian() as f32,
+                1 => 0.0,
+                _ => EXTREMES[rng.next_below(EXTREMES.len())],
+            },
+        })
+        .collect()
+}
+
+/// A histogram buffer for the metric kernels: rotates through the
+/// degenerate shapes the metrics must survive — simplexes, unnormalized
+/// mass, point masses, tiny total mass, all-zero, and (rarely) a NaN
+/// entry, which both the production metric and the oracle must agree on.
+pub fn fill_histogram(rng: &mut Rng64, len: usize, allow_nan: bool) -> Vec<f32> {
+    let variant = rng.next_below(if allow_nan { 12 } else { 11 });
+    let mut h: Vec<f32> = match variant {
+        // Dense positive mass (normalized below).
+        0..=3 => (0..len).map(|_| rng.next_f32()).collect(),
+        // Sparse mass.
+        4..=6 => (0..len)
+            .map(|_| {
+                if rng.next_f64() < 0.6 {
+                    0.0
+                } else {
+                    rng.next_f32()
+                }
+            })
+            .collect(),
+        // Point mass in one bucket.
+        7 | 8 => {
+            let mut h = vec![0.0f32; len];
+            h[rng.next_below(len)] = 1.0;
+            h
+        }
+        // Tiny total mass.
+        9 => (0..len)
+            .map(|_| {
+                if rng.next_f64() < 0.5 {
+                    0.0
+                } else {
+                    rng.next_f32() * 1e-13
+                }
+            })
+            .collect(),
+        // All-zero (empty cell).
+        10 => vec![0.0f32; len],
+        // One NaN entry.
+        _ => {
+            let mut h: Vec<f32> = (0..len).map(|_| rng.next_f32()).collect();
+            h[rng.next_below(len)] = f32::NAN;
+            h
+        }
+    };
+    // Half of the dense/sparse draws are left unnormalized on purpose.
+    if variant <= 6 && rng.next_f64() < 0.5 {
+        let s: f32 = h.iter().sum();
+        if s > 0.0 {
+            for v in &mut h {
+                *v /= s;
+            }
+        }
+    }
+    h
+}
+
+/// A 0/1 observation mask with the given empty-cell probability.
+pub fn fill_mask(rng: &mut Rng64, len: usize, p_empty: f64) -> Vec<f32> {
+    (0..len)
+        .map(|_| if rng.next_f64() < p_empty { 0.0 } else { 1.0 })
+        .collect()
+}
+
+/// Uniform dimension draw in `[lo, hi]`.
+pub fn dim(rng: &mut Rng64, lo: usize, hi: usize) -> usize {
+    lo + rng.next_below(hi - lo + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_is_deterministic_per_seed() {
+        let a = fill(&mut Rng64::new(7), ValueClass::Mixed, 64);
+        let b = fill(&mut Rng64::new(7), ValueClass::Mixed, 64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sparse_class_is_mostly_zero() {
+        let v = fill(&mut Rng64::new(1), ValueClass::Sparse, 1000);
+        let zeros = v.iter().filter(|&&x| x == 0.0).count();
+        assert!(zeros > 600, "sparse class produced only {zeros} zeros");
+    }
+
+    #[test]
+    fn extremes_are_finite() {
+        let v = fill(&mut Rng64::new(2), ValueClass::Extreme, 1000);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn histograms_without_nan_stay_finite() {
+        for seed in 0..50 {
+            let h = fill_histogram(&mut Rng64::new(seed), 7, false);
+            assert_eq!(h.len(), 7);
+            assert!(h.iter().all(|x| x.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! Reference oracles: deliberately naive, obviously-correct serial
+//! re-implementations of the workspace's hot kernels.
+//!
+//! Everything here is written as the textbook triple loop over plain
+//! slices, accumulating in `f64`, with **no** dependency on
+//! `stod_tensor::par` (or even on `Tensor`) — so a bug in the production
+//! kernels, their parallel dispatch, or the tensor layout cannot also hide
+//! in the oracle. Besides values, each oracle reports the accumulated
+//! magnitude `Σ |terms|` per output element, which the ULP-aware
+//! comparison in [`crate::ulp`] uses as the natural scale of legitimate
+//! `f32` rounding.
+
+/// An oracle result: exact-ish values plus per-element magnitude sums.
+#[derive(Debug, Clone)]
+pub struct OracleOut {
+    /// `f64`-accumulated reference values.
+    pub values: Vec<f64>,
+    /// Per-element `Σ |terms|` magnitude (error scale for comparison).
+    pub mags: Vec<f64>,
+}
+
+/// `a (m×k) · b (k×n)` by the textbook i-j-k triple loop.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> OracleOut {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    let mut values = vec![0.0f64; m * n];
+    let mut mags = vec![0.0f64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            let mut mag = 0.0f64;
+            for p in 0..k {
+                let t = a[i * k + p] as f64 * b[p * n + j] as f64;
+                acc += t;
+                mag += t.abs();
+            }
+            values[i * n + j] = acc;
+            mags[i * n + j] = mag;
+        }
+    }
+    OracleOut { values, mags }
+}
+
+/// `a (m×k) · x (k)`.
+pub fn matvec(a: &[f32], x: &[f32], m: usize, k: usize) -> OracleOut {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(x.len(), k);
+    let mut values = vec![0.0f64; m];
+    let mut mags = vec![0.0f64; m];
+    for i in 0..m {
+        let mut acc = 0.0f64;
+        let mut mag = 0.0f64;
+        for p in 0..k {
+            let t = a[i * k + p] as f64 * x[p] as f64;
+            acc += t;
+            mag += t.abs();
+        }
+        values[i] = acc;
+        mags[i] = mag;
+    }
+    OracleOut { values, mags }
+}
+
+/// Batched `[batch, m, k] · [batch, k, n]`; a `batch` of 0 on either side
+/// means that operand is a single 2-D matrix broadcast across the other's
+/// batch (mirroring `stod_tensor::batched_matmul`'s broadcasting rule).
+#[allow(clippy::too_many_arguments)]
+pub fn batched_matmul(
+    a: &[f32],
+    b: &[f32],
+    batch: usize,
+    a_broadcast: bool,
+    b_broadcast: bool,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> OracleOut {
+    let mut values = vec![0.0f64; batch * m * n];
+    let mut mags = vec![0.0f64; batch * m * n];
+    for t in 0..batch {
+        let a_off = if a_broadcast { 0 } else { t * m * k };
+        let b_off = if b_broadcast { 0 } else { t * k * n };
+        let one = matmul(&a[a_off..a_off + m * k], &b[b_off..b_off + k * n], m, k, n);
+        values[t * m * n..(t + 1) * m * n].copy_from_slice(&one.values);
+        mags[t * m * n..(t + 1) * m * n].copy_from_slice(&one.mags);
+    }
+    OracleOut { values, mags }
+}
+
+/// Chebyshev basis of Eq. 5 (`t₁ = x`, `t₂ = L̃x`, `t_s = 2L̃t_{s−1} −
+/// t_{s−2}`) for one signal, laid out row-major `[i, s]` like
+/// `stod_graph::cheby::cheby_basis`. The magnitude recurrence mirrors the
+/// value recurrence with every term replaced by its absolute value.
+pub fn cheby_basis(l: &[f32], x: &[f32], n: usize, order: usize) -> OracleOut {
+    assert!(order >= 1);
+    assert_eq!(l.len(), n * n);
+    assert_eq!(x.len(), n);
+    let mut cols: Vec<Vec<f64>> = Vec::with_capacity(order);
+    let mut col_mags: Vec<Vec<f64>> = Vec::with_capacity(order);
+    // Each level's magnitude is floored at f32::MIN_POSITIVE: rounding a
+    // level value into f32's subnormal range incurs an absolute error of
+    // up to the subnormal quantum regardless of ε·|v|, and later levels
+    // amplify that floor through the same 2L̃ recurrence as real values.
+    let floor = f32::MIN_POSITIVE as f64;
+    cols.push(x.iter().map(|&v| v as f64).collect());
+    col_mags.push(x.iter().map(|&v| (v as f64).abs().max(floor)).collect());
+    // Once any element's magnitude scale crosses the f32 range, an f32
+    // implementation may saturate it to ±∞, and the next matvec smears
+    // that non-finite value into *every* element — so all later steps are
+    // unverifiable. Flag them with an infinite magnitude, which the
+    // ULP-aware comparison treats as vacuous.
+    let mut poisoned = col_mags[0].iter().any(|&m| m >= f32::MAX as f64);
+    for s in 1..order {
+        let mut col = vec![0.0f64; n];
+        let mut mag = vec![0.0f64; n];
+        for i in 0..n {
+            let mut acc = 0.0f64;
+            let mut mg = 0.0f64;
+            for j in 0..n {
+                acc += l[i * n + j] as f64 * cols[s - 1][j];
+                mg += (l[i * n + j] as f64).abs() * col_mags[s - 1][j];
+            }
+            if s == 1 {
+                col[i] = acc;
+                mag[i] = mg.max(floor);
+            } else {
+                col[i] = 2.0 * acc - cols[s - 2][i];
+                mag[i] = (2.0 * mg + col_mags[s - 2][i]).max(floor);
+            }
+        }
+        if poisoned {
+            mag.iter_mut().for_each(|m| *m = f64::INFINITY);
+        } else if mag.iter().any(|&m| m >= f32::MAX as f64) {
+            poisoned = true;
+        }
+        cols.push(col);
+        col_mags.push(mag);
+    }
+    let mut values = vec![0.0f64; n * order];
+    let mut mags = vec![0.0f64; n * order];
+    for (s, (col, mag)) in cols.iter().zip(col_mags.iter()).enumerate() {
+        for i in 0..n {
+            values[i * order + s] = col[i];
+            mags[i * order + s] = mag[i];
+        }
+    }
+    OracleOut { values, mags }
+}
+
+/// Stable softmax along the middle extent of an `[outer, mid, inner]`
+/// view, entirely in `f64`. Outputs lie in `[0, 1]`; the magnitude is the
+/// pre-division exponential sum scale, normalized to ~1.
+pub fn softmax(x: &[f32], outer: usize, mid: usize, inner: usize) -> OracleOut {
+    assert_eq!(x.len(), outer * mid * inner);
+    let mut values = vec![0.0f64; x.len()];
+    let mags = vec![1.0f64; x.len()];
+    for o in 0..outer {
+        for i in 0..inner {
+            let idx = |m: usize| (o * mid + m) * inner + i;
+            let mut mx = f64::NEG_INFINITY;
+            for m in 0..mid {
+                mx = mx.max(x[idx(m)] as f64);
+            }
+            let mut z = 0.0f64;
+            for m in 0..mid {
+                let e = (x[idx(m)] as f64 - mx).exp();
+                values[idx(m)] = e;
+                z += e;
+            }
+            for m in 0..mid {
+                values[idx(m)] /= z;
+            }
+        }
+    }
+    OracleOut { values, mags }
+}
+
+fn sigmoid64(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// One GRU step with fused weights, exactly the gate equations of
+/// `stod_nn::layers::GruCell` (slices ordered z, r, c; the reset gate
+/// multiplies the *hidden projection* slice `h·Wh[:, 2H:3H]`):
+///
+/// ```text
+/// z  = σ(x·Wx[:, 0:H]   + h·Wh[:, 0:H]   + b[0:H])
+/// r  = σ(x·Wx[:, H:2H]  + h·Wh[:, H:2H]  + b[H:2H])
+/// c  = tanh(x·Wx[:, 2H:3H] + r ⊙ (h·Wh[:, 2H:3H]) + b[2H:3H])
+/// h' = z ⊙ h + (1 − z) ⊙ c
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn gru_cell(
+    x: &[f32],
+    h: &[f32],
+    wx: &[f32],
+    wh: &[f32],
+    b: &[f32],
+    batch: usize,
+    in_dim: usize,
+    hidden: usize,
+) -> OracleOut {
+    assert_eq!(x.len(), batch * in_dim);
+    assert_eq!(h.len(), batch * hidden);
+    assert_eq!(wx.len(), in_dim * 3 * hidden);
+    assert_eq!(wh.len(), hidden * 3 * hidden);
+    assert_eq!(b.len(), 3 * hidden);
+    let cols = 3 * hidden;
+    let mut values = vec![0.0f64; batch * hidden];
+    let mut mags = vec![0.0f64; batch * hidden];
+    for bi in 0..batch {
+        for u in 0..hidden {
+            let gate = |off: usize| -> (f64, f64) {
+                let mut acc = b[off + u] as f64;
+                let mut mag = (b[off + u] as f64).abs();
+                for p in 0..in_dim {
+                    let t = x[bi * in_dim + p] as f64 * wx[p * cols + off + u] as f64;
+                    acc += t;
+                    mag += t.abs();
+                }
+                (acc, mag)
+            };
+            let hproj = |off: usize| -> (f64, f64) {
+                let mut acc = 0.0f64;
+                let mut mag = 0.0f64;
+                for p in 0..hidden {
+                    let t = h[bi * hidden + p] as f64 * wh[p * cols + off + u] as f64;
+                    acc += t;
+                    mag += t.abs();
+                }
+                (acc, mag)
+            };
+            let (gx_z, mx_z) = gate(0);
+            let (gx_r, mx_r) = gate(hidden);
+            let (gx_c, mx_c) = gate(2 * hidden);
+            let (gh_z, mh_z) = hproj(0);
+            let (gh_r, mh_r) = hproj(hidden);
+            let (gh_c, mh_c) = hproj(2 * hidden);
+            let z = sigmoid64(gx_z + gh_z);
+            let r = sigmoid64(gx_r + gh_r);
+            let c = (gx_c + r * gh_c).tanh();
+            let hv = h[bi * hidden + u] as f64;
+            values[bi * hidden + u] = z * hv + (1.0 - z) * c;
+            // Error scale: rounding in the production f32 matmuls perturbs
+            // the pre-activations by ~ε·Σ|terms|; through σ/tanh (Lipschitz
+            // ≤ 1/4 resp. 1) a gate perturbation is then amplified by the
+            // output mix `z⊙h + (1−z)⊙c`, i.e. by up to `1 + |h|`. The
+            // product form covers extreme-magnitude states where a near-
+            // cancelled pre-activation can legitimately flip a gate.
+            mags[bi * hidden + u] =
+                (1.0 + hv.abs()) * (1.0 + (mx_z + mx_r + mx_c + mh_z + mh_r + mh_c) / 4.0);
+        }
+    }
+    OracleOut { values, mags }
+}
+
+/// Recovery of Eq. 3: per-bucket rank-β products `M̂_k = R̂_k Ĉ_k` with an
+/// optional logit bias, then a softmax over buckets — `r` is
+/// `[batch, n, beta, k]`, `c` is `[batch, beta, n_dest, k]`, `bias`
+/// (if given) is `[n, n_dest, k]`. Output `[batch, n, n_dest, k]`.
+#[allow(clippy::too_many_arguments)]
+pub fn recover(
+    r: &[f32],
+    c: &[f32],
+    bias: Option<&[f32]>,
+    batch: usize,
+    n: usize,
+    beta: usize,
+    n_dest: usize,
+    k: usize,
+) -> OracleOut {
+    assert_eq!(r.len(), batch * n * beta * k);
+    assert_eq!(c.len(), batch * beta * n_dest * k);
+    if let Some(bias) = bias {
+        assert_eq!(bias.len(), n * n_dest * k);
+    }
+    let numel = batch * n * n_dest * k;
+    let mut logits = vec![0.0f64; numel];
+    let mut logit_mags = vec![0.0f64; numel];
+    for b in 0..batch {
+        for o in 0..n {
+            for d in 0..n_dest {
+                for q in 0..k {
+                    let mut acc = 0.0f64;
+                    let mut mag = 0.0f64;
+                    for be in 0..beta {
+                        let rv = r[((b * n + o) * beta + be) * k + q] as f64;
+                        let cv = c[((b * beta + be) * n_dest + d) * k + q] as f64;
+                        acc += rv * cv;
+                        mag += (rv * cv).abs();
+                    }
+                    if let Some(bias) = bias {
+                        let bv = bias[(o * n_dest + d) * k + q] as f64;
+                        acc += bv;
+                        mag += bv.abs();
+                    }
+                    let idx = ((b * n + o) * n_dest + d) * k + q;
+                    logits[idx] = acc;
+                    logit_mags[idx] = mag;
+                }
+            }
+        }
+    }
+    // Softmax over the bucket axis. A probability depends on *every*
+    // logit of its cell, so its error scale is the worst logit magnitude
+    // in the cell — rounding a huge logit in one bucket legitimately
+    // reshuffles the whole distribution.
+    let mut values = vec![0.0f64; numel];
+    let mut mags = vec![0.0f64; numel];
+    for cell in 0..batch * n * n_dest {
+        let sl = &logits[cell * k..(cell + 1) * k];
+        let mx = sl.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let cell_mag = logit_mags[cell * k..(cell + 1) * k]
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        let mut z = 0.0f64;
+        for q in 0..k {
+            let e = (sl[q] - mx).exp();
+            values[cell * k + q] = e;
+            z += e;
+        }
+        for q in 0..k {
+            values[cell * k + q] /= z;
+            mags[cell * k + q] = 1.0 + cell_mag;
+        }
+    }
+    OracleOut { values, mags }
+}
+
+/// Eq. 4's data term: `Σ_i mask_i · (pred_i − target_i)²` as one `f64`
+/// scalar (matching `Tape::masked_sq_err`'s forward value). Returns
+/// `(value, magnitude)`.
+pub fn masked_sq_err(pred: &[f32], target: &[f32], mask: &[f32]) -> (f64, f64) {
+    assert_eq!(pred.len(), target.len());
+    assert_eq!(pred.len(), mask.len());
+    let mut acc = 0.0f64;
+    let mut mag = 0.0f64;
+    for i in 0..pred.len() {
+        let d = pred[i] as f64 - target[i] as f64;
+        let t = mask[i] as f64 * d * d;
+        acc += t;
+        mag += t.abs() + (pred[i] as f64).abs().max((target[i] as f64).abs()) * f32::EPSILON as f64;
+    }
+    (acc, mag)
+}
+
+/// Earth mover's distance by explicit optimal transport on the 1-D bucket
+/// line: two pointers greedily move the leftmost remaining supply to the
+/// leftmost remaining demand, paying `|i − j|` per unit of mass (optimal
+/// for a convex 1-D ground cost). Deliberately a different algorithm from
+/// the CDF closed form in `stod_metrics::emd`.
+///
+/// Degenerate conventions match the production metric: two empty
+/// histograms are 0 apart; one empty histogram is at the grid diameter
+/// `len − 1`; non-finite inputs propagate NaN.
+pub fn emd_transport(m: &[f32], m_hat: &[f32]) -> f64 {
+    assert_eq!(m.len(), m_hat.len(), "histogram length mismatch");
+    let sum_m: f64 = m.iter().map(|&x| x as f64).sum();
+    let sum_h: f64 = m_hat.iter().map(|&x| x as f64).sum();
+    if !sum_m.is_finite() || !sum_h.is_finite() {
+        return f64::NAN;
+    }
+    match (sum_m > 0.0, sum_h > 0.0) {
+        (false, false) => return 0.0,
+        (true, false) | (false, true) => return (m.len() - 1) as f64,
+        (true, true) => {}
+    }
+    let p: Vec<f64> = m.iter().map(|&x| x as f64 / sum_m).collect();
+    let q: Vec<f64> = m_hat.iter().map(|&x| x as f64 / sum_h).collect();
+    let (mut i, mut j) = (0usize, 0usize);
+    let (mut supply, mut demand) = (p[0], q[0]);
+    let mut cost = 0.0f64;
+    loop {
+        let moved = supply.min(demand);
+        cost += moved * (i as f64 - j as f64).abs();
+        supply -= moved;
+        demand -= moved;
+        if supply <= 1e-15 {
+            i += 1;
+            if i == p.len() {
+                break;
+            }
+            supply = p[i];
+        }
+        if demand <= 1e-15 {
+            j += 1;
+            if j == q.len() {
+                break;
+            }
+            demand = q[j];
+        }
+    }
+    cost
+}
+
+/// KL divergence with the paper's δ-smoothing (Eq. 13, forecast in front
+/// of the log), re-derived independently of `stod_metrics`.
+pub fn kl(m: &[f32], m_hat: &[f32]) -> f64 {
+    assert_eq!(m.len(), m_hat.len(), "histogram length mismatch");
+    const DELTA: f64 = 0.001;
+    m.iter()
+        .zip(m_hat.iter())
+        .map(|(&mk, &hk)| hk as f64 * ((hk as f64 + DELTA) / (mk as f64 + DELTA)).ln())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_product() {
+        let a = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2×3
+        let b = [7.0f32, 8.0, 9.0, 10.0, 11.0, 12.0]; // 3×2
+        let o = matmul(&a, &b, 2, 3, 2);
+        assert_eq!(o.values, vec![58.0, 64.0, 139.0, 154.0]);
+        assert!(o.mags.iter().all(|&m| m > 0.0));
+    }
+
+    #[test]
+    fn cheby_first_two_columns() {
+        // 2-node: L = [[0, 1], [1, 0]], x = [1, 2] → t1 = x, t2 = Lx = [2, 1].
+        let l = [0.0f32, 1.0, 1.0, 0.0];
+        let x = [1.0f32, 2.0];
+        let o = cheby_basis(&l, &x, 2, 3);
+        assert_eq!(o.values[0], 1.0); // [0, s=0]
+        assert_eq!(o.values[1], 2.0); // [0, s=1]
+                                      // t3 = 2L·t2 − t1 = 2·[1,2] − [1,2] = [1,2]
+        assert_eq!(o.values[2], 1.0); // [0, s=2]
+    }
+
+    #[test]
+    fn softmax_uniform_logits() {
+        let o = softmax(&[0.0f32; 4], 1, 4, 1);
+        assert!(o.values.iter().all(|&v| (v - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn gru_zero_everything_is_zero() {
+        // Zero weights, inputs and state: z = 0.5, c = tanh(0) = 0 → h' = 0.
+        let o = gru_cell(
+            &[0.0; 2], &[0.0; 3], &[0.0; 18], &[0.0; 27], &[0.0; 9], 1, 2, 3,
+        );
+        assert!(o.values.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn recover_outputs_are_simplex() {
+        let r = [0.5f32, -1.0, 2.0, 0.3, 1.0, -0.7, 0.2, 0.9];
+        let c = [1.0f32, 0.5, -0.5, 2.0, 0.1, 0.4, -1.2, 0.8];
+        let o = recover(&r, &c, None, 1, 2, 2, 2, 2);
+        for cell in o.values.chunks(2) {
+            let s: f64 = cell.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(cell.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn emd_transport_basics() {
+        assert_eq!(emd_transport(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert_eq!(
+            emd_transport(&[1.0, 0.0, 0.0, 0.0], &[0.0, 0.0, 0.0, 1.0]),
+            3.0
+        );
+        assert_eq!(emd_transport(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+        assert_eq!(emd_transport(&[0.0, 1.0], &[0.0, 0.0]), 1.0);
+        let a = [0.3f32, 0.3, 0.4];
+        assert!(emd_transport(&a, &a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_loss_ignores_masked_cells() {
+        let (v, _) = masked_sq_err(&[1.0, 5.0], &[0.0, -100.0], &[1.0, 0.0]);
+        assert_eq!(v, 1.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! ULP-aware comparison of `f32` results.
+//!
+//! Differential testing of float kernels cannot demand bitwise equality
+//! against an oracle that accumulates differently, and plain epsilon
+//! thresholds either mask real bugs (too loose at small magnitudes) or
+//! flag legitimate rounding (too tight at large ones). Units-in-the-last-
+//! place distance scales with magnitude by construction, so a single
+//! integer budget covers the whole float range.
+
+/// Distance in units-in-the-last-place between two `f32` values.
+///
+/// The mapping follows the standard monotone reinterpretation of IEEE-754
+/// bit patterns onto a signed integer line, so the distance across zero is
+/// well defined (`+0.0` and `-0.0` are 0 apart). Two NaNs compare as 0
+/// apart; a NaN against a non-NaN is `u64::MAX`.
+pub fn ulp_diff(a: f32, b: f32) -> u64 {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => return 0,
+        (true, false) | (false, true) => return u64::MAX,
+        (false, false) => {}
+    }
+    let to_ordered = |x: f32| -> i64 {
+        let bits = x.to_bits() as i32;
+        // Negative floats: flip so the integer line is monotone in value.
+        if bits < 0 {
+            (i32::MIN - bits) as i64
+        } else {
+            bits as i64
+        }
+    };
+    (to_ordered(a) - to_ordered(b)).unsigned_abs()
+}
+
+/// Largest ULP distance over two equally-long slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn max_ulp_diff(a: &[f32], b: &[f32]) -> u64 {
+    assert_eq!(a.len(), b.len(), "ulp comparison length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| ulp_diff(x, y))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Outcome of comparing one produced value against its oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct Mismatch {
+    /// Flat index of the worst element.
+    pub index: usize,
+    /// Production value.
+    pub got: f32,
+    /// Oracle value (f64, before rounding).
+    pub want: f64,
+    /// ULP distance between `got` and `want as f32`.
+    pub ulp: u64,
+    /// Absolute difference `|got − want|`.
+    pub abs_err: f64,
+}
+
+/// Compares a production `f32` buffer against an `f64` oracle with a
+/// condition-aware tolerance.
+///
+/// `mags[i]` must be the oracle's accumulated magnitude `Σ |terms|` for
+/// element `i` — the natural scale of the rounding error a correct `f32`
+/// kernel can accumulate. An element passes when it is within `ulp_budget`
+/// ULPs of the rounded oracle **or** within `terms · ε_f32 · mag` of the
+/// exact value (the standard forward-error bound for a length-`terms`
+/// accumulation). Returns the worst offender if any element fails both.
+pub fn compare(
+    got: &[f32],
+    want: &[f64],
+    mags: &[f64],
+    terms: usize,
+    ulp_budget: u64,
+) -> Option<Mismatch> {
+    assert_eq!(got.len(), want.len(), "compare length mismatch");
+    assert_eq!(got.len(), mags.len(), "compare mags length mismatch");
+    let eps = f32::EPSILON as f64;
+    let mut worst: Option<Mismatch> = None;
+    for i in 0..got.len() {
+        let w32 = want[i] as f32;
+        let ulp = ulp_diff(got[i], w32);
+        if ulp <= ulp_budget {
+            continue;
+        }
+        // When the element's own magnitude scale exceeds the f32 range, a
+        // correct f32 kernel may overflow an intermediate (e.g. the `2L̃t`
+        // term of the Chebyshev recurrence before its cancelling subtract)
+        // and saturate — the comparison is vacuous for that element.
+        if mags[i] >= f64::from(f32::MAX) {
+            continue;
+        }
+        let abs_err = (got[i] as f64 - want[i]).abs();
+        // Forward-error bound: a correct f32 accumulation of `terms`
+        // products may drift by ~terms·ε relative to the magnitude sum
+        // (plus one rounding of the result itself).
+        // The magnitude is floored at f32::MIN_POSITIVE so that ε·mag
+        // covers the absolute quantum of subnormal f32 rounding.
+        let tol = (terms as f64 + 2.0) * eps * mags[i].max(f64::from(f32::MIN_POSITIVE))
+            + f64::MIN_POSITIVE;
+        if abs_err <= tol {
+            continue;
+        }
+        // Overflow boundary: a correct f32 kernel may saturate to ±∞ where
+        // the f64 oracle lands within one tolerance of f32::MAX.
+        if got[i].is_infinite() && want[i] * f64::from(got[i].signum()) + tol >= f64::from(f32::MAX)
+        {
+            continue;
+        }
+        if worst.as_ref().is_none_or(|m| ulp > m.ulp) {
+            worst = Some(Mismatch {
+                index: i,
+                got: got[i],
+                want: want[i],
+                ulp,
+                abs_err,
+            });
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_values_are_zero_apart() {
+        assert_eq!(ulp_diff(1.5, 1.5), 0);
+        assert_eq!(ulp_diff(0.0, -0.0), 0);
+        assert_eq!(ulp_diff(f32::NAN, f32::NAN), 0);
+    }
+
+    #[test]
+    fn adjacent_floats_are_one_apart() {
+        let x = 1.0f32;
+        let next = f32::from_bits(x.to_bits() + 1);
+        assert_eq!(ulp_diff(x, next), 1);
+        let neg = -1.0f32;
+        let neg_next = f32::from_bits(neg.to_bits() + 1);
+        assert_eq!(ulp_diff(neg, neg_next), 1);
+    }
+
+    #[test]
+    fn crossing_zero_counts_both_sides() {
+        let tiny_pos = f32::from_bits(1);
+        let tiny_neg = -f32::from_bits(1);
+        assert_eq!(ulp_diff(tiny_pos, tiny_neg), 2);
+    }
+
+    #[test]
+    fn nan_vs_number_is_max() {
+        assert_eq!(ulp_diff(f32::NAN, 1.0), u64::MAX);
+    }
+
+    #[test]
+    fn compare_accepts_rounding_and_rejects_real_error() {
+        let want = [1.0f64, 2.0, 3.0];
+        let mags = [1.0f64, 2.0, 3.0];
+        let mut got = [1.0f32, 2.0, 3.0];
+        assert!(compare(&got, &want, &mags, 4, 4).is_none());
+        got[1] = 2.1; // far outside any rounding budget
+        let m = compare(&got, &want, &mags, 4, 4).expect("must flag");
+        assert_eq!(m.index, 1);
+    }
+
+    #[test]
+    fn compare_tolerates_cancellation_via_magnitude() {
+        // Exact result ~0 but magnitudes are huge: the absolute branch
+        // must accept what ULP comparison alone would reject.
+        let want = [0.0f64];
+        let mags = [1e8f64];
+        let got = [3.0f32]; // |err| = 3 ≤ terms·ε·1e8 ≈ 71.5
+        assert!(compare(&got, &want, &mags, 4, 4).is_none());
+    }
+}

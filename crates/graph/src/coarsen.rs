@@ -24,6 +24,11 @@ pub struct Coarsening {
     pub order: Vec<usize>,
     /// Number of clusters after coarsening (= pooled output length).
     pub pooled_len: usize,
+    /// Parent mapping of each matching round: `parents[l][i]` is the
+    /// cluster at level `l + 1` that node `i` of level `l` merged into
+    /// (level 0 = the original graph). One entry per level; empty when
+    /// `levels == 0`.
+    pub parents: Vec<Vec<usize>>,
     /// Weight matrix of the coarsened graph (`pooled_len × pooled_len`),
     /// for stacking further graph convolutions after pooling.
     pub coarse_w: stod_tensor::Tensor,
@@ -124,12 +129,15 @@ pub fn coarsen_for_pooling(w: &Tensor, levels: usize) -> Coarsening {
             levels: 0,
             order: (0..n).collect(),
             pooled_len: n,
+            parents: Vec::new(),
             coarse_w: w.clone(),
         };
     }
 
-    // Run the matchings, remembering each level's children lists.
+    // Run the matchings, remembering each level's children lists and the
+    // raw parent maps (exposed for conformance/property tests).
     let mut children_per_level: Vec<Vec<Vec<usize>>> = Vec::with_capacity(levels);
+    let mut parents: Vec<Vec<usize>> = Vec::with_capacity(levels);
     let mut current = w.clone();
     for _ in 0..levels {
         let (cluster, coarse) = match_level(&current);
@@ -139,6 +147,7 @@ pub fn coarsen_for_pooling(w: &Tensor, levels: usize) -> Coarsening {
             children[c].push(node);
         }
         children_per_level.push(children);
+        parents.push(cluster);
         current = coarse;
     }
 
@@ -171,6 +180,7 @@ pub fn coarsen_for_pooling(w: &Tensor, levels: usize) -> Coarsening {
         levels,
         order,
         pooled_len: coarsest,
+        parents,
         coarse_w: current,
     }
 }

@@ -1,0 +1,154 @@
+//! Property tests for Graclus-style coarsening over randomized graphs:
+//! the parent mapping must be a valid 1-or-2-child partition at every
+//! level, total node weight (one unit per original node) must be
+//! preserved all the way to the coarsest level, and the emitted pooling
+//! order must stay consistent with the parent chain.
+
+use stod_graph::coarsen_for_pooling;
+use stod_tensor::rng::Rng64;
+use stod_tensor::Tensor;
+
+/// Random symmetric non-negative weight matrix with zero diagonal and
+/// density ~`p`.
+fn random_graph(n: usize, p: f64, rng: &mut Rng64) -> Tensor {
+    let mut w = Tensor::zeros(&[n, n]);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.next_f64() < p {
+                let v = rng.next_f32().abs() + 0.05;
+                w.set(&[i, j], v);
+                w.set(&[j, i], v);
+            }
+        }
+    }
+    w
+}
+
+#[test]
+fn parent_mapping_is_valid_at_every_level() {
+    let mut rng = Rng64::new(0xc0a12);
+    for case in 0..200 {
+        let n = 1 + rng.next_below(12);
+        let levels = rng.next_below(4);
+        let density = [0.0, 0.2, 0.5, 0.9][rng.next_below(4)];
+        let w = random_graph(n, density, &mut rng);
+        let c = coarsen_for_pooling(&w, levels);
+        let ctx = format!("case {case}: n={n} levels={levels} density={density}");
+
+        assert_eq!(c.parents.len(), levels, "{ctx}: one parent map per level");
+        let mut level_size = n;
+        for (l, parents) in c.parents.iter().enumerate() {
+            assert_eq!(parents.len(), level_size, "{ctx}: level {l} node count");
+            let m = parents.iter().copied().max().map_or(0, |x| x + 1);
+            // Contiguous cluster ids with one or two children each: the
+            // matching may only pair nodes, never build larger clusters
+            // or leave a cluster empty.
+            let mut sizes = vec![0usize; m];
+            for &p in parents {
+                assert!(p < m, "{ctx}: parent id out of range");
+                sizes[p] += 1;
+            }
+            for (cl, &s) in sizes.iter().enumerate() {
+                assert!(
+                    s == 1 || s == 2,
+                    "{ctx}: level {l} cluster {cl} has {s} children"
+                );
+            }
+            // Total node weight is preserved: cluster sizes partition the
+            // level's nodes.
+            assert_eq!(sizes.iter().sum::<usize>(), level_size, "{ctx}: partition");
+            level_size = m;
+        }
+        assert_eq!(c.pooled_len, level_size, "{ctx}: coarsest size");
+        assert_eq!(c.coarse_w.dims(), &[level_size, level_size], "{ctx}");
+    }
+}
+
+/// Composing the per-level parent maps assigns every original node to
+/// exactly one coarsest cluster, and the sizes of those clusters sum to
+/// `n` — total node weight is preserved end-to-end, with no cluster
+/// exceeding the `2^levels` pooling window.
+#[test]
+fn composed_parents_preserve_total_node_weight() {
+    let mut rng = Rng64::new(0xc0a13);
+    for _ in 0..200 {
+        let n = 1 + rng.next_below(12);
+        let levels = 1 + rng.next_below(3);
+        let w = random_graph(n, 0.4, &mut rng);
+        let c = coarsen_for_pooling(&w, levels);
+
+        let mut weight = vec![0usize; c.pooled_len];
+        for node in 0..n {
+            let mut cur = node;
+            for parents in &c.parents {
+                cur = parents[cur];
+            }
+            weight[cur] += 1;
+        }
+        assert_eq!(weight.iter().sum::<usize>(), n, "node weight not preserved");
+        assert!(
+            weight.iter().all(|&s| s >= 1 && s <= c.pool_size()),
+            "cluster sizes {weight:?} exceed pool window {}",
+            c.pool_size()
+        );
+    }
+}
+
+/// The pooling order agrees with the parent chain: the real nodes of
+/// window `k` are exactly the original nodes whose composed parent is
+/// cluster `k`.
+#[test]
+fn pooling_order_matches_composed_parents() {
+    let mut rng = Rng64::new(0xc0a14);
+    for _ in 0..100 {
+        let n = 2 + rng.next_below(10);
+        let levels = 1 + rng.next_below(3);
+        let w = random_graph(n, 0.5, &mut rng);
+        let c = coarsen_for_pooling(&w, levels);
+
+        let coarsest_of =
+            |node: usize| -> usize { c.parents.iter().fold(node, |cur, parents| parents[cur]) };
+        assert_eq!(c.padded_len(), c.pooled_len * c.pool_size());
+        for (k, window) in c.order.chunks(c.pool_size()).enumerate() {
+            let mut real: Vec<usize> = window.iter().copied().filter(|&x| x < n).collect();
+            let mut expect: Vec<usize> = (0..n).filter(|&node| coarsest_of(node) == k).collect();
+            real.sort_unstable();
+            expect.sort_unstable();
+            assert_eq!(real, expect, "window {k} disagrees with parent chain");
+        }
+    }
+}
+
+/// Coarse edge weights are the sums of the fine inter-cluster weights —
+/// mass moves between clusters, it is never created or destroyed (weights
+/// inside a merged pair are absorbed, matching Dhillon et al.).
+#[test]
+fn coarse_weights_are_intercluster_sums() {
+    let mut rng = Rng64::new(0xc0a15);
+    for _ in 0..100 {
+        let n = 2 + rng.next_below(10);
+        let w = random_graph(n, 0.6, &mut rng);
+        let c = coarsen_for_pooling(&w, 1);
+        let parents = &c.parents[0];
+        let m = c.pooled_len;
+        let mut expect = Tensor::zeros(&[m, m]);
+        for i in 0..n {
+            for j in 0..n {
+                if parents[i] != parents[j] {
+                    let v = expect.at(&[parents[i], parents[j]]) + w.at(&[i, j]);
+                    expect.set(&[parents[i], parents[j]], v);
+                }
+            }
+        }
+        for ci in 0..m {
+            for cj in 0..m {
+                let got = c.coarse_w.at(&[ci, cj]);
+                let want = expect.at(&[ci, cj]);
+                assert!(
+                    (got - want).abs() <= 1e-5,
+                    "coarse_w[{ci},{cj}] = {got}, expected {want}"
+                );
+            }
+        }
+    }
+}

@@ -8,8 +8,13 @@
 //! general transport solver is unnecessary (and this form *is* the minimum
 //! of Eq. 15's `Σ F_ij d_ij`).
 //!
-//! Histograms with different total mass are compared after normalization;
-//! two all-zero histograms have distance 0.
+//! Histograms with different total mass are compared after normalization
+//! by their *actual* sums (no epsilon floor — a floor silently squashes
+//! tiny-but-real mass, e.g. a `1e-13` histogram, to nothing). Degenerate
+//! cases have explicit conventions: two all-zero histograms are 0 apart;
+//! exactly one all-zero histogram is at the grid diameter `K − 1` (the
+//! worst possible transport, and symmetric in the arguments); non-finite
+//! inputs yield NaN rather than an arbitrary finite distance.
 
 /// Earth mover's distance between two histograms on the same bucket grid,
 /// with unit spacing between adjacent buckets.
@@ -28,10 +33,17 @@ pub fn emd(m: &[f32], m_hat: &[f32]) -> f64 {
     assert_eq!(m.len(), m_hat.len(), "histogram length mismatch");
     let sum_m: f64 = m.iter().map(|&x| x as f64).sum();
     let sum_h: f64 = m_hat.iter().map(|&x| x as f64).sum();
-    let (nm, nh) = (sum_m.max(1e-12), sum_h.max(1e-12));
-    if sum_m <= 0.0 && sum_h <= 0.0 {
-        return 0.0;
+    if !sum_m.is_finite() || !sum_h.is_finite() {
+        return f64::NAN;
     }
+    let (nm, nh) = match (sum_m > 0.0, sum_h > 0.0) {
+        (false, false) => return 0.0,
+        // One side has no mass: every comparison against it is equally
+        // uninformative, so report the grid diameter — symmetric, unlike
+        // dividing one side by an epsilon floor.
+        (true, false) | (false, true) => return (m.len() - 1) as f64,
+        (true, true) => (sum_m, sum_h),
+    };
     let mut cum = 0.0f64;
     let mut total = 0.0f64;
     // The last CDF difference is 0 by construction; iterating over all
@@ -50,10 +62,14 @@ pub fn emd_reference(m: &[f32], m_hat: &[f32]) -> f64 {
     assert_eq!(m.len(), m_hat.len(), "histogram length mismatch");
     let sum_m: f64 = m.iter().map(|&x| x as f64).sum();
     let sum_h: f64 = m_hat.iter().map(|&x| x as f64).sum();
-    if sum_m <= 0.0 && sum_h <= 0.0 {
-        return 0.0;
+    if !sum_m.is_finite() || !sum_h.is_finite() {
+        return f64::NAN;
     }
-    let (nm, nh) = (sum_m.max(1e-12), sum_h.max(1e-12));
+    let (nm, nh) = match (sum_m > 0.0, sum_h > 0.0) {
+        (false, false) => return 0.0,
+        (true, false) | (false, true) => return (m.len() - 1) as f64,
+        (true, true) => (sum_m, sum_h),
+    };
     let mut carry = 0.0f64; // mass owed to (positive) or by (negative) the next bucket
     let mut cost = 0.0f64;
     for k in 0..m.len() {
@@ -119,6 +135,47 @@ mod tests {
     #[test]
     fn both_empty_is_zero() {
         assert_eq!(emd(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn all_mass_in_one_bucket_degenerate() {
+        // Point masses at the two ends of the grid: distance = diameter.
+        let first = [1.0f32, 0.0, 0.0, 0.0];
+        let last = [0.0f32, 0.0, 0.0, 1.0];
+        assert_eq!(emd(&first, &last), 3.0);
+        // A point mass against itself is exactly 0, even unnormalized.
+        let spike = [0.0f32, 7.5, 0.0];
+        assert_eq!(emd(&spike, &spike), 0.0);
+    }
+
+    #[test]
+    fn one_empty_side_is_grid_diameter_and_symmetric() {
+        // The old epsilon-floor normalization made this asymmetric
+        // (0 one way, ~1 the other). Both directions must agree now.
+        let empty = [0.0f32, 0.0, 0.0];
+        let mass = [0.0f32, 1.0, 0.0];
+        assert_eq!(emd(&mass, &empty), 2.0);
+        assert_eq!(emd(&empty, &mass), 2.0);
+        assert_eq!(emd_reference(&mass, &empty), 2.0);
+        assert_eq!(emd_reference(&empty, &mass), 2.0);
+    }
+
+    #[test]
+    fn tiny_total_mass_is_normalized_not_squashed() {
+        // With the 1e-12 floor, 1e-13 of mass normalized to ~0.1 and the
+        // distance collapsed; real normalization must treat the shape of
+        // the mass, not its scale.
+        let a = [1e-13f32, 0.0];
+        let b = [0.0f32, 1e-13];
+        assert!((emd(&a, &b) - 1.0).abs() < 1e-6, "got {}", emd(&a, &b));
+        assert_eq!(emd(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn non_finite_inputs_propagate_nan() {
+        assert!(emd(&[f32::NAN, 1.0], &[0.5, 0.5]).is_nan());
+        assert!(emd(&[0.5, 0.5], &[f32::INFINITY, 0.0]).is_nan());
+        assert!(emd_reference(&[f32::NAN, 1.0], &[0.5, 0.5]).is_nan());
     }
 
     #[test]

@@ -13,6 +13,27 @@ use std::collections::BTreeMap;
 use stod_tensor::{stack, Tensor};
 use stod_traffic::{HistogramSpec, OdTensor, Trip};
 
+/// Interval index for a trip departing `depart_s` seconds after the stream
+/// epoch, with `interval_len_s`-second intervals (900 s = the paper's
+/// 15-minute ticks).
+///
+/// Intervals are start-inclusive, end-exclusive: `[k·len, (k+1)·len)`. A
+/// departure landing *exactly* on a tick `k · interval_len_s` therefore
+/// belongs to interval `k`, never `k − 1` — the off-by-one that would
+/// silently shift boundary trips one window back and make the sliding
+/// window disagree with the offline binning. Returns `None` for negative
+/// or non-finite departures and for degenerate interval lengths, so a
+/// malformed feed record is dropped rather than binned somewhere wrong.
+pub fn interval_for_departure(depart_s: f64, interval_len_s: f64) -> Option<usize> {
+    if !depart_s.is_finite() || !interval_len_s.is_finite() || interval_len_s <= 0.0 {
+        return None;
+    }
+    if depart_s < 0.0 {
+        return None;
+    }
+    Some((depart_s / interval_len_s).floor() as usize)
+}
+
 /// Thread-safe sliding-window store of recent interval tensors.
 pub struct FeatureStore {
     num_regions: usize,
@@ -61,6 +82,20 @@ impl FeatureStore {
             .entry(trip.interval)
             .or_default()
             .push(trip);
+    }
+
+    /// Buffers a streamed trip by wall-clock departure time instead of a
+    /// pre-binned interval index.
+    ///
+    /// The trip's `interval` field is overwritten with
+    /// [`interval_for_departure`]`(depart_s, interval_len_s)`; trips with
+    /// invalid departure times are dropped like out-of-range region ids.
+    pub fn push_trip_departing(&self, mut trip: Trip, depart_s: f64, interval_len_s: f64) {
+        let Some(interval) = interval_for_departure(depart_s, interval_len_s) else {
+            return;
+        };
+        trip.interval = interval;
+        self.push_trip(trip);
     }
 
     /// Closes interval `t`: bins its buffered trips into a sparse OD
@@ -238,6 +273,46 @@ mod tests {
         assert!(inputs.iter().all(|i| i.data().iter().sum::<f32>() > 0.0));
         assert!(fs.coverage(5).is_none(), "interval 5 evicted");
         assert!(fs.coverage(6).is_some());
+    }
+
+    #[test]
+    fn departure_exactly_on_tick_belongs_to_the_starting_interval() {
+        // Regression: a trip departing at exactly k·900 s must bin into
+        // interval k (start-inclusive), not trail into interval k−1.
+        assert_eq!(interval_for_departure(0.0, 900.0), Some(0));
+        assert_eq!(interval_for_departure(900.0, 900.0), Some(1));
+        assert_eq!(interval_for_departure(899.9999, 900.0), Some(0));
+        assert_eq!(interval_for_departure(900.0001, 900.0), Some(1));
+        assert_eq!(interval_for_departure(42.0 * 900.0, 900.0), Some(42));
+
+        let fs = store();
+        // Two trips straddling the tick at t = 900 s, one exactly on it.
+        fs.push_trip_departing(trip(0, 1, 0, 2.0), 899.0, 900.0);
+        fs.push_trip_departing(trip(0, 1, 0, 2.0), 900.0, 900.0);
+        assert_eq!(fs.seal_interval(0), 1, "only the pre-tick trip is in 0");
+        assert_eq!(fs.seal_interval(1), 1, "the on-tick trip lands in 1");
+
+        // Window membership: the on-tick trip is visible in the window
+        // ending at interval 1 and absent from the one ending at 0.
+        let w1 = fs.window_inputs(1, 1).unwrap();
+        assert_eq!(w1[0].at(&[0, 0, 1, 0]), 1.0);
+        let w0 = fs.window_inputs(0, 1).unwrap();
+        assert_eq!(w0[0].at(&[0, 0, 1, 0]), 1.0);
+        assert_eq!(w0[0].data().iter().sum::<f32>(), 1.0);
+    }
+
+    #[test]
+    fn invalid_departures_are_dropped() {
+        assert_eq!(interval_for_departure(-1e-9, 900.0), None);
+        assert_eq!(interval_for_departure(f64::NAN, 900.0), None);
+        assert_eq!(interval_for_departure(f64::INFINITY, 900.0), None);
+        assert_eq!(interval_for_departure(100.0, 0.0), None);
+        assert_eq!(interval_for_departure(100.0, -900.0), None);
+
+        let fs = store();
+        fs.push_trip_departing(trip(0, 0, 0, 5.0), -0.5, 900.0);
+        fs.push_trip_departing(trip(0, 0, 0, 5.0), f64::NAN, 900.0);
+        assert_eq!(fs.seal_interval(0), 0);
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod registry;
 pub mod stats;
 
 pub use broker::{Broker, BrokerConfig, FallbackReason, ForecastRequest, ServedForecast, Source};
-pub use ingest::FeatureStore;
+pub use ingest::{interval_for_departure, FeatureStore};
 pub use registry::{ModelConfig, ModelKind, Registry, RegistryError, ServedModel};
 pub use stats::{LatencyHistogram, ServeStats, StatsSnapshot};
 

@@ -1,19 +1,30 @@
 #!/usr/bin/env bash
 # Repo verification gate. Run from anywhere; operates on the repo root.
 #
-#   scripts/verify.sh           # tier-1 gate + format + lint
-#   scripts/verify.sh --full    # additionally run the whole workspace suite
+#   scripts/verify.sh                 # tier-1 gate + format + lint
+#   scripts/verify.sh --full          # additionally run the whole workspace suite
+#   scripts/verify.sh --conformance   # additionally run the oracle gate
 #
 # Tier-1 (the gate CI enforces) is the root package: its integration
 # tests in tests/ exercise every crate end-to-end.
+#
+# --conformance runs the differential fuzzer + metamorphic suite in
+# crates/conformance at a bounded budget (STOD_FUZZ_CASES, default 256
+# cases per kernel) at 1 and 4 threads, and fails if any minimized
+# counterexample was dumped to results/conformance/.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 full=0
-if [[ "${1:-}" == "--full" ]]; then
-  full=1
-fi
+conformance=0
+for arg in "$@"; do
+  case "$arg" in
+    --full) full=1 ;;
+    --conformance) conformance=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -38,6 +49,21 @@ if [[ "$full" == 1 ]]; then
   echo "==> full workspace test suite (STOD_THREADS=1 and 4)"
   STOD_THREADS=1 cargo test -q --workspace
   STOD_THREADS=4 cargo test -q --workspace
+fi
+
+if [[ "$conformance" == 1 ]]; then
+  budget="${STOD_FUZZ_CASES:-256}"
+  echo "==> conformance gate: differential fuzzer + metamorphic suite (${budget} cases/kernel)"
+  rm -f results/conformance/*.json
+  STOD_THREADS=1 STOD_FUZZ_CASES="$budget" cargo test -q -p stod-conformance
+  STOD_THREADS=4 STOD_FUZZ_CASES="$budget" cargo test -q -p stod-conformance
+  dumps=$(find results/conformance -name '*.json' 2>/dev/null | head -5 || true)
+  if [[ -n "$dumps" ]]; then
+    echo "conformance: FAILED — minimized counterexamples dumped:" >&2
+    echo "$dumps" >&2
+    echo "replay with stod_conformance::replay(kernel, seed, dims) from the dump" >&2
+    exit 1
+  fi
 fi
 
 echo "verify: OK"

@@ -1,0 +1,27 @@
+//! Tier-1 smoke slice of the conformance subsystem: every production
+//! kernel against its reference oracle at a small per-kernel budget, so
+//! the repo gate catches a numeric regression without paying for the full
+//! fuzzing run (`cargo test -p stod-conformance`, or
+//! `scripts/verify.sh --conformance`, runs the 256-case budget).
+
+use stod_conformance::{fuzz_kernel, Kernel};
+
+const SMOKE_CASES: usize = 48;
+
+#[test]
+fn every_kernel_matches_its_oracle_at_smoke_budget() {
+    for kernel in Kernel::ALL {
+        // No dump dir: tier-1 must not write into results/ — the dedicated
+        // conformance gate owns that directory.
+        let report = fuzz_kernel(kernel, SMOKE_CASES, 0x5eed_0001, None);
+        assert_eq!(report.cases, SMOKE_CASES);
+        assert!(
+            report.failures.is_empty(),
+            "{}: {} oracle mismatch(es); first: {:?} — reproduce with \
+             `cargo test -p stod-conformance` and inspect results/conformance/",
+            kernel.name(),
+            report.failures.len(),
+            report.failures.first().map(|f| (&f.spec, &f.failure)),
+        );
+    }
+}
