@@ -33,6 +33,21 @@ impl SeedableRng for StdRng {
     }
 }
 
+impl StdRng {
+    /// The raw xoshiro256** state, for checkpointing. (Upstream `rand`
+    /// exposes generator state through its `serde1` feature instead; this
+    /// accessor is the offline stub's equivalent.)
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`StdRng::state`],
+    /// resuming the stream exactly where it left off.
+    pub fn from_state(s: [u64; 4]) -> StdRng {
+        StdRng { s }
+    }
+}
+
 impl RngCore for StdRng {
     fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);

@@ -1,0 +1,461 @@
+//! Crash-consistent training checkpoints.
+//!
+//! A [`TrainCheckpoint`] is a *complete* capture of the training loop —
+//! model parameters, Adam moments and step count, the training RNG
+//! (including its pending Box–Muller spare), the in-progress epoch's
+//! shuffled window order and minibatch cursor, the partial-epoch loss
+//! accumulator, the per-epoch report so far, and the fault counters.
+//! Restoring it and continuing therefore reproduces the uninterrupted
+//! run **bitwise**: same loss trajectory, same final weights, at any
+//! `STOD_THREADS` (the trainer's shard reduction is already
+//! schedule-independent).
+//!
+//! # On-disk format
+//!
+//! Version 1: magic `STCK`, version `u32`, the fields in declaration
+//! order (little-endian; vectors as `u64` length + elements), then a
+//! CRC-32 (IEEE) footer over everything before it. Files are written via
+//! [`stod_faultline::io::atomic_write`] — write-tmp, fsync, rename — so a
+//! crash, full disk, or interrupted syscall during a save can never
+//! damage the previous checkpoint. Corruption on load surfaces as
+//! [`CkptError::Checksum`], distinct from [`CkptError::Malformed`]
+//! (wrong-format file) and [`CkptError::Io`].
+
+use std::path::Path;
+use stod_faultline::crc::crc32;
+use stod_tensor::rng::RngState;
+use stod_traffic::Window;
+
+/// Why a checkpoint failed to load.
+#[derive(Debug)]
+pub enum CkptError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The CRC-32 footer did not match — a bit-flip, truncation, or torn
+    /// write corrupted the bytes.
+    Checksum {
+        /// CRC recorded in the footer.
+        expected: u32,
+        /// CRC recomputed over the payload.
+        found: u32,
+    },
+    /// The bytes are structurally invalid (bad magic, version, or field
+    /// encoding).
+    Malformed(String),
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CkptError::Checksum { expected, found } => write!(
+                f,
+                "checkpoint corrupt: crc {expected:#010x} recorded, {found:#010x} computed"
+            ),
+            CkptError::Malformed(d) => write!(f, "checkpoint malformed: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<stod_nn::StoreError> for CkptError {
+    fn from(e: stod_nn::StoreError) -> CkptError {
+        match e {
+            stod_nn::StoreError::Io(e) => CkptError::Io(e),
+            stod_nn::StoreError::Checksum { expected, found } => {
+                CkptError::Checksum { expected, found }
+            }
+            stod_nn::StoreError::Malformed(d) => CkptError::Malformed(d),
+        }
+    }
+}
+
+/// A complete, resumable capture of the training loop. See the module
+/// docs for the determinism contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainCheckpoint {
+    /// 0-based epoch the cursor points into.
+    pub epoch: u64,
+    /// Next minibatch index within [`Self::order`]. When `order` is empty
+    /// the checkpoint sits at the *start* of `epoch` (nothing of it run).
+    pub next_mb: u64,
+    /// The in-progress epoch's full shuffled window order; empty at an
+    /// epoch boundary.
+    pub order: Vec<Window>,
+    /// Training RNG state, captured after the last completed step.
+    pub rng: RngState,
+    /// Optimizer steps completed so far.
+    pub steps: u64,
+    /// Partial-epoch loss accumulator (sum over completed minibatches).
+    pub epoch_loss: f64,
+    /// Minibatches accumulated into [`Self::epoch_loss`].
+    pub batches: u64,
+    /// Non-finite minibatches seen so far.
+    pub nonfinite_batches: u64,
+    /// Rollbacks performed so far.
+    pub rollbacks: u64,
+    /// Checkpoint saves that failed (training continued).
+    pub ckpt_save_failures: u64,
+    /// Best validation EMD so far, with the epoch it occurred in.
+    pub best_val: Option<(u64, f64)>,
+    /// Mean training loss of each completed epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Validation EMD of each completed epoch (empty without a val set).
+    pub val_emd: Vec<f64>,
+    /// Learning rate of each started epoch.
+    pub epoch_lrs: Vec<f32>,
+    /// Serialized model parameters (`ParamStore::to_bytes`, with its own
+    /// inner CRC).
+    pub params: Vec<u8>,
+    /// Serialized optimizer state (`Adam::state_to_bytes`).
+    pub opt: Vec<u8>,
+}
+
+const MAGIC: &[u8; 4] = b"STCK";
+const VERSION: u32 = 1;
+
+impl TrainCheckpoint {
+    /// Serializes the checkpoint (format version 1, CRC-32 footer).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + self.params.len() + self.opt.len());
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.epoch.to_le_bytes());
+        buf.extend_from_slice(&self.next_mb.to_le_bytes());
+        buf.extend_from_slice(&(self.order.len() as u64).to_le_bytes());
+        for w in &self.order {
+            for v in [w.t_end as u64, w.s as u64, w.h as u64] {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        for s in self.rng.s {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        match self.rng.gauss_spare {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                buf.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        buf.extend_from_slice(&self.steps.to_le_bytes());
+        buf.extend_from_slice(&self.epoch_loss.to_bits().to_le_bytes());
+        for c in [
+            self.batches,
+            self.nonfinite_batches,
+            self.rollbacks,
+            self.ckpt_save_failures,
+        ] {
+            buf.extend_from_slice(&c.to_le_bytes());
+        }
+        match self.best_val {
+            None => buf.push(0),
+            Some((epoch, emd)) => {
+                buf.push(1);
+                buf.extend_from_slice(&epoch.to_le_bytes());
+                buf.extend_from_slice(&emd.to_bits().to_le_bytes());
+            }
+        }
+        buf.extend_from_slice(&(self.epoch_losses.len() as u64).to_le_bytes());
+        for &l in &self.epoch_losses {
+            buf.extend_from_slice(&l.to_bits().to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.val_emd.len() as u64).to_le_bytes());
+        for &v in &self.val_emd {
+            buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.epoch_lrs.len() as u64).to_le_bytes());
+        for &l in &self.epoch_lrs {
+            buf.extend_from_slice(&l.to_bits().to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.params.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&self.params);
+        buf.extend_from_slice(&(self.opt.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&self.opt);
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Deserializes a checkpoint, verifying the CRC footer before any
+    /// field is interpreted.
+    pub fn from_bytes(bytes: &[u8]) -> Result<TrainCheckpoint, CkptError> {
+        if bytes.len() < 12 {
+            return Err(CkptError::Malformed(format!(
+                "{} bytes is shorter than the fixed header + footer",
+                bytes.len()
+            )));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(CkptError::Malformed("bad magic (not a checkpoint)".into()));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(CkptError::Malformed(format!(
+                "unsupported checkpoint version {version}"
+            )));
+        }
+        let body = &bytes[..bytes.len() - 4];
+        let expected = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        let found = crc32(body);
+        if expected != found {
+            return Err(CkptError::Checksum { expected, found });
+        }
+
+        let mut cur = Cursor {
+            bytes: body,
+            pos: 8,
+        };
+        let epoch = cur.u64()?;
+        let next_mb = cur.u64()?;
+        let order_len = cur.u64()? as usize;
+        if order_len > 1 << 28 {
+            return Err(CkptError::Malformed(format!(
+                "window order length {order_len} implausible"
+            )));
+        }
+        let mut order = Vec::with_capacity(order_len);
+        for _ in 0..order_len {
+            order.push(Window {
+                t_end: cur.u64()? as usize,
+                s: cur.u64()? as usize,
+                h: cur.u64()? as usize,
+            });
+        }
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = cur.u64()?;
+        }
+        let gauss_spare = match cur.u8()? {
+            0 => None,
+            1 => Some(f64::from_bits(cur.u64()?)),
+            k => return Err(CkptError::Malformed(format!("bad rng spare flag {k}"))),
+        };
+        let steps = cur.u64()?;
+        let epoch_loss = f64::from_bits(cur.u64()?);
+        let batches = cur.u64()?;
+        let nonfinite_batches = cur.u64()?;
+        let rollbacks = cur.u64()?;
+        let ckpt_save_failures = cur.u64()?;
+        let best_val = match cur.u8()? {
+            0 => None,
+            1 => Some((cur.u64()?, f64::from_bits(cur.u64()?))),
+            k => return Err(CkptError::Malformed(format!("bad best-val flag {k}"))),
+        };
+        let epoch_losses = cur.vec_f32()?;
+        let val_emd = cur.vec_f64()?;
+        let epoch_lrs = cur.vec_f32()?;
+        let params = cur.vec_u8()?;
+        let opt = cur.vec_u8()?;
+        if cur.pos != body.len() {
+            return Err(CkptError::Malformed(format!(
+                "{} trailing bytes after checkpoint fields",
+                body.len() - cur.pos
+            )));
+        }
+        Ok(TrainCheckpoint {
+            epoch,
+            next_mb,
+            order,
+            rng: RngState { s, gauss_spare },
+            steps,
+            epoch_loss,
+            batches,
+            nonfinite_batches,
+            rollbacks,
+            ckpt_save_failures,
+            best_val,
+            epoch_losses,
+            val_emd,
+            epoch_lrs,
+            params,
+            opt,
+        })
+    }
+
+    /// Atomically persists the checkpoint; on any failure — real or
+    /// injected — the previous file at `path` is untouched.
+    pub fn save(&self, path: &Path) -> Result<(), std::io::Error> {
+        stod_faultline::io::atomic_write(path, &self.to_bytes())
+    }
+
+    /// Loads and verifies a checkpoint file.
+    pub fn load(path: &Path) -> Result<TrainCheckpoint, CkptError> {
+        let bytes = std::fs::read(path).map_err(CkptError::Io)?;
+        TrainCheckpoint::from_bytes(&bytes)
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], CkptError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(CkptError::Malformed(format!(
+                "checkpoint truncated at byte {}",
+                self.pos
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u64(&mut self) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn len_checked(&mut self, elem_size: usize) -> Result<usize, CkptError> {
+        let n = self.u64()? as usize;
+        if n.saturating_mul(elem_size) > self.bytes.len() - self.pos {
+            return Err(CkptError::Malformed(format!(
+                "vector length {n} exceeds remaining bytes"
+            )));
+        }
+        Ok(n)
+    }
+    fn vec_f32(&mut self) -> Result<Vec<f32>, CkptError> {
+        let n = self.len_checked(4)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(f32::from_bits(u32::from_le_bytes(
+                self.take(4)?.try_into().unwrap(),
+            )));
+        }
+        Ok(v)
+    }
+    fn vec_f64(&mut self) -> Result<Vec<f64>, CkptError> {
+        let n = self.len_checked(8)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(f64::from_bits(self.u64()?));
+        }
+        Ok(v)
+    }
+    fn vec_u8(&mut self) -> Result<Vec<u8>, CkptError> {
+        let n = self.len_checked(1)?;
+        Ok(self.take(n)?.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrainCheckpoint {
+        TrainCheckpoint {
+            epoch: 3,
+            next_mb: 2,
+            order: vec![
+                Window {
+                    t_end: 7,
+                    s: 3,
+                    h: 2,
+                },
+                Window {
+                    t_end: 9,
+                    s: 3,
+                    h: 2,
+                },
+            ],
+            rng: RngState {
+                s: [1, 2, 3, u64::MAX],
+                gauss_spare: Some(-0.25),
+            },
+            steps: 41,
+            epoch_loss: 1.5e-3,
+            batches: 2,
+            nonfinite_batches: 1,
+            rollbacks: 2,
+            ckpt_save_failures: 0,
+            best_val: Some((2, 0.125)),
+            epoch_losses: vec![0.5, 0.25, 0.125],
+            val_emd: vec![0.3, 0.2, 0.15],
+            epoch_lrs: vec![1e-3, 1e-3, 8e-4, 8e-4],
+            params: vec![1, 2, 3, 4, 5],
+            opt: vec![9, 8, 7],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let ck = sample();
+        let back = TrainCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn empty_order_and_none_fields_roundtrip() {
+        let ck = TrainCheckpoint {
+            order: Vec::new(),
+            best_val: None,
+            rng: RngState {
+                s: [5, 6, 7, 8],
+                gauss_spare: None,
+            },
+            ..sample()
+        };
+        assert_eq!(TrainCheckpoint::from_bytes(&ck.to_bytes()).unwrap(), ck);
+    }
+
+    #[test]
+    fn every_bit_flip_is_caught() {
+        let bytes = sample().to_bytes();
+        for pos in 8..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x02;
+            match TrainCheckpoint::from_bytes(&bad) {
+                Err(CkptError::Checksum { .. }) => {}
+                other => panic!("flip at {pos}: expected checksum error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_garbage_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in [0, 4, 11, bytes.len() / 2, bytes.len() - 1] {
+            assert!(TrainCheckpoint::from_bytes(&bytes[..cut]).is_err());
+        }
+        assert!(matches!(
+            TrainCheckpoint::from_bytes(b"STPW\x02\x00\x00\x00\x00\x00\x00\x00"),
+            Err(CkptError::Malformed(_))
+        ));
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(TrainCheckpoint::from_bytes(&padded).is_err());
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_atomicity() {
+        use stod_faultline::{install, FaultPlan, FaultSite};
+        let dir = std::env::temp_dir().join(format!("stod_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("train.stck");
+        let ck = sample();
+        ck.save(&path).unwrap();
+        assert_eq!(TrainCheckpoint::load(&path).unwrap(), ck);
+
+        let newer = TrainCheckpoint {
+            steps: 99,
+            ..sample()
+        };
+        {
+            let _g = install(FaultPlan::new(8).with(FaultSite::SaveDiskFull, 1.0, 0));
+            assert!(newer.save(&path).is_err());
+        }
+        assert_eq!(
+            TrainCheckpoint::load(&path).unwrap(),
+            ck,
+            "failed save must leave the previous checkpoint loadable"
+        );
+        newer.save(&path).unwrap();
+        assert_eq!(TrainCheckpoint::load(&path).unwrap().steps, 99);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -30,6 +30,7 @@
 pub mod af;
 pub mod batch;
 pub mod bf;
+pub mod checkpoint;
 pub mod config;
 pub mod evaluate;
 pub mod model;
@@ -38,7 +39,10 @@ pub mod train;
 
 pub use af::AfModel;
 pub use bf::BfModel;
+pub use checkpoint::{CkptError, TrainCheckpoint};
 pub use config::{AfConfig, BfConfig, TrainConfig};
 pub use evaluate::{evaluate, EvalReport};
 pub use model::{Mode, ModelOutput, OdForecaster};
-pub use train::{train, TrainReport};
+pub use train::{
+    train, train_resume, train_robust, FaultPolicy, RobustConfig, TrainError, TrainReport,
+};

@@ -13,10 +13,12 @@
 //! trajectory at `STOD_THREADS=4` is identical to `STOD_THREADS=1`.
 
 use crate::batch::{make_batch, minibatches, Batch};
+use crate::checkpoint::{CkptError, TrainCheckpoint};
 use crate::config::TrainConfig;
 use crate::model::{Mode, OdForecaster};
+use std::path::PathBuf;
 use stod_nn::optim::{clip_global_norm, Adam};
-use stod_nn::{Gradients, Tape, Var};
+use stod_nn::{Gradients, ParamStore, Tape, Var};
 use stod_tensor::rng::Rng64;
 use stod_traffic::{OdDataset, Window};
 
@@ -26,7 +28,7 @@ use stod_traffic::{OdDataset, Window};
 const SHARD_GRAIN: usize = 8;
 
 /// Per-epoch training diagnostics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct TrainReport {
     /// Mean training loss per epoch.
     pub epoch_losses: Vec<f32>,
@@ -34,6 +36,18 @@ pub struct TrainReport {
     pub val_emd: Vec<f64>,
     /// Learning rate used in each epoch.
     pub epoch_lrs: Vec<f32>,
+    /// Optimizer steps taken.
+    pub steps: u64,
+    /// Minibatches whose loss or gradients were non-finite (detected by
+    /// the robust trainer's guard; always 0 for plain [`train`]).
+    pub nonfinite_batches: u64,
+    /// Times the robust trainer rolled back to the last checkpoint.
+    pub rollbacks: u64,
+    /// Checkpoint saves that failed; training continued and the previous
+    /// checkpoint file, if any, remained intact.
+    pub ckpt_save_failures: u64,
+    /// Best (lowest) validation EMD and the 0-based epoch it occurred in.
+    pub best_val: Option<(u64, f64)>,
 }
 
 impl TrainReport {
@@ -64,11 +78,7 @@ pub fn train(
     assert!(!windows.is_empty(), "cannot train on zero windows");
     let mut adam = Adam::new(cfg.schedule.initial);
     let mut rng = Rng64::new(cfg.seed);
-    let mut report = TrainReport {
-        epoch_losses: Vec::new(),
-        val_emd: Vec::new(),
-        epoch_lrs: Vec::new(),
-    };
+    let mut report = TrainReport::default();
 
     for epoch in 0..cfg.epochs {
         adam.lr = cfg.schedule.lr_at(epoch);
@@ -76,91 +86,14 @@ pub fn train(
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
         for mb in minibatches(windows, cfg.batch_size, &mut rng) {
-            // Fixed-grain shards and their RNG seeds, both laid out in
-            // shard order *before* any parallel work starts.
-            let shards = stod_tensor::par::grain_blocks(mb.len(), SHARD_GRAIN);
-            let seeds: Vec<u64> = shards.iter().map(|_| rng.next_u64()).collect();
-            let shard_batches: Vec<Batch> = shards
-                .iter()
-                .map(|r| make_batch(ds, &mb[r.clone()]))
-                .collect();
-            // Eq. 4 normalizes by the observed cells of the *whole*
-            // minibatch; shard regularizers (per-shard means) are scaled
-            // by bₛ/B so their sum is the full-batch mean.
-            let observed_total = shard_batches
-                .iter()
-                .map(|b| b.masks.iter().map(stod_tensor::Tensor::sum).sum::<f32>())
-                .sum::<f32>()
-                .max(1.0);
-            let total_b = mb.len() as f32;
-            let horizon = shard_batches[0].targets.len();
-            let dropout = cfg.dropout;
-
-            let outcomes: Vec<(Gradients, f32)> = {
-                let model_ref: &dyn OdForecaster = model;
-                let run_shard = |i: usize| -> (Gradients, f32) {
-                    let batch = &shard_batches[i];
-                    let mut shard_rng = Rng64::new(seeds[i]);
-                    let mut tape = Tape::new();
-                    let out = model_ref.forward(
-                        &mut tape,
-                        &batch.inputs,
-                        horizon,
-                        Mode::Train { dropout },
-                        &mut shard_rng,
-                    );
-                    assert_eq!(
-                        out.predictions.len(),
-                        horizon,
-                        "model returned wrong horizon"
-                    );
-                    let mut data_loss: Option<Var> = None;
-                    for j in 0..horizon {
-                        let l = tape.masked_sq_err(
-                            out.predictions[j],
-                            &batch.targets[j],
-                            &batch.masks[j],
-                        );
-                        data_loss = Some(match data_loss {
-                            Some(acc) => tape.add(acc, l),
-                            None => l,
-                        });
-                    }
-                    let mut loss =
-                        tape.scale(data_loss.expect("horizon ≥ 1"), 1.0 / observed_total);
-                    if let Some(reg) = out.regularizer {
-                        let reg = tape.scale(reg, batch.len() as f32 / total_b);
-                        loss = tape.add(loss, reg);
-                    }
-                    let loss_val = tape.value(loss).item();
-                    debug_assert!(loss_val.is_finite(), "non-finite loss");
-                    (tape.backward(loss), loss_val)
-                };
-                let work = mb.len() * model_ref.num_weights();
-                if shards.len() > 1 && stod_tensor::par::should_parallelize(work) {
-                    stod_tensor::par::map(shards.len(), run_shard)
-                } else {
-                    (0..shards.len()).map(run_shard).collect()
-                }
-            };
-
-            // Shard-order reduction on this thread: the merged gradient
-            // and minibatch loss are independent of the schedule above.
-            let mut merged: Option<Gradients> = None;
-            let mut mb_loss = 0.0f64;
-            for (g, loss_val) in outcomes {
-                mb_loss += loss_val as f64;
-                match &mut merged {
-                    Some(m) => m.add_assign(&g),
-                    slot => *slot = Some(g),
-                }
-            }
+            let (mut grads, mb_loss) = minibatch_outcome(model, ds, &mb, cfg.dropout, &mut rng);
+            debug_assert!(mb_loss.is_finite(), "non-finite loss");
             epoch_loss += mb_loss;
             batches += 1;
 
-            let mut grads = merged.expect("≥ 1 shard");
             clip_global_norm(&mut grads, cfg.clip_norm);
             adam.step(model.params_mut(), &grads);
+            report.steps += 1;
         }
         let mean_loss = (epoch_loss / batches.max(1) as f64) as f32;
         report.epoch_losses.push(mean_loss);
@@ -168,6 +101,9 @@ pub fn train(
         if let Some(val_windows) = val {
             let emd = quick_val_emd(model, ds, val_windows, cfg.batch_size, &mut rng);
             report.val_emd.push(emd);
+            if emd.is_finite() && report.best_val.is_none_or(|(_, b)| emd < b) {
+                report.best_val = Some((epoch as u64, emd));
+            }
             if cfg.verbose {
                 println!(
                     "epoch {epoch:>3}  lr {:.5}  loss {mean_loss:.5}  val EMD {emd:.4}",
@@ -179,6 +115,433 @@ pub fn train(
         }
     }
     report
+}
+
+/// Runs the forward/backward pass of one minibatch across fixed-grain
+/// shards and reduces the result in shard order: the merged gradients and
+/// summed loss are bitwise independent of `STOD_THREADS`. Draws one seed
+/// per shard from `rng`, in shard order, before any parallel work starts.
+fn minibatch_outcome(
+    model: &dyn OdForecaster,
+    ds: &OdDataset,
+    mb: &[Window],
+    dropout: f32,
+    rng: &mut Rng64,
+) -> (Gradients, f64) {
+    // Fixed-grain shards and their RNG seeds, both laid out in shard
+    // order *before* any parallel work starts.
+    let shards = stod_tensor::par::grain_blocks(mb.len(), SHARD_GRAIN);
+    let seeds: Vec<u64> = shards.iter().map(|_| rng.next_u64()).collect();
+    let shard_batches: Vec<Batch> = shards
+        .iter()
+        .map(|r| make_batch(ds, &mb[r.clone()]))
+        .collect();
+    // Eq. 4 normalizes by the observed cells of the *whole* minibatch;
+    // shard regularizers (per-shard means) are scaled by bₛ/B so their
+    // sum is the full-batch mean.
+    let observed_total = shard_batches
+        .iter()
+        .map(|b| b.masks.iter().map(stod_tensor::Tensor::sum).sum::<f32>())
+        .sum::<f32>()
+        .max(1.0);
+    let total_b = mb.len() as f32;
+    let horizon = shard_batches[0].targets.len();
+
+    let outcomes: Vec<(Gradients, f32)> = {
+        let run_shard = |i: usize| -> (Gradients, f32) {
+            let batch = &shard_batches[i];
+            let mut shard_rng = Rng64::new(seeds[i]);
+            let mut tape = Tape::new();
+            let out = model.forward(
+                &mut tape,
+                &batch.inputs,
+                horizon,
+                Mode::Train { dropout },
+                &mut shard_rng,
+            );
+            assert_eq!(
+                out.predictions.len(),
+                horizon,
+                "model returned wrong horizon"
+            );
+            let mut data_loss: Option<Var> = None;
+            for j in 0..horizon {
+                let l = tape.masked_sq_err(out.predictions[j], &batch.targets[j], &batch.masks[j]);
+                data_loss = Some(match data_loss {
+                    Some(acc) => tape.add(acc, l),
+                    None => l,
+                });
+            }
+            let mut loss = tape.scale(data_loss.expect("horizon ≥ 1"), 1.0 / observed_total);
+            if let Some(reg) = out.regularizer {
+                let reg = tape.scale(reg, batch.len() as f32 / total_b);
+                loss = tape.add(loss, reg);
+            }
+            // A non-finite loss is *not* asserted here: the robust
+            // trainer detects it after the shard-order reduction and
+            // applies its fault policy.
+            let loss_val = tape.value(loss).item();
+            (tape.backward(loss), loss_val)
+        };
+        let work = mb.len() * model.num_weights();
+        if shards.len() > 1 && stod_tensor::par::should_parallelize(work) {
+            stod_tensor::par::map(shards.len(), run_shard)
+        } else {
+            (0..shards.len()).map(run_shard).collect()
+        }
+    };
+
+    // Shard-order reduction on this thread: the merged gradient and
+    // minibatch loss are independent of the schedule above.
+    let mut merged: Option<Gradients> = None;
+    let mut mb_loss = 0.0f64;
+    for (g, loss_val) in outcomes {
+        mb_loss += loss_val as f64;
+        match &mut merged {
+            Some(m) => m.add_assign(&g),
+            slot => *slot = Some(g),
+        }
+    }
+    (merged.expect("≥ 1 shard"), mb_loss)
+}
+
+/// What the robust trainer does when a minibatch's loss or gradients come
+/// out non-finite (NaN or ±Inf).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPolicy {
+    /// Stop training and return [`TrainError::NonFinite`].
+    Halt,
+    /// Drop the poisoned minibatch (no optimizer step, no loss
+    /// contribution) and continue with the next one.
+    SkipBatch,
+    /// Restore the last checkpoint (on-disk cadence checkpoint, or the
+    /// initial state before any was written) and re-run from there. A
+    /// *deterministically* poisoned batch will recur, so
+    /// [`RobustConfig::max_rollbacks`] bounds the retries.
+    RollbackToCheckpoint,
+}
+
+/// Crash-safety knobs for [`train_robust`] / [`train_resume`], layered on
+/// top of the ordinary [`TrainConfig`].
+#[derive(Debug, Clone)]
+pub struct RobustConfig {
+    /// Where to persist checkpoints; `None` disables checkpoint I/O
+    /// (rollback then restores the in-memory initial state).
+    pub ckpt_path: Option<PathBuf>,
+    /// Checkpoint every N optimizer steps (0 = only at epoch
+    /// boundaries). Epoch-boundary checkpoints are always written when
+    /// `ckpt_path` is set.
+    pub ckpt_every_steps: u64,
+    /// Reaction to non-finite losses/gradients.
+    pub policy: FaultPolicy,
+    /// Cap on rollbacks before giving up (guards against a
+    /// deterministically poisoned batch looping forever).
+    pub max_rollbacks: u64,
+    /// Simulate a crash by returning [`TrainError::Aborted`] after this
+    /// many optimizer steps, *without* writing a final checkpoint — the
+    /// resume must come from the last cadence checkpoint, exactly like a
+    /// real `SIGKILL`.
+    pub stop_after_steps: Option<u64>,
+}
+
+impl Default for RobustConfig {
+    fn default() -> Self {
+        RobustConfig {
+            ckpt_path: None,
+            ckpt_every_steps: 0,
+            policy: FaultPolicy::Halt,
+            max_rollbacks: 8,
+            stop_after_steps: None,
+        }
+    }
+}
+
+/// Why robust training stopped without completing.
+#[derive(Debug)]
+pub enum TrainError {
+    /// A non-finite loss/gradient under [`FaultPolicy::Halt`].
+    NonFinite {
+        /// Epoch of the poisoned minibatch.
+        epoch: u64,
+        /// Minibatch index within the epoch.
+        minibatch: u64,
+    },
+    /// [`RobustConfig::max_rollbacks`] exceeded.
+    TooManyRollbacks {
+        /// Rollbacks performed before giving up.
+        rollbacks: u64,
+    },
+    /// A simulated crash ([`RobustConfig::stop_after_steps`] or the
+    /// `train-abort` fault-injection site).
+    Aborted {
+        /// Optimizer steps completed when the abort fired.
+        steps: u64,
+    },
+    /// The checkpoint to resume from could not be loaded or applied.
+    Resume(CkptError),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::NonFinite { epoch, minibatch } => {
+                write!(
+                    f,
+                    "non-finite loss/gradients at epoch {epoch} minibatch {minibatch}"
+                )
+            }
+            TrainError::TooManyRollbacks { rollbacks } => {
+                write!(f, "gave up after {rollbacks} rollbacks")
+            }
+            TrainError::Aborted { steps } => write!(f, "aborted after {steps} steps"),
+            TrainError::Resume(e) => write!(f, "cannot resume: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<CkptError> for TrainError {
+    fn from(e: CkptError) -> TrainError {
+        TrainError::Resume(e)
+    }
+}
+
+/// Mutable loop position shared by capture/restore; the model parameters
+/// live in the model itself and the optimizer/RNG ride alongside.
+#[derive(Default)]
+struct LoopState {
+    epoch: u64,
+    next_mb: u64,
+    order: Vec<Window>,
+    epoch_loss: f64,
+    batches: u64,
+    report: TrainReport,
+}
+
+fn capture(model: &dyn OdForecaster, adam: &Adam, rng: &Rng64, st: &LoopState) -> TrainCheckpoint {
+    TrainCheckpoint {
+        epoch: st.epoch,
+        next_mb: st.next_mb,
+        order: st.order.clone(),
+        rng: rng.state(),
+        steps: st.report.steps,
+        epoch_loss: st.epoch_loss,
+        batches: st.batches,
+        nonfinite_batches: st.report.nonfinite_batches,
+        rollbacks: st.report.rollbacks,
+        ckpt_save_failures: st.report.ckpt_save_failures,
+        best_val: st.report.best_val,
+        epoch_losses: st.report.epoch_losses.clone(),
+        val_emd: st.report.val_emd.clone(),
+        epoch_lrs: st.report.epoch_lrs.clone(),
+        params: model.params().to_bytes().to_vec(),
+        opt: adam.state_to_bytes(),
+    }
+}
+
+/// Restores a checkpoint into the live training state. When
+/// `preserve_counters` is set (in-process rollback) the fault counters
+/// keep their current values so rollbacks stay visible in the report;
+/// a fresh resume takes the counters from the checkpoint instead.
+fn apply(
+    ck: &TrainCheckpoint,
+    model: &mut dyn OdForecaster,
+    adam: &mut Adam,
+    rng: &mut Rng64,
+    st: &mut LoopState,
+    preserve_counters: bool,
+) -> Result<(), TrainError> {
+    let params =
+        ParamStore::from_bytes(bytes::Bytes::from(ck.params.clone())).map_err(CkptError::from)?;
+    model.params_mut().copy_from(&params);
+    adam.restore_state(&ck.opt).map_err(CkptError::from)?;
+    *rng = Rng64::from_state(ck.rng);
+    st.epoch = ck.epoch;
+    st.next_mb = ck.next_mb;
+    st.order = ck.order.clone();
+    st.epoch_loss = ck.epoch_loss;
+    st.batches = ck.batches;
+    st.report.steps = ck.steps;
+    st.report.best_val = ck.best_val;
+    st.report.epoch_losses = ck.epoch_losses.clone();
+    st.report.val_emd = ck.val_emd.clone();
+    st.report.epoch_lrs = ck.epoch_lrs.clone();
+    if !preserve_counters {
+        st.report.nonfinite_batches = ck.nonfinite_batches;
+        st.report.rollbacks = ck.rollbacks;
+        st.report.ckpt_save_failures = ck.ckpt_save_failures;
+    }
+    Ok(())
+}
+
+/// [`train`] with crash-consistent checkpointing and non-finite guards.
+///
+/// Starts from scratch; combine with [`train_resume`] to continue after a
+/// crash. An uninterrupted `train_robust` run, and any kill-at-step-k +
+/// `train_resume` sequence over the same configuration, produce **bitwise
+/// identical** loss trajectories, reports, and final weights — at any
+/// `STOD_THREADS`.
+pub fn train_robust(
+    model: &mut dyn OdForecaster,
+    ds: &OdDataset,
+    windows: &[Window],
+    val: Option<&[Window]>,
+    cfg: &TrainConfig,
+    rcfg: &RobustConfig,
+) -> Result<TrainReport, TrainError> {
+    run_robust(model, ds, windows, val, cfg, rcfg, None)
+}
+
+/// Resumes robust training from `rcfg.ckpt_path` when a valid checkpoint
+/// exists there, and starts fresh otherwise (so the same call works for
+/// attempt 1 and every retry after a crash).
+///
+/// A corrupt or malformed checkpoint file is a hard error
+/// ([`TrainError::Resume`]) rather than a silent restart: restarting
+/// would discard training time, and the caller should decide that.
+pub fn train_resume(
+    model: &mut dyn OdForecaster,
+    ds: &OdDataset,
+    windows: &[Window],
+    val: Option<&[Window]>,
+    cfg: &TrainConfig,
+    rcfg: &RobustConfig,
+) -> Result<TrainReport, TrainError> {
+    let init = match &rcfg.ckpt_path {
+        Some(path) if path.exists() => Some(TrainCheckpoint::load(path)?),
+        _ => None,
+    };
+    run_robust(model, ds, windows, val, cfg, rcfg, init)
+}
+
+fn run_robust(
+    model: &mut dyn OdForecaster,
+    ds: &OdDataset,
+    windows: &[Window],
+    val: Option<&[Window]>,
+    cfg: &TrainConfig,
+    rcfg: &RobustConfig,
+    init: Option<TrainCheckpoint>,
+) -> Result<TrainReport, TrainError> {
+    assert!(!windows.is_empty(), "cannot train on zero windows");
+    assert!(cfg.batch_size >= 1, "batch size must be ≥ 1");
+    let mut adam = Adam::new(cfg.schedule.initial);
+    let mut rng = Rng64::new(cfg.seed);
+    let mut st = LoopState::default();
+    if let Some(ck) = &init {
+        apply(ck, model, &mut adam, &mut rng, &mut st, false)?;
+    }
+    // The rollback target: the last completed checkpoint, or the pristine
+    // initial state before any step ran.
+    let mut snapshot = capture(model, &adam, &rng, &st);
+
+    let save_snapshot = |snapshot: &TrainCheckpoint, st: &mut LoopState| {
+        if let Some(path) = &rcfg.ckpt_path {
+            if snapshot.save(path).is_err() {
+                // Best-effort durability: the previous checkpoint file is
+                // intact (atomic replace), training continues.
+                st.report.ckpt_save_failures += 1;
+            }
+        }
+    };
+
+    'training: while st.epoch < cfg.epochs as u64 {
+        if st.order.is_empty() {
+            // Fresh epoch: set the learning rate and draw the shuffle.
+            adam.lr = cfg.schedule.lr_at(st.epoch as usize);
+            st.report.epoch_lrs.push(adam.lr);
+            let mut order = windows.to_vec();
+            rng.shuffle(&mut order);
+            st.order = order;
+            st.next_mb = 0;
+            st.epoch_loss = 0.0;
+            st.batches = 0;
+        }
+        let num_chunks = st.order.len().div_ceil(cfg.batch_size);
+        while (st.next_mb as usize) < num_chunks {
+            let lo = st.next_mb as usize * cfg.batch_size;
+            let hi = (lo + cfg.batch_size).min(st.order.len());
+            let mb: Vec<Window> = st.order[lo..hi].to_vec();
+            let (mut grads, mb_loss) = minibatch_outcome(model, ds, &mb, cfg.dropout, &mut rng);
+            let clip = clip_global_norm(&mut grads, cfg.clip_norm);
+            if !mb_loss.is_finite() || !clip.is_finite() {
+                st.report.nonfinite_batches += 1;
+                match rcfg.policy {
+                    FaultPolicy::Halt => {
+                        return Err(TrainError::NonFinite {
+                            epoch: st.epoch,
+                            minibatch: st.next_mb,
+                        })
+                    }
+                    FaultPolicy::SkipBatch => {
+                        st.next_mb += 1;
+                        continue;
+                    }
+                    FaultPolicy::RollbackToCheckpoint => {
+                        st.report.rollbacks += 1;
+                        if st.report.rollbacks > rcfg.max_rollbacks {
+                            return Err(TrainError::TooManyRollbacks {
+                                rollbacks: st.report.rollbacks,
+                            });
+                        }
+                        apply(&snapshot, model, &mut adam, &mut rng, &mut st, true)?;
+                        continue 'training;
+                    }
+                }
+            }
+            st.epoch_loss += mb_loss;
+            st.batches += 1;
+            adam.step(model.params_mut(), &grads);
+            st.report.steps += 1;
+            st.next_mb += 1;
+
+            if rcfg.ckpt_every_steps > 0 && st.report.steps % rcfg.ckpt_every_steps == 0 {
+                snapshot = capture(model, &adam, &rng, &st);
+                save_snapshot(&snapshot, &mut st);
+            }
+            // Simulated crashes: the explicit step budget, and the seeded
+            // `train-abort` chaos site. Neither writes a final checkpoint.
+            let abort_injected =
+                stod_faultline::fire(stod_faultline::FaultSite::TrainAbort).is_some();
+            if rcfg.stop_after_steps == Some(st.report.steps) || abort_injected {
+                return Err(TrainError::Aborted {
+                    steps: st.report.steps,
+                });
+            }
+        }
+
+        // Epoch end: mean loss, validation, best-val tracking.
+        let mean_loss = (st.epoch_loss / st.batches.max(1) as f64) as f32;
+        st.report.epoch_losses.push(mean_loss);
+        if let Some(val_windows) = val {
+            let emd = quick_val_emd(model, ds, val_windows, cfg.batch_size, &mut rng);
+            st.report.val_emd.push(emd);
+            if emd.is_finite() && st.report.best_val.is_none_or(|(_, b)| emd < b) {
+                st.report.best_val = Some((st.epoch, emd));
+            }
+            if cfg.verbose {
+                println!(
+                    "epoch {:>3}  lr {:.5}  loss {mean_loss:.5}  val EMD {emd:.4}",
+                    st.epoch, adam.lr
+                );
+            }
+        } else if cfg.verbose {
+            println!(
+                "epoch {:>3}  lr {:.5}  loss {mean_loss:.5}",
+                st.epoch, adam.lr
+            );
+        }
+        st.epoch += 1;
+        st.order = Vec::new();
+        st.next_mb = 0;
+        st.epoch_loss = 0.0;
+        st.batches = 0;
+        // Epoch-boundary checkpoint (always, when a path is configured).
+        snapshot = capture(model, &adam, &rng, &st);
+        save_snapshot(&snapshot, &mut st);
+    }
+    Ok(st.report)
 }
 
 /// Mean first-step EMD over a validation set (cheap per-epoch signal).

@@ -26,5 +26,6 @@ pub mod params;
 pub mod tape;
 
 pub use gradcheck::{analytic_gradients, assert_grad_ok_at_threads, gradient_check};
-pub use params::{ParamId, ParamStore};
+pub use optim::ClipStatus;
+pub use params::{ParamId, ParamStore, StoreError};
 pub use tape::{Gradients, Tape, Var};

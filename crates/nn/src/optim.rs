@@ -4,17 +4,67 @@
 //! by a factor 0.8 every 5 epochs ([`StepDecay`]), dropout 0.2 and implicit
 //! gradient clipping; all of that is provided here.
 
-use crate::params::ParamStore;
+use crate::params::{ParamStore, StoreError};
 use crate::tape::Gradients;
 use stod_tensor::Tensor;
 
-/// Clips gradients to a maximum global L2 norm; returns the pre-clip norm.
-pub fn clip_global_norm(grads: &mut Gradients, max_norm: f32) -> f32 {
+/// Outcome of [`clip_global_norm`].
+///
+/// Clipping compares the norm against the threshold with `>`, and a NaN norm
+/// fails every comparison — so without an explicit status a single NaN
+/// gradient element would silently disable clipping *and* then poison the
+/// optimizer state on the next step. Callers must branch on `NonFinite`
+/// (skip the batch, roll back, or halt) instead of stepping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClipStatus {
+    /// All gradient elements were finite; `clipped` says whether the
+    /// rescale was applied.
+    Finite {
+        /// Global L2 norm before clipping.
+        pre_norm: f32,
+        /// Whether `pre_norm > max_norm` triggered a rescale.
+        clipped: bool,
+    },
+    /// At least one gradient element was NaN or ±Inf. The gradients are
+    /// left untouched; the caller must not apply them.
+    NonFinite,
+}
+
+impl ClipStatus {
+    /// The pre-clip norm when finite, `None` otherwise.
+    pub fn pre_norm(&self) -> Option<f32> {
+        match self {
+            ClipStatus::Finite { pre_norm, .. } => Some(*pre_norm),
+            ClipStatus::NonFinite => None,
+        }
+    }
+
+    /// True when every gradient element was finite.
+    pub fn is_finite(&self) -> bool {
+        matches!(self, ClipStatus::Finite { .. })
+    }
+}
+
+/// Clips gradients to a maximum global L2 norm.
+///
+/// The global norm is finite iff every gradient element is finite (squares
+/// are accumulated in `f64`, which cannot overflow for any finite `f32`
+/// inputs), so the single norm computation doubles as the non-finite
+/// detector. On a non-finite norm the gradients are returned untouched and
+/// [`ClipStatus::NonFinite`] is reported.
+pub fn clip_global_norm(grads: &mut Gradients, max_norm: f32) -> ClipStatus {
     let norm = grads.global_norm();
-    if norm > max_norm && norm > 0.0 {
+    if !norm.is_finite() {
+        return ClipStatus::NonFinite;
+    }
+    let clipped = norm > max_norm && norm > 0.0;
+    if clipped {
         grads.scale(max_norm / norm);
     }
-    norm
+    ClipStatus::Finite {
+        pre_norm: norm,
+        clipped,
+    }
 }
 
 /// Plain stochastic gradient descent (used by tests as a reference).
@@ -79,6 +129,61 @@ impl Adam {
         self.t
     }
 
+    /// Serializes the full optimizer state (hyperparameters, step count,
+    /// and both moment vectors) for crash-safe checkpointing. The format is
+    /// an internal fragment embedded in `TrainCheckpoint`; it carries no
+    /// magic/checksum of its own because the enclosing checkpoint does.
+    pub fn state_to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&self.t.to_le_bytes());
+        for h in [self.lr, self.beta1, self.beta2, self.eps, self.weight_decay] {
+            buf.extend_from_slice(&h.to_le_bytes());
+        }
+        debug_assert_eq!(self.m.len(), self.v.len());
+        buf.extend_from_slice(&(self.m.len() as u32).to_le_bytes());
+        for slots in [&self.m, &self.v] {
+            for slot in slots {
+                write_opt_tensor(&mut buf, slot.as_ref());
+            }
+        }
+        buf
+    }
+
+    /// Restores state previously captured by [`Adam::state_to_bytes`],
+    /// resuming the moment estimates and bias-correction step count bitwise.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        self.t = cur.u64()?;
+        self.lr = cur.f32()?;
+        self.beta1 = cur.f32()?;
+        self.beta2 = cur.f32()?;
+        self.eps = cur.f32()?;
+        self.weight_decay = cur.f32()?;
+        let n = cur.u32()? as usize;
+        if n > 1 << 20 {
+            return Err(StoreError::Malformed(format!(
+                "optimizer slot count {n} implausible"
+            )));
+        }
+        let mut m = Vec::with_capacity(n);
+        for _ in 0..n {
+            m.push(read_opt_tensor(&mut cur)?);
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(read_opt_tensor(&mut cur)?);
+        }
+        if cur.pos != bytes.len() {
+            return Err(StoreError::Malformed(format!(
+                "{} trailing bytes after optimizer state",
+                bytes.len() - cur.pos
+            )));
+        }
+        self.m = m;
+        self.v = v;
+        Ok(())
+    }
+
     /// Applies one Adam step to every parameter with a gradient.
     pub fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
         self.t += 1;
@@ -112,6 +217,84 @@ impl Adam {
                 *w -= upd;
             }
         }
+    }
+}
+
+/// Byte-level cursor shared by the optimizer-state readers.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], StoreError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(StoreError::Malformed(format!(
+                "optimizer state truncated at byte {}",
+                self.pos
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f32(&mut self) -> Result<f32, StoreError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+}
+
+fn write_opt_tensor(buf: &mut Vec<u8>, t: Option<&Tensor>) {
+    match t {
+        None => buf.push(0),
+        Some(t) => {
+            buf.push(1);
+            buf.extend_from_slice(&(t.dims().len() as u32).to_le_bytes());
+            for &d in t.dims() {
+                buf.extend_from_slice(&(d as u64).to_le_bytes());
+            }
+            for &x in t.data() {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+    }
+}
+
+fn read_opt_tensor(cur: &mut Cursor<'_>) -> Result<Option<Tensor>, StoreError> {
+    match cur.u8()? {
+        0 => Ok(None),
+        1 => {
+            let rank = cur.u32()? as usize;
+            if rank > 8 {
+                return Err(StoreError::Malformed(format!("tensor rank {rank}")));
+            }
+            let mut dims = Vec::with_capacity(rank);
+            let mut len = 1usize;
+            for _ in 0..rank {
+                let d = cur.u64()? as usize;
+                len = len
+                    .checked_mul(d)
+                    .ok_or_else(|| StoreError::Malformed("tensor dims overflow".into()))?;
+                dims.push(d);
+            }
+            if len > 1 << 28 {
+                return Err(StoreError::Malformed(format!("tensor len {len}")));
+            }
+            let mut data = Vec::with_capacity(len);
+            for _ in 0..len {
+                data.push(cur.f32()?);
+            }
+            Ok(Some(Tensor::from_vec(&dims, data)))
+        }
+        k => Err(StoreError::Malformed(format!("bad tensor slot flag {k}"))),
     }
 }
 
@@ -208,11 +391,139 @@ mod tests {
         let sq = tape.mul(wv, wv);
         let loss = tape.sum_all(sq);
         let mut grads = tape.backward(loss);
-        let pre = clip_global_norm(&mut grads, 1.0);
-        assert!(pre > 1.0);
+        let status = clip_global_norm(&mut grads, 1.0);
+        match status {
+            ClipStatus::Finite { pre_norm, clipped } => {
+                assert!(pre_norm > 1.0);
+                assert!(clipped);
+            }
+            ClipStatus::NonFinite => panic!("finite gradients misclassified"),
+        }
         assert!((grads.global_norm() - 1.0).abs() < 1e-5);
         let g = grads.get(w).unwrap();
         assert!(g.data()[0] > 0.0 && g.data()[1].abs() < 1e-7);
+    }
+
+    /// Regression: a NaN gradient makes `norm > max_norm` false, so the old
+    /// `clip_global_norm` silently skipped clipping and let callers step on
+    /// poisoned gradients. The status must now flag it and leave the
+    /// gradients untouched for diagnostics.
+    #[test]
+    fn clipping_flags_nonfinite_gradients() {
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut store = ParamStore::new();
+            let w = store.register("w", Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]));
+            let mut tape = Tape::new();
+            let wv = tape.param(&store, w);
+            let sq = tape.mul(wv, wv);
+            let loss = tape.sum_all(sq);
+            let mut grads = tape.backward(loss);
+            grads.get_mut(w).unwrap().data_mut()[1] = bad;
+            let before: Vec<u32> = grads
+                .get(w)
+                .unwrap()
+                .data()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            assert_eq!(clip_global_norm(&mut grads, 1.0), ClipStatus::NonFinite);
+            let after: Vec<u32> = grads
+                .get(w)
+                .unwrap()
+                .data()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            assert_eq!(before, after, "non-finite gradients must be left untouched");
+        }
+    }
+
+    #[test]
+    fn clipping_below_threshold_reports_unclipped() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::from_vec(&[2], vec![0.01, 0.0]));
+        let mut tape = Tape::new();
+        let wv = tape.param(&store, w);
+        let sq = tape.mul(wv, wv);
+        let loss = tape.sum_all(sq);
+        let mut grads = tape.backward(loss);
+        match clip_global_norm(&mut grads, 1.0) {
+            ClipStatus::Finite { clipped, .. } => assert!(!clipped),
+            ClipStatus::NonFinite => panic!("finite gradients misclassified"),
+        }
+    }
+
+    /// Adam state must roundtrip bitwise: resuming from a checkpoint and
+    /// continuing must match the uninterrupted run exactly.
+    #[test]
+    fn adam_state_roundtrip_is_bitwise() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::new(7);
+        let w = store.register("w", Tensor::randn(&[5], 1.0, &mut rng));
+        let target = Tensor::from_vec(&[5], vec![0.5, -1.0, 2.0, 0.0, -0.5]);
+        let mask = Tensor::ones(&[5]);
+        let mut adam = Adam::new(0.01).with_weight_decay(0.1);
+        let step = |store: &mut ParamStore, adam: &mut Adam| {
+            let mut tape = Tape::new();
+            let wv = tape.param(store, w);
+            let loss = tape.masked_sq_err(wv, &target, &mask);
+            let grads = tape.backward(loss);
+            adam.step(store, &grads);
+        };
+        for _ in 0..10 {
+            step(&mut store, &mut adam);
+        }
+        let snapshot = adam.state_to_bytes();
+        let weights_at_ckpt: Vec<u32> = store.get(w).data().iter().map(|x| x.to_bits()).collect();
+
+        // Continue the original run for 10 more steps.
+        for _ in 0..10 {
+            step(&mut store, &mut adam);
+        }
+        let final_direct: Vec<u32> = store.get(w).data().iter().map(|x| x.to_bits()).collect();
+
+        // Resume a fresh optimizer from the snapshot and replay.
+        let mut store2 = ParamStore::new();
+        let data: Vec<f32> = weights_at_ckpt.iter().map(|&b| f32::from_bits(b)).collect();
+        let w2 = store2.register("w", Tensor::from_vec(&[5], data));
+        assert_eq!(w2, w);
+        let mut adam2 = Adam::new(999.0); // hyperparameters overwritten by restore
+        adam2.restore_state(&snapshot).unwrap();
+        assert_eq!(adam2.steps(), 10);
+        for _ in 0..10 {
+            step(&mut store2, &mut adam2);
+        }
+        let final_resumed: Vec<u32> = store2.get(w).data().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(
+            final_direct, final_resumed,
+            "resume must be bitwise identical"
+        );
+    }
+
+    #[test]
+    fn adam_state_rejects_truncation_and_garbage() {
+        let mut adam = Adam::new(0.01);
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::ones(&[3]));
+        let mut tape = Tape::new();
+        let wv = tape.param(&store, w);
+        let loss = tape.sum_all(wv);
+        let grads = tape.backward(loss);
+        adam.step(&mut store, &grads);
+        let bytes = adam.state_to_bytes();
+        let mut fresh = Adam::new(0.01);
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                fresh.restore_state(&bytes[..cut]).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(fresh.restore_state(&padded).is_err());
+        // And the intact state still restores after the failed attempts.
+        fresh.restore_state(&bytes).unwrap();
+        assert_eq!(fresh.steps(), 1);
     }
 
     #[test]

@@ -1,8 +1,46 @@
-//! Named parameter storage shared across forward passes, with a simple
-//! binary serialization format for checkpointing.
+//! Named parameter storage shared across forward passes, with a
+//! CRC-checksummed binary serialization format and crash-consistent
+//! (atomic write-tmp → fsync → rename) persistence for checkpointing.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use stod_faultline::crc::crc32;
 use stod_tensor::Tensor;
+
+/// Why parameter bytes were rejected. Structural damage and checksum
+/// damage are distinct variants on purpose: a [`StoreError::Checksum`]
+/// means the payload was altered after being written (bit rot, torn write,
+/// truncation), while [`StoreError::Malformed`] means the bytes never were
+/// a valid store of this version — callers surface them differently.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The bytes are not a well-formed parameter store (bad magic,
+    /// unsupported version, or inconsistent internal layout).
+    Malformed(String),
+    /// The CRC-32 footer does not match the payload.
+    Checksum {
+        /// Checksum recorded in the footer.
+        expected: u32,
+        /// Checksum of the bytes actually read.
+        found: u32,
+    },
+    /// The file could not be read at all.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Malformed(d) => write!(f, "malformed parameter store: {d}"),
+            StoreError::Checksum { expected, found } => write!(
+                f,
+                "parameter store checksum mismatch: footer {expected:#010x}, payload {found:#010x}"
+            ),
+            StoreError::Io(e) => write!(f, "parameter store io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
 
 /// Handle to a parameter inside a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -112,12 +150,13 @@ impl ParamStore {
 
     /// Serializes all parameters (names, shapes, data) to bytes.
     ///
-    /// Format: magic `STPW`, version u32, count u32, then per parameter:
-    /// name (u32 len + utf8), rank u32, dims (u64 each), f32 data (LE).
+    /// Format version 2: magic `STPW`, version u32, count u32, then per
+    /// parameter: name (u32 len + utf8), rank u32, dims (u64 each), f32
+    /// data (LE); finally a CRC-32 (IEEE) footer over everything before it.
     pub fn to_bytes(&self) -> Bytes {
         let mut buf = BytesMut::new();
         buf.put_slice(b"STPW");
-        buf.put_u32_le(1);
+        buf.put_u32_le(2);
         buf.put_u32_le(self.values.len() as u32);
         for (name, value) in self.names.iter().zip(self.values.iter()) {
             buf.put_u32_le(name.len() as u32);
@@ -130,65 +169,97 @@ impl ParamStore {
                 buf.put_f32_le(x);
             }
         }
-        buf.freeze()
+        let body = buf.freeze();
+        let crc = crc32(&body);
+        let mut out = BytesMut::with_capacity(body.len() + 4);
+        out.put_slice(&body);
+        out.put_u32_le(crc);
+        out.freeze()
     }
 
     /// Deserializes a store written by [`ParamStore::to_bytes`].
     ///
-    /// Returns `None` on any structural corruption.
-    pub fn from_bytes(mut bytes: Bytes) -> Option<Self> {
-        if bytes.remaining() < 12 || &bytes.copy_to_bytes(4)[..] != b"STPW" {
-            return None;
+    /// The CRC footer is verified before the payload is interpreted, so a
+    /// bit-flip or truncation anywhere surfaces as
+    /// [`StoreError::Checksum`], distinct from structurally invalid input
+    /// ([`StoreError::Malformed`]).
+    pub fn from_bytes(bytes: Bytes) -> Result<Self, StoreError> {
+        // Header (magic + version + count) and footer must both fit.
+        if bytes.len() < 16 {
+            return Err(StoreError::Malformed(format!(
+                "{} bytes is shorter than the fixed header + footer",
+                bytes.len()
+            )));
         }
-        let version = bytes.get_u32_le();
-        if version != 1 {
-            return None;
+        if &bytes[..4] != b"STPW" {
+            return Err(StoreError::Malformed(
+                "bad magic, not a parameter store".into(),
+            ));
         }
-        let count = bytes.get_u32_le() as usize;
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != 2 {
+            return Err(StoreError::Malformed(format!(
+                "unsupported format version {version} (this build writes 2)"
+            )));
+        }
+        let body_end = bytes.len() - 4;
+        let expected = u32::from_le_bytes(bytes[body_end..].try_into().expect("4 bytes"));
+        let found = crc32(&bytes[..body_end]);
+        if expected != found {
+            return Err(StoreError::Checksum { expected, found });
+        }
+        let mut body = bytes.slice(8..body_end);
+        let count = body.get_u32_le() as usize;
         let mut store = ParamStore::new();
-        for _ in 0..count {
-            if bytes.remaining() < 4 {
-                return None;
+        let fail = |what: &str| StoreError::Malformed(format!("truncated at {what}"));
+        for i in 0..count {
+            if body.remaining() < 4 {
+                return Err(fail(&format!("name length of parameter {i}")));
             }
-            let name_len = bytes.get_u32_le() as usize;
-            if bytes.remaining() < name_len {
-                return None;
+            let name_len = body.get_u32_le() as usize;
+            if body.remaining() < name_len {
+                return Err(fail(&format!("name of parameter {i}")));
             }
-            let name = String::from_utf8(bytes.copy_to_bytes(name_len).to_vec()).ok()?;
-            if bytes.remaining() < 4 {
-                return None;
+            let name = String::from_utf8(body.copy_to_bytes(name_len).to_vec())
+                .map_err(|_| StoreError::Malformed(format!("non-utf8 name of parameter {i}")))?;
+            if body.remaining() < 4 {
+                return Err(fail(&format!("rank of '{name}'")));
             }
-            let rank = bytes.get_u32_le() as usize;
-            if bytes.remaining() < rank * 8 {
-                return None;
+            let rank = body.get_u32_le() as usize;
+            if body.remaining() < rank * 8 {
+                return Err(fail(&format!("dims of '{name}'")));
             }
-            let dims: Vec<usize> = (0..rank).map(|_| bytes.get_u64_le() as usize).collect();
+            let dims: Vec<usize> = (0..rank).map(|_| body.get_u64_le() as usize).collect();
             let numel: usize = dims.iter().product();
-            if bytes.remaining() < numel * 4 {
-                return None;
+            if body.remaining() < numel * 4 {
+                return Err(fail(&format!("data of '{name}'")));
             }
-            let data: Vec<f32> = (0..numel).map(|_| bytes.get_f32_le()).collect();
+            let data: Vec<f32> = (0..numel).map(|_| body.get_f32_le()).collect();
             store.register(name, Tensor::from_vec(&dims, data));
         }
         // A well-formed checkpoint ends exactly with its payload; trailing
         // garbage means truncated-then-concatenated or corrupted input.
-        if bytes.remaining() != 0 {
-            return None;
+        if body.remaining() != 0 {
+            return Err(StoreError::Malformed(format!(
+                "{} trailing bytes after the last parameter",
+                body.remaining()
+            )));
         }
-        Some(store)
+        Ok(store)
     }
 
-    /// Writes the store to a file.
+    /// Writes the store to a file crash-consistently: the bytes land in a
+    /// temporary sibling, are fsync'd, and atomically renamed over `path`,
+    /// so a failure mid-save (crash, full disk) leaves any previous
+    /// checkpoint at `path` intact.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_bytes())
+        stod_faultline::io::atomic_write(path, &self.to_bytes())
     }
 
     /// Reads a store from a file written by [`ParamStore::save`].
-    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
-        let data = std::fs::read(path)?;
-        ParamStore::from_bytes(Bytes::from(data)).ok_or_else(|| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, "corrupt parameter file")
-        })
+    pub fn load(path: &std::path::Path) -> Result<Self, StoreError> {
+        let data = std::fs::read(path).map_err(StoreError::Io)?;
+        ParamStore::from_bytes(Bytes::from(data))
     }
 
     /// Copies all values from another store with identical layout.
@@ -262,14 +333,50 @@ mod tests {
 
     #[test]
     fn corrupt_bytes_rejected() {
-        assert!(ParamStore::from_bytes(Bytes::from_static(b"nope")).is_none());
-        assert!(ParamStore::from_bytes(Bytes::from_static(b"STPW\x02\x00\x00\x00")).is_none());
-        // Truncated payload.
+        assert!(matches!(
+            ParamStore::from_bytes(Bytes::from_static(b"nope")),
+            Err(StoreError::Malformed(_))
+        ));
+        assert!(matches!(
+            ParamStore::from_bytes(Bytes::from_static(
+                b"QQQQ\x02\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+            )),
+            Err(StoreError::Malformed(_))
+        ));
+        // Unsupported version (with a plausible length).
+        assert!(matches!(
+            ParamStore::from_bytes(Bytes::from_static(
+                b"STPW\x63\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+            )),
+            Err(StoreError::Malformed(_))
+        ));
+        // Truncated payload: the CRC footer no longer matches.
         let mut s = ParamStore::new();
         s.register("w", Tensor::ones(&[4]));
         let full = s.to_bytes();
         let truncated = full.slice(0..full.len() - 3);
-        assert!(ParamStore::from_bytes(truncated).is_none());
+        assert!(matches!(
+            ParamStore::from_bytes(truncated),
+            Err(StoreError::Checksum { .. })
+        ));
+    }
+
+    #[test]
+    fn bit_flip_yields_checksum_error_distinct_from_layout_damage() {
+        let mut s = ParamStore::new();
+        s.register("w", Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]));
+        let clean = s.to_bytes().to_vec();
+        // Flip one bit in every byte position of the body in turn; each
+        // must be caught by the checksum, never panic, never parse.
+        for pos in 8..clean.len() - 4 {
+            let mut bad = clean.clone();
+            bad[pos] ^= 0x10;
+            match ParamStore::from_bytes(Bytes::from(bad)) {
+                Err(StoreError::Checksum { expected, found }) => assert_ne!(expected, found),
+                Err(other) => panic!("flip at {pos}: expected checksum error, got {other}"),
+                Ok(_) => panic!("flip at {pos} parsed successfully"),
+            }
+        }
     }
 
     #[test]
@@ -279,9 +386,53 @@ mod tests {
         let mut padded = s.to_bytes().to_vec();
         padded.push(0);
         assert!(
-            ParamStore::from_bytes(Bytes::from(padded)).is_none(),
+            ParamStore::from_bytes(Bytes::from(padded)).is_err(),
             "payload followed by garbage must not deserialize"
         );
+    }
+
+    #[test]
+    fn save_is_atomic_under_injected_faults() {
+        let dir = std::env::temp_dir().join(format!("stod_params_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.stpw");
+
+        let mut old = ParamStore::new();
+        old.register("w", Tensor::from_vec(&[2], vec![1.0, 2.0]));
+        old.save(&path).unwrap();
+        let old_bytes = std::fs::read(&path).unwrap();
+
+        let mut new = ParamStore::new();
+        new.register("w", Tensor::from_vec(&[2], vec![9.0, 9.0]));
+
+        use stod_faultline::{install, FaultPlan, FaultSite};
+        {
+            let _g = install(FaultPlan::new(4).with(FaultSite::SaveInterrupt, 1.0, 0));
+            let err = new.save(&path).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::Interrupted);
+        }
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            old_bytes,
+            "interrupted save must leave the previous checkpoint bitwise intact"
+        );
+        {
+            let _g = install(FaultPlan::new(4).with(FaultSite::SaveDiskFull, 1.0, 0));
+            assert!(new.save(&path).is_err());
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), old_bytes);
+
+        // With faults disarmed the save goes through and reloads bitwise.
+        new.save(&path).unwrap();
+        let back = ParamStore::load(&path).unwrap();
+        assert_eq!(back.get(ParamId(0)).data(), &[9.0, 9.0]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_distinguishes_io_from_corruption() {
+        let missing = std::path::Path::new("/nonexistent/stod/params.stpw");
+        assert!(matches!(ParamStore::load(missing), Err(StoreError::Io(_))));
     }
 
     #[test]

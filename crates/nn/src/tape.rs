@@ -43,6 +43,12 @@ impl Gradients {
         self.by_param.get(id.index()).and_then(Option::as_ref)
     }
 
+    /// Mutable access to one parameter's gradient (fault-injection tests
+    /// use this to poison gradients in place).
+    pub fn get_mut(&mut self, id: ParamId) -> Option<&mut Tensor> {
+        self.by_param.get_mut(id.index()).and_then(Option::as_mut)
+    }
+
     /// Global L2 norm across all parameter gradients.
     pub fn global_norm(&self) -> f32 {
         let mut s = 0.0f64;

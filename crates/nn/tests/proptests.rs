@@ -153,7 +153,7 @@ proptest! {
         let mut padded = store.to_bytes().to_vec();
         padded.extend_from_slice(&trailer);
         prop_assert!(
-            ParamStore::from_bytes(bytes::Bytes::from(padded)).is_none(),
+            ParamStore::from_bytes(bytes::Bytes::from(padded)).is_err(),
             "payload + {} trailing bytes must not deserialize",
             trailer.len()
         );

@@ -18,14 +18,17 @@
 use crate::ingest::FeatureStore;
 use crate::registry::Registry;
 use crate::stats::ServeStats;
-use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use stod_baselines::NaiveHistograms;
+use stod_faultline::FaultSite;
 use stod_tensor::Tensor;
 
 /// Broker tuning knobs.
@@ -81,6 +84,9 @@ pub enum FallbackReason {
     NoModel,
     /// The feature store had no sealed tensor for `t_end`.
     NoFeatures,
+    /// The worker computing this request's forecast panicked; the broker
+    /// contained the panic and answered every waiter from the baseline.
+    WorkerPanic,
 }
 
 /// Who produced a forecast.
@@ -178,13 +184,7 @@ impl Broker {
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 let rx = job_rx.clone();
-                std::thread::spawn(move || {
-                    while let Ok(key) = rx.recv() {
-                        stod_tensor::par::with_threads(kernel_threads, || {
-                            Broker::run_job(&shared, key);
-                        });
-                    }
-                })
+                std::thread::spawn(move || Broker::worker_loop(&shared, rx, kernel_threads))
             })
             .collect();
         Broker {
@@ -260,6 +260,7 @@ impl Broker {
                     FallbackReason::Deadline => &stats.fallbacks_deadline,
                     FallbackReason::NoModel => &stats.fallbacks_no_model,
                     FallbackReason::NoFeatures => &stats.fallbacks_no_features,
+                    FallbackReason::WorkerPanic => &stats.fallbacks_worker_panic,
                 };
                 counter.fetch_add(1, Ordering::Relaxed);
                 (
@@ -316,9 +317,78 @@ impl Broker {
         }
     }
 
+    /// One worker's supervisor: receives keys and executes jobs until the
+    /// job channel closes. A panic inside a job — injected by the chaos
+    /// harness or a genuine model bug — must not take the worker (and with
+    /// it a share of the pool's capacity) down, and must not strand the
+    /// requests waiting on the in-flight entry until their deadlines
+    /// expire. The supervisor contains the panic with `catch_unwind`,
+    /// fails the poisoned job so every waiter is answered immediately from
+    /// the NH baseline, records the panic + respawn in the ledger, and
+    /// starts a fresh worker incarnation on the same OS thread.
+    fn worker_loop(shared: &Shared, rx: Receiver<Key>, kernel_threads: usize) {
+        loop {
+            // The key being executed when a panic unwinds; `Cell` because
+            // the catch_unwind closure only gets a shared borrow.
+            let current = Cell::new(None::<Key>);
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                while let Ok(key) = rx.recv() {
+                    current.set(Some(key));
+                    stod_tensor::par::with_threads(kernel_threads, || {
+                        Broker::run_job(shared, key);
+                    });
+                    current.set(None);
+                }
+            }));
+            match run {
+                // Channel closed: clean shutdown.
+                Ok(()) => return,
+                Err(_) => {
+                    shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    if let Some(key) = current.get() {
+                        Broker::fail_job(shared, key);
+                    }
+                    shared.stats.respawns.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Fails an in-flight computation after a worker panic: removes the
+    /// cache entry (so a later request can recompute the key) and answers
+    /// every waiter with the worker-panic fallback instead of leaving them
+    /// to ride out their deadlines.
+    fn fail_job(shared: &Shared, key: Key) {
+        let waiters = {
+            let mut cache = shared.cache.lock();
+            match cache.remove(&key) {
+                Some(CacheEntry::InFlight(waiters)) => waiters,
+                Some(done @ CacheEntry::Done(_)) => {
+                    // The job already published its result; the panic came
+                    // later (e.g. while fanning out). Keep the result.
+                    cache.insert(key, done);
+                    Vec::new()
+                }
+                None => Vec::new(),
+            }
+        };
+        for waiter in waiters {
+            let _ = waiter.send(Err(FallbackReason::WorkerPanic));
+        }
+    }
+
     /// Executes one keyed computation on a worker thread and fans the
     /// result out to every waiter.
     fn run_job(shared: &Shared, key: Key) {
+        // Chaos injection points, evaluated with no locks held. The stall
+        // drives requests onto the deadline-miss path; the panic is
+        // contained by `worker_loop`'s supervisor.
+        if let Some(ms) = stod_faultline::fire(FaultSite::SlowWorker) {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        if stod_faultline::fire(FaultSite::WorkerPanic).is_some() {
+            panic!("injected broker-worker panic (stod-faultline)");
+        }
         let result: ComputeResult = match shared.registry.get(key.version) {
             None => Err(FallbackReason::NoModel),
             Some(model) => {

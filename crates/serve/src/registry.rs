@@ -67,8 +67,20 @@ impl ModelConfig {
 /// Why a checkpoint was rejected or a lookup failed.
 #[derive(Debug)]
 pub enum RegistryError {
-    /// The checkpoint file could not be read or parsed.
+    /// The checkpoint file could not be read.
     Io(std::io::Error),
+    /// The checkpoint failed its CRC-32 integrity check — a bit-flip,
+    /// truncation, or torn write. Distinct from [`Self::Malformed`] so
+    /// operators can tell storage corruption from a wrong-format file.
+    Corrupt {
+        /// CRC recorded in the checkpoint footer.
+        expected: u32,
+        /// CRC recomputed over the payload.
+        found: u32,
+    },
+    /// The checkpoint bytes are structurally invalid (bad magic, version,
+    /// or layout encoding) — e.g. an empty or foreign file.
+    Malformed(String),
     /// The checkpoint's parameters do not match the configured
     /// architecture (wrong count, name or shape).
     LayoutMismatch(String),
@@ -80,8 +92,25 @@ impl std::fmt::Display for RegistryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RegistryError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            RegistryError::Corrupt { expected, found } => write!(
+                f,
+                "checkpoint corrupt: crc {expected:#010x} recorded, {found:#010x} computed"
+            ),
+            RegistryError::Malformed(d) => write!(f, "checkpoint malformed: {d}"),
             RegistryError::LayoutMismatch(d) => write!(f, "checkpoint layout mismatch: {d}"),
             RegistryError::UnknownVersion(v) => write!(f, "unknown model version {v}"),
+        }
+    }
+}
+
+impl From<stod_nn::StoreError> for RegistryError {
+    fn from(e: stod_nn::StoreError) -> RegistryError {
+        match e {
+            stod_nn::StoreError::Io(e) => RegistryError::Io(e),
+            stod_nn::StoreError::Checksum { expected, found } => {
+                RegistryError::Corrupt { expected, found }
+            }
+            stod_nn::StoreError::Malformed(d) => RegistryError::Malformed(d),
         }
     }
 }
@@ -147,14 +176,41 @@ impl Registry {
 
     /// Loads a checkpoint file and registers it; see
     /// [`Registry::register_store`].
+    ///
+    /// Any rejection — unreadable file, CRC mismatch, malformed bytes,
+    /// layout mismatch — leaves the registry untouched (`num_versions` and
+    /// the active version are unchanged) and is counted in the
+    /// `checkpoint_rejects` stat. The [`stod_faultline::FaultSite::CkptCorrupt`]
+    /// injection point corrupts the raw bytes here, between read and parse,
+    /// so chaos tests exercise exactly the path a disk bit-flip would take.
     pub fn register_file(&self, path: &std::path::Path) -> Result<u32, RegistryError> {
-        let store = ParamStore::load(path).map_err(RegistryError::Io)?;
-        self.register_store(store)
+        let result = (|| {
+            let mut raw = std::fs::read(path).map_err(RegistryError::Io)?;
+            stod_faultline::maybe_corrupt(stod_faultline::FaultSite::CkptCorrupt, &mut raw);
+            let store = ParamStore::from_bytes(bytes::Bytes::from(raw))?;
+            self.register_validated(store)
+        })();
+        if result.is_err() {
+            self.stats
+                .checkpoint_rejects
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        result
     }
 
     /// Validates a checkpoint against the configured architecture and
     /// registers it as a new (inactive) version, returning its number.
     pub fn register_store(&self, store: ParamStore) -> Result<u32, RegistryError> {
+        let result = self.register_validated(store);
+        if result.is_err() {
+            self.stats
+                .checkpoint_rejects
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    fn register_validated(&self, store: ParamStore) -> Result<u32, RegistryError> {
         let mut model = self.config.build(0);
         validate_layout(model.params(), &store)?;
         model.params_mut().copy_from(&store);
@@ -283,6 +339,86 @@ mod tests {
             Err(RegistryError::LayoutMismatch(_))
         ));
         assert_eq!(reg.num_versions(), 0);
+    }
+
+    fn write_tmp_file(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("stod_registry_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    /// Truncated, bit-flipped, and empty checkpoint files must all yield a
+    /// typed error — never a panic — and must leave the registry untouched.
+    #[test]
+    fn register_file_rejects_damaged_checkpoints_without_state_change() {
+        let config = bf_config(4);
+        let stats = Arc::new(ServeStats::new());
+        let reg = Registry::new(config.clone(), stats.clone());
+        let v = reg.register_store(checkpoint_for(&config, 1)).unwrap();
+        reg.promote(v).unwrap();
+
+        let good = config.build(2).params().to_bytes().to_vec();
+
+        let truncated = write_tmp_file("trunc.stpw", &good[..good.len() / 2]);
+        assert!(matches!(
+            reg.register_file(&truncated),
+            Err(RegistryError::Corrupt { .. })
+        ));
+
+        let mut flipped_bytes = good.clone();
+        flipped_bytes[good.len() / 2] ^= 0x40;
+        let flipped = write_tmp_file("flip.stpw", &flipped_bytes);
+        assert!(matches!(
+            reg.register_file(&flipped),
+            Err(RegistryError::Corrupt { .. })
+        ));
+
+        let empty = write_tmp_file("empty.stpw", b"");
+        assert!(matches!(
+            reg.register_file(&empty),
+            Err(RegistryError::Malformed(_))
+        ));
+
+        let missing = std::path::Path::new("/nonexistent/stod/ckpt.stpw");
+        assert!(matches!(
+            reg.register_file(missing),
+            Err(RegistryError::Io(_))
+        ));
+
+        assert_eq!(reg.num_versions(), 1, "rejections must not register");
+        assert_eq!(reg.active_version(), Some(1), "active model must survive");
+        assert_eq!(stats.snapshot().checkpoint_rejects, 4);
+
+        // The undamaged bytes still register fine afterwards.
+        let ok = write_tmp_file("good.stpw", &good);
+        assert_eq!(reg.register_file(&ok).unwrap(), 2);
+    }
+
+    /// The faultline `CkptCorrupt` site corrupts bytes between read and
+    /// parse; the CRC must catch every corruption mode it can inject.
+    #[test]
+    fn injected_checkpoint_corruption_is_always_rejected() {
+        use stod_faultline::{install, FaultPlan, FaultSite};
+        let config = bf_config(4);
+        let stats = Arc::new(ServeStats::new());
+        let reg = Registry::new(config.clone(), stats.clone());
+        let good = config.build(7).params().to_bytes().to_vec();
+        let path = write_tmp_file("chaos.stpw", &good);
+
+        for param in 0..3 {
+            let _g = install(FaultPlan::new(11 + param).with(FaultSite::CkptCorrupt, 1.0, param));
+            match reg.register_file(&path) {
+                Err(RegistryError::Corrupt { .. }) | Err(RegistryError::Malformed(_)) => {}
+                other => panic!("corruption mode {param}: expected rejection, got {other:?}"),
+            }
+        }
+        assert_eq!(reg.num_versions(), 0);
+        assert_eq!(stats.snapshot().checkpoint_rejects, 3);
+
+        // Disarmed, the same file registers.
+        assert_eq!(reg.register_file(&path).unwrap(), 1);
     }
 
     #[test]

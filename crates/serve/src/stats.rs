@@ -80,8 +80,22 @@ pub struct ServeStats {
     /// Requests that fell back to NH because the feature store lacked the
     /// input window.
     pub fallbacks_no_features: AtomicU64,
+    /// Requests that fell back to NH because the worker computing their
+    /// forecast panicked.
+    pub fallbacks_worker_panic: AtomicU64,
     /// Model promotions that replaced an already-active model.
     pub hot_swaps: AtomicU64,
+    /// Worker panics contained by the broker supervisor (each one also
+    /// produces a respawn and a fallback for the affected waiters).
+    pub worker_panics: AtomicU64,
+    /// Broker workers restarted after a contained panic.
+    pub respawns: AtomicU64,
+    /// Checkpoints the registry refused (unreadable, corrupt, malformed,
+    /// or layout-mismatched).
+    pub checkpoint_rejects: AtomicU64,
+    /// Batches whose loss or gradients were non-finite during training
+    /// (reported by the trainer when it shares this stats instance).
+    pub nonfinite_batches: AtomicU64,
     /// End-to-end request latencies.
     pub latency: LatencyHistogram,
 }
@@ -90,6 +104,15 @@ impl ServeStats {
     /// Fresh, all-zero stats.
     pub fn new() -> ServeStats {
         ServeStats::default()
+    }
+
+    /// Folds a finished training run's fault counters into the serving
+    /// ledger, so a train-then-serve deployment surfaces training-side
+    /// non-finite batches through the same JSON stats export as the
+    /// serving-side fault counters.
+    pub fn record_train_report(&self, report: &stod_core::TrainReport) {
+        self.nonfinite_batches
+            .fetch_add(report.nonfinite_batches, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of every counter plus latency percentiles.
@@ -103,7 +126,12 @@ impl ServeStats {
             fallbacks_deadline: load(&self.fallbacks_deadline),
             fallbacks_no_model: load(&self.fallbacks_no_model),
             fallbacks_no_features: load(&self.fallbacks_no_features),
+            fallbacks_worker_panic: load(&self.fallbacks_worker_panic),
             hot_swaps: load(&self.hot_swaps),
+            worker_panics: load(&self.worker_panics),
+            respawns: load(&self.respawns),
+            checkpoint_rejects: load(&self.checkpoint_rejects),
+            nonfinite_batches: load(&self.nonfinite_batches),
             latency_count: self.latency.count(),
             p50_us: self.latency.quantile_us(0.50),
             p95_us: self.latency.quantile_us(0.95),
@@ -129,8 +157,18 @@ pub struct StatsSnapshot {
     pub fallbacks_no_model: u64,
     /// See [`ServeStats::fallbacks_no_features`].
     pub fallbacks_no_features: u64,
+    /// See [`ServeStats::fallbacks_worker_panic`].
+    pub fallbacks_worker_panic: u64,
     /// See [`ServeStats::hot_swaps`].
     pub hot_swaps: u64,
+    /// See [`ServeStats::worker_panics`].
+    pub worker_panics: u64,
+    /// See [`ServeStats::respawns`].
+    pub respawns: u64,
+    /// See [`ServeStats::checkpoint_rejects`].
+    pub checkpoint_rejects: u64,
+    /// See [`ServeStats::nonfinite_batches`].
+    pub nonfinite_batches: u64,
     /// Number of latency observations behind the percentiles.
     pub latency_count: u64,
     /// Median request latency (µs, bucket upper edge).
@@ -144,7 +182,10 @@ pub struct StatsSnapshot {
 impl StatsSnapshot {
     /// Requests that any fallback path answered.
     pub fn fallbacks_total(&self) -> u64 {
-        self.fallbacks_deadline + self.fallbacks_no_model + self.fallbacks_no_features
+        self.fallbacks_deadline
+            + self.fallbacks_no_model
+            + self.fallbacks_no_features
+            + self.fallbacks_worker_panic
     }
 
     /// This snapshot as a JSON object string.
@@ -163,7 +204,12 @@ impl Serialize for StatsSnapshot {
             o.field("fallbacks_deadline", &self.fallbacks_deadline);
             o.field("fallbacks_no_model", &self.fallbacks_no_model);
             o.field("fallbacks_no_features", &self.fallbacks_no_features);
+            o.field("fallbacks_worker_panic", &self.fallbacks_worker_panic);
             o.field("hot_swaps", &self.hot_swaps);
+            o.field("worker_panics", &self.worker_panics);
+            o.field("respawns", &self.respawns);
+            o.field("checkpoint_rejects", &self.checkpoint_rejects);
+            o.field("nonfinite_batches", &self.nonfinite_batches);
             o.field("latency_count", &self.latency_count);
             o.field("p50_us", &self.p50_us);
             o.field("p95_us", &self.p95_us);
@@ -223,5 +269,17 @@ mod tests {
         assert!(js.starts_with('{') && js.ends_with('}'));
         assert!(js.contains("\"requests_total\":0"));
         assert!(js.contains("\"p99_us\":0"));
+        for fault_field in [
+            "worker_panics",
+            "respawns",
+            "checkpoint_rejects",
+            "nonfinite_batches",
+            "fallbacks_worker_panic",
+        ] {
+            assert!(
+                js.contains(&format!("\"{fault_field}\":0")),
+                "fault-ledger field {fault_field} missing from JSON export"
+            );
+        }
     }
 }

@@ -52,7 +52,7 @@ fn main() -> std::io::Result<()> {
     );
 
     // --- serving process: rebuild architecture, load weights ---
-    let restored_store = ParamStore::load(&path)?;
+    let restored_store = ParamStore::load(&path).expect("checkpoint loads and validates");
     let mut served = AfModel::new(&ds.city.centroids(), k, AfConfig::default(), 999);
     served.params_mut().copy_from(&restored_store);
     let served_eval = evaluate(&served, &ds, &split.test, 16);

@@ -4,6 +4,7 @@
 #   scripts/verify.sh                 # tier-1 gate + format + lint
 #   scripts/verify.sh --full          # additionally run the whole workspace suite
 #   scripts/verify.sh --conformance   # additionally run the oracle gate
+#   scripts/verify.sh --chaos         # additionally run the fault-injection gate
 #
 # Tier-1 (the gate CI enforces) is the root package: its integration
 # tests in tests/ exercise every crate end-to-end.
@@ -12,16 +13,24 @@
 # crates/conformance at a bounded budget (STOD_FUZZ_CASES, default 256
 # cases per kernel) at 1 and 4 threads, and fails if any minimized
 # counterexample was dumped to results/conformance/.
+#
+# --chaos runs the seeded fault-injection suites at their full seed
+# matrices (STOD_CHAOS=full widens tests/chaos_gate.rs beyond the tier-1
+# smoke slice): kill-and-resume bitwise identity, worker-panic
+# containment, corrupt-checkpoint rejection and interrupted-save
+# atomicity, each at 1 and 4 threads.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 full=0
 conformance=0
+chaos=0
 for arg in "$@"; do
   case "$arg" in
     --full) full=1 ;;
     --conformance) conformance=1 ;;
+    --chaos) chaos=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -64,6 +73,17 @@ if [[ "$conformance" == 1 ]]; then
     echo "replay with stod_conformance::replay(kernel, seed, dims) from the dump" >&2
     exit 1
   fi
+fi
+
+if [[ "$chaos" == 1 ]]; then
+  echo "==> chaos gate: seeded fault injection at the full seed matrix"
+  for t in 1 4; do
+    echo "==> chaos gate, STOD_THREADS=$t"
+    STOD_THREADS="$t" STOD_CHAOS=full cargo test -q --test chaos_gate
+    STOD_THREADS="$t" cargo test -q --test serve_stress
+    STOD_THREADS="$t" cargo test -q -p stod-core --test resume
+    STOD_THREADS="$t" cargo test -q -p stod-faultline
+  done
 fi
 
 echo "verify: OK"

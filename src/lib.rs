@@ -23,12 +23,16 @@
 //! * [`serve`] — online serving: versioned checkpoint registry with
 //!   hot-swap, streaming trip ingest, micro-batching request broker with
 //!   deadline-aware NH fallback, and serving stats.
+//! * [`faultline`] — seeded deterministic fault injection (`STOD_FAULTS`),
+//!   CRC-32 checksums, and crash-consistent atomic file persistence — the
+//!   robustness substrate the chaos test suite drives.
 //!
 //! See the `examples/` directory for end-to-end usage, `DESIGN.md` for the
 //! system inventory and `EXPERIMENTS.md` for the reproduction results.
 
 pub use stod_baselines as baselines;
 pub use stod_core as core;
+pub use stod_faultline as faultline;
 pub use stod_graph as graph;
 pub use stod_metrics as metrics;
 pub use stod_nn as nn;

@@ -9,11 +9,23 @@
 //! * every response is a valid histogram from a coherent source,
 //! * the stats ledger stays consistent: every request is accounted for
 //!   exactly once across model answers, in-flight joins, cache hits, and
-//!   fallbacks, and
-//! * deadline starvation degrades to the NH fallback instead of hanging.
+//!   fallbacks,
+//! * deadline starvation degrades to the NH fallback instead of hanging,
+//!   and
+//! * injected worker panics are contained and respawned, with the
+//!   `worker_panics` / `respawns` / `checkpoint_rejects` /
+//!   `nonfinite_batches` fault counters carried through the JSON stats
+//!   export.
+//!
+//! Fault plans installed via `stod_faultline::install` are process-global,
+//! so every test here holds a `FaultGuard` for its whole body — an empty
+//! plan for the fault-free tests — which serializes them against the
+//! injection test and shields them from any `STOD_FAULTS` environment
+//! plan.
 
 use od_forecast::baselines::NaiveHistograms;
-use od_forecast::core::{train, BfConfig, BfModel, OdForecaster, TrainConfig};
+use od_forecast::core::{train, BfConfig, BfModel, OdForecaster, TrainConfig, TrainReport};
+use od_forecast::faultline::{install, FaultPlan, FaultSite};
 use od_forecast::serve::{
     Broker, BrokerConfig, FallbackReason, FeatureStore, ForecastRequest, ModelConfig, ModelKind,
     Registry, ServeStats, Source,
@@ -42,7 +54,7 @@ fn build_stack(workers: usize, seed: u64) -> (Broker, Arc<ServeStats>, OdDataset
         ..BfConfig::default()
     };
     let mut model = BfModel::new(N, ds.spec.num_buckets, bf, seed);
-    train(
+    let train_report = train(
         &mut model,
         &ds,
         &split.train,
@@ -53,6 +65,7 @@ fn build_stack(workers: usize, seed: u64) -> (Broker, Arc<ServeStats>, OdDataset
     model.params().save(&ckpt).unwrap();
 
     let stats = Arc::new(ServeStats::new());
+    stats.record_train_report(&train_report);
     let config = ModelConfig {
         kind: ModelKind::Bf(bf),
         centroids: ds.city.centroids(),
@@ -116,6 +129,7 @@ fn with_deadlock_watchdog<R>(limit: Duration, what: &str, body: impl FnOnce() ->
 
 #[test]
 fn broker_survives_concurrent_barrage_with_consistent_stats() {
+    let _quiet = install(FaultPlan::new(0));
     let (broker, stats, _ds) = build_stack(2, 29);
     const CLIENTS: usize = 12;
     const ROUNDS: usize = 6;
@@ -186,6 +200,7 @@ fn broker_survives_concurrent_barrage_with_consistent_stats() {
 
 #[test]
 fn starved_single_worker_degrades_to_deadline_fallback_without_deadlock() {
+    let _quiet = install(FaultPlan::new(0));
     let (broker, stats, _ds) = build_stack(1, 31);
     const CLIENTS: usize = 8;
 
@@ -259,4 +274,140 @@ fn starved_single_worker_degrades_to_deadline_fallback_without_deadlock() {
         "broker did not recover after starvation: {:?}",
         recovered.source
     );
+}
+
+/// Injected worker panics under concurrent load (ISSUE satellite 4): the
+/// broker contains and respawns every panic, no request is dropped, the
+/// fault counters balance the request ledger, and `worker_panics` /
+/// `respawns` / `checkpoint_rejects` / `nonfinite_batches` all ride the
+/// existing JSON stats export.
+#[test]
+fn injected_worker_panics_are_contained_respawned_and_exported() {
+    let guard = install(FaultPlan::new(41).with(FaultSite::WorkerPanic, 0.5, 0));
+    let (broker, stats, ds) = build_stack(2, 37);
+    const CLIENTS: usize = 10;
+    const ROUNDS: usize = 4;
+
+    with_deadlock_watchdog(Duration::from_secs(120), "panic barrage", || {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|client| {
+                    let broker = &broker;
+                    scope.spawn(move || {
+                        for round in 0..ROUNDS {
+                            let fc = broker.forecast(ForecastRequest {
+                                origin: client % N,
+                                dest: (client + 2) % N,
+                                t_end: 5 + (client * ROUNDS + round) % 16,
+                                horizon: 1,
+                                step: 0,
+                                deadline: Duration::from_secs(30),
+                            });
+                            assert_valid_hist(&fc.histogram, "panic-chaos response");
+                            match fc.source {
+                                Source::Model { .. }
+                                | Source::Fallback(FallbackReason::WorkerPanic) => {}
+                                other => panic!("unexpected source under panic chaos: {other:?}"),
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    });
+
+    // The respawn increment lands a beat after the panicked job's waiters
+    // are answered; wait for the ledger to settle before reading it.
+    let settle_deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let s = stats.snapshot();
+        if s.respawns == s.worker_panics {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < settle_deadline,
+            "respawn ledger did not settle"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let snap = stats.snapshot();
+    let total = (CLIENTS * ROUNDS) as u64;
+    assert_eq!(snap.requests_total, total, "lost requests under chaos");
+    assert_eq!(snap.latency_count, total, "latency ledger out of sync");
+    assert!(
+        snap.worker_panics > 0,
+        "the chaos plan never fired; raise the probability"
+    );
+    assert_eq!(
+        snap.worker_panics,
+        guard.injected(FaultSite::WorkerPanic),
+        "every injected panic must be contained and counted exactly once"
+    );
+    assert_eq!(snap.respawns, snap.worker_panics);
+    // Each request is exactly one of: job leader (whose job completed as
+    // a model invocation or died to a contained panic), in-flight join,
+    // or cache hit.
+    assert_eq!(
+        snap.model_invocations + snap.worker_panics + snap.batched_joins + snap.cache_hits,
+        total,
+        "fault-aware outcome ledger inconsistent: {snap:?}"
+    );
+    drop(guard);
+
+    // The pool survives: a clean request is answered by the model again.
+    let recovered = broker.forecast(ForecastRequest {
+        origin: 0,
+        dest: 1,
+        t_end: 9,
+        horizon: 1,
+        step: 0,
+        deadline: Duration::from_secs(30),
+    });
+    assert!(
+        matches!(recovered.source, Source::Model { .. }),
+        "broker did not recover after panic chaos: {:?}",
+        recovered.source
+    );
+
+    // A rejected checkpoint and a trainer-reported non-finite count land
+    // in the same ledger: register garbage bytes against a registry that
+    // shares this stats instance, and fold in a training report...
+    let garbage = std::env::temp_dir().join("stod_serve_stress_garbage.stpw");
+    std::fs::write(&garbage, b"not a checkpoint").unwrap();
+    let registry = Registry::new(
+        ModelConfig {
+            kind: ModelKind::Bf(BfConfig {
+                encode_dim: 8,
+                gru_hidden: 8,
+                ..BfConfig::default()
+            }),
+            centroids: ds.city.centroids(),
+            num_buckets: ds.spec.num_buckets,
+        },
+        Arc::clone(&stats),
+    );
+    assert!(registry.register_file(&garbage).is_err());
+    std::fs::remove_file(&garbage).unwrap();
+    stats.record_train_report(&TrainReport {
+        nonfinite_batches: 3,
+        ..TrainReport::default()
+    });
+
+    // ...and every fault counter is carried through the JSON export.
+    let js = stats.snapshot().to_json();
+    for (field, value) in [
+        ("worker_panics", snap.worker_panics),
+        ("respawns", snap.respawns),
+        ("checkpoint_rejects", 1),
+        ("nonfinite_batches", 3),
+    ] {
+        assert!(
+            js.contains(&format!("\"{field}\":{value}")),
+            "JSON export missing {field}={value}: {js}"
+        );
+    }
 }
