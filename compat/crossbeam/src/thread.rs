@@ -65,7 +65,7 @@ mod tests {
 
     #[test]
     fn scoped_borrow_and_join() {
-        let data = vec![1, 2, 3, 4];
+        let data = [1, 2, 3, 4];
         let total = scope(|s| {
             let handles: Vec<_> = data
                 .chunks(2)

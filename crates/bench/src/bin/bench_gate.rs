@@ -1,0 +1,356 @@
+//! The bench-regression gate: compares fresh `BENCH_obs.json` artifacts
+//! against the committed baseline and fails CI on wall-time regressions.
+//!
+//! Modes:
+//!
+//! * `bench_gate <current...> <baseline>` — full gate. The last path is
+//!   the baseline; every earlier path is one probe run, and the gate
+//!   compares the *element-wise minimum* of their span totals (best-of-N
+//!   is the standard defence against scheduler noise — `scripts/verify.sh
+//!   --bench` runs the probe twice and passes both). The gate refuses to
+//!   compare artifacts whose headers disagree on `threads` or `scale`
+//!   (that is a config mismatch, not a regression), requires the span
+//!   trees and counters to match the baseline exactly, and fails when any
+//!   span's best total regressed more than 25% over the baseline. Spans
+//!   whose baseline total is under the 50 ms noise floor are reported but
+//!   never fail the gate.
+//! * `bench_gate --bless <baseline> <current...>` — min-merges the
+//!   current runs and writes them as the new baseline (span paths, counts
+//!   and best totals plus the header; timing-free fields are dropped).
+//! * `bench_gate --trees-only <a> <b>` — structural comparison only:
+//!   span paths + counts and counter values must match exactly. Used to
+//!   prove run-to-run span-tree stability, where wall times legitimately
+//!   differ.
+//!
+//! Exit code 0 = pass, 1 = gate failure, 2 = usage/parse error.
+
+use stod_bench::jsonv::{parse, Jv};
+
+/// Spans whose baseline total is below this never fail the wall-time
+/// gate: at small durations (one fsync, one forward pass) scheduler and
+/// page-cache noise dwarfs any real regression.
+const NOISE_FLOOR_NS: u64 = 50_000_000;
+
+/// Maximum tolerated wall-time growth of a span vs. the baseline.
+const MAX_REGRESSION: f64 = 0.25;
+
+/// One parsed bench artifact, reduced to what the gate compares.
+struct Artifact {
+    path: String,
+    threads: Option<u64>,
+    scale: Option<String>,
+    rev: String,
+    host_cores: u64,
+    /// `(path, count, total_ns)` per span, in artifact order.
+    spans: Vec<(String, u64, u64)>,
+    /// `(name, value)` per counter, in artifact order.
+    counters: Vec<(String, u64)>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let code = match argv[..] {
+        ["--trees-only", a, b] => trees_only(a, b),
+        ["--bless", out, ref currents @ ..] if !currents.is_empty() => bless(out, currents),
+        [ref currents @ .., baseline] if !currents.is_empty() => gate(currents, baseline),
+        _ => {
+            eprintln!(
+                "usage: bench_gate <current.json...> <baseline.json>\n\
+                 \u{20}      bench_gate --bless <baseline.json> <current.json...>\n\
+                 \u{20}      bench_gate --trees-only <a.json> <b.json>"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn load(path: &str) -> Result<Artifact, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = parse(&src).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let obs = doc.get("obs").unwrap_or(&doc);
+    let spans = obs
+        .get("spans")
+        .and_then(Jv::as_arr)
+        .map(|spans| {
+            spans
+                .iter()
+                .filter_map(|s| {
+                    Some((
+                        s.get("path")?.as_str()?.to_string(),
+                        s.get("count")?.as_u64()?,
+                        s.get("total_ns")?.as_u64()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let counters = obs
+        .get("counters")
+        .and_then(Jv::as_arr)
+        .map(|counters| {
+            counters
+                .iter()
+                .filter_map(|c| {
+                    Some((
+                        c.get("name")?.as_str()?.to_string(),
+                        c.get("value")?.as_u64()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok(Artifact {
+        path: path.to_string(),
+        threads: doc.get("threads").and_then(Jv::as_u64),
+        scale: doc.get("scale").and_then(Jv::as_str).map(str::to_string),
+        rev: doc
+            .get("rev")
+            .and_then(Jv::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
+        host_cores: doc.get("host_cores").and_then(Jv::as_u64).unwrap_or(1),
+        spans,
+        counters,
+    })
+}
+
+/// Structural equality of two artifacts: identical span trees (paths +
+/// counts) and identical counters. Returns the failure list.
+fn structural_diff(a: &Artifact, b: &Artifact) -> Vec<String> {
+    let mut failures = Vec::new();
+    if a.spans.is_empty() {
+        failures.push(format!("{} has an empty span tree", a.path));
+    }
+    for (path, count, _) in &b.spans {
+        match a.spans.iter().find(|(p, _, _)| p == path) {
+            None => failures.push(format!("span {path:?} present in {} only", b.path)),
+            Some((_, c, _)) if c != count => failures.push(format!(
+                "span {path:?} count drifted: {c} in {} vs {count} in {}",
+                a.path, b.path
+            )),
+            Some(_) => {}
+        }
+    }
+    for (path, _, _) in &a.spans {
+        if !b.spans.iter().any(|(p, _, _)| p == path) {
+            failures.push(format!("span {path:?} present in {} only", a.path));
+        }
+    }
+    for (name, value) in &b.counters {
+        match a.counters.iter().find(|(n, _)| n == name) {
+            None => failures.push(format!("counter {name:?} present in {} only", b.path)),
+            Some((_, v)) if v != value => failures.push(format!(
+                "counter {name:?} drifted: {v} in {} vs {value} in {}",
+                a.path, b.path
+            )),
+            Some(_) => {}
+        }
+    }
+    for (name, _) in &a.counters {
+        if !b.counters.iter().any(|(n, _)| n == name) {
+            failures.push(format!("counter {name:?} present in {} only", a.path));
+        }
+    }
+    failures
+}
+
+/// `threads` and `scale` must match; comparing across them is a config
+/// mismatch, not a regression.
+fn header_diff(a: &Artifact, b: &Artifact) -> Vec<String> {
+    let mut failures = Vec::new();
+    if a.threads != b.threads {
+        failures.push(format!(
+            "header mismatch on threads: {:?} in {} vs {:?} in {} \
+             (config drift — re-bless the baseline at the new config)",
+            a.threads, a.path, b.threads, b.path
+        ));
+    }
+    if a.scale != b.scale {
+        failures.push(format!(
+            "header mismatch on scale: {:?} in {} vs {:?} in {} \
+             (config drift — re-bless the baseline at the new config)",
+            a.scale, a.path, b.scale, b.path
+        ));
+    }
+    failures
+}
+
+/// Min-merges probe runs: identical structure required, per-span totals
+/// become the element-wise minimum (best-of-N).
+fn min_merge(mut runs: Vec<Artifact>) -> Result<Artifact, Vec<String>> {
+    let mut merged = runs.remove(0);
+    for run in &runs {
+        let mut failures = header_diff(&merged, run);
+        failures.extend(structural_diff(&merged, run));
+        if !failures.is_empty() {
+            return Err(failures);
+        }
+        for (path, _, total) in &mut merged.spans {
+            if let Some((_, _, t)) = run.spans.iter().find(|(p, _, _)| p == path) {
+                *total = (*total).min(*t);
+            }
+        }
+    }
+    Ok(merged)
+}
+
+fn report_failures(failures: &[String], rebless_hint: bool) -> i32 {
+    for f in failures {
+        eprintln!("bench_gate: FAIL: {f}");
+    }
+    eprintln!("bench_gate: {} failure(s)", failures.len());
+    if rebless_hint {
+        eprintln!(
+            "bench_gate: if the change is intentional, re-bless with: \
+             scripts/bench_gate.sh --bless"
+        );
+    }
+    1
+}
+
+fn trees_only(a_path: &str, b_path: &str) -> i32 {
+    let (a, b) = match (load(a_path), load(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_gate: {e}");
+            return 2;
+        }
+    };
+    let failures = structural_diff(&a, &b);
+    if failures.is_empty() {
+        println!("bench_gate: PASS (span tree + counters match across runs)");
+        0
+    } else {
+        report_failures(&failures, false)
+    }
+}
+
+fn gate(current_paths: &[&str], baseline_path: &str) -> i32 {
+    let runs: Result<Vec<Artifact>, String> = current_paths.iter().map(|p| load(p)).collect();
+    let (runs, baseline) = match (runs, load(baseline_path)) {
+        (Ok(r), Ok(b)) => (r, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_gate: {e}");
+            return 2;
+        }
+    };
+    let current = match min_merge(runs) {
+        Ok(c) => c,
+        Err(failures) => return report_failures(&failures, false),
+    };
+    let mut failures = header_diff(&current, &baseline);
+    failures.extend(structural_diff(&current, &baseline));
+    if !failures.is_empty() {
+        return report_failures(&failures, true);
+    }
+
+    println!(
+        "bench_gate: baseline rev {} vs current rev {} ({} run(s), best-of totals)",
+        baseline.rev,
+        current.rev,
+        current_paths.len()
+    );
+    for (path, _, base_ns) in &baseline.spans {
+        let Some((_, _, cur_ns)) = current.spans.iter().find(|(p, _, _)| p == path) else {
+            continue; // unreachable after structural_diff, defensive
+        };
+        let ratio = *cur_ns as f64 / (*base_ns).max(1) as f64;
+        let verdict = if *base_ns < NOISE_FLOOR_NS {
+            "under noise floor, not gated"
+        } else if ratio > 1.0 + MAX_REGRESSION {
+            failures.push(format!(
+                "span {path:?} regressed {:.0}%: {:.2} ms -> {:.2} ms",
+                (ratio - 1.0) * 100.0,
+                *base_ns as f64 / 1e6,
+                *cur_ns as f64 / 1e6
+            ));
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {path:<56} {:>9.2} ms -> {:>9.2} ms  ({:+.1}%)  {verdict}",
+            *base_ns as f64 / 1e6,
+            *cur_ns as f64 / 1e6,
+            (ratio - 1.0) * 100.0
+        );
+    }
+    if failures.is_empty() {
+        println!("bench_gate: PASS (no gated span regressed beyond 25%)");
+        0
+    } else {
+        report_failures(&failures, true)
+    }
+}
+
+fn bless(out_path: &str, current_paths: &[&str]) -> i32 {
+    let runs: Result<Vec<Artifact>, String> = current_paths.iter().map(|p| load(p)).collect();
+    let runs = match runs {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return 2;
+        }
+    };
+    let merged = match min_merge(runs) {
+        Ok(m) => m,
+        Err(failures) => return report_failures(&failures, false),
+    };
+    if merged.spans.is_empty() {
+        eprintln!("bench_gate: refusing to bless an empty span tree");
+        return 1;
+    }
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"rev\": \"{}\", \"threads\": {}, \"scale\": \"{}\", \"host_cores\": {},\n",
+        merged.rev.replace(['"', '\\'], "?"),
+        merged.threads.unwrap_or(1),
+        merged.scale.as_deref().unwrap_or("small"),
+        merged.host_cores
+    ));
+    json.push_str(&format!(
+        "  \"note\": \"min-merged over {} probe run(s); gated fields only\",\n",
+        current_paths.len()
+    ));
+    json.push_str("  \"obs\": {\n    \"spans\": [\n");
+    for (i, (path, count, total)) in merged.spans.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"path\": \"{path}\", \"count\": {count}, \"total_ns\": {total}}}{}\n",
+            if i + 1 < merged.spans.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ],\n    \"counters\": [\n");
+    for (i, (name, value)) in merged.counters.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"name\": \"{name}\", \"value\": {value}}}{}\n",
+            if i + 1 < merged.counters.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
+    if let Some(parent) = std::path::Path::new(out_path).parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("bench_gate: cannot create {parent:?}: {e}");
+            return 2;
+        }
+    }
+    match std::fs::write(out_path, &json) {
+        Ok(()) => {
+            println!(
+                "bench_gate: blessed {} span(s), {} counter(s) into {out_path}",
+                merged.spans.len(),
+                merged.counters.len()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("bench_gate: cannot write {out_path}: {e}");
+            2
+        }
+    }
+}

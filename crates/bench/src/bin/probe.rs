@@ -109,11 +109,14 @@ fn run_parallel_bench(ds: &stod_traffic::OdDataset, split: &stod_traffic::Split)
         rows.push(("bf_train_epoch_small".into(), ms));
     }
 
-    // Report + JSON artifact.
+    // Report + JSON artifact. The shared provenance header records the
+    // thread count the *process* ran at; the sweep's per-row thread
+    // counts live in `sweep_threads`.
+    let header = BenchHeader::collect(Scale::from_env());
     let mut json = String::from("{\n");
-    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str(&format!("  {},\n", header.json_fields()));
     json.push_str(&format!(
-        "  \"threads\": [{}, {}, {}],\n",
+        "  \"sweep_threads\": [{}, {}, {}],\n",
         SWEEP_THREADS[0], SWEEP_THREADS[1], SWEEP_THREADS[2]
     ));
     json.push_str("  \"note\": \"wall-clock ms, best-of-N; speedups require >= 4 host cores\",\n");
@@ -141,6 +144,150 @@ fn run_parallel_bench(ds: &stod_traffic::OdDataset, split: &stod_traffic::Split)
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("wrote results/BENCH_parallel.json");
+}
+
+/// `M=obs`: arms the observability layer, drives every instrumented
+/// layer — plain + robust training, the checkpoint path, sequential serve
+/// traffic — then writes the snapshot (stamped with the shared bench
+/// header) to `results/BENCH_obs.json` (override: `STOD_OBS_OUT`) and
+/// prints the human-readable table.
+///
+/// Everything here is deterministic for a fixed `STOD_THREADS`: fixed
+/// seeds and window sets on the training side, a single sequential client
+/// on the serving side. The span tree (paths + counts) and the counters
+/// are therefore identical run to run, which is what `bench_gate
+/// --trees-only` checks in CI.
+fn run_obs_bench(ds: &stod_traffic::OdDataset, split: &stod_traffic::Split) {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use stod_nn::ParamStore;
+    use stod_serve::{
+        Broker, BrokerConfig, FeatureStore, ForecastRequest, ModelConfig, ModelKind, Registry,
+        ServeStats,
+    };
+
+    // Arm the probes unless the caller pinned a mode explicitly.
+    if std::env::var("STOD_OBS").is_err() {
+        stod_obs::force_mode(stod_obs::ObsMode::On);
+    }
+    stod_obs::reset();
+    let n = ds.num_regions();
+    let k = ds.spec.num_buckets;
+    let small_bf = BfConfig {
+        encode_dim: 16,
+        gru_hidden: 16,
+        ..BfConfig::default()
+    };
+
+    // Train phase (plain trainer): train/epoch → train/minibatch →
+    // fwd/bwd/optimizer spans, kernel counters, pool histograms.
+    let windows: Vec<stod_traffic::Window> = split.train.iter().copied().take(48).collect();
+    let val: Vec<stod_traffic::Window> = split.val.iter().copied().take(8).collect();
+    let tc = TrainConfig {
+        epochs: 2,
+        batch_size: 16,
+        dropout: 0.1,
+        seed: 17,
+        ..TrainConfig::default()
+    };
+    let mut model = BfModel::new(n, k, small_bf, 17);
+    let report = train(&mut model, ds, &windows, Some(&val), &tc);
+    assert_eq!(report.grad_norms.len() as u64, report.steps);
+    assert_eq!(report.epoch_wall_ms.len(), tc.epochs);
+
+    // Checkpoint phase (robust trainer with an on-disk cadence
+    // checkpoint): ckpt/save, ckpt/crc, io/atomic_write, then an explicit
+    // reload for ckpt/load.
+    let dir = std::env::temp_dir().join(format!("stod_obs_probe_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("probe tmp dir");
+    let ckpt = dir.join("probe.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+    let mut rmodel = BfModel::new(n, k, small_bf, 17);
+    let rtc = TrainConfig { epochs: 1, ..tc };
+    let rcfg = RobustConfig {
+        ckpt_path: Some(ckpt.clone()),
+        ckpt_every_steps: 2,
+        ..RobustConfig::default()
+    };
+    train_robust(&mut rmodel, ds, &windows, None, &rtc, &rcfg).expect("probe robust train");
+    TrainCheckpoint::load(&ckpt).expect("probe checkpoint reloads");
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_dir(&dir);
+
+    // Serve phase: one sequential client so the cache-hit / invocation
+    // split is deterministic. Every 4-request burst shares a key: the
+    // leader pays the forward pass, the other three hit the cache.
+    let lookback = 3;
+    let stats = Arc::new(ServeStats::new());
+    let config = ModelConfig {
+        kind: ModelKind::Bf(small_bf),
+        centroids: ds.city.centroids(),
+        num_buckets: k,
+    };
+    let registry = Arc::new(Registry::new(config.clone(), Arc::clone(&stats)));
+    let built = config.build(17);
+    let v = registry
+        .register_store(ParamStore::from_bytes(built.params().to_bytes()).unwrap())
+        .unwrap();
+    registry.promote(v).unwrap();
+    let features = Arc::new(FeatureStore::new(n, ds.spec, ds.num_intervals()));
+    for (t, tensor) in ds.tensors.iter().enumerate() {
+        features.insert_tensor(t, tensor.clone());
+    }
+    let fallback = stod_baselines::NaiveHistograms::fit(ds, ds.num_intervals());
+    let broker = Broker::new(
+        registry,
+        features,
+        fallback,
+        Arc::clone(&stats),
+        BrokerConfig {
+            workers: 1,
+            lookback,
+            cache_capacity: 64,
+        },
+    );
+    let max_t = ds.num_intervals() - 1;
+    for i in 0..40usize {
+        let fc = broker.forecast(ForecastRequest {
+            origin: i % n,
+            dest: (i + 1) % n,
+            t_end: lookback + (i / 4) % (max_t - lookback),
+            horizon: 2,
+            step: i % 2,
+            deadline: Duration::from_secs(30),
+        });
+        assert_eq!(fc.histogram.len(), k);
+    }
+    println!("serve traffic: {}", broker.stats().snapshot().to_json());
+    drop(broker);
+
+    // Snapshot, table, artifact.
+    let snap = stod_obs::snapshot();
+    println!("{}", snap.render_table());
+    for must_have in [
+        "train/minibatch",
+        "train/fwd",
+        "serve/forecast",
+        "ckpt/save",
+        "ckpt/load",
+    ] {
+        assert!(
+            snap.spans.iter().any(|s| s.path.contains(must_have)),
+            "span tree is missing {must_have}"
+        );
+    }
+    let header = BenchHeader::collect(Scale::from_env());
+    let out = std::env::var("STOD_OBS_OUT").unwrap_or_else(|_| "results/BENCH_obs.json".into());
+    let json = format!(
+        "{{\n  {},\n  \"obs\": {}\n}}\n",
+        header.json_fields(),
+        snap.to_json()
+    );
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(parent).expect("create artifact dir");
+    }
+    std::fs::write(&out, &json).expect("write obs artifact");
+    println!("wrote {out}");
 }
 
 fn main() {
@@ -180,6 +327,10 @@ fn main() {
     let which = std::env::var("M").unwrap_or_else(|_| "af".into());
     if which.contains("parallel") {
         run_parallel_bench(&ds, &split);
+        return;
+    }
+    if which.contains("obs") {
+        run_obs_bench(&ds, &split);
         return;
     }
     if which.contains("oracle") {

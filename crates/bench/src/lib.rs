@@ -12,6 +12,11 @@
 //!
 //! `STOD_EPOCHS` overrides the training epochs of the deep models.
 
+pub mod header;
+pub mod jsonv;
+
+pub use header::BenchHeader;
+
 use stod_baselines::{
     evaluate_predictor, FcModel, GpRegression, MrModel, NaiveHistograms, VarModel,
 };

@@ -13,7 +13,7 @@ use stod_conformance::fuzz::{self, results_dir};
 use stod_conformance::{default_cases, fuzz_kernel, Kernel};
 
 fn assert_clean(kernel: Kernel) {
-    let report = fuzz_kernel(kernel, default_cases(), 0x0d_f0_5eed, Some(&results_dir()));
+    let report = fuzz_kernel(kernel, default_cases(), 0x0df0_5eed, Some(&results_dir()));
     assert!(
         report.failures.is_empty(),
         "{}: {} failure(s) in {} cases; first: {:?} (dumped: {:?}) — replay with \

@@ -101,19 +101,19 @@ fn cheby_basis_is_permutation_equivariant() {
 
     let mut lp = Tensor::zeros(&[n, n]);
     let mut xp = Tensor::zeros(&[n]);
-    for i in 0..n {
-        xp.set(&[i], x.at(&[sigma[i]]));
-        for j in 0..n {
-            lp.set(&[i, j], l.at(&[sigma[i], sigma[j]]));
+    for (i, &si) in sigma.iter().enumerate() {
+        xp.set(&[i], x.at(&[si]));
+        for (j, &sj) in sigma.iter().enumerate() {
+            lp.set(&[i, j], l.at(&[si, sj]));
         }
     }
 
     let base = stod_graph::cheby::cheby_basis(&l, &x, order);
     let perm = stod_graph::cheby::cheby_basis(&lp, &xp, order);
-    for i in 0..n {
+    for (i, &si) in sigma.iter().enumerate() {
         for s in 0..order {
             let a = perm.at(&[i, s]);
-            let b = base.at(&[sigma[i], s]);
+            let b = base.at(&[si, s]);
             assert!(
                 (a - b).abs() <= 1e-5 * (1.0 + b.abs()),
                 "basis[{i},{s}] = {a} vs permuted {b}"
@@ -135,11 +135,11 @@ fn recovery_is_permutation_equivariant() {
     let mut rp = Tensor::zeros(&[b, n, beta, k]);
     let mut cp = Tensor::zeros(&[b, beta, n, k]);
     for bi in 0..b {
-        for i in 0..n {
+        for (i, &si) in sigma.iter().enumerate() {
             for be in 0..beta {
                 for q in 0..k {
-                    rp.set(&[bi, i, be, q], r.at(&[bi, sigma[i], be, q]));
-                    cp.set(&[bi, be, i, q], c.at(&[bi, be, sigma[i], q]));
+                    rp.set(&[bi, i, be, q], r.at(&[bi, si, be, q]));
+                    cp.set(&[bi, be, i, q], c.at(&[bi, be, si, q]));
                 }
             }
         }
@@ -189,10 +189,10 @@ fn input_perm(sigma: &[usize], k: usize) -> Vec<usize> {
 fn r_perm(sigma: &[usize], beta: usize, k: usize) -> Vec<usize> {
     let n = sigma.len();
     let mut p = Vec::with_capacity(n * beta * k);
-    for o in 0..n {
+    for &so in sigma {
         for be in 0..beta {
             for q in 0..k {
-                p.push((sigma[o] * beta + be) * k + q);
+                p.push((so * beta + be) * k + q);
             }
         }
     }
@@ -204,9 +204,9 @@ fn c_perm(sigma: &[usize], beta: usize, k: usize) -> Vec<usize> {
     let n = sigma.len();
     let mut p = Vec::with_capacity(beta * n * k);
     for be in 0..beta {
-        for d in 0..n {
+        for &sd in sigma {
             for q in 0..k {
-                p.push((be * n + sigma[d]) * k + q);
+                p.push((be * n + sd) * k + q);
             }
         }
     }
@@ -299,10 +299,10 @@ fn bf_full_pipeline_is_region_permutation_equivariant() {
         let mut bo_p = Tensor::zeros(&[N, 1, K]);
         let bd = get("bf.bias_d"); // [1, N, K]
         let mut bd_p = Tensor::zeros(&[1, N, K]);
-        for i in 0..N {
+        for (i, &si) in sigma.iter().enumerate() {
             for q in 0..K {
-                bo_p.set(&[i, 0, q], bo.at(&[sigma[i], 0, q]));
-                bd_p.set(&[0, i, q], bd.at(&[0, sigma[i], q]));
+                bo_p.set(&[i, 0, q], bo.at(&[si, 0, q]));
+                bd_p.set(&[0, i, q], bd.at(&[0, si, q]));
             }
         }
         moves.push(("bf.bias_o".into(), bo_p));

@@ -173,7 +173,10 @@ impl TrainCheckpoint {
         buf.extend_from_slice(&self.params);
         buf.extend_from_slice(&(self.opt.len() as u64).to_le_bytes());
         buf.extend_from_slice(&self.opt);
-        let crc = crc32(&buf);
+        let crc = {
+            let _span = stod_obs::span!("ckpt/crc");
+            crc32(&buf)
+        };
         buf.extend_from_slice(&crc.to_le_bytes());
         buf
     }
@@ -198,7 +201,10 @@ impl TrainCheckpoint {
         }
         let body = &bytes[..bytes.len() - 4];
         let expected = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
-        let found = crc32(body);
+        let found = {
+            let _span = stod_obs::span!("ckpt/crc");
+            crc32(body)
+        };
         if expected != found {
             return Err(CkptError::Checksum { expected, found });
         }
@@ -277,12 +283,22 @@ impl TrainCheckpoint {
     /// Atomically persists the checkpoint; on any failure — real or
     /// injected — the previous file at `path` is untouched.
     pub fn save(&self, path: &Path) -> Result<(), std::io::Error> {
-        stod_faultline::io::atomic_write(path, &self.to_bytes())
+        let _span = stod_obs::span!("ckpt/save");
+        let bytes = self.to_bytes();
+        if stod_obs::armed() {
+            stod_obs::count("ckpt/saves", 1);
+            stod_obs::count("ckpt/save_bytes", bytes.len() as u64);
+        }
+        stod_faultline::io::atomic_write(path, &bytes)
     }
 
     /// Loads and verifies a checkpoint file.
     pub fn load(path: &Path) -> Result<TrainCheckpoint, CkptError> {
+        let _span = stod_obs::span!("ckpt/load");
         let bytes = std::fs::read(path).map_err(CkptError::Io)?;
+        if stod_obs::armed() {
+            stod_obs::count("ckpt/loads", 1);
+        }
         TrainCheckpoint::from_bytes(&bytes)
     }
 }

@@ -17,7 +17,7 @@ use crate::checkpoint::{CkptError, TrainCheckpoint};
 use crate::config::TrainConfig;
 use crate::model::{Mode, OdForecaster};
 use std::path::PathBuf;
-use stod_nn::optim::{clip_global_norm, Adam};
+use stod_nn::optim::{clip_global_norm, Adam, ClipStatus};
 use stod_nn::{Gradients, ParamStore, Tape, Var};
 use stod_tensor::rng::Rng64;
 use stod_traffic::{OdDataset, Window};
@@ -48,6 +48,14 @@ pub struct TrainReport {
     pub ckpt_save_failures: u64,
     /// Best (lowest) validation EMD and the 0-based epoch it occurred in.
     pub best_val: Option<(u64, f64)>,
+    /// Pre-clip global gradient norm of every finite optimizer step, in
+    /// step order — the gradient-health time series. Deterministic (same
+    /// at any `STOD_THREADS` / `STOD_OBS`), but *not* checkpointed: a
+    /// resumed run's series restarts at the resume point.
+    pub grad_norms: Vec<f32>,
+    /// Wall-clock milliseconds of each completed epoch. Timing only —
+    /// varies run to run and is not checkpointed.
+    pub epoch_wall_ms: Vec<f64>,
 }
 
 impl TrainReport {
@@ -81,22 +89,35 @@ pub fn train(
     let mut report = TrainReport::default();
 
     for epoch in 0..cfg.epochs {
+        let _epoch_span = stod_obs::span!("train/epoch");
+        let epoch_t0 = std::time::Instant::now();
         adam.lr = cfg.schedule.lr_at(epoch);
         report.epoch_lrs.push(adam.lr);
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
         for mb in minibatches(windows, cfg.batch_size, &mut rng) {
+            let _mb_span = stod_obs::span!("train/minibatch");
             let (mut grads, mb_loss) = minibatch_outcome(model, ds, &mb, cfg.dropout, &mut rng);
             debug_assert!(mb_loss.is_finite(), "non-finite loss");
             epoch_loss += mb_loss;
             batches += 1;
 
-            clip_global_norm(&mut grads, cfg.clip_norm);
-            adam.step(model.params_mut(), &grads);
+            let clip = {
+                let _opt_span = stod_obs::span!("train/optimizer");
+                let clip = clip_global_norm(&mut grads, cfg.clip_norm);
+                adam.step(model.params_mut(), &grads);
+                clip
+            };
+            if let ClipStatus::Finite { pre_norm, .. } = clip {
+                report.grad_norms.push(pre_norm);
+            }
             report.steps += 1;
         }
         let mean_loss = (epoch_loss / batches.max(1) as f64) as f32;
         report.epoch_losses.push(mean_loss);
+        report
+            .epoch_wall_ms
+            .push(epoch_t0.elapsed().as_secs_f64() * 1e3);
 
         if let Some(val_windows) = val {
             let emd = quick_val_emd(model, ds, val_windows, cfg.batch_size, &mut rng);
@@ -152,6 +173,7 @@ fn minibatch_outcome(
             let batch = &shard_batches[i];
             let mut shard_rng = Rng64::new(seeds[i]);
             let mut tape = Tape::new();
+            let fwd_span = stod_obs::span!("train/fwd");
             let out = model.forward(
                 &mut tape,
                 &batch.inputs,
@@ -181,6 +203,8 @@ fn minibatch_outcome(
             // trainer detects it after the shard-order reduction and
             // applies its fault policy.
             let loss_val = tape.value(loss).item();
+            drop(fwd_span);
+            let _bwd_span = stod_obs::span!("train/bwd");
             (tape.backward(loss), loss_val)
         };
         let work = mb.len() * model.num_weights();
@@ -446,9 +470,11 @@ fn run_robust(
         }
     };
 
+    let mut epoch_t0 = std::time::Instant::now();
     'training: while st.epoch < cfg.epochs as u64 {
         if st.order.is_empty() {
             // Fresh epoch: set the learning rate and draw the shuffle.
+            epoch_t0 = std::time::Instant::now();
             adam.lr = cfg.schedule.lr_at(st.epoch as usize);
             st.report.epoch_lrs.push(adam.lr);
             let mut order = windows.to_vec();
@@ -463,8 +489,12 @@ fn run_robust(
             let lo = st.next_mb as usize * cfg.batch_size;
             let hi = (lo + cfg.batch_size).min(st.order.len());
             let mb: Vec<Window> = st.order[lo..hi].to_vec();
+            let _mb_span = stod_obs::span!("train/minibatch");
             let (mut grads, mb_loss) = minibatch_outcome(model, ds, &mb, cfg.dropout, &mut rng);
-            let clip = clip_global_norm(&mut grads, cfg.clip_norm);
+            let clip = {
+                let _opt_span = stod_obs::span!("train/optimizer");
+                clip_global_norm(&mut grads, cfg.clip_norm)
+            };
             if !mb_loss.is_finite() || !clip.is_finite() {
                 st.report.nonfinite_batches += 1;
                 match rcfg.policy {
@@ -492,7 +522,13 @@ fn run_robust(
             }
             st.epoch_loss += mb_loss;
             st.batches += 1;
-            adam.step(model.params_mut(), &grads);
+            {
+                let _opt_span = stod_obs::span!("train/optimizer");
+                adam.step(model.params_mut(), &grads);
+            }
+            if let ClipStatus::Finite { pre_norm, .. } = clip {
+                st.report.grad_norms.push(pre_norm);
+            }
             st.report.steps += 1;
             st.next_mb += 1;
 
@@ -514,6 +550,9 @@ fn run_robust(
         // Epoch end: mean loss, validation, best-val tracking.
         let mean_loss = (st.epoch_loss / st.batches.max(1) as f64) as f32;
         st.report.epoch_losses.push(mean_loss);
+        st.report
+            .epoch_wall_ms
+            .push(epoch_t0.elapsed().as_secs_f64() * 1e3);
         if let Some(val_windows) = val {
             let emd = quick_val_emd(model, ds, val_windows, cfg.batch_size, &mut rng);
             st.report.val_emd.push(emd);
@@ -555,6 +594,7 @@ fn quick_val_emd(
     if windows.is_empty() {
         return f64::NAN;
     }
+    let _span = stod_obs::span!("train/validate");
     let mut acc = stod_metrics::DisSim::new();
     for chunk in windows.chunks(batch_size) {
         let batch = make_batch(ds, chunk);

@@ -28,6 +28,7 @@ fn tmp_path(path: &Path) -> PathBuf {
 /// error — real or injected — the temporary is removed (best-effort) and
 /// the previous contents of `path`, if any, are untouched.
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let _span = stod_obs::span!("io/atomic_write");
     let tmp = tmp_path(path);
     let result = write_tmp(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
     if result.is_err() {

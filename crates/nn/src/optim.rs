@@ -186,6 +186,7 @@ impl Adam {
 
     /// Applies one Adam step to every parameter with a gradient.
     pub fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
+        let _span = stod_obs::span!("nn/adam_step");
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);

@@ -736,6 +736,7 @@ impl Tape {
             1,
             "backward requires a scalar loss"
         );
+        let _span = stod_obs::span!("nn/backward");
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[loss.0] = Some(Tensor::full(self.nodes[loss.0].value.dims(), 1.0));
 

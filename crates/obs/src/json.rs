@@ -1,0 +1,270 @@
+//! JSON export and a human-readable table for [`ObsSnapshot`].
+//!
+//! The crate is dependency-free by design (it sits below every other
+//! workspace crate), so the JSON writer is hand-rolled: objects and
+//! arrays of integers/strings only, with standard string escaping. The
+//! schema is versioned through [`crate::snapshot::OBS_SCHEMA_VERSION`]
+//! and documented in `DESIGN.md` §5e.
+
+use crate::snapshot::ObsSnapshot;
+use std::fmt::Write as _;
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl ObsSnapshot {
+    /// Renders the snapshot as a JSON object (schema version
+    /// [`crate::snapshot::OBS_SCHEMA_VERSION`]).
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(4096);
+        o.push('{');
+        let _ = write!(o, "\"schema\":{},", self.schema);
+        o.push_str("\"mode\":");
+        write_escaped(&mut o, &self.mode);
+        o.push_str(",\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"path\":");
+            write_escaped(&mut o, &s.path);
+            let _ = write!(
+                o,
+                ",\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+                s.count, s.total_ns, s.min_ns, s.max_ns
+            );
+        }
+        o.push_str("],\"counters\":[");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"name\":");
+            write_escaped(&mut o, &c.name);
+            let _ = write!(o, ",\"value\":{}}}", c.value);
+        }
+        o.push_str("],\"gauges\":[");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"name\":");
+            write_escaped(&mut o, &g.name);
+            let _ = write!(
+                o,
+                ",\"value\":{},\"min\":{},\"max\":{},\"updates\":{}}}",
+                g.value, g.min, g.max, g.updates
+            );
+        }
+        o.push_str("],\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"name\":");
+            write_escaped(&mut o, &h.name);
+            let _ = write!(
+                o,
+                ",\"count\":{},\"total\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                h.count, h.total, h.max, h.p50, h.p90, h.p99
+            );
+        }
+        let _ = write!(
+            o,
+            "],\"dropped_trace_events\":{},\"trace\":[",
+            self.dropped_trace_events
+        );
+        for (i, ev) in self.trace.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"path\":");
+            write_escaped(&mut o, &ev.path);
+            let _ = write!(
+                o,
+                ",\"thread\":{},\"start_ns\":{},\"dur_ns\":{}}}",
+                ev.thread, ev.start_ns, ev.dur_ns
+            );
+        }
+        o.push_str("]}");
+        o
+    }
+
+    /// Renders the snapshot as an aligned, human-readable table: spans
+    /// (count, total, mean, min, max), then counters, gauges and
+    /// histogram percentiles.
+    pub fn render_table(&self) -> String {
+        fn ms(ns: u64) -> String {
+            format!("{:.3}", ns as f64 / 1e6)
+        }
+        let mut t = String::new();
+        if !self.spans.is_empty() {
+            let w = self
+                .spans
+                .iter()
+                .map(|s| s.path.len())
+                .max()
+                .unwrap_or(0)
+                .max(4);
+            let _ = writeln!(
+                t,
+                "{:<w$}  {:>9}  {:>12}  {:>10}  {:>10}  {:>10}",
+                "span", "count", "total_ms", "mean_ms", "min_ms", "max_ms"
+            );
+            for s in &self.spans {
+                let _ = writeln!(
+                    t,
+                    "{:<w$}  {:>9}  {:>12}  {:>10}  {:>10}  {:>10}",
+                    s.path,
+                    s.count,
+                    ms(s.total_ns),
+                    ms(s.mean_ns()),
+                    ms(s.min_ns),
+                    ms(s.max_ns)
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let w = self
+                .counters
+                .iter()
+                .map(|c| c.name.len())
+                .max()
+                .unwrap_or(0)
+                .max(7);
+            let _ = writeln!(t, "{:<w$}  {:>14}", "counter", "value");
+            for c in &self.counters {
+                let _ = writeln!(t, "{:<w$}  {:>14}", c.name, c.value);
+            }
+        }
+        if !self.gauges.is_empty() {
+            let w = self
+                .gauges
+                .iter()
+                .map(|g| g.name.len())
+                .max()
+                .unwrap_or(0)
+                .max(5);
+            let _ = writeln!(
+                t,
+                "{:<w$}  {:>10}  {:>10}  {:>10}  {:>8}",
+                "gauge", "value", "min", "max", "updates"
+            );
+            for g in &self.gauges {
+                let _ = writeln!(
+                    t,
+                    "{:<w$}  {:>10}  {:>10}  {:>10}  {:>8}",
+                    g.name, g.value, g.min, g.max, g.updates
+                );
+            }
+        }
+        if !self.histograms.is_empty() {
+            let w = self
+                .histograms
+                .iter()
+                .map(|h| h.name.len())
+                .max()
+                .unwrap_or(0)
+                .max(9);
+            let _ = writeln!(
+                t,
+                "{:<w$}  {:>9}  {:>12}  {:>10}  {:>10}  {:>10}  {:>12}",
+                "histogram", "count", "mean", "p50", "p90", "p99", "max"
+            );
+            for h in &self.histograms {
+                let _ = writeln!(
+                    t,
+                    "{:<w$}  {:>9}  {:>12}  {:>10}  {:>10}  {:>10}  {:>12}",
+                    h.name,
+                    h.count,
+                    h.mean(),
+                    h.p50,
+                    h.p90,
+                    h.p99,
+                    h.max
+                );
+            }
+        }
+        if self.dropped_trace_events > 0 {
+            let _ = writeln!(t, "(dropped {} trace events)", self.dropped_trace_events);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{snapshot, ObsMode};
+
+    #[test]
+    fn json_escaping() {
+        let mut out = String::new();
+        super::write_escaped(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn snapshot_json_is_wellformed_and_versioned() {
+        crate::with_mode(ObsMode::On, || {
+            snapshot::reset();
+            {
+                let _s = crate::span!("js/span");
+            }
+            crate::count("js/counter", 7);
+            crate::gauge_set("js/gauge", -3);
+            crate::observe("js/hist", 1000);
+            let js = snapshot::snapshot().to_json();
+            assert!(js.starts_with("{\"schema\":1,"), "{js}");
+            assert!(js.contains("\"mode\":\"on\""));
+            assert!(js.contains("\"path\":\"js/span\""));
+            assert!(js.contains("\"name\":\"js/counter\",\"value\":7"));
+            assert!(js.contains("\"name\":\"js/gauge\",\"value\":-3"));
+            assert!(js.contains("\"name\":\"js/hist\",\"count\":1"));
+            assert!(js.ends_with("]}"));
+            // Balanced braces/brackets (no nested strings contain them here).
+            let opens = js.matches('{').count();
+            let closes = js.matches('}').count();
+            assert_eq!(opens, closes);
+        });
+    }
+
+    #[test]
+    fn table_lists_all_sections() {
+        crate::with_mode(ObsMode::On, || {
+            snapshot::reset();
+            {
+                let _s = crate::span!("tb/span");
+            }
+            crate::count("tb/counter", 1);
+            crate::gauge_set("tb/gauge", 2);
+            crate::observe("tb/hist", 3);
+            let table = snapshot::snapshot().render_table();
+            for needle in [
+                "tb/span",
+                "tb/counter",
+                "tb/gauge",
+                "tb/hist",
+                "total_ms",
+                "p99",
+            ] {
+                assert!(table.contains(needle), "missing {needle} in:\n{table}");
+            }
+        });
+    }
+}

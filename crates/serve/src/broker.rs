@@ -202,12 +202,16 @@ impl Broker {
     /// Answers one forecast request, micro-batching with concurrent
     /// requests for the same key and falling back to NH on any failure.
     pub fn forecast(&self, req: ForecastRequest) -> ServedForecast {
+        let _span = stod_obs::span!("serve/forecast");
         let n = self.shared.features.num_regions();
         assert!(req.origin < n && req.dest < n, "region id out of range");
         assert!(req.step < req.horizon, "step must be < horizon");
         let start = Instant::now();
         let stats = &self.shared.stats;
         stats.requests_total.fetch_add(1, Ordering::Relaxed);
+        if stod_obs::armed() {
+            stod_obs::count("serve/requests", 1);
+        }
 
         let result = match self.shared.registry.active_version() {
             None => Err(FallbackReason::NoModel),
@@ -275,6 +279,19 @@ impl Broker {
 
         let latency = start.elapsed();
         stats.latency.record(latency);
+        let outcome_hist = match &source {
+            Source::Model { .. } => {
+                stats.latency_model.record(latency);
+                "serve/latency/model"
+            }
+            Source::Fallback(_) => {
+                stats.latency_fallback.record(latency);
+                "serve/latency/fallback"
+            }
+        };
+        if stod_obs::armed() {
+            stod_obs::observe_ns(outcome_hist, latency.as_nanos() as u64);
+        }
         ServedForecast {
             histogram,
             source,
@@ -291,6 +308,9 @@ impl Broker {
             match cache.get_mut(&key) {
                 Some(CacheEntry::Done(result)) => {
                     self.shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    if stod_obs::armed() {
+                        stod_obs::count("serve/cache_hits", 1);
+                    }
                     return Joined::Ready(result.clone());
                 }
                 Some(CacheEntry::InFlight(waiters)) => {
@@ -298,6 +318,9 @@ impl Broker {
                         .stats
                         .batched_joins
                         .fetch_add(1, Ordering::Relaxed);
+                    if stod_obs::armed() {
+                        stod_obs::count("serve/batched_joins", 1);
+                    }
                     waiters.push(tx);
                     return Joined::Wait(rx);
                 }
@@ -308,9 +331,13 @@ impl Broker {
         }
         // Leader path: hand the key to the worker pool. A send can only
         // fail during shutdown; surface that as the no-model fallback.
+        // Depth is counted *before* the send: a worker may receive (and
+        // dequeue) the key the instant it lands in the channel.
+        self.shared.stats.job_enqueued();
         match self.jobs.as_ref().expect("broker running").send(key) {
             Ok(()) => Joined::Wait(rx),
             Err(_) => {
+                self.shared.stats.job_dequeued();
                 self.shared.cache.lock().remove(&key);
                 Joined::Ready(Err(FallbackReason::NoModel))
             }
@@ -334,6 +361,7 @@ impl Broker {
             let run = catch_unwind(AssertUnwindSafe(|| {
                 while let Ok(key) = rx.recv() {
                     current.set(Some(key));
+                    shared.stats.job_dequeued();
                     stod_tensor::par::with_threads(kernel_threads, || {
                         Broker::run_job(shared, key);
                     });
@@ -345,6 +373,9 @@ impl Broker {
                 Ok(()) => return,
                 Err(_) => {
                     shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    if stod_obs::armed() {
+                        stod_obs::count("serve/worker_panics", 1);
+                    }
                     if let Some(key) = current.get() {
                         Broker::fail_job(shared, key);
                     }
@@ -380,6 +411,7 @@ impl Broker {
     /// Executes one keyed computation on a worker thread and fans the
     /// result out to every waiter.
     fn run_job(shared: &Shared, key: Key) {
+        let _span = stod_obs::span!("serve/job");
         // Chaos injection points, evaluated with no locks held. The stall
         // drives requests onto the deadline-miss path; the panic is
         // contained by `worker_loop`'s supervisor.
@@ -403,6 +435,9 @@ impl Broker {
                             .stats
                             .model_invocations
                             .fetch_add(1, Ordering::Relaxed);
+                        if stod_obs::armed() {
+                            stod_obs::count("serve/model_invocations", 1);
+                        }
                         Ok(Arc::new(Computed {
                             version: key.version,
                             predictions,
@@ -432,6 +467,12 @@ impl Broker {
             }
             waiters
         };
+        // The fan-out width is the micro-batch size this job answered:
+        // the leader plus every request that joined while it was in flight.
+        shared.stats.batch_sizes.record(waiters.len() as u64);
+        if stod_obs::armed() {
+            stod_obs::observe("serve/batch_size", waiters.len() as u64);
+        }
         for waiter in waiters {
             let _ = waiter.send(result.clone());
         }

@@ -445,7 +445,10 @@ mod tests {
         );
 
         let input = stack(&[&Tensor::ones(&[4, 4, 7])], 0);
-        let before = reg.active().unwrap().forecast(&[input.clone()], 1);
+        let before = reg
+            .active()
+            .unwrap()
+            .forecast(std::slice::from_ref(&input), 1);
         reg.promote(v2).unwrap();
         assert_eq!(stats.snapshot().hot_swaps, 1);
         let after = reg.active().unwrap().forecast(&[input], 1);

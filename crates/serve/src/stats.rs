@@ -59,6 +59,65 @@ impl LatencyHistogram {
     }
 }
 
+/// Number of log2 size buckets: bucket `b` covers `[2^b, 2^{b+1})`, so the
+/// range spans 1 … 65536 — far beyond any sane micro-batch fan-out.
+const SIZE_BUCKETS: usize = 16;
+
+/// A fixed-bucket log2 histogram of small integer sizes (micro-batch
+/// fan-outs), with an exact running maximum alongside the bucketed
+/// quantiles.
+#[derive(Default)]
+pub struct SizeHistogram {
+    counts: [AtomicU64; SIZE_BUCKETS],
+    max: AtomicU64,
+}
+
+impl SizeHistogram {
+    /// Records one size observation.
+    pub fn record(&self, size: u64) {
+        let v = size.max(1);
+        let bucket = (63 - v.leading_zeros() as usize).min(SIZE_BUCKETS - 1);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(size, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Largest recorded size (exact, not a bucket edge).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`), estimated as the upper edge of the
+    /// bucket holding the quantile's cumulative mass, clamped to the exact
+    /// observed maximum so the estimate never exceeds a value that was
+    /// actually seen. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let snapshot: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        let max = self.max();
+        for (b, &c) in snapshot.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return (1u64 << (b + 1)).min(max);
+            }
+        }
+        (1u64 << SIZE_BUCKETS).min(max)
+    }
+}
+
 /// Counters and latency telemetry for one serving stack. All methods take
 /// `&self`; share the struct behind an `Arc` between registry, broker and
 /// observers.
@@ -98,6 +157,17 @@ pub struct ServeStats {
     pub nonfinite_batches: AtomicU64,
     /// End-to-end request latencies.
     pub latency: LatencyHistogram,
+    /// End-to-end latencies of requests answered by the model.
+    pub latency_model: LatencyHistogram,
+    /// End-to-end latencies of requests answered by a fallback path.
+    pub latency_fallback: LatencyHistogram,
+    /// Micro-batch fan-out sizes: how many waiters each finished job
+    /// answered (leader included).
+    pub batch_sizes: SizeHistogram,
+    /// Jobs currently enqueued or executing in the worker pool.
+    pub queue_depth: AtomicU64,
+    /// High-water mark of [`ServeStats::queue_depth`].
+    pub queue_depth_max: AtomicU64,
 }
 
 impl ServeStats {
@@ -113,6 +183,25 @@ impl ServeStats {
     pub fn record_train_report(&self, report: &stod_core::TrainReport) {
         self.nonfinite_batches
             .fetch_add(report.nonfinite_batches, Ordering::Relaxed);
+    }
+
+    /// One job entered the worker queue; tracks the depth high-water mark
+    /// and mirrors the depth into the observability gauge when armed.
+    pub fn job_enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
+        if stod_obs::armed() {
+            stod_obs::gauge_set("serve/queue_depth", depth as i64);
+        }
+    }
+
+    /// One job left the queue for execution.
+    pub fn job_dequeued(&self) {
+        let prev = self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        debug_assert!(prev > 0, "queue depth underflow");
+        if stod_obs::armed() {
+            stod_obs::gauge_set("serve/queue_depth", prev.saturating_sub(1) as i64);
+        }
     }
 
     /// A point-in-time copy of every counter plus latency percentiles.
@@ -136,6 +225,16 @@ impl ServeStats {
             p50_us: self.latency.quantile_us(0.50),
             p95_us: self.latency.quantile_us(0.95),
             p99_us: self.latency.quantile_us(0.99),
+            model_latency_count: self.latency_model.count(),
+            model_p50_us: self.latency_model.quantile_us(0.50),
+            model_p99_us: self.latency_model.quantile_us(0.99),
+            fallback_latency_count: self.latency_fallback.count(),
+            fallback_p50_us: self.latency_fallback.quantile_us(0.50),
+            fallback_p99_us: self.latency_fallback.quantile_us(0.99),
+            batch_count: self.batch_sizes.count(),
+            batch_p50: self.batch_sizes.quantile(0.50),
+            batch_max: self.batch_sizes.max(),
+            queue_depth_max: load(&self.queue_depth_max),
         }
     }
 }
@@ -177,6 +276,26 @@ pub struct StatsSnapshot {
     pub p95_us: u64,
     /// 99th-percentile request latency (µs).
     pub p99_us: u64,
+    /// Latency observations on the model-answered path.
+    pub model_latency_count: u64,
+    /// Median model-answered latency (µs, bucket upper edge).
+    pub model_p50_us: u64,
+    /// 99th-percentile model-answered latency (µs).
+    pub model_p99_us: u64,
+    /// Latency observations on the fallback path.
+    pub fallback_latency_count: u64,
+    /// Median fallback latency (µs, bucket upper edge).
+    pub fallback_p50_us: u64,
+    /// 99th-percentile fallback latency (µs).
+    pub fallback_p99_us: u64,
+    /// Finished jobs behind the batch-size percentiles.
+    pub batch_count: u64,
+    /// Median micro-batch fan-out (bucket upper edge).
+    pub batch_p50: u64,
+    /// Largest micro-batch fan-out observed (exact).
+    pub batch_max: u64,
+    /// High-water mark of the worker job queue.
+    pub queue_depth_max: u64,
 }
 
 impl StatsSnapshot {
@@ -214,6 +333,16 @@ impl Serialize for StatsSnapshot {
             o.field("p50_us", &self.p50_us);
             o.field("p95_us", &self.p95_us);
             o.field("p99_us", &self.p99_us);
+            o.field("model_latency_count", &self.model_latency_count);
+            o.field("model_p50_us", &self.model_p50_us);
+            o.field("model_p99_us", &self.model_p99_us);
+            o.field("fallback_latency_count", &self.fallback_latency_count);
+            o.field("fallback_p50_us", &self.fallback_p50_us);
+            o.field("fallback_p99_us", &self.fallback_p99_us);
+            o.field("batch_count", &self.batch_count);
+            o.field("batch_p50", &self.batch_p50);
+            o.field("batch_max", &self.batch_max);
+            o.field("queue_depth_max", &self.queue_depth_max);
         });
     }
 }

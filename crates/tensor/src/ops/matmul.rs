@@ -37,6 +37,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         a.dims(),
         b.dims()
     );
+    if stod_obs::armed() {
+        stod_obs::count("kernel/matmul/calls", 1);
+        stod_obs::count("kernel/matmul/elements", (m * n) as u64);
+    }
     let mut out = vec![0.0f32; m * n];
     matmul_rows(a.data(), b.data(), &mut out, m, k, n);
     Tensor::from_vec(&[m, n], out)
@@ -84,6 +88,10 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
     assert_eq!(x.ndim(), 1, "matvec rhs must be 1-D");
     let (m, k) = (a.dim(0), a.dim(1));
     assert_eq!(k, x.dim(0), "matvec dims mismatch");
+    if stod_obs::armed() {
+        stod_obs::count("kernel/matvec/calls", 1);
+        stod_obs::count("kernel/matvec/elements", m as u64);
+    }
     let mut out = vec![0.0f32; m];
     let fill = |rows: std::ops::Range<usize>, chunk: &mut [f32]| {
         for (o, i) in chunk.iter_mut().zip(rows) {
@@ -143,6 +151,10 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
         (batch_a, a.dims()[..a.ndim() - 2].to_vec())
     };
 
+    if stod_obs::armed() {
+        stod_obs::count("kernel/batched_matmul/calls", 1);
+        stod_obs::count("kernel/batched_matmul/elements", (batch * m * n) as u64);
+    }
     let mut out = vec![0.0f32; batch * m * n];
     let a_step = if batch_a == 1 && a.ndim() == 2 {
         0

@@ -190,12 +190,24 @@ where
     T: Send,
     F: Fn(Range<usize>, &mut [T]) + Sync,
 {
+    // Observability (armed only): fan-out count, tasks dispatched, and
+    // per-worker queue wait — spawn-to-start latency, the pool's analogue
+    // of time spent sitting in a run queue. Probes never touch operands.
+    let armed = stod_obs::armed();
+    if armed {
+        stod_obs::count("pool/fanouts", 1);
+        stod_obs::count("pool/tasks", pairs.len() as u64);
+    }
     crossbeam::thread::scope(|s| {
         let mut pairs = pairs.into_iter();
         let (lead_range, lead_chunk) = pairs.next().expect("at least one chunk");
         let handles: Vec<_> = pairs
             .map(|(range, chunk)| {
+                let queued_at = armed.then(std::time::Instant::now);
                 s.spawn(move |_| {
+                    if let Some(q) = queued_at {
+                        stod_obs::observe_ns("pool/queue_wait_ns", q.elapsed().as_nanos() as u64);
+                    }
                     let _serial = push_override(Some(1), false);
                     f(range, chunk);
                 })

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# The bench-regression gate around results/BENCH_baseline.json.
+#
+#   scripts/bench_gate.sh           # gate the freshest obs probe runs
+#                                   # against the committed baseline
+#   scripts/bench_gate.sh --bless   # regenerate two fresh probe runs and
+#                                   # bless their min-merge as the new
+#                                   # baseline (commit the result)
+#
+# The gate compares the element-wise minimum of the probe runs' span
+# totals (best-of-N) against the baseline and fails on >25% wall-time
+# regression in any gated span, on any span-tree or counter drift, and on
+# any header (threads/scale) mismatch. Probe runs are pinned to
+# STOD_THREADS=2 so the pool spans are exercised and the span tree is
+# comparable across machines.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=results/BENCH_baseline.json
+RUN1=results/BENCH_obs.json
+RUN2=results/BENCH_obs_run2.json
+
+probe() {
+  STOD_THREADS=2 M=obs STOD_OBS_OUT="$1" \
+    cargo run -q --release -p stod-bench --bin probe >/dev/null
+}
+
+ensure_runs() {
+  local force="${1:-}"
+  if [[ "$force" == force || ! -f "$RUN1" || ! -f "$RUN2" ]]; then
+    echo "bench_gate.sh: generating probe runs (STOD_THREADS=2, M=obs)"
+    probe "$RUN1"
+    probe "$RUN2"
+  fi
+}
+
+case "${1:-}" in
+  --bless)
+    ensure_runs force
+    cargo run -q --release -p stod-bench --bin bench_gate -- \
+      --bless "$BASELINE" "$RUN1" "$RUN2"
+    echo "bench_gate.sh: baseline updated — review and commit $BASELINE"
+    ;;
+  "")
+    if [[ ! -f "$BASELINE" ]]; then
+      echo "bench_gate.sh: no baseline at $BASELINE — run scripts/bench_gate.sh --bless" >&2
+      exit 1
+    fi
+    ensure_runs
+    cargo run -q --release -p stod-bench --bin bench_gate -- \
+      "$RUN1" "$RUN2" "$BASELINE"
+    ;;
+  *)
+    echo "usage: scripts/bench_gate.sh [--bless]" >&2
+    exit 2
+    ;;
+esac

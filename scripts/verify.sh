@@ -5,6 +5,8 @@
 #   scripts/verify.sh --full          # additionally run the whole workspace suite
 #   scripts/verify.sh --conformance   # additionally run the oracle gate
 #   scripts/verify.sh --chaos         # additionally run the fault-injection gate
+#   scripts/verify.sh --bench         # additionally run the bench-regression gate
+#   scripts/verify.sh --all           # every stage, with a per-stage timing summary
 #
 # Tier-1 (the gate CI enforces) is the root package: its integration
 # tests in tests/ exercise every crate end-to-end.
@@ -19,6 +21,15 @@
 # smoke slice): kill-and-resume bitwise identity, worker-panic
 # containment, corrupt-checkpoint rejection and interrupted-save
 # atomicity, each at 1 and 4 threads.
+#
+# --bench runs the observability probe (`M=obs`) twice at STOD_THREADS=2,
+# checks run-to-run span-tree stability, diffs the runs against the
+# committed results/BENCH_baseline.json via scripts/bench_gate.sh (fails
+# on >25% wall-time regression in any gated span; `scripts/bench_gate.sh
+# --bless` updates the baseline), and re-runs the obs off/on bitwise
+# identity gate at 1 and 4 threads.
+#
+# Every stage prints its wall time at the end of the run.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,46 +37,59 @@ cd "$(dirname "$0")/.."
 full=0
 conformance=0
 chaos=0
+bench=0
 for arg in "$@"; do
   case "$arg" in
     --full) full=1 ;;
     --conformance) conformance=1 ;;
     --chaos) chaos=1 ;;
+    --bench) bench=1 ;;
+    --all) full=1; conformance=1; chaos=1; bench=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+summary=()
+run_stage() {
+  local name="$1"; shift
+  echo "==> stage: $name"
+  local t0=$SECONDS
+  "$@"
+  summary+=("$(printf '%5ds  %s' "$((SECONDS - t0))" "$name")")
+}
 
-echo "==> cargo clippy (all targets, warnings are errors)"
-cargo clippy -q --all-targets -- -D warnings
+stage_fmt() {
+  cargo fmt --check
+}
 
-echo "==> tier-1 gate: cargo build --release && cargo test -q"
-cargo build --release
+stage_clippy() {
+  cargo clippy -q --workspace --all-targets -- -D warnings
+}
 
-# The tier-1 suite runs twice: once with the parallel kernel pool pinned
-# to a single thread (exact serial fallback) and once at 4 threads. The
-# determinism contract of stod_tensor::par says both runs see bitwise
-# identical numerics, so both must pass identically.
-echo "==> tier-1 tests, STOD_THREADS=1 (serial fallback)"
-STOD_THREADS=1 cargo test -q
+stage_tier1() {
+  cargo build --release
+  # The tier-1 suite runs twice: once with the parallel kernel pool pinned
+  # to a single thread (exact serial fallback) and once at 4 threads. The
+  # determinism contract of stod_tensor::par says both runs see bitwise
+  # identical numerics, so both must pass identically.
+  echo "==> tier-1 tests, STOD_THREADS=1 (serial fallback)"
+  STOD_THREADS=1 cargo test -q
+  echo "==> tier-1 tests, STOD_THREADS=4 (parallel pool)"
+  STOD_THREADS=4 cargo test -q
+}
 
-echo "==> tier-1 tests, STOD_THREADS=4 (parallel pool)"
-STOD_THREADS=4 cargo test -q
-
-if [[ "$full" == 1 ]]; then
-  echo "==> full workspace test suite (STOD_THREADS=1 and 4)"
+stage_full() {
   STOD_THREADS=1 cargo test -q --workspace
   STOD_THREADS=4 cargo test -q --workspace
-fi
+}
 
-if [[ "$conformance" == 1 ]]; then
-  budget="${STOD_FUZZ_CASES:-256}"
-  echo "==> conformance gate: differential fuzzer + metamorphic suite (${budget} cases/kernel)"
+stage_conformance() {
+  local budget="${STOD_FUZZ_CASES:-256}"
+  echo "==> differential fuzzer + metamorphic suite (${budget} cases/kernel)"
   rm -f results/conformance/*.json
   STOD_THREADS=1 STOD_FUZZ_CASES="$budget" cargo test -q -p stod-conformance
   STOD_THREADS=4 STOD_FUZZ_CASES="$budget" cargo test -q -p stod-conformance
+  local dumps
   dumps=$(find results/conformance -name '*.json' 2>/dev/null | head -5 || true)
   if [[ -n "$dumps" ]]; then
     echo "conformance: FAILED — minimized counterexamples dumped:" >&2
@@ -73,10 +97,9 @@ if [[ "$conformance" == 1 ]]; then
     echo "replay with stod_conformance::replay(kernel, seed, dims) from the dump" >&2
     exit 1
   fi
-fi
+}
 
-if [[ "$chaos" == 1 ]]; then
-  echo "==> chaos gate: seeded fault injection at the full seed matrix"
+stage_chaos() {
   for t in 1 4; do
     echo "==> chaos gate, STOD_THREADS=$t"
     STOD_THREADS="$t" STOD_CHAOS=full cargo test -q --test chaos_gate
@@ -84,6 +107,34 @@ if [[ "$chaos" == 1 ]]; then
     STOD_THREADS="$t" cargo test -q -p stod-core --test resume
     STOD_THREADS="$t" cargo test -q -p stod-faultline
   done
-fi
+}
 
+stage_bench() {
+  cargo build -q --release -p stod-bench
+  echo "==> obs probe, run 1/2 (STOD_THREADS=2)"
+  STOD_THREADS=2 M=obs STOD_OBS_OUT=results/BENCH_obs.json \
+    cargo run -q --release -p stod-bench --bin probe
+  echo "==> obs probe, run 2/2 (STOD_THREADS=2)"
+  STOD_THREADS=2 M=obs STOD_OBS_OUT=results/BENCH_obs_run2.json \
+    cargo run -q --release -p stod-bench --bin probe >/dev/null
+  echo "==> run-to-run span-tree stability"
+  cargo run -q --release -p stod-bench --bin bench_gate -- \
+    --trees-only results/BENCH_obs.json results/BENCH_obs_run2.json
+  echo "==> bench-regression gate vs results/BENCH_baseline.json"
+  scripts/bench_gate.sh
+  echo "==> obs off/on bitwise-identity gate (STOD_THREADS=1 and 4)"
+  STOD_THREADS=1 cargo test -q --test obs_gate
+  STOD_THREADS=4 cargo test -q --test obs_gate
+}
+
+run_stage "fmt" stage_fmt
+run_stage "clippy" stage_clippy
+run_stage "tier-1 (×2 thread counts)" stage_tier1
+[[ "$full" == 1 ]] && run_stage "full workspace (×2 thread counts)" stage_full
+[[ "$conformance" == 1 ]] && run_stage "conformance" stage_conformance
+[[ "$chaos" == 1 ]] && run_stage "chaos" stage_chaos
+[[ "$bench" == 1 ]] && run_stage "bench" stage_bench
+
+echo "-- stage timing --"
+printf '%s\n' "${summary[@]}"
 echo "verify: OK"

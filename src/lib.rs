@@ -26,6 +26,10 @@
 //! * [`faultline`] — seeded deterministic fault injection (`STOD_FAULTS`),
 //!   CRC-32 checksums, and crash-consistent atomic file persistence — the
 //!   robustness substrate the chaos test suite drives.
+//! * [`obs`] — zero-dependency observability: scoped spans, counters,
+//!   gauges and log2 histograms behind a disarmed-by-default probe
+//!   (`STOD_OBS`), snapshotted into the `results/BENCH_obs.json` artifact
+//!   the CI bench-regression gate diffs.
 //!
 //! See the `examples/` directory for end-to-end usage, `DESIGN.md` for the
 //! system inventory and `EXPERIMENTS.md` for the reproduction results.
@@ -36,6 +40,7 @@ pub use stod_faultline as faultline;
 pub use stod_graph as graph;
 pub use stod_metrics as metrics;
 pub use stod_nn as nn;
+pub use stod_obs as obs;
 pub use stod_serve as serve;
 pub use stod_tensor as tensor;
 pub use stod_traffic as traffic;

@@ -1,0 +1,265 @@
+//! Tier-1 gate for the observability layer (`stod-obs`).
+//!
+//! The layer's core contract is that probes are *structurally incapable*
+//! of changing numerics: a span or counter only reads clocks and bumps
+//! integers, so arming them must leave every trained weight bitwise
+//! unchanged. This suite proves that contract end to end — train the same
+//! model with observability off, on, and tracing, at 1 and 4 kernel
+//! threads, and compare the resulting parameters bit for bit — and then
+//! checks the two structural invariants the bench gate and the serving
+//! dashboard rely on: the span tree captures the training and serving
+//! phases, and the serving counters satisfy the request conservation law
+//!
+//! ```text
+//! requests = model_invocations + worker_panics + batched_joins + cache_hits
+//! ```
+//!
+//! under genuinely concurrent broker traffic.
+//!
+//! Every test arms the registry through `obs::with_mode`, which
+//! serializes armed windows process-wide, so the counters each test reads
+//! are its own.
+
+use od_forecast::baselines::NaiveHistograms;
+use od_forecast::core::{train, BfConfig, BfModel, OdForecaster, TrainConfig};
+use od_forecast::obs::{self, ObsMode};
+use od_forecast::serve::{
+    Broker, BrokerConfig, FeatureStore, ForecastRequest, ModelConfig, ModelKind, Registry,
+    ServeStats,
+};
+use od_forecast::tensor::par;
+use od_forecast::traffic::{CityModel, OdDataset, SimConfig, Window};
+use std::sync::Arc;
+use std::time::Duration;
+
+const N: usize = 5;
+const LOOKBACK: usize = 3;
+
+fn small_dataset(seed: u64) -> OdDataset {
+    let sim = SimConfig {
+        num_days: 2,
+        intervals_per_day: 16,
+        trips_per_interval: 100.0,
+        ..SimConfig::small(seed)
+    };
+    OdDataset::generate(CityModel::small(N), &sim)
+}
+
+/// Trains a fresh model under `mode` at `threads` kernel threads and
+/// returns every numeric output: parameter bytes, per-epoch losses, and
+/// the gradient-norm series.
+fn train_fingerprint(
+    ds: &OdDataset,
+    windows: &[Window],
+    threads: usize,
+    mode: ObsMode,
+) -> (Vec<u8>, Vec<u32>, Vec<u32>) {
+    obs::with_mode(mode, || {
+        par::with_threads(threads, || {
+            let bf = BfConfig {
+                encode_dim: 8,
+                gru_hidden: 8,
+                ..BfConfig::default()
+            };
+            let mut model = BfModel::new(N, ds.spec.num_buckets, bf, 7);
+            let report = train(&mut model, ds, windows, None, &TrainConfig::fast_test());
+            (
+                model.params().to_bytes().to_vec(),
+                report.epoch_losses.iter().map(|l| l.to_bits()).collect(),
+                report.grad_norms.iter().map(|g| g.to_bits()).collect(),
+            )
+        })
+    })
+}
+
+/// Arming the probes must not change a single trained bit, at the serial
+/// fallback and on the 4-thread pool alike.
+#[test]
+fn armed_probes_leave_training_numerics_bitwise_unchanged() {
+    let ds = small_dataset(3);
+    let windows = ds.windows(LOOKBACK, 1);
+    for threads in [1usize, 4] {
+        let off = train_fingerprint(&ds, &windows, threads, ObsMode::Off);
+        let on = train_fingerprint(&ds, &windows, threads, ObsMode::On);
+        let trace = train_fingerprint(&ds, &windows, threads, ObsMode::Trace);
+        assert_eq!(
+            off, on,
+            "STOD_OBS=on changed training numerics at {threads} thread(s)"
+        );
+        assert_eq!(
+            off, trace,
+            "STOD_OBS=trace changed training numerics at {threads} thread(s)"
+        );
+        assert!(!off.2.is_empty(), "gradient-norm series must be recorded");
+    }
+    // The determinism contract also holds across thread counts; verify it
+    // with the probes armed, where per-thread buffers are in play.
+    let t1 = train_fingerprint(&ds, &windows, 1, ObsMode::On);
+    let t4 = train_fingerprint(&ds, &windows, 4, ObsMode::On);
+    assert_eq!(t1, t4, "armed run diverged across thread counts");
+}
+
+/// The armed span tree captures every training phase with counts that
+/// match the train report.
+#[test]
+fn snapshot_captures_training_span_tree() {
+    let ds = small_dataset(5);
+    let windows = ds.windows(LOOKBACK, 1);
+    let cfg = TrainConfig::fast_test();
+    let report = obs::with_mode(ObsMode::On, || {
+        obs::reset();
+        let bf = BfConfig {
+            encode_dim: 8,
+            gru_hidden: 8,
+            ..BfConfig::default()
+        };
+        let mut model = BfModel::new(N, ds.spec.num_buckets, bf, 9);
+        train(&mut model, &ds, &windows, None, &cfg)
+    });
+    let snap = obs::snapshot();
+    let epoch = snap.span("train/epoch").expect("train/epoch span");
+    assert_eq!(epoch.count as usize, cfg.epochs);
+    assert!(epoch.total_ns > 0, "epoch span must accumulate time");
+    let mb = snap
+        .span("train/epoch/train/minibatch")
+        .expect("minibatch span");
+    assert_eq!(mb.count, report.steps, "one minibatch span per step");
+    for phase in ["train/fwd", "train/bwd", "train/optimizer"] {
+        assert!(
+            snap.spans.iter().any(|s| s.path.contains(phase)),
+            "span tree is missing the {phase} phase"
+        );
+    }
+    assert!(
+        snap.counter("kernel/matmul/calls") > 0,
+        "kernel counters must be armed during training"
+    );
+    assert_eq!(report.grad_norms.len() as u64, report.steps);
+    assert_eq!(report.epoch_wall_ms.len(), cfg.epochs);
+    assert!(report.epoch_wall_ms.iter().all(|&ms| ms >= 0.0));
+}
+
+/// Concurrent serve traffic satisfies the conservation law, the obs
+/// counters agree with the `ServeStats` ledger, and taking snapshots
+/// mid-flight is safe.
+#[test]
+fn serve_counters_satisfy_conservation_law_under_concurrent_traffic() {
+    const CLIENTS: usize = 4;
+    const REQUESTS: usize = 30;
+    let ds = small_dataset(11);
+    let stats = Arc::new(ServeStats::new());
+    let bf = BfConfig {
+        encode_dim: 8,
+        gru_hidden: 8,
+        ..BfConfig::default()
+    };
+    let config = ModelConfig {
+        kind: ModelKind::Bf(bf),
+        centroids: ds.city.centroids(),
+        num_buckets: ds.spec.num_buckets,
+    };
+    let registry = Arc::new(Registry::new(config.clone(), Arc::clone(&stats)));
+    let built = config.build(11);
+    let v = registry
+        .register_store(od_forecast::nn::ParamStore::from_bytes(built.params().to_bytes()).unwrap())
+        .unwrap();
+    registry.promote(v).unwrap();
+    let features = Arc::new(FeatureStore::new(N, ds.spec, ds.num_intervals()));
+    for (t, tensor) in ds.tensors.iter().enumerate() {
+        features.insert_tensor(t, tensor.clone());
+    }
+    let fallback = NaiveHistograms::fit(&ds, ds.num_intervals());
+    let broker = Broker::new(
+        registry,
+        features,
+        fallback,
+        Arc::clone(&stats),
+        BrokerConfig {
+            workers: 2,
+            lookback: LOOKBACK,
+            cache_capacity: 64,
+        },
+    );
+
+    obs::with_mode(ObsMode::On, || {
+        obs::reset();
+        let max_t = ds.num_intervals() - 1;
+        std::thread::scope(|scope| {
+            for c in 0..CLIENTS {
+                let broker = &broker;
+                scope.spawn(move || {
+                    for i in 0..REQUESTS {
+                        let fc = broker.forecast(ForecastRequest {
+                            origin: (c + i) % N,
+                            dest: (c + 2 * i + 1) % N,
+                            t_end: LOOKBACK + (i / 3) % (max_t - LOOKBACK),
+                            horizon: 2,
+                            step: i % 2,
+                            deadline: Duration::from_secs(60),
+                        });
+                        assert_eq!(fc.histogram.len(), ds.spec.num_buckets);
+                    }
+                });
+            }
+            // Snapshots taken while clients are in flight must be safe:
+            // no deadlock, no torn reads, counts bounded by the traffic.
+            // (No cross-counter inequality can be asserted here — the
+            // snapshot merges per-thread buffers one at a time, so two
+            // counters owned by different threads are read at slightly
+            // different instants.)
+            for _ in 0..5 {
+                let mid = obs::snapshot();
+                assert!(mid.counter("serve/requests") <= (CLIENTS * REQUESTS) as u64);
+                std::thread::yield_now();
+            }
+        });
+
+        // Quiesce the worker pool before the final snapshot: a client can
+        // receive its result while the worker's `serve/job` span is still
+        // open (the fan-out happens inside the span), so the span only
+        // reaches the registry once the worker is joined.
+        drop(broker);
+
+        let snap = obs::snapshot();
+        let get = |name: &str| snap.counter(name);
+        let requests = get("serve/requests");
+        assert_eq!(requests, (CLIENTS * REQUESTS) as u64);
+        assert_eq!(
+            requests,
+            get("serve/model_invocations")
+                + get("serve/worker_panics")
+                + get("serve/batched_joins")
+                + get("serve/cache_hits"),
+            "conservation law violated: every request must be attributed exactly once"
+        );
+
+        // The obs counters and the ServeStats ledger are two views of the
+        // same events; they must agree exactly.
+        let ledger = stats.snapshot();
+        assert_eq!(requests, ledger.requests_total);
+        assert_eq!(get("serve/model_invocations"), ledger.model_invocations);
+        assert_eq!(get("serve/batched_joins"), ledger.batched_joins);
+        assert_eq!(get("serve/cache_hits"), ledger.cache_hits);
+        assert_eq!(get("serve/worker_panics"), ledger.worker_panics);
+        assert_eq!(ledger.fallbacks_total(), 0, "no fallback path expected");
+
+        // Span-side view of the same story: one forecast span per request,
+        // one job span per model invocation.
+        let forecast = snap.span("serve/forecast").expect("serve/forecast span");
+        assert_eq!(forecast.count, requests);
+        let job = snap.span("serve/job").expect("serve/job span");
+        assert_eq!(job.count, ledger.model_invocations);
+
+        // The latency histogram by outcome saw every request on the model
+        // path, and the batch-size distribution one entry per job.
+        let lat = snap
+            .histogram("serve/latency/model")
+            .expect("model latency histogram");
+        assert_eq!(lat.count, requests);
+        assert!(snap.histogram("serve/latency/fallback").is_none());
+        let batch = snap.histogram("serve/batch_size").expect("batch sizes");
+        assert_eq!(batch.count, ledger.model_invocations);
+        assert_eq!(ledger.batch_count, ledger.model_invocations);
+        assert!(ledger.queue_depth_max >= 1);
+    });
+}
