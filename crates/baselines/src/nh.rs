@@ -12,6 +12,10 @@ use crate::{uniform_hist, HistogramPredictor};
 use stod_traffic::{OdDataset, Window};
 
 /// The NH baseline.
+///
+/// `Clone` so a serving shard can keep its own copy for admission-control
+/// shed answers next to the one owned by its broker.
+#[derive(Clone)]
 pub struct NaiveHistograms {
     n: usize,
     k: usize,

@@ -62,6 +62,7 @@ fn build_stack(ds: &OdDataset) -> Broker {
             workers: 2,
             lookback: LOOKBACK,
             cache_capacity: 64,
+            ..BrokerConfig::default()
         },
     )
 }

@@ -244,6 +244,7 @@ fn run_obs_bench(ds: &stod_traffic::OdDataset, split: &stod_traffic::Split) {
             workers: 1,
             lookback,
             cache_capacity: 64,
+            ..BrokerConfig::default()
         },
     );
     let max_t = ds.num_intervals() - 1;
@@ -290,7 +291,226 @@ fn run_obs_bench(ds: &stod_traffic::OdDataset, split: &stod_traffic::Split) {
     println!("wrote {out}");
 }
 
+/// `M=serve_load`: the fleet load harness. Builds a ≥4-city serving fleet
+/// from replayed synthetic traffic (`stod_traffic::generate_fleet` →
+/// live-ingest `push_trip`/`seal_interval`), installs a fresh checkpoint
+/// per shard, then drives three measured phases, each on a fresh fleet so
+/// the books are per-phase exact:
+///
+/// * **slo** — paced open-loop arrivals (`STOD_LOAD_RATE` req/s, Poisson)
+///   against the cache-on fleet: the latency/SLO phase.
+/// * **cache_on** — closed-loop saturation throughput with the forecast
+///   result cache.
+/// * **cache_off** — closed-loop throughput with the cache disabled *and*
+///   broker result retention off (`retain_results = false`), the honest
+///   recompute-every-arrival baseline.
+///
+/// Writes `results/BENCH_serve_load.json` (override `STOD_LOAD_OUT`)
+/// stamped with the shared bench header. With `STOD_LOAD_GATE=1` the run
+/// asserts the SLO gates: zero ledger residuals everywhere, SLO-phase p99
+/// within budget, cache hit rate above floor, and cache-on/cache-off
+/// speedup of at least `STOD_LOAD_MIN_SPEEDUP` (default 10).
+fn run_serve_load_bench() {
+    use std::time::Duration;
+    use stod_fleet::{build_schedule, run_load, FleetConfig, LoadConfig, LoadReport, ShardConfig};
+    use stod_serve::ModelKind;
+    use stod_traffic::{generate_fleet, FleetSimConfig};
+
+    let env_usize = |var: &str, default: usize| {
+        std::env::var(var)
+            .ok()
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("{var} must be an integer, got {v:?}"))
+            })
+            .unwrap_or(default)
+    };
+    let env_f64 = |var: &str, default: f64| {
+        std::env::var(var)
+            .ok()
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("{var} must be a number, got {v:?}"))
+            })
+            .unwrap_or(default)
+    };
+    let gate = std::env::var("STOD_LOAD_GATE").is_ok_and(|v| v == "1");
+    let fleet_cfg = match FleetConfig::from_env() {
+        Ok(cfg) => cfg,
+        Err(e) => panic!("invalid fleet configuration: {e}"),
+    };
+    assert!(
+        fleet_cfg.shards >= 4,
+        "the load harness wants a ≥4-city fleet (STOD_SHARDS={})",
+        fleet_cfg.shards
+    );
+    let total = env_usize("STOD_LOAD_N", 2000);
+    let clients = env_usize("STOD_LOAD_CLIENTS", 8);
+    let rate = env_f64("STOD_LOAD_RATE", 400.0);
+    let p99_budget_us = env_usize("STOD_LOAD_P99_US", 200_000) as u64;
+    let min_hit_rate = env_f64("STOD_LOAD_MIN_HITRATE", 0.5);
+    let min_speedup = env_f64("STOD_LOAD_MIN_SPEEDUP", 10.0);
+
+    let sim = FleetSimConfig {
+        num_cities: fleet_cfg.shards,
+        num_days: 1,
+        intervals_per_day: 16,
+        seed: 0x0F1EE7,
+    };
+    let cities = generate_fleet(&sim);
+    let shard_cfg = ShardConfig::default();
+    let kind = |_: usize| {
+        ModelKind::Bf(BfConfig {
+            encode_dim: 16,
+            gru_hidden: 16,
+            ..BfConfig::default()
+        })
+    };
+    // Request sealed intervals the sliding window still retains, leaving
+    // the full lookback below the smallest t_end.
+    let load = LoadConfig {
+        total_requests: total,
+        clients,
+        rate_per_s: None,
+        horizons: vec![1, 2, 3],
+        deadline: Duration::from_millis(150),
+        t_end_lo: shard_cfg.lookback + 1,
+        t_end_hi: sim.intervals_per_day - 1,
+        requests_per_tick: 256,
+        seed: 0x10AD,
+    };
+    let fresh_fleet = |cache: bool| {
+        let cfg = FleetConfig {
+            cache_enabled: cache,
+            ..fleet_cfg
+        };
+        let scfg = ShardConfig {
+            retain_results: cache,
+            ..shard_cfg
+        };
+        stod_fleet::Fleet::from_replay(&cfg, &cities, &scfg, kind, 0x5EED)
+    };
+    let describe = |name: &str, r: &LoadReport| {
+        let shed = r.outcomes.shed;
+        println!(
+            "{name:<10} {:>8} req  {:>12.0} fc/s  hit {:5.3}  model {:>6}  fallback {:>5}  shed {shed:>5}  residual {}",
+            r.requests,
+            r.forecasts_per_s(),
+            r.cache_hit_rate(),
+            r.outcomes.model,
+            r.outcomes.fallback,
+            r.fleet.global_ledger_balance(),
+        );
+    };
+
+    println!(
+        "-- serve_load: {} shards (N = {:?}), cache cap {}, shed depth {} --",
+        fleet_cfg.shards,
+        cities.iter().map(|c| c.num_regions()).collect::<Vec<_>>(),
+        fleet_cfg.cache_capacity,
+        fleet_cfg.shed_depth
+    );
+
+    // Phase 1: paced open-loop SLO measurement, cache on.
+    let slo_fleet = fresh_fleet(true);
+    let slo_schedule = build_schedule(
+        &slo_fleet,
+        &LoadConfig {
+            rate_per_s: Some(rate),
+            ..load.clone()
+        },
+    );
+    let slo = run_load(&slo_fleet, &slo_schedule, clients);
+    describe("slo", &slo);
+
+    // Phase 2: closed-loop saturation throughput, cache on.
+    let on_fleet = fresh_fleet(true);
+    let on = run_load(&on_fleet, &build_schedule(&on_fleet, &load), clients);
+    describe("cache_on", &on);
+
+    // Phase 3: closed-loop throughput with no result caching anywhere.
+    // Every sequential repeat pays a fresh model invocation, so a smaller
+    // request count measures the same rate in bounded time.
+    let off_fleet = fresh_fleet(false);
+    let off_load = LoadConfig {
+        total_requests: (total / 5).max(200),
+        ..load.clone()
+    };
+    let off = run_load(&off_fleet, &build_schedule(&off_fleet, &off_load), clients);
+    describe("cache_off", &off);
+
+    let speedup = on.forecasts_per_s() / off.forecasts_per_s().max(1e-9);
+    let slo_p99 = slo
+        .fleet
+        .shards
+        .iter()
+        .map(|s| s.stats.p99_us)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "cache-on vs cache-off: {speedup:.1}x  |  slo p99 {slo_p99} us  |  gates {}",
+        if gate { "ENFORCED" } else { "report-only" }
+    );
+
+    let header = BenchHeader::collect(Scale::from_env());
+    let json = format!(
+        "{{\n  {},\n  \"shards\": {},\n  \"cache_capacity\": {},\n  \"shed_depth\": {},\n  \"region_counts\": {:?},\n  \"rate_per_s\": {rate},\n  \"speedup\": {speedup:.3},\n  \"slo_p99_us\": {slo_p99},\n  \"gates\": {{\"enforced\": {gate}, \"p99_budget_us\": {p99_budget_us}, \"min_hit_rate\": {min_hit_rate}, \"min_speedup\": {min_speedup}}},\n  \"slo\": {},\n  \"cache_on\": {},\n  \"cache_off\": {}\n}}\n",
+        header.json_fields(),
+        fleet_cfg.shards,
+        fleet_cfg.cache_capacity,
+        fleet_cfg.shed_depth,
+        cities.iter().map(|c| c.num_regions()).collect::<Vec<_>>(),
+        slo.to_json(),
+        on.to_json(),
+        off.to_json(),
+    );
+    let out =
+        std::env::var("STOD_LOAD_OUT").unwrap_or_else(|_| "results/BENCH_serve_load.json".into());
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(parent).expect("create artifact dir");
+    }
+    std::fs::write(&out, &json).expect("write serve_load artifact");
+    println!("wrote {out}");
+
+    // The conservation ledger must balance unconditionally — a non-zero
+    // residual is an accounting bug, not a tuning problem.
+    for (name, report) in [("slo", &slo), ("cache_on", &on), ("cache_off", &off)] {
+        assert_eq!(
+            report.fleet.global_ledger_balance(),
+            0,
+            "{name}: request-conservation ledger out of balance"
+        );
+        assert_eq!(
+            report.outcomes.total(),
+            report.requests,
+            "{name}: outcome tally lost requests"
+        );
+    }
+    if gate {
+        assert!(
+            slo_p99 <= p99_budget_us,
+            "SLO gate: p99 {slo_p99} us exceeds budget {p99_budget_us} us"
+        );
+        assert!(
+            on.cache_hit_rate() >= min_hit_rate,
+            "SLO gate: cache hit rate {:.3} below floor {min_hit_rate}",
+            on.cache_hit_rate()
+        );
+        assert!(
+            speedup >= min_speedup,
+            "SLO gate: cache-on speedup {speedup:.1}x below required {min_speedup}x"
+        );
+        println!("serve_load gates passed");
+    }
+}
+
 fn main() {
+    // Modes that bring their own data short-circuit before the shared
+    // NYC dataset build.
+    if std::env::var("M").is_ok_and(|m| m.contains("serve_load")) {
+        run_serve_load_bench();
+        return;
+    }
     let ds = build_dataset(Dataset::Nyc, Scale::Small, 11);
     let split = standard_split(&ds, 3, 1);
     let n = ds.num_regions();

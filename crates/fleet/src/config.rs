@@ -1,0 +1,264 @@
+//! Fleet sizing knobs and their environment bindings.
+//!
+//! Three knobs are operator-facing and bind to environment variables:
+//!
+//! | variable          | meaning                                   | range      | default |
+//! |-------------------|-------------------------------------------|------------|---------|
+//! | `STOD_SHARDS`     | number of per-city shards                 | 1 … 64     | 4       |
+//! | `STOD_CACHE_CAP`  | forecast result cache capacity (entries)  | 1 … 10⁶    | 256     |
+//! | `STOD_SHED_DEPTH` | max admissible shard queue depth          | 0 … 10⁶    | 64      |
+//!
+//! An *unset* variable takes its default; a *set but invalid* variable is
+//! a typed [`FleetConfigError`], never a silent default — the same
+//! contract as `STOD_THREADS` and the bench probe's `SCALE`. A fleet
+//! silently running with 1 shard because `STOD_SHARDS=fourr` failed to
+//! parse would invalidate every number the load harness reports.
+
+use std::fmt;
+
+/// Fleet-level configuration (shard count, result cache, admission
+/// control). Per-shard serving knobs live in [`crate::ShardConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Number of per-city shards; requests carry a `city` id in
+    /// `0..shards`.
+    pub shards: usize,
+    /// Capacity of the fleet-wide forecast result cache, in entries.
+    pub cache_capacity: usize,
+    /// Admission control: a request that misses the result cache is shed
+    /// (answered from the NH baseline with a typed outcome) when its
+    /// shard's broker queue is already `shed_depth` deep or deeper. With
+    /// the queue at that depth, the request would sit behind at least
+    /// `shed_depth` model invocations — past any sane deadline — so
+    /// answering from the baseline immediately is strictly better than
+    /// letting it ride the queue to a deadline fallback. `0` sheds every
+    /// cache miss (a degenerate setting used by tests).
+    pub shed_depth: usize,
+    /// Whether the forecast result cache is consulted at all. Off is the
+    /// honest baseline the load harness compares against (combined with
+    /// `retain_results = false` on the shard brokers).
+    pub cache_enabled: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            shards: 4,
+            cache_capacity: 256,
+            shed_depth: 64,
+            cache_enabled: true,
+        }
+    }
+}
+
+/// A rejected environment knob. The offending variable and value are
+/// carried so the error message an operator sees names exactly what to
+/// fix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetConfigError {
+    /// The value is not a plain base-10 unsigned integer (signs,
+    /// whitespace, separators, and empty strings are all rejected).
+    NotANumber {
+        /// Which environment variable.
+        var: &'static str,
+        /// The rejected value, verbatim.
+        value: String,
+    },
+    /// The value parsed but falls outside the knob's valid range.
+    OutOfRange {
+        /// Which environment variable.
+        var: &'static str,
+        /// The parsed value.
+        value: u64,
+        /// Smallest accepted value.
+        min: u64,
+        /// Largest accepted value.
+        max: u64,
+    },
+}
+
+impl fmt::Display for FleetConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetConfigError::NotANumber { var, value } => {
+                write!(f, "{var} must be a plain unsigned integer, got {value:?}")
+            }
+            FleetConfigError::OutOfRange {
+                var,
+                value,
+                min,
+                max,
+            } => {
+                write!(f, "{var} must be in {min}..={max}, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetConfigError {}
+
+/// Parses one knob: digits only, then range-checked.
+fn parse_knob(var: &'static str, value: &str, min: u64, max: u64) -> Result<u64, FleetConfigError> {
+    if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(FleetConfigError::NotANumber {
+            var,
+            value: value.to_string(),
+        });
+    }
+    let parsed: u64 = value.parse().map_err(|_| FleetConfigError::OutOfRange {
+        var,
+        value: u64::MAX,
+        min,
+        max,
+    })?;
+    if parsed < min || parsed > max {
+        return Err(FleetConfigError::OutOfRange {
+            var,
+            value: parsed,
+            min,
+            max,
+        });
+    }
+    Ok(parsed)
+}
+
+impl FleetConfig {
+    /// Resolves the configuration from the process environment
+    /// (`STOD_SHARDS`, `STOD_CACHE_CAP`, `STOD_SHED_DEPTH`).
+    pub fn from_env() -> Result<FleetConfig, FleetConfigError> {
+        FleetConfig::from_lookup(|var| std::env::var(var).ok())
+    }
+
+    /// [`FleetConfig::from_env`] with an injectable variable lookup, so
+    /// tests can exercise every parse path without mutating the (process
+    /// global, test-parallel) environment.
+    pub fn from_lookup(
+        get: impl Fn(&'static str) -> Option<String>,
+    ) -> Result<FleetConfig, FleetConfigError> {
+        let mut cfg = FleetConfig::default();
+        if let Some(v) = get("STOD_SHARDS") {
+            cfg.shards = parse_knob("STOD_SHARDS", &v, 1, 64)? as usize;
+        }
+        if let Some(v) = get("STOD_CACHE_CAP") {
+            cfg.cache_capacity = parse_knob("STOD_CACHE_CAP", &v, 1, 1_000_000)? as usize;
+        }
+        if let Some(v) = get("STOD_SHED_DEPTH") {
+            cfg.shed_depth = parse_knob("STOD_SHED_DEPTH", &v, 0, 1_000_000)? as usize;
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lookup<'a>(
+        pairs: &'a [(&'static str, &'a str)],
+    ) -> impl Fn(&'static str) -> Option<String> + 'a {
+        move |var| {
+            pairs
+                .iter()
+                .find(|(k, _)| *k == var)
+                .map(|(_, v)| v.to_string())
+        }
+    }
+
+    #[test]
+    fn unset_knobs_take_defaults() {
+        let cfg = FleetConfig::from_lookup(|_| None).unwrap();
+        assert_eq!(cfg, FleetConfig::default());
+        assert_eq!(
+            (cfg.shards, cfg.cache_capacity, cfg.shed_depth),
+            (4, 256, 64)
+        );
+        assert!(cfg.cache_enabled);
+    }
+
+    #[test]
+    fn valid_knobs_apply() {
+        let cfg = FleetConfig::from_lookup(lookup(&[
+            ("STOD_SHARDS", "8"),
+            ("STOD_CACHE_CAP", "1000"),
+            ("STOD_SHED_DEPTH", "0"),
+        ]))
+        .unwrap();
+        assert_eq!(cfg.shards, 8);
+        assert_eq!(cfg.cache_capacity, 1000);
+        assert_eq!(cfg.shed_depth, 0);
+    }
+
+    #[test]
+    fn garbage_shards_is_a_typed_error_not_a_default() {
+        for bad in ["fourr", "", " 4", "4 ", "+4", "-1", "0x10", "4_0", "4.0"] {
+            let err = FleetConfig::from_lookup(lookup(&[("STOD_SHARDS", bad)])).unwrap_err();
+            assert_eq!(
+                err,
+                FleetConfigError::NotANumber {
+                    var: "STOD_SHARDS",
+                    value: bad.to_string()
+                },
+                "{bad:?} must be rejected as not-a-number"
+            );
+            assert!(err.to_string().contains("STOD_SHARDS"), "{err}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_shards_rejected() {
+        for (bad, value) in [("0", 0u64), ("65", 65), ("18446744073709551616", u64::MAX)] {
+            let err = FleetConfig::from_lookup(lookup(&[("STOD_SHARDS", bad)])).unwrap_err();
+            match err {
+                FleetConfigError::OutOfRange {
+                    var, value: v, min, ..
+                } => {
+                    assert_eq!((var, v, min), ("STOD_SHARDS", value, 1));
+                }
+                other => panic!("expected OutOfRange, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cache_cap_rejects_zero_and_garbage() {
+        let err = FleetConfig::from_lookup(lookup(&[("STOD_CACHE_CAP", "0")])).unwrap_err();
+        assert!(matches!(
+            err,
+            FleetConfigError::OutOfRange {
+                var: "STOD_CACHE_CAP",
+                value: 0,
+                min: 1,
+                ..
+            }
+        ));
+        let err = FleetConfig::from_lookup(lookup(&[("STOD_CACHE_CAP", "many")])).unwrap_err();
+        assert!(matches!(err, FleetConfigError::NotANumber { .. }));
+    }
+
+    #[test]
+    fn shed_depth_allows_zero_but_not_garbage() {
+        let cfg = FleetConfig::from_lookup(lookup(&[("STOD_SHED_DEPTH", "0")])).unwrap();
+        assert_eq!(cfg.shed_depth, 0);
+        let err = FleetConfig::from_lookup(lookup(&[("STOD_SHED_DEPTH", "-3")])).unwrap_err();
+        assert!(matches!(
+            err,
+            FleetConfigError::NotANumber {
+                var: "STOD_SHED_DEPTH",
+                ..
+            }
+        ));
+        let err = FleetConfig::from_lookup(lookup(&[("STOD_SHED_DEPTH", "1000001")])).unwrap_err();
+        assert!(matches!(err, FleetConfigError::OutOfRange { .. }));
+    }
+
+    #[test]
+    fn one_bad_knob_fails_even_when_others_are_fine() {
+        let err = FleetConfig::from_lookup(lookup(&[
+            ("STOD_SHARDS", "4"),
+            ("STOD_CACHE_CAP", "64"),
+            ("STOD_SHED_DEPTH", "deep"),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("STOD_SHED_DEPTH"));
+    }
+}

@@ -1,0 +1,114 @@
+//! # stod-fleet
+//!
+//! City-scale serving: the paper forecasts one city's OD tensor; a
+//! production deployment serves many cities to millions of riders. This
+//! crate layers a multi-tenant fleet over `stod-serve`:
+//!
+//! * [`shard::Shard`] — one city's complete serving stack (versioned
+//!   registry, micro-batching broker, sliding-window trip ingest, NH
+//!   fallback, per-tenant stats), isolated from every other tenant.
+//! * [`cache::ForecastCache`] — a fleet-wide forecast result cache keyed
+//!   `(city, t_end, horizon, version)` with exact LRU eviction, byte
+//!   accounting, and hot-swap invalidation. One model invocation predicts
+//!   a full `N² × horizon` tensor, so one entry answers every pair query
+//!   against its key — the structural amplification the fleet's
+//!   throughput rides on.
+//! * [`router::Fleet`] — the per-request flow: result cache, then
+//!   admission control (requests a deep queue could never answer in time
+//!   are *shed* to the NH baseline with a typed outcome), then the
+//!   shard's broker.
+//! * [`loadgen`] — a deterministic open/closed-loop load harness that
+//!   replays seeded multi-city traffic (see
+//!   [`stod_traffic::generate_fleet`]) and reports throughput, per-path
+//!   latency percentiles, and the conservation ledgers.
+//!
+//! ## The request-conservation ledger, per tenant
+//!
+//! Every shard's books must balance exactly:
+//!
+//! ```text
+//! requests = model_invocations + failed_jobs + worker_panics
+//!          + batched_joins + cache_hits + result_cache_hits + shed
+//! ```
+//!
+//! Each router stage and broker outcome increments exactly one term, so
+//! the residual ([`stod_serve::StatsSnapshot::ledger_balance`]) is zero
+//! for every tenant at quiescence — under arbitrary concurrency, cache
+//! configuration, and injected faults. The same terms mirror into
+//! per-shard obs counters (`fleet/shard{i}/…`) when observability is
+//! armed.
+//!
+//! ## Env knobs
+//!
+//! `STOD_SHARDS`, `STOD_CACHE_CAP`, `STOD_SHED_DEPTH` — validated, typed
+//! errors on garbage; see [`config::FleetConfig`].
+
+pub mod cache;
+pub mod config;
+pub mod loadgen;
+pub mod router;
+pub mod shard;
+
+pub use cache::{CacheKey, ForecastCache};
+pub use config::{FleetConfig, FleetConfigError};
+pub use loadgen::{
+    build_schedule, run_load, LoadConfig, LoadReport, OutcomeTally, ScheduledRequest,
+};
+pub use router::{Fleet, FleetForecast, FleetRequest, FleetSnapshot, FleetSource, ShardSnapshot};
+pub use shard::{Shard, ShardConfig};
+
+/// The fleet is shared across client threads; keep the central types
+/// `Send + Sync` (compile-time check).
+fn _assert_thread_safe() {
+    fn check<T: Send + Sync>() {}
+    check::<Fleet>();
+    check::<ForecastCache>();
+    check::<Shard>();
+}
+
+/// A small, fast fleet over replayed cities, shared by this crate's unit
+/// tests (and cheap enough to build per test).
+#[cfg(test)]
+pub(crate) mod testfleet {
+    use super::*;
+    use stod_core::BfConfig;
+    use stod_serve::ModelKind;
+    use stod_traffic::{generate_fleet, FleetSimConfig};
+
+    /// Two heterogeneous cities, 6 sealed intervals, BF models, 1 broker
+    /// worker per shard.
+    pub fn tiny(cache_enabled: bool, shed_depth: usize) -> Fleet {
+        let cities = generate_fleet(&FleetSimConfig {
+            num_cities: 2,
+            num_days: 1,
+            intervals_per_day: 6,
+            seed: 0xF1EE7,
+        });
+        let cfg = FleetConfig {
+            shards: 2,
+            cache_capacity: 16,
+            shed_depth,
+            cache_enabled,
+        };
+        let shard_cfg = ShardConfig {
+            workers: 1,
+            lookback: 2,
+            window_capacity: 8,
+            broker_cache_capacity: 8,
+            retain_results: true,
+        };
+        Fleet::from_replay(
+            &cfg,
+            &cities,
+            &shard_cfg,
+            |_| {
+                ModelKind::Bf(BfConfig {
+                    encode_dim: 8,
+                    gru_hidden: 8,
+                    ..BfConfig::default()
+                })
+            },
+            42,
+        )
+    }
+}

@@ -1,0 +1,353 @@
+//! Deterministic closed-loop load harness.
+//!
+//! Two halves, split so reproducibility lives where it can be exact:
+//!
+//! * [`build_schedule`] — a pure function of its configuration. The
+//!   request sequence (cities, OD pairs, horizons, interval walk, and —
+//!   for open-loop runs — Poisson arrival offsets) comes from one seeded
+//!   [`Rng64`] stream, so two runs with the same config issue bitwise
+//!   identical requests in the same per-client order.
+//! * [`run_load`] — executes a schedule against a [`Fleet`] with `c`
+//!   concurrent clients (client `k` takes every `c`-th request, keeping
+//!   each client's sequence chronological). *Timing* is wall-clock and
+//!   varies run to run; *results* do not — the forecasts themselves are
+//!   deterministic, and the outcome tally plus the per-shard conservation
+//!   ledgers give exact books for every run.
+//!
+//! Open loop (`rate_per_s: Some(r)`) paces arrivals against absolute
+//! offsets from the run start — a slow server makes requests *late*, not
+//! *fewer*, which is what makes the latency distribution honest under
+//! overload. Closed loop (`None`) fires each client's next request the
+//! moment the previous one returns, measuring saturation throughput.
+
+use crate::router::{Fleet, FleetForecast, FleetRequest, FleetSnapshot, FleetSource};
+use serde::{json, Serialize};
+use std::time::{Duration, Instant};
+use stod_tensor::rng::Rng64;
+
+/// Load-run shape: how many requests, how arrivals pace, what they ask.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Total requests across all clients.
+    pub total_requests: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Open-loop arrival rate (requests/s, Poisson); `None` = closed loop.
+    pub rate_per_s: Option<f64>,
+    /// Horizon mix; each request draws one uniformly.
+    pub horizons: Vec<usize>,
+    /// Per-request deadline.
+    pub deadline: Duration,
+    /// Smallest `t_end` requested (inclusive); keep ≥ lookback − 1.
+    pub t_end_lo: usize,
+    /// Largest `t_end` requested (inclusive); keep ≤ newest sealed
+    /// interval.
+    pub t_end_hi: usize,
+    /// Consecutive requests sharing one `t_end` before the walk advances
+    /// — models many users querying within one 15-minute tick, the
+    /// temporal locality the result cache exists to exploit.
+    pub requests_per_tick: usize,
+    /// Schedule seed.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            total_requests: 1024,
+            clients: 4,
+            rate_per_s: None,
+            horizons: vec![1, 2, 3],
+            deadline: Duration::from_secs(1),
+            t_end_lo: 3,
+            t_end_hi: 6,
+            requests_per_tick: 128,
+            seed: 0x10AD,
+        }
+    }
+}
+
+/// One scheduled request: an arrival offset from the run start
+/// (`Duration::ZERO` in closed loop) plus the request itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledRequest {
+    /// Arrival offset from the run start.
+    pub at: Duration,
+    /// The request to issue.
+    pub req: FleetRequest,
+}
+
+/// Builds the deterministic request schedule for a fleet.
+pub fn build_schedule(fleet: &Fleet, cfg: &LoadConfig) -> Vec<ScheduledRequest> {
+    assert!(!cfg.horizons.is_empty(), "need at least one horizon");
+    assert!(cfg.t_end_lo <= cfg.t_end_hi, "empty t_end range");
+    assert!(
+        cfg.requests_per_tick >= 1,
+        "need at least one request per tick"
+    );
+    let mut rng = Rng64::new(cfg.seed ^ 0x006E_0AD5);
+    let tick_span = cfg.t_end_hi - cfg.t_end_lo + 1;
+    let mut at = Duration::ZERO;
+    (0..cfg.total_requests)
+        .map(|i| {
+            if let Some(rate) = cfg.rate_per_s {
+                // Poisson arrivals: exponential inter-arrival gaps.
+                let u = rng.next_f64();
+                let gap = -(1.0 - u).max(1e-12).ln() / rate.max(1e-9);
+                at += Duration::from_secs_f64(gap);
+            }
+            let city = rng.next_below(fleet.num_shards());
+            let n = fleet.shard(city).num_regions();
+            let horizon = cfg.horizons[rng.next_below(cfg.horizons.len())];
+            ScheduledRequest {
+                at,
+                req: FleetRequest {
+                    city,
+                    origin: rng.next_below(n),
+                    dest: rng.next_below(n),
+                    t_end: cfg.t_end_lo + (i / cfg.requests_per_tick) % tick_span,
+                    horizon,
+                    step: rng.next_below(horizon),
+                    deadline: cfg.deadline,
+                },
+            }
+        })
+        .collect()
+}
+
+/// Exact per-outcome request counts, tallied from the responses
+/// themselves (independent of, and cross-checkable against, the shard
+/// counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeTally {
+    /// Answered by the fleet result cache.
+    pub result_cache: u64,
+    /// Answered by a shard's model.
+    pub model: u64,
+    /// Answered by the NH baseline via a broker fallback path.
+    pub fallback: u64,
+    /// Shed by admission control.
+    pub shed: u64,
+}
+
+impl OutcomeTally {
+    fn record(&mut self, fc: &FleetForecast) {
+        match fc.source {
+            FleetSource::ResultCache { .. } => self.result_cache += 1,
+            FleetSource::Model { .. } => self.model += 1,
+            FleetSource::Fallback(_) => self.fallback += 1,
+            FleetSource::Shed => self.shed += 1,
+        }
+    }
+
+    fn merge(&mut self, other: &OutcomeTally) {
+        self.result_cache += other.result_cache;
+        self.model += other.model;
+        self.fallback += other.fallback;
+        self.shed += other.shed;
+    }
+
+    /// Total requests tallied.
+    pub fn total(&self) -> u64 {
+        self.result_cache + self.model + self.fallback + self.shed
+    }
+}
+
+impl Serialize for OutcomeTally {
+    fn serialize_json(&self, out: &mut String) {
+        json::object(out, |o| {
+            o.field("result_cache", &self.result_cache);
+            o.field("model", &self.model);
+            o.field("fallback", &self.fallback);
+            o.field("shed", &self.shed);
+        });
+    }
+}
+
+/// What one load run produced.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests issued.
+    pub requests: u64,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+    /// Exact per-outcome counts from the responses.
+    pub outcomes: OutcomeTally,
+    /// The fleet's stats at run end. Cumulative over the fleet's life —
+    /// run each measured phase on a fresh fleet for clean books.
+    pub fleet: FleetSnapshot,
+}
+
+impl LoadReport {
+    /// Sustained throughput of this run.
+    pub fn forecasts_per_s(&self) -> f64 {
+        self.requests as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Fraction of this run's requests the result cache answered.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.outcomes.result_cache as f64 / self.requests as f64
+    }
+
+    /// This report as a JSON object string.
+    pub fn to_json(&self) -> String {
+        json::to_string(self)
+    }
+}
+
+impl Serialize for LoadReport {
+    fn serialize_json(&self, out: &mut String) {
+        json::object(out, |o| {
+            o.field("requests", &self.requests);
+            o.field("wall_ms", &(self.wall.as_secs_f64() * 1e3));
+            o.field("forecasts_per_s", &self.forecasts_per_s());
+            o.field("cache_hit_rate", &self.cache_hit_rate());
+            o.field("outcomes", &self.outcomes);
+            o.field("fleet", &self.fleet);
+        });
+    }
+}
+
+/// Replays a schedule against a fleet with `clients` concurrent client
+/// threads. Client `k` issues requests `k, k + clients, k + 2·clients, …`
+/// in order; open-loop entries sleep until their arrival offset.
+pub fn run_load(fleet: &Fleet, schedule: &[ScheduledRequest], clients: usize) -> LoadReport {
+    assert!(clients >= 1, "need at least one client");
+    let t0 = Instant::now();
+    let tallies: Vec<OutcomeTally> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|k| {
+                scope.spawn(move |_| {
+                    let mut tally = OutcomeTally::default();
+                    for sched in schedule.iter().skip(k).step_by(clients) {
+                        if sched.at > Duration::ZERO {
+                            let now = t0.elapsed();
+                            if sched.at > now {
+                                std::thread::sleep(sched.at - now);
+                            }
+                        }
+                        tally.record(&fleet.forecast(sched.req));
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load client thread"))
+            .collect()
+    })
+    .expect("load scope");
+    let mut outcomes = OutcomeTally::default();
+    for tally in &tallies {
+        outcomes.merge(tally);
+    }
+    LoadReport {
+        requests: schedule.len() as u64,
+        wall: t0.elapsed(),
+        outcomes,
+        fleet: fleet.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testfleet;
+
+    #[test]
+    fn schedule_is_deterministic_and_well_formed() {
+        let fleet = testfleet::tiny(true, 64);
+        let cfg = LoadConfig {
+            total_requests: 200,
+            rate_per_s: Some(500.0),
+            horizons: vec![1, 2],
+            t_end_lo: 2,
+            t_end_hi: 4,
+            requests_per_tick: 16,
+            ..LoadConfig::default()
+        };
+        let a = build_schedule(&fleet, &cfg);
+        let b = build_schedule(&fleet, &cfg);
+        assert_eq!(a, b, "same config must yield the same schedule");
+        assert_eq!(a.len(), 200);
+        let mut prev = Duration::ZERO;
+        for s in &a {
+            assert!(s.req.city < fleet.num_shards());
+            let n = fleet.shard(s.req.city).num_regions();
+            assert!(s.req.origin < n && s.req.dest < n);
+            assert!(cfg.horizons.contains(&s.req.horizon));
+            assert!(s.req.step < s.req.horizon);
+            assert!((2..=4).contains(&s.req.t_end));
+            assert!(s.at >= prev, "open-loop arrivals must be chronological");
+            prev = s.at;
+        }
+        assert!(a.last().unwrap().at > Duration::ZERO);
+        let reseeded = build_schedule(&fleet, &LoadConfig { seed: 1, ..cfg });
+        assert_ne!(a, reseeded, "the seed must matter");
+    }
+
+    #[test]
+    fn closed_loop_run_tallies_every_request_and_balances_ledgers() {
+        let fleet = testfleet::tiny(true, 64);
+        let cfg = LoadConfig {
+            total_requests: 120,
+            horizons: vec![1, 2],
+            t_end_lo: 2,
+            t_end_hi: 3,
+            requests_per_tick: 30,
+            ..LoadConfig::default()
+        };
+        let schedule = build_schedule(&fleet, &cfg);
+        let report = run_load(&fleet, &schedule, 3);
+        assert_eq!(report.requests, 120);
+        assert_eq!(report.outcomes.total(), 120, "every request tallies once");
+        assert_eq!(report.outcomes.shed, 0, "queue never reaches depth 64");
+        assert!(
+            report.outcomes.result_cache > 0,
+            "repeated (city, t_end, horizon) keys must hit the result cache"
+        );
+        assert_eq!(
+            report.fleet.ledger_residuals(),
+            vec![0; fleet.num_shards()],
+            "every shard's conservation ledger must balance"
+        );
+        assert_eq!(
+            report.fleet.total(|s| s.result_cache_hits),
+            report.outcomes.result_cache,
+            "response tally and shard counters must agree"
+        );
+        assert!(report.forecasts_per_s() > 0.0);
+    }
+
+    #[test]
+    fn report_serializes_the_fleet_books() {
+        let fleet = testfleet::tiny(true, 64);
+        let schedule = build_schedule(
+            &fleet,
+            &LoadConfig {
+                total_requests: 8,
+                horizons: vec![1],
+                t_end_lo: 2,
+                t_end_hi: 2,
+                ..LoadConfig::default()
+            },
+        );
+        let report = run_load(&fleet, &schedule, 2);
+        let js = report.to_json();
+        for key in [
+            "\"requests\":8",
+            "\"forecasts_per_s\"",
+            "\"cache_hit_rate\"",
+            "\"outcomes\"",
+            "\"shards\"",
+            "\"global_ledger_balance\":0",
+            "\"cache_entries\"",
+        ] {
+            assert!(js.contains(key), "{key} missing from {js}");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! One tenant's serving stack: registry, broker, sliding-window ingest.
+//!
+//! A [`Shard`] owns everything request processing for one city needs —
+//! its own versioned [`Registry`], its own [`Broker`] worker pool, its
+//! own [`FeatureStore`] fed by that city's trip stream, its own NH
+//! fallback, and its own [`ServeStats`] — so tenants are isolated by
+//! construction: a worker panic, a queue pile-up, or a hot-swap in one
+//! city cannot touch another city's pipeline. The only things shards
+//! share are the fleet-level result cache and the process-wide kernel
+//! thread pool, both of which are tenant-attributed by the router.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use stod_baselines::NaiveHistograms;
+use stod_nn::ParamStore;
+use stod_serve::{
+    Broker, BrokerConfig, FeatureStore, ModelConfig, Registry, RegistryError, ServeStats,
+};
+use stod_traffic::{HistogramSpec, Trip};
+
+/// Per-shard serving knobs (the fleet-level ones live in
+/// [`crate::FleetConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardConfig {
+    /// Broker worker threads per shard.
+    pub workers: usize,
+    /// Historical intervals `s` fed to the model per invocation.
+    pub lookback: usize,
+    /// Sealed intervals the feature store retains (≥ `lookback`).
+    pub window_capacity: usize,
+    /// The broker's internal coalescing-cache capacity.
+    pub broker_cache_capacity: usize,
+    /// Whether the broker retains finished computations (see
+    /// [`BrokerConfig::retain_results`]); `false` is the honest
+    /// no-result-cache baseline.
+    pub retain_results: bool,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig {
+            workers: 2,
+            lookback: 4,
+            window_capacity: 32,
+            broker_cache_capacity: 32,
+            retain_results: true,
+        }
+    }
+}
+
+/// One city's complete serving stack.
+pub struct Shard {
+    city_id: usize,
+    name: String,
+    registry: Arc<Registry>,
+    features: Arc<FeatureStore>,
+    stats: Arc<ServeStats>,
+    broker: Broker,
+    /// The shard's own NH copy for admission-control shed answers; the
+    /// broker owns another for its fallback paths.
+    shed_fallback: NaiveHistograms,
+}
+
+impl Shard {
+    /// Builds a shard: fresh per-tenant stats (with obs counters mirrored
+    /// under `fleet/shard{city_id}/…`), registry, feature store, and a
+    /// running broker worker pool.
+    pub fn new(
+        city_id: usize,
+        name: String,
+        model: ModelConfig,
+        spec: HistogramSpec,
+        fallback: NaiveHistograms,
+        cfg: &ShardConfig,
+    ) -> Shard {
+        assert!(
+            cfg.window_capacity >= cfg.lookback,
+            "feature window must hold at least the lookback"
+        );
+        let stats = Arc::new(ServeStats::with_obs_prefix(&format!(
+            "fleet/shard{city_id}"
+        )));
+        let num_regions = model.num_regions();
+        let registry = Arc::new(Registry::new(model, Arc::clone(&stats)));
+        let features = Arc::new(FeatureStore::new(num_regions, spec, cfg.window_capacity));
+        let broker = Broker::new(
+            Arc::clone(&registry),
+            Arc::clone(&features),
+            fallback.clone(),
+            Arc::clone(&stats),
+            BrokerConfig {
+                workers: cfg.workers,
+                lookback: cfg.lookback,
+                cache_capacity: cfg.broker_cache_capacity,
+                retain_results: cfg.retain_results,
+            },
+        );
+        Shard {
+            city_id,
+            name,
+            registry,
+            features,
+            stats,
+            broker,
+            shed_fallback: fallback,
+        }
+    }
+
+    /// Tenant id (dense, 0-based; the fleet routes on it).
+    pub fn city_id(&self) -> usize {
+        self.city_id
+    }
+
+    /// Human-readable tenant name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of regions `N` of this city.
+    pub fn num_regions(&self) -> usize {
+        self.features.num_regions()
+    }
+
+    /// This shard's stats (shared with its registry and broker).
+    pub fn stats(&self) -> &Arc<ServeStats> {
+        &self.stats
+    }
+
+    /// This shard's checkpoint registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// This shard's broker.
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    /// Current broker queue depth (jobs enqueued or executing).
+    pub fn queue_depth(&self) -> u64 {
+        self.stats.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// The shard's NH answer for a pair — the admission-control shed path.
+    pub fn shed_histogram(&self, origin: usize, dest: usize) -> Vec<f32> {
+        self.shed_fallback.pair_histogram(origin, dest).to_vec()
+    }
+
+    /// Registers and promotes a checkpoint in one step, returning the new
+    /// active version. (Result-cache invalidation is the fleet's job —
+    /// use [`crate::Fleet::hot_swap`] unless the shard is cache-less.)
+    pub fn install_checkpoint(&self, store: ParamStore) -> Result<u32, RegistryError> {
+        let version = self.registry.register_store(store)?;
+        self.registry.promote(version)?;
+        Ok(version)
+    }
+
+    /// Streams one trip into the feature store's open interval.
+    pub fn ingest_trip(&self, trip: Trip) {
+        self.features.push_trip(trip);
+    }
+
+    /// Closes an interval, binning its buffered trips into the sliding
+    /// window; returns how many trips were binned.
+    pub fn seal_interval(&self, t: usize) -> usize {
+        self.features.seal_interval(t)
+    }
+}

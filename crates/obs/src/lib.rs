@@ -76,7 +76,7 @@ mod span;
 pub mod json;
 
 pub use metrics::{
-    count, gauge_add, gauge_set, observe, observe_duration, observe_ns, HistogramSnap,
+    count, gauge_add, gauge_set, intern, observe, observe_duration, observe_ns, HistogramSnap,
 };
 pub use snapshot::{
     reset, snapshot, CounterSnap, GaugeSnap, ObsSnapshot, SpanSnap, TraceEventSnap,

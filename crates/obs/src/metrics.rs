@@ -137,6 +137,36 @@ pub(crate) struct GaugeAgg {
     pub updates: u64,
 }
 
+/// Interns a dynamically-built metric name, returning a `&'static str`
+/// usable with every probe in this crate.
+///
+/// The metric registries key on `&'static str` so the armed fast path
+/// never hashes string contents or allocates. Call sites whose names are
+/// only known at runtime — the fleet's per-shard counter paths like
+/// `fleet/shard3/requests` — intern them **once at construction** and
+/// keep the returned reference. Interning takes a global lock and leaks
+/// the string on first sight (idempotently: the same name always returns
+/// the same reference), so it must stay off hot paths; the set of metric
+/// names in a process is small and bounded, which is what makes the leak
+/// a cache rather than a leak.
+pub fn intern(name: &str) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock, PoisonError};
+    static INTERNED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut set = INTERNED
+        .get_or_init(Default::default)
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    match set.get(name) {
+        Some(existing) => existing,
+        None => {
+            let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+            set.insert(leaked);
+            leaked
+        }
+    }
+}
+
 /// Adds `n` to the named counter. Disarmed cost: one relaxed load.
 #[inline]
 pub fn count(name: &'static str, n: u64) {
@@ -217,6 +247,20 @@ mod tests {
             crate::with_mode(ObsMode::Off, || count("met/armed", 100));
             count("met/armed", 3);
             assert_eq!(snapshot::snapshot().counter("met/armed"), 5);
+        });
+    }
+
+    #[test]
+    fn intern_is_idempotent_and_usable_as_counter_key() {
+        let a = intern("met/shard0/requests");
+        let b = intern("met/shard0/requests");
+        assert!(std::ptr::eq(a, b), "same name must intern to same storage");
+        assert_ne!(a, intern("met/shard1/requests"));
+        crate::with_mode(ObsMode::On, || {
+            snapshot::reset();
+            count(a, 2);
+            count(b, 3);
+            assert_eq!(snapshot::snapshot().counter("met/shard0/requests"), 5);
         });
     }
 

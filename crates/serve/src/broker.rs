@@ -40,6 +40,12 @@ pub struct BrokerConfig {
     pub lookback: usize,
     /// Computed interval tensors kept in the cache.
     pub cache_capacity: usize,
+    /// Keep finished computations in the cache (`true`, the default).
+    /// With `false` a finished job still answers every in-flight waiter
+    /// but its result is dropped immediately, so each new arrival pays a
+    /// fresh model invocation — the honest "no result cache" baseline the
+    /// fleet load harness compares against.
+    pub retain_results: bool,
 }
 
 impl Default for BrokerConfig {
@@ -52,6 +58,7 @@ impl Default for BrokerConfig {
             workers: stod_tensor::par::num_threads(),
             lookback: 4,
             cache_capacity: 32,
+            retain_results: true,
         }
     }
 }
@@ -121,13 +128,34 @@ struct Key {
     version: u32,
 }
 
-/// A finished full-tensor computation (all horizon steps).
-struct Computed {
-    version: u32,
-    predictions: Vec<Tensor>,
+/// A finished full-tensor computation (all horizon steps), shared between
+/// the broker's coalescing cache, every waiter it answers, and — through
+/// [`Broker::forecast_shared`] — the fleet-level forecast result cache.
+pub struct ComputedForecast {
+    /// Registry version that produced the predictions.
+    pub version: u32,
+    /// One `[1, N, N, K]` prediction tensor per horizon step.
+    pub predictions: Vec<Tensor>,
 }
 
-type ComputeResult = Result<Arc<Computed>, FallbackReason>;
+impl ComputedForecast {
+    /// The `(origin, dest)` speed histogram of horizon step `step`.
+    pub fn pair_histogram(&self, origin: usize, dest: usize, step: usize) -> Vec<f32> {
+        let pred = &self.predictions[step];
+        let k = pred.dim(3);
+        (0..k).map(|b| pred.at(&[0, origin, dest, b])).collect()
+    }
+
+    /// Approximate heap footprint of the prediction tensors, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.predictions
+            .iter()
+            .map(|t| std::mem::size_of_val(t.data()))
+            .sum()
+    }
+}
+
+type ComputeResult = Result<Arc<ComputedForecast>, FallbackReason>;
 
 enum CacheEntry {
     /// Being computed; senders of requests waiting for the result.
@@ -202,16 +230,33 @@ impl Broker {
     /// Answers one forecast request, micro-batching with concurrent
     /// requests for the same key and falling back to NH on any failure.
     pub fn forecast(&self, req: ForecastRequest) -> ServedForecast {
+        let stats = &self.shared.stats;
+        stats.requests_total.fetch_add(1, Ordering::Relaxed);
+        if stod_obs::armed() {
+            stod_obs::count("serve/requests", 1);
+        }
+        stats.obs_mirror(|p| p.requests);
+        self.forecast_shared(req).0
+    }
+
+    /// Like [`Broker::forecast`], but additionally hands back the shared
+    /// full-tensor computation when the model answered, so a caller-side
+    /// result cache (the fleet's `(city, t_end, horizon, version)` cache)
+    /// can retain it without recomputing or copying.
+    ///
+    /// Does **not** increment `requests_total` — the caller owns request
+    /// accounting (the plain [`Broker::forecast`] wrapper does it for the
+    /// single-broker stack).
+    pub fn forecast_shared(
+        &self,
+        req: ForecastRequest,
+    ) -> (ServedForecast, Option<Arc<ComputedForecast>>) {
         let _span = stod_obs::span!("serve/forecast");
         let n = self.shared.features.num_regions();
         assert!(req.origin < n && req.dest < n, "region id out of range");
         assert!(req.step < req.horizon, "step must be < horizon");
         let start = Instant::now();
         let stats = &self.shared.stats;
-        stats.requests_total.fetch_add(1, Ordering::Relaxed);
-        if stod_obs::armed() {
-            stod_obs::count("serve/requests", 1);
-        }
 
         let result = match self.shared.registry.active_version() {
             None => Err(FallbackReason::NoModel),
@@ -245,19 +290,15 @@ impl Broker {
             }
         };
 
+        let mut shared_result = None;
         let (histogram, source) = match result {
             Ok(computed) => {
-                let pred = &computed.predictions[req.step];
-                let k = pred.dim(3);
-                let hist: Vec<f32> = (0..k)
-                    .map(|b| pred.at(&[0, req.origin, req.dest, b]))
-                    .collect();
-                (
-                    hist,
-                    Source::Model {
-                        version: computed.version,
-                    },
-                )
+                let hist = computed.pair_histogram(req.origin, req.dest, req.step);
+                let source = Source::Model {
+                    version: computed.version,
+                };
+                shared_result = Some(computed);
+                (hist, source)
             }
             Err(reason) => {
                 let counter = match reason {
@@ -292,11 +333,14 @@ impl Broker {
         if stod_obs::armed() {
             stod_obs::observe_ns(outcome_hist, latency.as_nanos() as u64);
         }
-        ServedForecast {
-            histogram,
-            source,
-            latency,
-        }
+        (
+            ServedForecast {
+                histogram,
+                source,
+                latency,
+            },
+            shared_result,
+        )
     }
 
     /// Joins an in-flight computation, hits the cache, or becomes the
@@ -311,6 +355,7 @@ impl Broker {
                     if stod_obs::armed() {
                         stod_obs::count("serve/cache_hits", 1);
                     }
+                    self.shared.stats.obs_mirror(|p| p.cache_hits);
                     return Joined::Ready(result.clone());
                 }
                 Some(CacheEntry::InFlight(waiters)) => {
@@ -321,6 +366,7 @@ impl Broker {
                     if stod_obs::armed() {
                         stod_obs::count("serve/batched_joins", 1);
                     }
+                    self.shared.stats.obs_mirror(|p| p.batched_joins);
                     waiters.push(tx);
                     return Joined::Wait(rx);
                 }
@@ -376,6 +422,7 @@ impl Broker {
                     if stod_obs::armed() {
                         stod_obs::count("serve/worker_panics", 1);
                     }
+                    shared.stats.obs_mirror(|p| p.worker_panics);
                     if let Some(key) = current.get() {
                         Broker::fail_job(shared, key);
                     }
@@ -438,7 +485,8 @@ impl Broker {
                         if stod_obs::armed() {
                             stod_obs::count("serve/model_invocations", 1);
                         }
-                        Ok(Arc::new(Computed {
+                        shared.stats.obs_mirror(|p| p.model_invocations);
+                        Ok(Arc::new(ComputedForecast {
                             version: key.version,
                             predictions,
                         }))
@@ -446,11 +494,32 @@ impl Broker {
                 }
             }
         };
+        // A job that completed without invoking the model (no promoted
+        // version, missing feature window) closes its leader's slot in the
+        // request-conservation ledger: requests = model_invocations +
+        // failed_jobs + worker_panics + batched_joins + cache_hits (+ the
+        // fleet-level result-cache hits and sheds).
+        if result.is_err() {
+            shared.stats.failed_jobs.fetch_add(1, Ordering::Relaxed);
+            if stod_obs::armed() {
+                stod_obs::count("serve/failed_jobs", 1);
+            }
+            shared.stats.obs_mirror(|p| p.failed_jobs);
+        }
         let waiters = {
             let mut cache = shared.cache.lock();
-            let waiters = match cache.insert(key, CacheEntry::Done(result.clone())) {
-                Some(CacheEntry::InFlight(waiters)) => waiters,
-                _ => Vec::new(),
+            let waiters = if shared.cfg.retain_results {
+                match cache.insert(key, CacheEntry::Done(result.clone())) {
+                    Some(CacheEntry::InFlight(waiters)) => waiters,
+                    _ => Vec::new(),
+                }
+            } else {
+                // No-retention mode: answer the in-flight waiters, then
+                // forget the computation so the next arrival recomputes.
+                match cache.remove(&key) {
+                    Some(CacheEntry::InFlight(waiters)) => waiters,
+                    _ => Vec::new(),
+                }
             };
             // Evict oldest finished entries beyond capacity; in-flight
             // entries are never evicted (their waiters must be answered).
@@ -547,6 +616,7 @@ mod tests {
             workers: 2,
             lookback: LOOKBACK,
             cache_capacity: 4,
+            ..BrokerConfig::default()
         };
         (
             Broker::new(registry, features, fallback, stats.clone(), cfg),
@@ -596,6 +666,74 @@ mod tests {
             "second request must not recompute"
         );
         assert_eq!(snap.cache_hits, 1);
+    }
+
+    #[test]
+    fn forecast_shared_hands_back_the_cached_tensors() {
+        let (broker, _stats) = serving_stack(true);
+        let (fc, shared) = broker.forecast_shared(req(5));
+        assert!(matches!(fc.source, Source::Model { version: 1 }));
+        let shared = shared.expect("model answers carry the shared tensors");
+        assert_eq!(shared.version, 1);
+        assert_eq!(shared.predictions.len(), 2);
+        assert_eq!(
+            shared.pair_histogram(0, 1, 0),
+            fc.histogram,
+            "shared tensors must agree with the served histogram bitwise"
+        );
+        assert!(shared.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn no_retention_recomputes_every_arrival() {
+        let ds = dataset();
+        let stats = Arc::new(ServeStats::new());
+        let config = ModelConfig {
+            kind: ModelKind::Bf(BfConfig {
+                encode_dim: 8,
+                gru_hidden: 8,
+                ..BfConfig::default()
+            }),
+            centroids: ds.city.centroids(),
+            num_buckets: ds.spec.num_buckets,
+        };
+        let registry = Arc::new(Registry::new(config.clone(), Arc::clone(&stats)));
+        let model = config.build(1);
+        let store = ParamStore::from_bytes(model.params().to_bytes()).unwrap();
+        let v = registry.register_store(store).unwrap();
+        registry.promote(v).unwrap();
+        let features = Arc::new(FeatureStore::new(N, ds.spec, 8));
+        for t in 0..8 {
+            features.insert_tensor(t, ds.tensors[t].clone());
+        }
+        let fallback = NaiveHistograms::fit(&ds, 8);
+        let broker = Broker::new(
+            registry,
+            features,
+            fallback,
+            stats.clone(),
+            BrokerConfig {
+                workers: 1,
+                lookback: LOOKBACK,
+                cache_capacity: 4,
+                retain_results: false,
+            },
+        );
+        let first = broker.forecast(req(5));
+        let second = broker.forecast(req(5));
+        assert!(matches!(first.source, Source::Model { .. }));
+        assert!(matches!(second.source, Source::Model { .. }));
+        assert_eq!(
+            first.histogram, second.histogram,
+            "recomputation must be deterministic"
+        );
+        let snap = stats.snapshot();
+        assert_eq!(
+            snap.model_invocations, 2,
+            "without retention every sequential arrival recomputes"
+        );
+        assert_eq!(snap.cache_hits, 0);
+        assert_eq!(snap.ledger_balance(), 0);
     }
 
     #[test]
@@ -706,6 +844,7 @@ mod tests {
             workers: 1,
             lookback: LOOKBACK,
             cache_capacity: 4,
+            ..BrokerConfig::default()
         };
         let broker = Broker::new(registry, features, fallback, stats, cfg);
         let fc = broker.forecast(req(2));

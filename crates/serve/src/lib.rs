@@ -57,10 +57,12 @@ pub mod ingest;
 pub mod registry;
 pub mod stats;
 
-pub use broker::{Broker, BrokerConfig, FallbackReason, ForecastRequest, ServedForecast, Source};
+pub use broker::{
+    Broker, BrokerConfig, ComputedForecast, FallbackReason, ForecastRequest, ServedForecast, Source,
+};
 pub use ingest::{interval_for_departure, FeatureStore};
 pub use registry::{ModelConfig, ModelKind, Registry, RegistryError, ServedModel};
-pub use stats::{LatencyHistogram, ServeStats, StatsSnapshot};
+pub use stats::{LatencyHistogram, LedgerObsPaths, ServeStats, StatsSnapshot};
 
 /// The serving stack is shared across request threads; keep the central
 /// types `Send + Sync` (compile-time check).

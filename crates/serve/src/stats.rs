@@ -118,11 +118,39 @@ impl SizeHistogram {
     }
 }
 
+/// Interned observability paths mirroring one serving stack's ledger
+/// counters under a per-shard prefix (`fleet/shard3/requests`, …).
+///
+/// The flat `serve/*` counters aggregate every stack in the process; a
+/// fleet needs the same ledger *per tenant*, and the obs registry keys on
+/// `&'static str`, so the paths are interned once at stack construction
+/// (see [`stod_obs::intern`]) and reused on every request.
+pub struct LedgerObsPaths {
+    /// Mirror of [`ServeStats::requests_total`].
+    pub requests: &'static str,
+    /// Mirror of [`ServeStats::model_invocations`].
+    pub model_invocations: &'static str,
+    /// Mirror of [`ServeStats::batched_joins`].
+    pub batched_joins: &'static str,
+    /// Mirror of [`ServeStats::cache_hits`].
+    pub cache_hits: &'static str,
+    /// Mirror of [`ServeStats::result_cache_hits`].
+    pub result_cache_hits: &'static str,
+    /// Mirror of [`ServeStats::shed`].
+    pub shed: &'static str,
+    /// Mirror of [`ServeStats::worker_panics`].
+    pub worker_panics: &'static str,
+    /// Mirror of [`ServeStats::failed_jobs`].
+    pub failed_jobs: &'static str,
+}
+
 /// Counters and latency telemetry for one serving stack. All methods take
 /// `&self`; share the struct behind an `Arc` between registry, broker and
 /// observers.
 #[derive(Default)]
 pub struct ServeStats {
+    /// Per-shard obs mirror paths (`None` for a plain, unprefixed stack).
+    obs_paths: Option<LedgerObsPaths>,
     /// Forecast requests received.
     pub requests_total: AtomicU64,
     /// Model forward passes actually executed.
@@ -131,6 +159,25 @@ pub struct ServeStats {
     pub batched_joins: AtomicU64,
     /// Requests answered from the interval tensor cache.
     pub cache_hits: AtomicU64,
+    /// Requests answered from the fleet-level forecast result cache
+    /// (`(city, t_end, horizon, version)` keyed, LRU) without entering the
+    /// broker at all.
+    pub result_cache_hits: AtomicU64,
+    /// Requests that missed the fleet-level result cache and went on to
+    /// the broker.
+    pub result_cache_misses: AtomicU64,
+    /// Fleet result-cache entries of this tenant evicted by the LRU policy.
+    pub result_cache_evictions: AtomicU64,
+    /// Fleet result-cache entries of this tenant invalidated by a registry
+    /// hot-swap (stale version dropped before it could ever be served).
+    pub result_cache_invalidations: AtomicU64,
+    /// Requests shed by admission control (queue beyond deadline-feasible
+    /// depth) and answered from the NH baseline with a typed outcome.
+    pub shed: AtomicU64,
+    /// Broker jobs that completed without a model invocation (no promoted
+    /// model, missing feature window); each closes its leader's slot in
+    /// the conservation ledger.
+    pub failed_jobs: AtomicU64,
     /// Requests that fell back to NH because the deadline expired.
     pub fallbacks_deadline: AtomicU64,
     /// Requests that fell back to NH because no model was promoted (or the
@@ -161,6 +208,11 @@ pub struct ServeStats {
     pub latency_model: LatencyHistogram,
     /// End-to-end latencies of requests answered by a fallback path.
     pub latency_fallback: LatencyHistogram,
+    /// End-to-end latencies of requests answered from the fleet result
+    /// cache.
+    pub latency_cache: LatencyHistogram,
+    /// End-to-end latencies of requests shed by admission control.
+    pub latency_shed: LatencyHistogram,
     /// Micro-batch fan-out sizes: how many waiters each finished job
     /// answered (leader included).
     pub batch_sizes: SizeHistogram,
@@ -174,6 +226,41 @@ impl ServeStats {
     /// Fresh, all-zero stats.
     pub fn new() -> ServeStats {
         ServeStats::default()
+    }
+
+    /// Fresh stats whose ledger counters additionally mirror into obs
+    /// counters under `prefix` (e.g. `fleet/shard3`), so a multi-tenant
+    /// process can read the conservation ledger per shard from one
+    /// [`stod_obs::snapshot`]. Paths are interned here, once; the
+    /// request-path mirror is then an ordinary `&'static str` counter bump.
+    pub fn with_obs_prefix(prefix: &str) -> ServeStats {
+        let path = |suffix: &str| stod_obs::intern(&format!("{prefix}/{suffix}"));
+        ServeStats {
+            obs_paths: Some(LedgerObsPaths {
+                requests: path("requests"),
+                model_invocations: path("model_invocations"),
+                batched_joins: path("batched_joins"),
+                cache_hits: path("cache_hits"),
+                result_cache_hits: path("result_cache_hits"),
+                shed: path("shed"),
+                worker_panics: path("worker_panics"),
+                failed_jobs: path("failed_jobs"),
+            }),
+            ..ServeStats::default()
+        }
+    }
+
+    /// Bumps the per-shard obs mirror of one ledger counter (chosen by
+    /// `pick`) when this stack has a prefix and observability is armed.
+    /// Disarmed or unprefixed cost: one relaxed load.
+    #[inline]
+    pub fn obs_mirror(&self, pick: impl FnOnce(&LedgerObsPaths) -> &'static str) {
+        if !stod_obs::armed() {
+            return;
+        }
+        if let Some(paths) = &self.obs_paths {
+            stod_obs::count(pick(paths), 1);
+        }
     }
 
     /// Folds a finished training run's fault counters into the serving
@@ -212,6 +299,12 @@ impl ServeStats {
             model_invocations: load(&self.model_invocations),
             batched_joins: load(&self.batched_joins),
             cache_hits: load(&self.cache_hits),
+            result_cache_hits: load(&self.result_cache_hits),
+            result_cache_misses: load(&self.result_cache_misses),
+            result_cache_evictions: load(&self.result_cache_evictions),
+            result_cache_invalidations: load(&self.result_cache_invalidations),
+            shed: load(&self.shed),
+            failed_jobs: load(&self.failed_jobs),
             fallbacks_deadline: load(&self.fallbacks_deadline),
             fallbacks_no_model: load(&self.fallbacks_no_model),
             fallbacks_no_features: load(&self.fallbacks_no_features),
@@ -231,6 +324,12 @@ impl ServeStats {
             fallback_latency_count: self.latency_fallback.count(),
             fallback_p50_us: self.latency_fallback.quantile_us(0.50),
             fallback_p99_us: self.latency_fallback.quantile_us(0.99),
+            cache_latency_count: self.latency_cache.count(),
+            cache_p50_us: self.latency_cache.quantile_us(0.50),
+            cache_p99_us: self.latency_cache.quantile_us(0.99),
+            shed_latency_count: self.latency_shed.count(),
+            shed_p50_us: self.latency_shed.quantile_us(0.50),
+            shed_p99_us: self.latency_shed.quantile_us(0.99),
             batch_count: self.batch_sizes.count(),
             batch_p50: self.batch_sizes.quantile(0.50),
             batch_max: self.batch_sizes.max(),
@@ -250,6 +349,18 @@ pub struct StatsSnapshot {
     pub batched_joins: u64,
     /// See [`ServeStats::cache_hits`].
     pub cache_hits: u64,
+    /// See [`ServeStats::result_cache_hits`].
+    pub result_cache_hits: u64,
+    /// See [`ServeStats::result_cache_misses`].
+    pub result_cache_misses: u64,
+    /// See [`ServeStats::result_cache_evictions`].
+    pub result_cache_evictions: u64,
+    /// See [`ServeStats::result_cache_invalidations`].
+    pub result_cache_invalidations: u64,
+    /// See [`ServeStats::shed`].
+    pub shed: u64,
+    /// See [`ServeStats::failed_jobs`].
+    pub failed_jobs: u64,
     /// See [`ServeStats::fallbacks_deadline`].
     pub fallbacks_deadline: u64,
     /// See [`ServeStats::fallbacks_no_model`].
@@ -288,6 +399,18 @@ pub struct StatsSnapshot {
     pub fallback_p50_us: u64,
     /// 99th-percentile fallback latency (µs).
     pub fallback_p99_us: u64,
+    /// Latency observations on the result-cache path.
+    pub cache_latency_count: u64,
+    /// Median result-cache latency (µs, bucket upper edge).
+    pub cache_p50_us: u64,
+    /// 99th-percentile result-cache latency (µs).
+    pub cache_p99_us: u64,
+    /// Latency observations on the shed path.
+    pub shed_latency_count: u64,
+    /// Median shed latency (µs, bucket upper edge).
+    pub shed_p50_us: u64,
+    /// 99th-percentile shed latency (µs).
+    pub shed_p99_us: u64,
     /// Finished jobs behind the batch-size percentiles.
     pub batch_count: u64,
     /// Median micro-batch fan-out (bucket upper edge).
@@ -307,6 +430,30 @@ impl StatsSnapshot {
             + self.fallbacks_worker_panic
     }
 
+    /// Residual of the request-conservation ledger
+    ///
+    /// ```text
+    /// requests = model_invocations + failed_jobs + worker_panics
+    ///          + batched_joins + cache_hits + result_cache_hits + shed
+    /// ```
+    ///
+    /// Every request is exactly one of: shed by admission control, a
+    /// result-cache hit, a broker cache hit, a joiner of an in-flight
+    /// computation, or the leader of exactly one job — and every job ends
+    /// as a model invocation, a failed job, or a contained worker panic.
+    /// Zero means the ledger balances exactly; non-zero is an accounting
+    /// bug (or requests still in flight when the snapshot was taken).
+    pub fn ledger_balance(&self) -> i128 {
+        self.requests_total as i128
+            - (self.model_invocations
+                + self.failed_jobs
+                + self.worker_panics
+                + self.batched_joins
+                + self.cache_hits
+                + self.result_cache_hits
+                + self.shed) as i128
+    }
+
     /// This snapshot as a JSON object string.
     pub fn to_json(&self) -> String {
         json::to_string(self)
@@ -320,6 +467,15 @@ impl Serialize for StatsSnapshot {
             o.field("model_invocations", &self.model_invocations);
             o.field("batched_joins", &self.batched_joins);
             o.field("cache_hits", &self.cache_hits);
+            o.field("result_cache_hits", &self.result_cache_hits);
+            o.field("result_cache_misses", &self.result_cache_misses);
+            o.field("result_cache_evictions", &self.result_cache_evictions);
+            o.field(
+                "result_cache_invalidations",
+                &self.result_cache_invalidations,
+            );
+            o.field("shed", &self.shed);
+            o.field("failed_jobs", &self.failed_jobs);
             o.field("fallbacks_deadline", &self.fallbacks_deadline);
             o.field("fallbacks_no_model", &self.fallbacks_no_model);
             o.field("fallbacks_no_features", &self.fallbacks_no_features);
@@ -339,6 +495,12 @@ impl Serialize for StatsSnapshot {
             o.field("fallback_latency_count", &self.fallback_latency_count);
             o.field("fallback_p50_us", &self.fallback_p50_us);
             o.field("fallback_p99_us", &self.fallback_p99_us);
+            o.field("cache_latency_count", &self.cache_latency_count);
+            o.field("cache_p50_us", &self.cache_p50_us);
+            o.field("cache_p99_us", &self.cache_p99_us);
+            o.field("shed_latency_count", &self.shed_latency_count);
+            o.field("shed_p50_us", &self.shed_p50_us);
+            o.field("shed_p99_us", &self.shed_p99_us);
             o.field("batch_count", &self.batch_count);
             o.field("batch_p50", &self.batch_p50);
             o.field("batch_max", &self.batch_max);
@@ -378,6 +540,38 @@ mod tests {
     }
 
     #[test]
+    fn ledger_balance_counts_every_outcome_once() {
+        let s = ServeStats::new();
+        s.requests_total.fetch_add(10, Ordering::Relaxed);
+        s.model_invocations.fetch_add(2, Ordering::Relaxed);
+        s.failed_jobs.fetch_add(1, Ordering::Relaxed);
+        s.worker_panics.fetch_add(1, Ordering::Relaxed);
+        s.batched_joins.fetch_add(2, Ordering::Relaxed);
+        s.cache_hits.fetch_add(1, Ordering::Relaxed);
+        s.result_cache_hits.fetch_add(2, Ordering::Relaxed);
+        s.shed.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(s.snapshot().ledger_balance(), 0);
+        s.requests_total.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(s.snapshot().ledger_balance(), 3);
+    }
+
+    #[test]
+    fn obs_prefix_mirrors_into_per_shard_counters() {
+        let plain = ServeStats::new();
+        let sharded = ServeStats::with_obs_prefix("stats-test/shard0");
+        stod_obs::with_mode(stod_obs::ObsMode::On, || {
+            stod_obs::reset();
+            plain.obs_mirror(|p| p.requests); // no prefix: no-op
+            sharded.obs_mirror(|p| p.requests);
+            sharded.obs_mirror(|p| p.requests);
+            sharded.obs_mirror(|p| p.shed);
+            let snap = stod_obs::snapshot();
+            assert_eq!(snap.counter("stats-test/shard0/requests"), 2);
+            assert_eq!(snap.counter("stats-test/shard0/shed"), 1);
+        });
+    }
+
+    #[test]
     fn snapshot_reflects_counters() {
         let s = ServeStats::new();
         s.requests_total.fetch_add(3, Ordering::Relaxed);
@@ -404,6 +598,12 @@ mod tests {
             "checkpoint_rejects",
             "nonfinite_batches",
             "fallbacks_worker_panic",
+            "result_cache_hits",
+            "result_cache_misses",
+            "result_cache_evictions",
+            "result_cache_invalidations",
+            "shed",
+            "failed_jobs",
         ] {
             assert!(
                 js.contains(&format!("\"{fault_field}\":0")),

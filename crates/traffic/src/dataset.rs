@@ -123,6 +123,21 @@ pub struct OdDataset {
 impl OdDataset {
     /// Simulates a dataset: latent speeds → demand → trips → histograms.
     pub fn generate(city: CityModel, cfg: &SimConfig) -> OdDataset {
+        OdDataset::generate_with_trips(city, cfg).0
+    }
+
+    /// Like [`OdDataset::generate`], but also returns the simulated trip
+    /// records, one `Vec<Trip>` per interval in chronological order.
+    ///
+    /// The tensors and the trips come from the *same* sampling pass, so
+    /// `OdTensor::from_trips(n, &spec, &trips[t])` reproduces `tensors[t]`
+    /// bitwise — the property that makes the trip stream a faithful replay
+    /// source for the serving fleet's live-ingest path (trips pushed and
+    /// sealed through `FeatureStore` yield exactly the offline tensors).
+    pub fn generate_with_trips(
+        city: CityModel,
+        cfg: &SimConfig,
+    ) -> (OdDataset, Vec<Vec<crate::trip::Trip>>) {
         let total = cfg.num_intervals();
         let field = SpeedField::simulate(&city, cfg.intervals_per_day, total, cfg.seed, cfg.speed);
         let demand = DemandModel::new(
@@ -147,43 +162,51 @@ impl OdDataset {
             .unwrap_or(1)
             .clamp(1, 8);
         let chunk = total.div_ceil(threads).max(1);
-        let results: Vec<Vec<OdTensor>> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (ci, seed_chunk) in seeds.chunks(chunk).enumerate() {
-                let city = &city;
-                let field = &field;
-                let demand = &demand;
-                let hist = cfg.hist;
-                handles.push(scope.spawn(move |_| {
-                    let base = ci * chunk;
-                    seed_chunk
-                        .iter()
-                        .enumerate()
-                        .map(|(off, &seed)| {
-                            let t = base + off;
-                            let mut rng = Rng64::new(seed);
-                            let trips = demand.sample_interval(city, field, t, &mut rng);
-                            OdTensor::from_trips(n, &hist, &trips)
-                        })
-                        .collect::<Vec<_>>()
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("generation worker"))
-                .collect()
-        })
-        .expect("generation scope");
+        let results: Vec<Vec<(OdTensor, Vec<crate::trip::Trip>)>> =
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (ci, seed_chunk) in seeds.chunks(chunk).enumerate() {
+                    let city = &city;
+                    let field = &field;
+                    let demand = &demand;
+                    let hist = cfg.hist;
+                    handles.push(scope.spawn(move |_| {
+                        let base = ci * chunk;
+                        seed_chunk
+                            .iter()
+                            .enumerate()
+                            .map(|(off, &seed)| {
+                                let t = base + off;
+                                let mut rng = Rng64::new(seed);
+                                let trips = demand.sample_interval(city, field, t, &mut rng);
+                                (OdTensor::from_trips(n, &hist, &trips), trips)
+                            })
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("generation worker"))
+                    .collect()
+            })
+            .expect("generation scope");
         let mut tensors = Vec::with_capacity(total);
+        let mut trips = Vec::with_capacity(total);
         for block in results {
-            tensors.extend(block);
+            for (tensor, interval_trips) in block {
+                tensors.push(tensor);
+                trips.push(interval_trips);
+            }
         }
-        OdDataset {
-            city,
-            spec: cfg.hist,
-            intervals_per_day: cfg.intervals_per_day,
-            tensors,
-        }
+        (
+            OdDataset {
+                city,
+                spec: cfg.hist,
+                intervals_per_day: cfg.intervals_per_day,
+                tensors,
+            },
+            trips,
+        )
     }
 
     /// Number of regions.

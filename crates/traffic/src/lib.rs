@@ -30,6 +30,8 @@
 //!   with observation masks Ω.
 //! * [`dataset`] — chronological datasets, sliding windows `(s, h)`,
 //!   train/validation/test splits and batching.
+//! * [`replay`] — deterministic multi-city fleets (per-tenant datasets +
+//!   trip streams) replayed through the serving tier's live-ingest path.
 //! * [`stats`] — sparseness and coverage statistics (Figure 7).
 //! * [`weather`] — optional weather context (the paper's §VII outlook).
 
@@ -39,6 +41,7 @@ pub mod demand;
 pub mod hist;
 pub mod io;
 pub mod od_tensor;
+pub mod replay;
 pub mod speed;
 pub mod stats;
 pub mod trip;
@@ -48,4 +51,5 @@ pub use city::{CityModel, Region};
 pub use dataset::{OdDataset, SimConfig, Split, Window};
 pub use hist::HistogramSpec;
 pub use od_tensor::OdTensor;
+pub use replay::{generate_fleet, FleetCity, FleetSimConfig};
 pub use trip::Trip;

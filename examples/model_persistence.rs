@@ -92,6 +92,7 @@ fn main() -> std::io::Result<()> {
             workers: 1,
             lookback,
             cache_capacity: 4,
+            ..BrokerConfig::default()
         },
     );
     let fc = broker.forecast(ForecastRequest {

@@ -76,6 +76,7 @@ fn main() -> std::io::Result<()> {
             workers: 2,
             lookback: LOOKBACK,
             cache_capacity: 16,
+            ..BrokerConfig::default()
         },
     );
 

@@ -6,6 +6,7 @@
 #   scripts/verify.sh --conformance   # additionally run the oracle gate
 #   scripts/verify.sh --chaos         # additionally run the fault-injection gate
 #   scripts/verify.sh --bench         # additionally run the bench-regression gate
+#   scripts/verify.sh --load          # additionally run the fleet load/SLO gate
 #   scripts/verify.sh --all           # every stage, with a per-stage timing summary
 #
 # Tier-1 (the gate CI enforces) is the root package: its integration
@@ -29,6 +30,13 @@
 # --bless` updates the baseline), and re-runs the obs off/on bitwise
 # identity gate at 1 and 4 threads.
 #
+# --load runs the city-scale serving harness (`M=serve_load`) at pinned
+# STOD_THREADS=2 with its SLO gates enforced (STOD_LOAD_GATE=1): zero
+# request-conservation residuals on every tenant ledger, SLO-phase p99
+# within budget, a cache hit-rate floor, and a minimum cache-on vs
+# cache-off throughput speedup (default 10x; STOD_LOAD_MIN_SPEEDUP
+# overrides). The artifact lands in results/BENCH_serve_load.json.
+#
 # Every stage prints its wall time at the end of the run.
 
 set -euo pipefail
@@ -38,13 +46,15 @@ full=0
 conformance=0
 chaos=0
 bench=0
+load=0
 for arg in "$@"; do
   case "$arg" in
     --full) full=1 ;;
     --conformance) conformance=1 ;;
     --chaos) chaos=1 ;;
     --bench) bench=1 ;;
-    --all) full=1; conformance=1; chaos=1; bench=1 ;;
+    --load) load=1 ;;
+    --all) full=1; conformance=1; chaos=1; bench=1; load=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -127,6 +137,13 @@ stage_bench() {
   STOD_THREADS=4 cargo test -q --test obs_gate
 }
 
+stage_load() {
+  cargo build -q --release -p stod-bench
+  echo "==> fleet load harness, gates enforced (STOD_THREADS=2)"
+  STOD_THREADS=2 M=serve_load STOD_LOAD_GATE=1 \
+    cargo run -q --release -p stod-bench --bin probe
+}
+
 run_stage "fmt" stage_fmt
 run_stage "clippy" stage_clippy
 run_stage "tier-1 (×2 thread counts)" stage_tier1
@@ -134,6 +151,7 @@ run_stage "tier-1 (×2 thread counts)" stage_tier1
 [[ "$conformance" == 1 ]] && run_stage "conformance" stage_conformance
 [[ "$chaos" == 1 ]] && run_stage "chaos" stage_chaos
 [[ "$bench" == 1 ]] && run_stage "bench" stage_bench
+[[ "$load" == 1 ]] && run_stage "load" stage_load
 
 echo "-- stage timing --"
 printf '%s\n' "${summary[@]}"

@@ -26,6 +26,10 @@
 //! * [`faultline`] — seeded deterministic fault injection (`STOD_FAULTS`),
 //!   CRC-32 checksums, and crash-consistent atomic file persistence — the
 //!   robustness substrate the chaos test suite drives.
+//! * [`fleet`] — city-scale serving: per-city tenant shards over
+//!   [`serve`], a fleet-wide forecast result cache with LRU eviction and
+//!   hot-swap invalidation, admission-control shedding, and a seeded
+//!   open/closed-loop load harness.
 //! * [`obs`] — zero-dependency observability: scoped spans, counters,
 //!   gauges and log2 histograms behind a disarmed-by-default probe
 //!   (`STOD_OBS`), snapshotted into the `results/BENCH_obs.json` artifact
@@ -37,6 +41,7 @@
 pub use stod_baselines as baselines;
 pub use stod_core as core;
 pub use stod_faultline as faultline;
+pub use stod_fleet as fleet;
 pub use stod_graph as graph;
 pub use stod_metrics as metrics;
 pub use stod_nn as nn;

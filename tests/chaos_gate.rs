@@ -97,6 +97,7 @@ fn serve_stack(seed: u64, workers: usize) -> (Broker, Arc<ServeStats>, Arc<Regis
             workers,
             lookback: LOOKBACK,
             cache_capacity: 6,
+            ..BrokerConfig::default()
         },
     );
     (broker, stats, registry)

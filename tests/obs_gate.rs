@@ -178,6 +178,7 @@ fn serve_counters_satisfy_conservation_law_under_concurrent_traffic() {
             workers: 2,
             lookback: LOOKBACK,
             cache_capacity: 64,
+            ..BrokerConfig::default()
         },
     );
 

@@ -100,6 +100,7 @@ fn serve_end_to_end() {
             workers: 2,
             lookback: LOOKBACK,
             cache_capacity: 16,
+            ..BrokerConfig::default()
         },
     );
 
@@ -216,6 +217,7 @@ fn serving_without_any_checkpoint_degrades_to_nh() {
             workers: 1,
             lookback: LOOKBACK,
             cache_capacity: 4,
+            ..BrokerConfig::default()
         },
     );
     let fc = broker.forecast(request(5));

@@ -90,6 +90,7 @@ fn build_stack(workers: usize, seed: u64) -> (Broker, Arc<ServeStats>, OdDataset
             workers,
             lookback: LOOKBACK,
             cache_capacity: 8, // smaller than the key space → eviction churn
+            ..BrokerConfig::default()
         },
     );
     (broker, stats, ds)
