@@ -1,0 +1,196 @@
+//! Adaptation counters and their conservation ledger.
+//!
+//! Every adaptation cycle ends in exactly one typed outcome, and the
+//! outcome counters must sum back to `cycles_started` — the same
+//! accounting discipline as the serving fleet's request ledger: a cycle
+//! that vanished without an outcome is a bug the ledger residual exposes,
+//! not a log line someone has to notice. The headline counters
+//! (`fine_tunes`, `promotions`, `rollbacks`, `candidate_rejects`) also
+//! mirror into per-city obs counters (`adapt/city{i}/…`) when
+//! observability is armed, so one [`stod_obs::snapshot`] shows the whole
+//! loop next to the serving-side numbers it perturbs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Interned per-city obs paths for the adaptation mirror.
+pub struct AdaptObsPaths {
+    /// Mirror of [`AdaptStats::cycles_started`].
+    pub cycles: &'static str,
+    /// Mirror of [`AdaptStats::fine_tunes`].
+    pub fine_tunes: &'static str,
+    /// Mirror of [`AdaptStats::promotions`].
+    pub promotions: &'static str,
+    /// Mirror of [`AdaptStats::rollbacks`].
+    pub rollbacks: &'static str,
+    /// Mirror of [`AdaptStats::rejected_candidates`].
+    pub candidate_rejects: &'static str,
+    /// Mirror of [`AdaptStats::held`].
+    pub holds: &'static str,
+}
+
+/// Counters for one city's adaptation loop. All methods take `&self`;
+/// share behind an `Arc` if observers need a live view.
+#[derive(Default)]
+pub struct AdaptStats {
+    /// Per-city obs mirror paths (`None` for an unprefixed loop).
+    obs_paths: Option<AdaptObsPaths>,
+    /// Adaptation cycles entered (the ledger's left-hand side).
+    pub cycles_started: AtomicU64,
+    /// Fine-tune attempts, including crash-resumed re-attempts.
+    pub fine_tunes: AtomicU64,
+    /// Optimizer steps spent across all fine-tunes.
+    pub fine_tune_steps: AtomicU64,
+    /// Registry hot-swaps performed by the pipeline (clean promotions
+    /// *and* promotions later rolled back; `promotions = promoted_clean +
+    /// rolled_back` is asserted by the gate tests).
+    pub promotions: AtomicU64,
+    /// Rollbacks applied after a confirm-slice regression.
+    pub rollbacks: AtomicU64,
+    // -- Outcome ledger: every started cycle lands in exactly one. --
+    /// Cycles that promoted and passed the confirm slice.
+    pub promoted_clean: AtomicU64,
+    /// Cycles whose candidate did not clear the promotion bar.
+    pub held: AtomicU64,
+    /// Cycles that promoted, regressed on confirm, and rolled back.
+    pub rolled_back: AtomicU64,
+    /// Cycles whose candidate checkpoint was rejected by the registry
+    /// (corrupt or malformed bytes; the incumbent is untouched).
+    pub rejected_candidates: AtomicU64,
+    /// Cycles skipped before fine-tuning (no snapshot, no incumbent, or
+    /// too few training windows).
+    pub skipped: AtomicU64,
+    /// Cycles whose fine-tune was aborted mid-run (crash-safe checkpoint
+    /// retained; the next cycle resumes it).
+    pub aborted: AtomicU64,
+    /// Cycles that crashed between the durable promotion record and the
+    /// in-memory swap (recovery replays the record on restart).
+    pub crashed: AtomicU64,
+    /// Cycles that failed in training or I/O with no retained state.
+    pub failed: AtomicU64,
+}
+
+impl AdaptStats {
+    /// Fresh, unprefixed stats (no obs mirroring).
+    pub fn new() -> AdaptStats {
+        AdaptStats::default()
+    }
+
+    /// Fresh stats whose headline counters mirror into obs counters under
+    /// `prefix` (e.g. `adapt/city0`). Paths are interned once, here.
+    pub fn with_obs_prefix(prefix: &str) -> AdaptStats {
+        let path = |suffix: &str| stod_obs::intern(&format!("{prefix}/{suffix}"));
+        AdaptStats {
+            obs_paths: Some(AdaptObsPaths {
+                cycles: path("cycles"),
+                fine_tunes: path("fine_tunes"),
+                promotions: path("promotions"),
+                rollbacks: path("rollbacks"),
+                candidate_rejects: path("candidate_rejects"),
+                holds: path("holds"),
+            }),
+            ..AdaptStats::default()
+        }
+    }
+
+    /// Bumps the obs mirror of one counter when prefixed and armed.
+    #[inline]
+    pub fn obs_mirror(&self, pick: impl FnOnce(&AdaptObsPaths) -> &'static str) {
+        if !stod_obs::armed() {
+            return;
+        }
+        if let Some(paths) = &self.obs_paths {
+            stod_obs::count(pick(paths), 1);
+        }
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> AdaptSnapshot {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        AdaptSnapshot {
+            cycles_started: get(&self.cycles_started),
+            fine_tunes: get(&self.fine_tunes),
+            fine_tune_steps: get(&self.fine_tune_steps),
+            promotions: get(&self.promotions),
+            rollbacks: get(&self.rollbacks),
+            promoted_clean: get(&self.promoted_clean),
+            held: get(&self.held),
+            rolled_back: get(&self.rolled_back),
+            rejected_candidates: get(&self.rejected_candidates),
+            skipped: get(&self.skipped),
+            aborted: get(&self.aborted),
+            crashed: get(&self.crashed),
+            failed: get(&self.failed),
+        }
+    }
+}
+
+/// A frozen copy of [`AdaptStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct AdaptSnapshot {
+    pub cycles_started: u64,
+    pub fine_tunes: u64,
+    pub fine_tune_steps: u64,
+    pub promotions: u64,
+    pub rollbacks: u64,
+    pub promoted_clean: u64,
+    pub held: u64,
+    pub rolled_back: u64,
+    pub rejected_candidates: u64,
+    pub skipped: u64,
+    pub aborted: u64,
+    pub crashed: u64,
+    pub failed: u64,
+}
+
+impl AdaptSnapshot {
+    /// Conservation residual: `cycles_started` minus the sum of outcome
+    /// counters. Zero iff every started cycle landed in exactly one
+    /// outcome.
+    pub fn ledger_balance(&self) -> i128 {
+        self.cycles_started as i128
+            - (self.promoted_clean
+                + self.held
+                + self.rolled_back
+                + self.rejected_candidates
+                + self.skipped
+                + self.aborted
+                + self.crashed
+                + self.failed) as i128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_balances_when_outcomes_account_for_every_cycle() {
+        let s = AdaptStats::new();
+        s.cycles_started.store(5, Ordering::Relaxed);
+        s.promoted_clean.store(2, Ordering::Relaxed);
+        s.held.store(1, Ordering::Relaxed);
+        s.rolled_back.store(1, Ordering::Relaxed);
+        s.skipped.store(1, Ordering::Relaxed);
+        assert_eq!(s.snapshot().ledger_balance(), 0);
+        s.cycles_started.store(6, Ordering::Relaxed);
+        assert_eq!(s.snapshot().ledger_balance(), 1, "a lost cycle shows up");
+    }
+
+    #[test]
+    fn obs_prefix_mirrors_into_per_city_counters() {
+        let plain = AdaptStats::new();
+        let prefixed = AdaptStats::with_obs_prefix("adapt-stats-test/city0");
+        stod_obs::with_mode(stod_obs::ObsMode::On, || {
+            stod_obs::reset();
+            plain.obs_mirror(|p| p.cycles); // unprefixed: no-op
+            prefixed.obs_mirror(|p| p.cycles);
+            prefixed.obs_mirror(|p| p.fine_tunes);
+            prefixed.obs_mirror(|p| p.fine_tunes);
+            let snap = stod_obs::snapshot();
+            assert_eq!(snap.counter("adapt-stats-test/city0/cycles"), 1);
+            assert_eq!(snap.counter("adapt-stats-test/city0/fine_tunes"), 2);
+            assert_eq!(snap.counter("adapt-stats-test/city0/promotions"), 0);
+        });
+    }
+}

@@ -44,5 +44,6 @@ pub use config::{AfConfig, BfConfig, TrainConfig};
 pub use evaluate::{evaluate, EvalReport};
 pub use model::{Mode, ModelOutput, OdForecaster};
 pub use train::{
-    train, train_resume, train_robust, FaultPolicy, RobustConfig, TrainError, TrainReport,
+    fine_tune, fine_tune_resume, train, train_resume, train_robust, FaultPolicy, RobustConfig,
+    TrainError, TrainReport,
 };

@@ -439,6 +439,47 @@ pub fn train_resume(
     run_robust(model, ds, windows, val, cfg, rcfg, init)
 }
 
+/// Warm-start fine-tuning: copies `init` (e.g. the live incumbent's
+/// weights exported from the serving registry) into `model`, then runs the
+/// crash-safe trainer over the given windows.
+///
+/// This is the continual-adaptation entry point: `model` should be a
+/// freshly built instance of the same architecture (`copy_from` panics on
+/// a layout mismatch, which would mean the caller mixed architectures),
+/// and the optimizer/RNG state starts fresh from `cfg.seed` — a fine-tune
+/// is a new, short training run seeded from live weights, not a
+/// continuation of the original run's Adam moments.
+pub fn fine_tune(
+    model: &mut dyn OdForecaster,
+    init: &ParamStore,
+    ds: &OdDataset,
+    windows: &[Window],
+    cfg: &TrainConfig,
+    rcfg: &RobustConfig,
+) -> Result<TrainReport, TrainError> {
+    model.params_mut().copy_from(init);
+    train_robust(model, ds, windows, None, cfg, rcfg)
+}
+
+/// [`fine_tune`] with crash resume: when `rcfg.ckpt_path` holds a valid
+/// cadence checkpoint from an interrupted fine-tune, training continues
+/// from it (the checkpoint's weights override the warm-start copy);
+/// otherwise the fine-tune starts fresh from `init`. The same call
+/// therefore works for attempt 1 and every retry after a kill, and the
+/// combined kill+resume trajectory is bitwise identical to an
+/// uninterrupted [`fine_tune`].
+pub fn fine_tune_resume(
+    model: &mut dyn OdForecaster,
+    init: &ParamStore,
+    ds: &OdDataset,
+    windows: &[Window],
+    cfg: &TrainConfig,
+    rcfg: &RobustConfig,
+) -> Result<TrainReport, TrainError> {
+    model.params_mut().copy_from(init);
+    train_resume(model, ds, windows, None, cfg, rcfg)
+}
+
 fn run_robust(
     model: &mut dyn OdForecaster,
     ds: &OdDataset,

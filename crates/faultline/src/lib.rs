@@ -59,10 +59,14 @@ pub enum FaultSite {
     /// Abort the training loop after the current minibatch, simulating a
     /// hard kill without a final checkpoint flush.
     TrainAbort,
+    /// Crash the adaptation pipeline between persisting a promotion
+    /// decision durably and applying the in-memory hot-swap, simulating a
+    /// process kill at the worst possible instant of a promote.
+    PromoteCrash,
 }
 
 /// Number of distinct sites; array-indexed state below.
-const N_SITES: usize = 6;
+const N_SITES: usize = 7;
 
 /// All sites, for iteration/reporting.
 pub const ALL_SITES: [FaultSite; N_SITES] = [
@@ -72,6 +76,7 @@ pub const ALL_SITES: [FaultSite; N_SITES] = [
     FaultSite::SaveInterrupt,
     FaultSite::SaveDiskFull,
     FaultSite::TrainAbort,
+    FaultSite::PromoteCrash,
 ];
 
 impl FaultSite {
@@ -83,6 +88,7 @@ impl FaultSite {
             FaultSite::SaveInterrupt => 3,
             FaultSite::SaveDiskFull => 4,
             FaultSite::TrainAbort => 5,
+            FaultSite::PromoteCrash => 6,
         }
     }
 
@@ -95,6 +101,7 @@ impl FaultSite {
             FaultSite::SaveInterrupt => "save_interrupt",
             FaultSite::SaveDiskFull => "save_disk_full",
             FaultSite::TrainAbort => "train_abort",
+            FaultSite::PromoteCrash => "promote_crash",
         }
     }
 

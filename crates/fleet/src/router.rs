@@ -206,6 +206,35 @@ impl Fleet {
         Ok(version)
     }
 
+    /// Promotes an *already registered* version on one shard — the
+    /// adaptation pipeline's swap step after its candidate cleared shadow
+    /// evaluation (the candidate was registered earlier, through the
+    /// checkpoint-validation path). Same cache discipline as
+    /// [`Fleet::hot_swap`]: stale entries are reclaimed and counted
+    /// against the tenant.
+    pub fn activate(&self, city: usize, version: u32) -> Result<(), RegistryError> {
+        self.shards[city].registry().promote(version)?;
+        if let Some(cache) = &self.cache {
+            let dropped = cache.invalidate_city_except(city, version);
+            if !dropped.is_empty() {
+                self.shards[city]
+                    .stats()
+                    .result_cache_invalidations
+                    .fetch_add(dropped.len() as u64, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-promotes a previously active version — the rollback path when a
+    /// freshly promoted candidate regresses on its confirm slice. An alias
+    /// of [`Fleet::activate`] (the registry keeps every version immutable,
+    /// so rolling back *is* promoting the older version again), named for
+    /// the call sites that read as recovery.
+    pub fn rollback(&self, city: usize, version: u32) -> Result<(), RegistryError> {
+        self.activate(city, version)
+    }
+
     /// Answers one request: result cache, then admission control, then the
     /// shard's broker.
     pub fn forecast(&self, req: FleetRequest) -> FleetForecast {

@@ -160,6 +160,22 @@ impl Shard {
         self.features.push_trip(trip);
     }
 
+    /// Streams one trip by wall-clock departure time (the live-feed path;
+    /// see [`FeatureStore::push_trip_departing`]).
+    pub fn ingest_trip_departing(&self, trip: Trip, depart_s: f64, interval_len_s: f64) {
+        self.features
+            .push_trip_departing(trip, depart_s, interval_len_s);
+    }
+
+    /// A consistent, interval-aligned read-snapshot of this shard's sealed
+    /// ingest window (see [`stod_serve::IngestSnapshot`]): the adaptation
+    /// pipeline's training-data source. Safe to take while the live feed
+    /// keeps pushing trips — open intervals are excluded by construction,
+    /// so no torn reads. Returns `None` before the first seal.
+    pub fn ingest_snapshot(&self) -> Option<stod_serve::IngestSnapshot> {
+        self.features.snapshot_window()
+    }
+
     /// Closes an interval, binning its buffered trips into the sliding
     /// window; returns how many trips were binned.
     pub fn seal_interval(&self, t: usize) -> usize {

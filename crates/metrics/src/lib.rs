@@ -9,10 +9,12 @@
 pub mod divergence;
 pub mod emd;
 pub mod groups;
+pub mod shadow;
 
 pub use divergence::{js_divergence, kl_divergence, KL_DELTA};
 pub use emd::emd;
 pub use groups::GroupedMean;
+pub use shadow::{ShadowDecision, ShadowReport, ShadowScore};
 
 /// The three dissimilarity functions of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -34,6 +34,45 @@ pub fn interval_for_departure(depart_s: f64, interval_len_s: f64) -> Option<usiz
     Some((depart_s / interval_len_s).floor() as usize)
 }
 
+/// A consistent, interval-aligned copy of a [`FeatureStore`]'s sealed
+/// window, taken under one lock acquisition.
+///
+/// `tensors[i]` is interval `first + i`; intervals inside the span that
+/// were never sealed (or already evicted) appear as all-empty tensors, so
+/// the range is always contiguous. Open (pending) intervals are excluded
+/// by construction — only sealed tensors are copied — which is what makes
+/// the snapshot safe to hand to a training pipeline while the live feed
+/// keeps calling [`FeatureStore::push_trip_departing`]: a concurrent push
+/// can only touch intervals the snapshot does not contain.
+#[derive(Debug, Clone)]
+pub struct IngestSnapshot {
+    /// Number of regions `N`.
+    pub num_regions: usize,
+    /// Histogram binning shared by every tensor.
+    pub spec: HistogramSpec,
+    /// Interval index of `tensors[0]`.
+    pub first: usize,
+    /// One tensor per interval, `first ..= first + tensors.len() - 1`.
+    pub tensors: Vec<OdTensor>,
+}
+
+impl IngestSnapshot {
+    /// Interval index of the newest tensor (`None` when empty).
+    pub fn last(&self) -> Option<usize> {
+        self.tensors.len().checked_sub(1).map(|i| self.first + i)
+    }
+
+    /// Number of intervals covered.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// True when no interval is covered.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+}
+
 /// Thread-safe sliding-window store of recent interval tensors.
 pub struct FeatureStore {
     num_regions: usize,
@@ -156,6 +195,32 @@ impl FeatureStore {
     /// Observation coverage of a sealed interval.
     pub fn coverage(&self, t: usize) -> Option<f64> {
         self.inner.lock().sealed.get(&t).map(OdTensor::coverage)
+    }
+
+    /// Takes a consistent, interval-aligned read-snapshot of the sealed
+    /// window: every sealed tensor from the oldest retained interval to
+    /// the newest, cloned under a single lock acquisition so a concurrent
+    /// `push_trip_departing` / `seal_interval` can never produce a torn
+    /// view (a snapshot either contains an interval's fully binned tensor
+    /// or an all-empty placeholder, never a half-filled histogram).
+    ///
+    /// Returns `None` when nothing has been sealed yet.
+    pub fn snapshot_window(&self) -> Option<IngestSnapshot> {
+        let inner = self.inner.lock();
+        let first = *inner.sealed.keys().next()?;
+        let last = *inner.sealed.keys().next_back()?;
+        let tensors = (first..=last)
+            .map(|t| match inner.sealed.get(&t) {
+                Some(tensor) => tensor.clone(),
+                None => OdTensor::empty(self.num_regions, self.num_regions, self.spec.num_buckets),
+            })
+            .collect();
+        Some(IngestSnapshot {
+            num_regions: self.num_regions,
+            spec: self.spec,
+            first,
+            tensors,
+        })
     }
 
     /// Model inputs for a window of `s` intervals ending at `t_end`

@@ -60,7 +60,7 @@ pub mod stats;
 pub use broker::{
     Broker, BrokerConfig, ComputedForecast, FallbackReason, ForecastRequest, ServedForecast, Source,
 };
-pub use ingest::{interval_for_departure, FeatureStore};
+pub use ingest::{interval_for_departure, FeatureStore, IngestSnapshot};
 pub use registry::{ModelConfig, ModelKind, Registry, RegistryError, ServedModel};
 pub use stats::{LatencyHistogram, LedgerObsPaths, ServeStats, StatsSnapshot};
 

@@ -134,6 +134,15 @@ impl ServedModel {
         self.model.name()
     }
 
+    /// Exports this version's weights as a standalone [`ParamStore`] —
+    /// the warm-start seed for a continual fine-tune: the adaptation
+    /// pipeline copies the live incumbent's parameters into a fresh model
+    /// without racing in-flight forecasts (versions are immutable).
+    pub fn export_store(&self) -> ParamStore {
+        ParamStore::from_bytes(self.model.params().to_bytes())
+            .expect("round-tripping an in-memory ParamStore cannot fail")
+    }
+
     /// Runs one deterministic evaluation forward pass and materializes the
     /// predicted tensors (each `[B, N, N', K]`, one per horizon step).
     pub fn forecast(&self, inputs: &[Tensor], horizon: usize) -> Vec<Tensor> {

@@ -1,0 +1,377 @@
+//! Regime-change (drift) scenario generation.
+//!
+//! The serving stack's continual-adaptation loop exists because live
+//! traffic does not stay on the distribution the incumbent was trained on
+//! (the fine-grained ridesharing OD work in PAPERS.md shows surge and
+//! closure as exactly the regimes where static models lose). This module
+//! generates datasets whose sampling process *changes* at a configured
+//! onset interval, in three scenario colors:
+//!
+//! * [`DriftKind::RushHourShift`] — the whole daily regime slides by a
+//!   fixed number of intervals: both the demand profile and the congestion
+//!   conditions behave as if the clock were offset, so every OD pair's
+//!   speed distribution changes. The global drift the adaptation gate
+//!   trains against.
+//! * [`DriftKind::RoadClosure`] — trips touching one region slow to a
+//!   fraction of their sampled speed and demand through it thins out: a
+//!   localized, severe distribution shift.
+//! * [`DriftKind::DemandSurge`] — demand to/from one region multiplies,
+//!   and the surge's induced congestion shaves its trip speeds: a
+//!   localized volume + mild speed shift.
+//!
+//! Pre-onset intervals reproduce [`OdDataset::generate_with_trips`]
+//! **bitwise** (same per-interval forked RNG streams, same draw order),
+//! so a drift dataset is a faithful continuation of the stationary one —
+//! and [`DriftKind::Stationary`] reproduces it in full, which pins the
+//! generator against the replay path in tests. Tensors and trips always
+//! come from the same pass: `OdTensor::from_trips` on `trips[t]` rebuilds
+//! `tensors[t]` bitwise, keeping the fleet's live-ingest replay property.
+
+use crate::city::CityModel;
+use crate::dataset::{OdDataset, SimConfig};
+use crate::demand::{DemandModel, DemandParams};
+use crate::od_tensor::OdTensor;
+use crate::speed::SpeedField;
+use crate::trip::Trip;
+use stod_tensor::rng::Rng64;
+
+/// Which regime change a drift scenario applies after its onset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftKind {
+    /// No change: bitwise identical to [`OdDataset::generate_with_trips`].
+    Stationary,
+    /// The daily demand *and* congestion regime slides forward by
+    /// `shift_intervals`: interval `t` samples as if it were
+    /// `t + shift_intervals`. A half-day shift swaps morning and evening
+    /// rush — a city-wide speed-distribution change.
+    RushHourShift {
+        /// How many intervals the daily regime slides forward.
+        shift_intervals: usize,
+    },
+    /// Trips with an endpoint in `region` have their sampled speed
+    /// multiplied by `speed_factor` (clamped to the simulation's minimum
+    /// speed) and their demand damped to 35 %.
+    RoadClosure {
+        /// The closed region.
+        region: usize,
+        /// Speed multiplier in `(0, 1]` for trips touching the region.
+        speed_factor: f64,
+    },
+    /// Demand to/from `region` multiplies by `factor`; the induced
+    /// congestion multiplies those trips' speeds by `1 / sqrt(factor)`.
+    DemandSurge {
+        /// The surging region.
+        region: usize,
+        /// Demand multiplier (≥ 1 for a surge).
+        factor: f64,
+    },
+}
+
+/// A drift scenario: what changes, and from which interval onward.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// The regime change.
+    pub kind: DriftKind,
+    /// First interval the change applies to (everything before is the
+    /// stationary process).
+    pub onset: usize,
+}
+
+impl DriftConfig {
+    /// A stationary "scenario" (onset irrelevant).
+    pub fn stationary() -> DriftConfig {
+        DriftConfig {
+            kind: DriftKind::Stationary,
+            onset: 0,
+        }
+    }
+}
+
+/// Generates a dataset whose sampling regime changes at `drift.onset`,
+/// plus the trip records of every interval (chronological, one `Vec` per
+/// interval — the replay source for the fleet's live-ingest path).
+///
+/// Determinism: interval `t` draws from `Rng64::new(master.fork(t))`
+/// exactly like the stationary generator, so results are independent of
+/// scheduling and bitwise reproducible per seed; pre-onset intervals are
+/// bitwise identical to the stationary dataset of the same `SimConfig`.
+pub fn generate_drift(
+    city: CityModel,
+    cfg: &SimConfig,
+    drift: &DriftConfig,
+) -> (OdDataset, Vec<Vec<Trip>>) {
+    let total = cfg.num_intervals();
+    // RushHourShift evaluates congestion at t + shift: extend the field.
+    let field_intervals = match drift.kind {
+        DriftKind::RushHourShift { shift_intervals } => total + shift_intervals,
+        _ => total,
+    };
+    let field = SpeedField::simulate(
+        &city,
+        cfg.intervals_per_day,
+        field_intervals,
+        cfg.seed,
+        cfg.speed,
+    );
+    let demand = DemandModel::new(
+        &city,
+        cfg.intervals_per_day,
+        DemandParams {
+            trips_per_interval: cfg.trips_per_interval,
+            night_shutdown: cfg.night_shutdown,
+            ..DemandParams::default()
+        },
+    );
+    let mut master = Rng64::new(cfg.seed ^ 0xDA7A);
+    let seeds: Vec<u64> = (0..total)
+        .map(|t| master.fork(t as u64).next_u64())
+        .collect();
+    let n = city.num_regions();
+
+    let mut tensors = Vec::with_capacity(total);
+    let mut trips_per_interval = Vec::with_capacity(total);
+    for (t, &seed) in seeds.iter().enumerate() {
+        let mut rng = Rng64::new(seed);
+        let drifting = t >= drift.onset;
+        let trips = sample_interval_drifted(
+            &city,
+            &demand,
+            &field,
+            t,
+            if drifting {
+                drift.kind
+            } else {
+                DriftKind::Stationary
+            },
+            cfg.speed.min_speed_ms,
+            &mut rng,
+        );
+        tensors.push(OdTensor::from_trips(n, &cfg.hist, &trips));
+        trips_per_interval.push(trips);
+    }
+    (
+        OdDataset {
+            city,
+            spec: cfg.hist,
+            intervals_per_day: cfg.intervals_per_day,
+            tensors,
+        },
+        trips_per_interval,
+    )
+}
+
+/// One interval of trip sampling under a (possibly drifted) regime.
+///
+/// Mirrors `DemandModel::sample_interval` draw for draw — same loop order,
+/// same RNG call sequence per sampled trip — so the `Stationary` kind is
+/// bitwise identical to the stationary generator, and drifted kinds only
+/// alter rates/speeds, never the draw discipline.
+fn sample_interval_drifted(
+    city: &CityModel,
+    demand: &DemandModel,
+    field: &SpeedField,
+    t: usize,
+    kind: DriftKind,
+    min_speed_ms: f64,
+    rng: &mut Rng64,
+) -> Vec<Trip> {
+    let n = city.num_regions();
+    // Which interval the demand profile and the congestion field see.
+    let t_eff = match kind {
+        DriftKind::RushHourShift { shift_intervals } => t + shift_intervals,
+        _ => t,
+    };
+    let mut trips = Vec::new();
+    for o in 0..n {
+        for d in 0..n {
+            if o == d {
+                continue;
+            }
+            let mut lambda = demand.rate(o, d, t_eff);
+            let touches = |r: usize| o == r || d == r;
+            let speed_mult = match kind {
+                DriftKind::RoadClosure {
+                    region,
+                    speed_factor,
+                } if touches(region) => {
+                    lambda *= 0.35;
+                    speed_factor
+                }
+                DriftKind::DemandSurge { region, factor } if touches(region) => {
+                    lambda *= factor;
+                    1.0 / factor.max(1e-9).sqrt()
+                }
+                _ => 1.0,
+            };
+            if lambda <= 0.0 {
+                continue;
+            }
+            let count = rng.next_poisson(lambda);
+            if count == 0 {
+                continue;
+            }
+            let centroid_dist = city.distance_km(o, d);
+            for _ in 0..count {
+                let detour = 1.2 + 0.3 * rng.next_f64();
+                let distance_km = (centroid_dist * detour).max(0.2);
+                let speed_ms =
+                    (field.sample_trip_speed(o, d, t_eff, rng) * speed_mult).max(min_speed_ms);
+                trips.push(Trip {
+                    origin: o,
+                    dest: d,
+                    interval: t,
+                    distance_km,
+                    speed_ms,
+                });
+            }
+        }
+    }
+    trips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(seed: u64) -> SimConfig {
+        SimConfig {
+            num_days: 2,
+            intervals_per_day: 16,
+            trips_per_interval: 120.0,
+            ..SimConfig::small(seed)
+        }
+    }
+
+    #[test]
+    fn stationary_drift_is_bitwise_the_plain_generator() {
+        let cfg = sim(11);
+        let (plain, plain_trips) = OdDataset::generate_with_trips(CityModel::small(5), &cfg);
+        let (drifted, drift_trips) =
+            generate_drift(CityModel::small(5), &cfg, &DriftConfig::stationary());
+        assert_eq!(plain.num_intervals(), drifted.num_intervals());
+        for t in 0..plain.num_intervals() {
+            assert_eq!(
+                plain.tensors[t].data.data(),
+                drifted.tensors[t].data.data(),
+                "interval {t} tensors diverged"
+            );
+            assert_eq!(
+                plain_trips[t], drift_trips[t],
+                "interval {t} trips diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn pre_onset_prefix_is_bitwise_stationary() {
+        let cfg = sim(7);
+        let onset = 16;
+        let (plain, _) = OdDataset::generate_with_trips(CityModel::small(5), &cfg);
+        for kind in [
+            DriftKind::RushHourShift { shift_intervals: 8 },
+            DriftKind::RoadClosure {
+                region: 2,
+                speed_factor: 0.35,
+            },
+            DriftKind::DemandSurge {
+                region: 1,
+                factor: 3.0,
+            },
+        ] {
+            let (drifted, trips) =
+                generate_drift(CityModel::small(5), &cfg, &DriftConfig { kind, onset });
+            for t in 0..onset {
+                assert_eq!(
+                    plain.tensors[t].data.data(),
+                    drifted.tensors[t].data.data(),
+                    "{kind:?}: pre-onset interval {t} diverged"
+                );
+            }
+            // Post-onset the regime actually changed somewhere.
+            let changed = (onset..plain.num_intervals())
+                .any(|t| plain.tensors[t].data.data() != drifted.tensors[t].data.data());
+            assert!(changed, "{kind:?}: drift had no effect");
+            // Replay property: trips rebuild tensors bitwise.
+            for t in [0, onset, plain.num_intervals() - 1] {
+                let rebuilt = OdTensor::from_trips(5, &cfg.hist, &trips[t]);
+                assert_eq!(rebuilt.data.data(), drifted.tensors[t].data.data());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = sim(3);
+        let d = DriftConfig {
+            kind: DriftKind::RushHourShift { shift_intervals: 8 },
+            onset: 10,
+        };
+        let (a, ta) = generate_drift(CityModel::small(5), &cfg, &d);
+        let (b, tb) = generate_drift(CityModel::small(5), &cfg, &d);
+        for t in 0..a.num_intervals() {
+            assert_eq!(a.tensors[t].data.data(), b.tensors[t].data.data());
+            assert_eq!(ta[t], tb[t]);
+        }
+    }
+
+    #[test]
+    fn closure_slows_trips_touching_the_region() {
+        let cfg = sim(5);
+        let region = 2;
+        let d = DriftConfig {
+            kind: DriftKind::RoadClosure {
+                region,
+                speed_factor: 0.3,
+            },
+            onset: 0,
+        };
+        let (_, drift_trips) = generate_drift(CityModel::small(5), &cfg, &d);
+        let (_, plain_trips) = OdDataset::generate_with_trips(CityModel::small(5), &cfg);
+        let mean_touching = |trips: &[Vec<Trip>]| {
+            let (mut sum, mut cnt) = (0.0f64, 0usize);
+            for iv in trips {
+                for tr in iv {
+                    if tr.origin == region || tr.dest == region {
+                        sum += tr.speed_ms;
+                        cnt += 1;
+                    }
+                }
+            }
+            sum / cnt.max(1) as f64
+        };
+        let closed = mean_touching(&drift_trips);
+        let open = mean_touching(&plain_trips);
+        assert!(
+            closed < 0.6 * open,
+            "closure should slow touching trips: {closed:.2} vs {open:.2} m/s"
+        );
+    }
+
+    #[test]
+    fn surge_multiplies_demand_at_the_region() {
+        let cfg = sim(9);
+        let region = 1;
+        let d = DriftConfig {
+            kind: DriftKind::DemandSurge {
+                region,
+                factor: 4.0,
+            },
+            onset: 0,
+        };
+        let (_, drift_trips) = generate_drift(CityModel::small(5), &cfg, &d);
+        let (_, plain_trips) = OdDataset::generate_with_trips(CityModel::small(5), &cfg);
+        let touching = |trips: &[Vec<Trip>]| {
+            trips
+                .iter()
+                .flatten()
+                .filter(|tr| tr.origin == region || tr.dest == region)
+                .count()
+        };
+        let surged = touching(&drift_trips);
+        let base = touching(&plain_trips);
+        assert!(
+            surged > 2 * base,
+            "surge should multiply touching trips: {surged} vs {base}"
+        );
+    }
+}

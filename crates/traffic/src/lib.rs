@@ -30,6 +30,9 @@
 //!   with observation masks Ω.
 //! * [`dataset`] — chronological datasets, sliding windows `(s, h)`,
 //!   train/validation/test splits and batching.
+//! * [`drift`] — regime-change scenarios (rush-hour shift, road closure,
+//!   demand surge) whose sampling process changes at a configured onset,
+//!   exercising the continual-adaptation loop.
 //! * [`replay`] — deterministic multi-city fleets (per-tenant datasets +
 //!   trip streams) replayed through the serving tier's live-ingest path.
 //! * [`stats`] — sparseness and coverage statistics (Figure 7).
@@ -38,6 +41,7 @@
 pub mod city;
 pub mod dataset;
 pub mod demand;
+pub mod drift;
 pub mod hist;
 pub mod io;
 pub mod od_tensor;
@@ -49,6 +53,7 @@ pub mod weather;
 
 pub use city::{CityModel, Region};
 pub use dataset::{OdDataset, SimConfig, Split, Window};
+pub use drift::{generate_drift, DriftConfig, DriftKind};
 pub use hist::HistogramSpec;
 pub use od_tensor::OdTensor;
 pub use replay::{generate_fleet, FleetCity, FleetSimConfig};

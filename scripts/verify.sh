@@ -7,6 +7,7 @@
 #   scripts/verify.sh --chaos         # additionally run the fault-injection gate
 #   scripts/verify.sh --bench         # additionally run the bench-regression gate
 #   scripts/verify.sh --load          # additionally run the fleet load/SLO gate
+#   scripts/verify.sh --adapt         # additionally run the streaming-adaptation gate
 #   scripts/verify.sh --all           # every stage, with a per-stage timing summary
 #
 # Tier-1 (the gate CI enforces) is the root package: its integration
@@ -37,6 +38,15 @@
 # cache-off throughput speedup (default 10x; STOD_LOAD_MIN_SPEEDUP
 # overrides). The artifact lands in results/BENCH_serve_load.json.
 #
+# --adapt runs the streaming-adaptation gate (tests/adapt_gate.rs) at its
+# full drift-seed matrix (STOD_CHAOS=full widens the tier-1 smoke slice)
+# at 1 and 4 threads — drift auto-promotion past the incumbent and the
+# Kalman corrector, stationary no-churn, kill/corrupt/crash chaos with
+# bitwise recovery, and decision/weight determinism — then runs the
+# adaptation probe (`M=adapt`), which must promote while closed-loop
+# clients are served, and lands results/BENCH_adapt.json (fine-tune wall,
+# shadow-eval wall, promote latency, serve p99 during adaptation).
+#
 # Every stage prints its wall time at the end of the run.
 
 set -euo pipefail
@@ -47,6 +57,7 @@ conformance=0
 chaos=0
 bench=0
 load=0
+adapt=0
 for arg in "$@"; do
   case "$arg" in
     --full) full=1 ;;
@@ -54,7 +65,8 @@ for arg in "$@"; do
     --chaos) chaos=1 ;;
     --bench) bench=1 ;;
     --load) load=1 ;;
-    --all) full=1; conformance=1; chaos=1; bench=1; load=1 ;;
+    --adapt) adapt=1 ;;
+    --all) full=1; conformance=1; chaos=1; bench=1; load=1; adapt=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -144,6 +156,16 @@ stage_load() {
     cargo run -q --release -p stod-bench --bin probe
 }
 
+stage_adapt() {
+  for t in 1 4; do
+    echo "==> adapt gate, full drift-seed matrix, STOD_THREADS=$t"
+    STOD_THREADS="$t" STOD_CHAOS=full cargo test -q --test adapt_gate
+  done
+  cargo build -q --release -p stod-bench
+  echo "==> adapt probe (STOD_THREADS=2)"
+  STOD_THREADS=2 M=adapt cargo run -q --release -p stod-bench --bin probe
+}
+
 run_stage "fmt" stage_fmt
 run_stage "clippy" stage_clippy
 run_stage "tier-1 (×2 thread counts)" stage_tier1
@@ -152,6 +174,7 @@ run_stage "tier-1 (×2 thread counts)" stage_tier1
 [[ "$chaos" == 1 ]] && run_stage "chaos" stage_chaos
 [[ "$bench" == 1 ]] && run_stage "bench" stage_bench
 [[ "$load" == 1 ]] && run_stage "load" stage_load
+[[ "$adapt" == 1 ]] && run_stage "adapt" stage_adapt
 
 echo "-- stage timing --"
 printf '%s\n' "${summary[@]}"

@@ -34,10 +34,16 @@
 //!   gauges and log2 histograms behind a disarmed-by-default probe
 //!   (`STOD_OBS`), snapshotted into the `results/BENCH_obs.json` artifact
 //!   the CI bench-regression gate diffs.
+//! * [`adapt`] — continual adaptation: snapshot the live ingest window,
+//!   warm-start fine-tune from the serving incumbent, shadow-evaluate
+//!   against it and an online Kalman corrector, and auto-promote via
+//!   registry hot-swap with durable crash recovery and rollback on
+//!   regression.
 //!
 //! See the `examples/` directory for end-to-end usage, `DESIGN.md` for the
 //! system inventory and `EXPERIMENTS.md` for the reproduction results.
 
+pub use stod_adapt as adapt;
 pub use stod_baselines as baselines;
 pub use stod_core as core;
 pub use stod_faultline as faultline;
