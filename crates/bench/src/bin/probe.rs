@@ -20,30 +20,80 @@ fn time_ms_best_of(reps: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
+/// One row of the parallel sweep: best-of-`iters` wall-clock at each
+/// [`SWEEP_THREADS`] entry, plus (where the flop count is well defined)
+/// the serial GFLOP/s and a serial naive-kernel reference time.
+struct SweepRow {
+    name: String,
+    iters: usize,
+    ms: [f64; 3],
+    gflops: Option<f64>,
+    naive_ms: Option<f64>,
+}
+
 /// Serial vs 2/4-thread wall-clock for the three tentpole hot paths:
 /// paper-scale matmul, the AF forward pass at the paper's NYC shape, and
-/// one BF training epoch. Writes `results/BENCH_parallel.json` and
-/// asserts the epoch loss is bitwise identical across thread counts.
+/// one BF training epoch. Every timing is best-of-`iters` after an
+/// untimed warmup pass (first touch pays page faults and arena growth).
+/// Writes `results/BENCH_parallel.json` and asserts the epoch loss is
+/// bitwise identical across thread counts.
 fn run_parallel_bench(ds: &stod_traffic::OdDataset, split: &stod_traffic::Split) {
+    use stod_tensor::ops::gemm;
     use stod_tensor::{matmul, par, rng::Rng64, Tensor};
     let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
     println!("-- parallel sweep (host cores: {host_cores}) --");
-    let mut rows: Vec<(String, [f64; 3])> = Vec::new();
+    let mut rows: Vec<SweepRow> = Vec::new();
 
     // 1. Paper-scale matmul: a 512³ GEMM, larger than any single product
-    //    in the models, isolating the row-parallel kernel.
+    //    in the models, isolating the blocked kernel. Also timed against
+    //    the pre-blocked naive `i-k-j` dispatcher on the same operands so
+    //    the achieved-vs-naive speedup is visible in the artifact.
     {
         let mut rng = Rng64::new(1);
         let a = Tensor::randn(&[512, 512], 1.0, &mut rng);
         let b = Tensor::randn(&[512, 512], 1.0, &mut rng);
+        let iters = 5;
         let ms = SWEEP_THREADS.map(|t| {
             par::with_threads(t, || {
-                time_ms_best_of(3, || {
+                std::hint::black_box(matmul(&a, &b));
+                time_ms_best_of(iters, || {
                     std::hint::black_box(matmul(&a, &b));
                 })
             })
         });
-        rows.push(("matmul_512".into(), ms));
+        let naive_ms = par::with_threads(1, || {
+            let mut out = vec![0.0f32; 512 * 512];
+            gemm::naive_rows(a.data(), b.data(), &mut out, 512, 512, 512);
+            time_ms_best_of(3, || {
+                gemm::naive_rows(
+                    a.data(),
+                    b.data(),
+                    std::hint::black_box(&mut out),
+                    512,
+                    512,
+                    512,
+                );
+            })
+        });
+        let flops = 2.0 * 512f64.powi(3);
+        println!(
+            "matmul_512: {:.2} GFLOP/s blocked ({} kernel) vs {:.2} GFLOP/s naive — {:.2}x",
+            flops / (ms[0] * 1e6),
+            if gemm::blocked_available() {
+                "avx2+fma"
+            } else {
+                "scalar"
+            },
+            flops / (naive_ms * 1e6),
+            naive_ms / ms[0],
+        );
+        rows.push(SweepRow {
+            name: "matmul_512".into(),
+            iters,
+            ms,
+            gflops: Some(flops / (ms[0] * 1e6)),
+            naive_ms: Some(naive_ms),
+        });
     }
 
     // 2. AF forward at the paper's NYC shape (N=67, K=20, batch 4).
@@ -56,22 +106,25 @@ fn run_parallel_bench(ds: &stod_traffic::OdDataset, split: &stod_traffic::Split)
         let inputs: Vec<Tensor> = (0..3)
             .map(|_| Tensor::randn(&[4, n, n, k], 0.5, &mut rng))
             .collect();
+        let iters = 2;
+        let mut fwd = || {
+            let mut tape = stod_nn::Tape::new();
+            let mut fwd_rng = Rng64::new(9);
+            std::hint::black_box(model.forward(&mut tape, &inputs, 1, Mode::Eval, &mut fwd_rng));
+        };
         let ms = SWEEP_THREADS.map(|t| {
             par::with_threads(t, || {
-                time_ms_best_of(2, || {
-                    let mut tape = stod_nn::Tape::new();
-                    let mut fwd_rng = Rng64::new(9);
-                    std::hint::black_box(model.forward(
-                        &mut tape,
-                        &inputs,
-                        1,
-                        Mode::Eval,
-                        &mut fwd_rng,
-                    ));
-                })
+                fwd();
+                time_ms_best_of(iters, &mut fwd)
             })
         });
-        rows.push(("af_forward_paper_nyc".into(), ms));
+        rows.push(SweepRow {
+            name: "af_forward_paper_nyc".into(),
+            iters,
+            ms,
+            gflops: None,
+            naive_ms: None,
+        });
     }
 
     // 3. One BF training epoch on the small NYC dataset (first 64 train
@@ -82,20 +135,25 @@ fn run_parallel_bench(ds: &stod_traffic::OdDataset, split: &stod_traffic::Split)
         let n = ds.num_regions();
         let k = ds.spec.num_buckets;
         let mut losses: Vec<f32> = Vec::new();
+        let iters = 2;
+        let epoch = |losses: &mut Vec<f32>| {
+            let mut m = BfModel::new(n, k, BfConfig::default(), 5);
+            let cfg = TrainConfig {
+                epochs: 1,
+                batch_size: 16,
+                dropout: 0.2,
+                seed: 5,
+                ..TrainConfig::default()
+            };
+            let report = train(&mut m, ds, &windows, None, &cfg);
+            losses.push(report.final_loss());
+        };
         let ms = SWEEP_THREADS.map(|t| {
             par::with_threads(t, || {
-                time_ms_best_of(1, || {
-                    let mut m = BfModel::new(n, k, BfConfig::default(), 5);
-                    let cfg = TrainConfig {
-                        epochs: 1,
-                        batch_size: 16,
-                        dropout: 0.2,
-                        seed: 5,
-                        ..TrainConfig::default()
-                    };
-                    let report = train(&mut m, ds, &windows, None, &cfg);
-                    losses.push(report.final_loss());
-                })
+                // Warmup epoch fills the workspace arena; timed reps then
+                // run against the steady-state allocator.
+                epoch(&mut losses);
+                time_ms_best_of(iters, || epoch(&mut losses))
             })
         });
         for l in &losses[1..] {
@@ -106,7 +164,13 @@ fn run_parallel_bench(ds: &stod_traffic::OdDataset, split: &stod_traffic::Split)
             );
         }
         println!("epoch loss {} at every thread count (bitwise)", losses[0]);
-        rows.push(("bf_train_epoch_small".into(), ms));
+        rows.push(SweepRow {
+            name: "bf_train_epoch_small".into(),
+            iters,
+            ms,
+            gflops: None,
+            naive_ms: None,
+        });
     }
 
     // Report + JSON artifact. The shared provenance header records the
@@ -119,19 +183,35 @@ fn run_parallel_bench(ds: &stod_traffic::OdDataset, split: &stod_traffic::Split)
         "  \"sweep_threads\": [{}, {}, {}],\n",
         SWEEP_THREADS[0], SWEEP_THREADS[1], SWEEP_THREADS[2]
     ));
-    json.push_str("  \"note\": \"wall-clock ms, best-of-N; speedups require >= 4 host cores\",\n");
+    json.push_str(
+        "  \"note\": \"wall-clock ms, best-of-iters after an untimed warmup; \
+         speedups require >= 4 host cores\",\n",
+    );
     json.push_str("  \"benches\": [\n");
-    for (i, (name, ms)) in rows.iter().enumerate() {
+    for (i, row) in rows.iter().enumerate() {
+        let (name, ms) = (&row.name, &row.ms);
         println!(
-            "{name:<24} 1t {:>9.2} ms   2t {:>9.2} ms ({:.2}x)   4t {:>9.2} ms ({:.2}x)",
+            "{name:<24} 1t {:>9.2} ms   2t {:>9.2} ms ({:.2}x)   4t {:>9.2} ms ({:.2}x)   best of {}",
             ms[0],
             ms[1],
             ms[0] / ms[1],
             ms[2],
             ms[0] / ms[2],
+            row.iters,
         );
+        let mut extra = String::new();
+        if let Some(g) = row.gflops {
+            extra.push_str(&format!(", \"gflops\": {g:.2}"));
+        }
+        if let Some(nv) = row.naive_ms {
+            extra.push_str(&format!(
+                ", \"naive_ms\": {nv:.3}, \"vs_naive\": {:.3}",
+                nv / ms[0]
+            ));
+        }
         json.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"serial_ms\": {:.3}, \"t2_ms\": {:.3}, \"t4_ms\": {:.3}, \"speedup_t2\": {:.3}, \"speedup_t4\": {:.3}}}{}\n",
+            "    {{\"name\": \"{name}\", \"iters\": {}, \"serial_ms\": {:.3}, \"t2_ms\": {:.3}, \"t4_ms\": {:.3}, \"speedup_t2\": {:.3}, \"speedup_t4\": {:.3}{extra}}}{}\n",
+            row.iters,
             ms[0],
             ms[1],
             ms[2],

@@ -62,11 +62,23 @@ pub enum Kernel {
     Emd,
     /// `stod_metrics::kl_divergence` (Eq. 13).
     Kl,
+    /// `stod_tensor::matmul` again, but with every extent drawn from the
+    /// boundary corpus of the blocked kernel's tile sizes (MR/NR/KC) so
+    /// edge tiles, partial panels and the blocked/naive dispatch boundary
+    /// are all exercised.
+    BlockedGemm,
+    /// `stod_tensor::ops::gemm::{dot_fma_strided, dot_naive_strided}` —
+    /// the transposed-layout dots the sparse recovery path reads factor
+    /// tensors with.
+    StridedDot,
+    /// `stod_core::recovery::recover_sparse` (mask-aware Eq. 3), incl.
+    /// all-empty and all-observed masks.
+    SparseRecovery,
 }
 
 impl Kernel {
     /// Every kernel, in fuzzing order.
-    pub const ALL: [Kernel; 10] = [
+    pub const ALL: [Kernel; 13] = [
         Kernel::Matmul,
         Kernel::Matvec,
         Kernel::BatchedMatmul,
@@ -77,6 +89,9 @@ impl Kernel {
         Kernel::Softmax,
         Kernel::Emd,
         Kernel::Kl,
+        Kernel::BlockedGemm,
+        Kernel::StridedDot,
+        Kernel::SparseRecovery,
     ];
 
     /// Stable lowercase name (used in dump file names).
@@ -92,7 +107,23 @@ impl Kernel {
             Kernel::Softmax => "softmax",
             Kernel::Emd => "emd",
             Kernel::Kl => "kl",
+            Kernel::BlockedGemm => "blocked_gemm",
+            Kernel::StridedDot => "strided_dot",
+            Kernel::SparseRecovery => "sparse_recovery",
         }
+    }
+}
+
+/// One extent of the blocked-GEMM boundary corpus: `1`, `b − 1`, `b`,
+/// `b + 1` or `2b + 3` for a tile size `b` — exactly the shapes where an
+/// off-by-one in edge-tile or panel handling would land.
+fn blocked_boundary_dim(rng: &mut Rng64, block: usize) -> usize {
+    match rng.next_below(5) {
+        0 => 1,
+        1 => block - 1,
+        2 => block,
+        3 => block + 1,
+        _ => 2 * block + 3,
     }
 }
 
@@ -256,6 +287,62 @@ pub fn initial_dims(kernel: Kernel, seed: u64) -> Vec<usize> {
             }
         }
         Kernel::Emd | Kernel::Kl => vec![gen::dim(&mut rng, 1, 16)],
+        Kernel::BlockedGemm => {
+            use stod_tensor::ops::gemm::{KC, MC, MR, NR};
+            if big {
+                // Fixed shapes crossing the MC row-strip and KC panel
+                // boundaries with work above par::MIN_PARALLEL_WORK.
+                match rng.next_below(3) {
+                    0 => vec![MC, KC + 1, 2 * NR + 3],
+                    1 => vec![KC + 1, MC, NR],
+                    _ => vec![2 * MR + 1, 2 * KC + 3, 2 * NR + 3],
+                }
+            } else {
+                // At most one extent draws from the KC family so the f64
+                // oracle stays affordable; the register-tile families
+                // (MR, NR) cover the microkernel edge cases.
+                let kc_dim = rng.next_below(4); // 3 = none
+                (0..3)
+                    .map(|i| {
+                        let block = if i == kc_dim {
+                            KC
+                        } else if rng.next_below(2) == 0 {
+                            MR
+                        } else {
+                            NR
+                        };
+                        blocked_boundary_dim(&mut rng, block)
+                    })
+                    .collect()
+            }
+        }
+        Kernel::StridedDot => {
+            use stod_tensor::ops::gemm::{KC, MR, NR};
+            let block = [MR, NR, KC][rng.next_below(3)];
+            vec![
+                blocked_boundary_dim(&mut rng, block),
+                gen::dim(&mut rng, 1, 8),  // lda — e.g. the K stride of R̂
+                gen::dim(&mut rng, 1, 48), // ldb — e.g. the N'·K stride of Ĉ
+                rng.next_below(2),         // 0 = FMA flavor, 1 = naive
+            ]
+        }
+        Kernel::SparseRecovery => {
+            let has_bias = rng.next_below(2);
+            let variant = rng.next_below(4); // 0/1 random, 2 all-empty, 3 all-observed
+            if big {
+                vec![4, 32, 4, 32, 16, has_bias, 0]
+            } else {
+                vec![
+                    gen::dim(&mut rng, 1, 3),
+                    gen::dim(&mut rng, 1, 6),
+                    gen::dim(&mut rng, 1, 4),
+                    gen::dim(&mut rng, 1, 6),
+                    gen::dim(&mut rng, 1, 7),
+                    has_bias,
+                    variant.min(3),
+                ]
+            }
+        }
     }
 }
 
@@ -263,11 +350,13 @@ pub fn initial_dims(kernel: Kernel, seed: u64) -> Vec<usize> {
 /// the minimizer can mutate dims freely.
 fn normalize_dims(kernel: Kernel, dims: &[usize]) -> Vec<usize> {
     let want_len = match kernel {
-        Kernel::Matmul | Kernel::Cheby | Kernel::Gru | Kernel::Softmax => 3,
+        Kernel::Matmul | Kernel::Cheby | Kernel::Gru | Kernel::Softmax | Kernel::BlockedGemm => 3,
         Kernel::Matvec | Kernel::MaskedLoss => 2,
         Kernel::BatchedMatmul => 5,
         Kernel::Recovery => 6,
         Kernel::Emd | Kernel::Kl => 1,
+        Kernel::StridedDot => 4,
+        Kernel::SparseRecovery => 7,
     };
     let mut d: Vec<usize> = dims
         .iter()
@@ -279,6 +368,11 @@ fn normalize_dims(kernel: Kernel, dims: &[usize]) -> Vec<usize> {
     match kernel {
         Kernel::BatchedMatmul => d[4] = dims.get(4).copied().unwrap_or(0) % 3,
         Kernel::Recovery => d[5] = dims.get(5).copied().unwrap_or(0) % 2,
+        Kernel::StridedDot => d[3] = dims.get(3).copied().unwrap_or(0) % 2,
+        Kernel::SparseRecovery => {
+            d[5] = dims.get(5).copied().unwrap_or(0) % 2;
+            d[6] = dims.get(6).copied().unwrap_or(0) % 4;
+        }
         _ => {}
     }
     d
@@ -303,9 +397,41 @@ fn build_inputs(kernel: Kernel, seed: u64, dims: &[usize]) -> Vec<InputBuf> {
         data: gen::fill(rng, class, d.iter().product()),
     };
     match kernel {
-        Kernel::Matmul => {
+        Kernel::Matmul | Kernel::BlockedGemm => {
             let (m, k, n) = (dims[0], dims[1], dims[2]);
             vec![buf(&mut rng, "a", &[m, k]), buf(&mut rng, "b", &[k, n])]
+        }
+        Kernel::StridedDot => {
+            let (len, lda, ldb) = (dims[0], dims[1], dims[2]);
+            vec![
+                buf(&mut rng, "a", &[len, lda]),
+                buf(&mut rng, "b", &[len, ldb]),
+            ]
+        }
+        Kernel::SparseRecovery => {
+            let (batch, n, beta, n_dest, k, has_bias, variant) = (
+                dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], dims[6],
+            );
+            let mut out = vec![
+                buf(&mut rng, "r", &[batch, n, beta, k]),
+                buf(&mut rng, "c", &[batch, beta, n_dest, k]),
+            ];
+            if has_bias == 1 {
+                out.push(buf(&mut rng, "bias", &[n, n_dest, k]));
+            }
+            // Variants 0/1 draw a random mask; 2 is all-empty (the uniform
+            // fallback output); 3 is all-observed (dense-equivalent).
+            let p_empty = match variant {
+                2 => 1.0,
+                3 => 0.0,
+                _ => 0.5,
+            };
+            out.push(InputBuf {
+                name: "mask",
+                dims: vec![batch, n, n_dest],
+                data: gen::fill_mask(&mut rng, batch * n * n_dest, p_empty),
+            });
+            out
         }
         Kernel::Matvec => {
             let (m, k) = (dims[0], dims[1]);
@@ -405,7 +531,28 @@ fn build_inputs(kernel: Kernel, seed: u64, dims: &[usize]) -> Vec<InputBuf> {
 fn run_production(kernel: Kernel, dims: &[usize], inputs: &[InputBuf]) -> Vec<f32> {
     let t = |i: usize| Tensor::from_vec(&inputs[i].dims, inputs[i].data.clone());
     match kernel {
-        Kernel::Matmul => stod_tensor::matmul(&t(0), &t(1)).data().to_vec(),
+        Kernel::Matmul | Kernel::BlockedGemm => stod_tensor::matmul(&t(0), &t(1)).data().to_vec(),
+        Kernel::StridedDot => {
+            use stod_tensor::ops::gemm;
+            let (len, lda, ldb) = (dims[0], dims[1], dims[2]);
+            let v = if dims[3] == 0 {
+                gemm::dot_fma_strided(&inputs[0].data, lda, &inputs[1].data, ldb, len)
+            } else {
+                gemm::dot_naive_strided(&inputs[0].data, lda, &inputs[1].data, ldb, len)
+            };
+            vec![v]
+        }
+        Kernel::SparseRecovery => {
+            let mut tape = Tape::new();
+            let r = tape.leaf(t(0));
+            let c = tape.leaf(t(1));
+            let has_bias = dims[5] == 1;
+            let bias = has_bias.then(|| tape.constant(t(2)));
+            let mask = &inputs[if has_bias { 3 } else { 2 }];
+            let cells: Vec<bool> = mask.data.iter().map(|&x| x != 0.0).collect();
+            let out = stod_core::recovery::recover_sparse(&mut tape, r, c, bias, &cells);
+            tape.value(out).data().to_vec()
+        }
         Kernel::Matvec => stod_tensor::matvec(&t(0), &t(1)).data().to_vec(),
         Kernel::BatchedMatmul => stod_tensor::batched_matmul(&t(0), &t(1)).data().to_vec(),
         Kernel::Cheby => {
@@ -455,8 +602,30 @@ fn run_production(kernel: Kernel, dims: &[usize], inputs: &[InputBuf]) -> Vec<f3
 /// Runs the oracle on the same inputs.
 fn run_oracle(kernel: Kernel, dims: &[usize], inputs: &[InputBuf]) -> OracleOut {
     match kernel {
-        Kernel::Matmul => {
+        Kernel::Matmul | Kernel::BlockedGemm => {
             oracle::matmul(&inputs[0].data, &inputs[1].data, dims[0], dims[1], dims[2])
+        }
+        Kernel::StridedDot => {
+            let (v, mag) =
+                oracle::dot_strided(&inputs[0].data, dims[1], &inputs[1].data, dims[2], dims[0]);
+            OracleOut {
+                values: vec![v],
+                mags: vec![mag],
+            }
+        }
+        Kernel::SparseRecovery => {
+            let has_bias = dims[5] == 1;
+            oracle::recover_sparse(
+                &inputs[0].data,
+                &inputs[1].data,
+                has_bias.then(|| inputs[2].data.as_slice()),
+                &inputs[if has_bias { 3 } else { 2 }].data,
+                dims[0],
+                dims[1],
+                dims[2],
+                dims[3],
+                dims[4],
+            )
         }
         Kernel::Matvec => oracle::matvec(&inputs[0].data, &inputs[1].data, dims[0], dims[1]),
         Kernel::BatchedMatmul => oracle::batched_matmul(
@@ -528,7 +697,9 @@ fn run_oracle(kernel: Kernel, dims: &[usize], inputs: &[InputBuf]) -> OracleOut 
 /// `(terms, ulp_budget)` for the ULP-aware oracle comparison.
 fn tolerance(kernel: Kernel, dims: &[usize]) -> (usize, u64) {
     match kernel {
-        Kernel::Matmul => (dims[1], 8),
+        Kernel::Matmul | Kernel::BlockedGemm => (dims[1], 8),
+        Kernel::StridedDot => (dims[0], 8),
+        Kernel::SparseRecovery => (2 * (dims[2] + 8), 64),
         Kernel::Matvec => (dims[1], 2),
         Kernel::BatchedMatmul => (dims[2], 8),
         Kernel::Cheby => ((dims[0] + 8) * dims[1], 32),

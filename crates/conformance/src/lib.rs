@@ -6,9 +6,16 @@
 //! * [`oracle`] — deliberately naive, obviously-correct serial
 //!   re-implementations of the hot kernels (matmul / matvec / batched
 //!   matmul, the Chebyshev basis of Eq. 5, the GRU cell, recovery +
-//!   softmax of Eq. 3, the Eq. 4 masked loss, and the EMD/KL metrics of
+//!   softmax of Eq. 3 — dense and mask-aware sparse — the Eq. 4 masked
+//!   loss, the strided dots of the sparse path, and the EMD/KL metrics of
 //!   Eqs. 13/15). The oracles never touch `stod_tensor::par`; they are
 //!   plain nested loops with `f64` accumulation.
+//!
+//!   The blocked GEMM introduced for the training hot loop gets its own
+//!   corpus ([`fuzz::Kernel::BlockedGemm`]): every matrix extent is drawn
+//!   from `{1, b − 1, b, b + 1, 2b + 3}` around the kernel's tile sizes
+//!   (`MR`/`NR`/`KC`), which pins down edge tiles, partial K panels and
+//!   the blocked-vs-naive dispatch boundary.
 //! * [`fuzz`] — a deterministic differential fuzzer. A seeded PRNG case
 //!   generator (see [`gen`]) draws shapes, sparsity patterns and
 //!   NaN-adjacent value corpora; every case runs the production kernel at

@@ -61,6 +61,20 @@ pub fn matvec(a: &[f32], x: &[f32], m: usize, k: usize) -> OracleOut {
     OracleOut { values, mags }
 }
 
+/// Strided dot `Σ_p a[p·lda] · b[p·ldb]` over `len` terms — the reference
+/// for the transposed-layout dot kernels the sparse recovery path reads
+/// factor tensors with. Returns `(value, Σ |terms|)`.
+pub fn dot_strided(a: &[f32], lda: usize, b: &[f32], ldb: usize, len: usize) -> (f64, f64) {
+    let mut acc = 0.0f64;
+    let mut mag = 0.0f64;
+    for p in 0..len {
+        let t = a[p * lda] as f64 * b[p * ldb] as f64;
+        acc += t;
+        mag += t.abs();
+    }
+    (acc, mag)
+}
+
 /// Batched `[batch, m, k] · [batch, k, n]`; a `batch` of 0 on either side
 /// means that operand is a single 2-D matrix broadcast across the other's
 /// batch (mirroring `stod_tensor::batched_matmul`'s broadcasting rule).
@@ -328,6 +342,36 @@ pub fn recover(
     OracleOut { values, mags }
 }
 
+/// Mask-aware recovery (`stod_core::recovery::recover_sparse`): observed
+/// `(b, o, d)` cells (mask entry non-zero) follow [`recover`]; empty cells
+/// are defined to hold the uniform `1/k` histogram, with unit magnitude —
+/// no accumulation happens there, so only output rounding is legitimate.
+#[allow(clippy::too_many_arguments)]
+pub fn recover_sparse(
+    r: &[f32],
+    c: &[f32],
+    bias: Option<&[f32]>,
+    mask: &[f32],
+    batch: usize,
+    n: usize,
+    beta: usize,
+    n_dest: usize,
+    k: usize,
+) -> OracleOut {
+    assert_eq!(mask.len(), batch * n * n_dest);
+    let mut out = recover(r, c, bias, batch, n, beta, n_dest, k);
+    let uniform = 1.0f64 / k as f64;
+    for (cell, &m) in mask.iter().enumerate() {
+        if m == 0.0 {
+            for q in 0..k {
+                out.values[cell * k + q] = uniform;
+                out.mags[cell * k + q] = 1.0;
+            }
+        }
+    }
+    out
+}
+
 /// Eq. 4's data term: `Σ_i mask_i · (pred_i − target_i)²` as one `f64`
 /// scalar (matching `Tape::masked_sq_err`'s forward value). Returns
 /// `(value, magnitude)`.
@@ -468,6 +512,29 @@ mod tests {
         assert_eq!(emd_transport(&[0.0, 1.0], &[0.0, 0.0]), 1.0);
         let a = [0.3f32, 0.3, 0.4];
         assert!(emd_transport(&a, &a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_strided_reads_transposed_layout() {
+        // a strided by 2 picks 1, 3; b strided by 3 picks 10, 40.
+        let a = [1.0f32, -9.0, 3.0, -9.0];
+        let b = [10.0f32, 0.0, 0.0, 40.0, 0.0, 0.0];
+        let (v, mag) = dot_strided(&a, 2, &b, 3, 2);
+        assert_eq!(v, 130.0);
+        assert_eq!(mag, 130.0);
+    }
+
+    #[test]
+    fn recover_sparse_empty_cells_are_uniform() {
+        let r = [0.5f32, -1.0, 2.0, 0.3, 1.0, -0.7, 0.2, 0.9];
+        let c = [1.0f32, 0.5, -0.5, 2.0, 0.1, 0.4, -1.2, 0.8];
+        // 1 batch, 2×2 cells, mask out cell (0, 1).
+        let mask = [1.0f32, 0.0, 1.0, 1.0];
+        let dense = recover(&r, &c, None, 1, 2, 2, 2, 2);
+        let sparse = recover_sparse(&r, &c, None, &mask, 1, 2, 2, 2, 2);
+        assert_eq!(&sparse.values[0..2], &dense.values[0..2]);
+        assert_eq!(&sparse.values[2..4], &[0.5, 0.5]);
+        assert_eq!(&sparse.values[4..8], &dense.values[4..8]);
     }
 
     #[test]

@@ -76,6 +76,21 @@ fn differential_kl() {
     assert_clean(Kernel::Kl);
 }
 
+#[test]
+fn differential_blocked_gemm_boundaries() {
+    assert_clean(Kernel::BlockedGemm);
+}
+
+#[test]
+fn differential_strided_dot() {
+    assert_clean(Kernel::StridedDot);
+}
+
+#[test]
+fn differential_sparse_recovery() {
+    assert_clean(Kernel::SparseRecovery);
+}
+
 /// A deliberately broken comparison must produce a minimized dump — the
 /// machinery itself is under test here, in a temp dir so the real gate
 /// directory stays clean.

@@ -23,7 +23,7 @@
 
 use crate::config::AfConfig;
 use crate::model::{Mode, ModelOutput, OdForecaster};
-use crate::recovery::recover;
+use crate::recovery::{recover, recover_masked};
 use stod_graph::{coarsen_for_pooling, proximity_matrix, scaled_laplacian};
 use stod_nn::layers::{ChebyConv, GcGruSeq2Seq, GruSeq2Seq, Linear};
 use stod_nn::{ParamId, ParamStore, Tape, Var};
@@ -442,6 +442,32 @@ impl OdForecaster for AfModel {
         mode: Mode,
         rng: &mut Rng64,
     ) -> ModelOutput {
+        self.forward_impl(tape, inputs, horizon, mode, rng, None)
+    }
+
+    fn forward_masked(
+        &self,
+        tape: &mut Tape,
+        inputs: &[Tensor],
+        horizon: usize,
+        mode: Mode,
+        rng: &mut Rng64,
+        masks: &[Tensor],
+    ) -> ModelOutput {
+        self.forward_impl(tape, inputs, horizon, mode, rng, Some(masks))
+    }
+}
+
+impl AfModel {
+    fn forward_impl(
+        &self,
+        tape: &mut Tape,
+        inputs: &[Tensor],
+        horizon: usize,
+        mode: Mode,
+        rng: &mut Rng64,
+        masks: Option<&[Tensor]>,
+    ) -> ModelOutput {
         assert!(!inputs.is_empty(), "AF needs at least one input step");
         let dims = inputs[0].dims().to_vec();
         assert_eq!(dims.len(), 4, "inputs must be [B, N, N', K]");
@@ -473,7 +499,7 @@ impl OdForecaster for AfModel {
         let bias = self.recovery_bias(tape);
         let mut predictions = Vec::with_capacity(horizon);
         let mut reg: Option<Var> = None;
-        for (rv, cv) in r_future.into_iter().zip(c_future) {
+        for (j, (rv, cv)) in r_future.into_iter().zip(c_future).enumerate() {
             let r_reg = self.factor_reg(tape, rv, &self.origin_l, self.cfg.lambda_r);
             let c_reg = self.factor_reg(tape, cv, &self.dest_l, self.cfg.lambda_c);
             let step_reg = tape.add(r_reg, c_reg);
@@ -486,7 +512,12 @@ impl OdForecaster for AfModel {
                 let c3 = tape.reshape(cv, &[b, nd, rank, k]);
                 tape.permute(c3, &[0, 2, 1, 3])
             };
-            predictions.push(recover(tape, r4, c4, Some(bias)));
+            // Recovery skips empty OD cells when the step's loss mask is
+            // available (bitwise-identical loss and gradients).
+            predictions.push(match masks.and_then(|m| m.get(j)) {
+                Some(mask) => recover_masked(tape, r4, c4, Some(bias), mask),
+                None => recover(tape, r4, c4, Some(bias)),
+            });
         }
         ModelOutput {
             predictions,

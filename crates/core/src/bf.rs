@@ -17,7 +17,7 @@
 
 use crate::config::BfConfig;
 use crate::model::{Mode, ModelOutput, OdForecaster};
-use crate::recovery::recover;
+use crate::recovery::{recover, recover_masked};
 use stod_nn::layers::{AttnGruSeq2Seq, GruSeq2Seq, Linear};
 use stod_nn::{ParamId, ParamStore, Tape, Var};
 use stod_tensor::rng::Rng64;
@@ -184,6 +184,32 @@ impl OdForecaster for BfModel {
         mode: Mode,
         rng: &mut Rng64,
     ) -> ModelOutput {
+        self.forward_impl(tape, inputs, horizon, mode, rng, None)
+    }
+
+    fn forward_masked(
+        &self,
+        tape: &mut Tape,
+        inputs: &[Tensor],
+        horizon: usize,
+        mode: Mode,
+        rng: &mut Rng64,
+        masks: &[Tensor],
+    ) -> ModelOutput {
+        self.forward_impl(tape, inputs, horizon, mode, rng, Some(masks))
+    }
+}
+
+impl BfModel {
+    fn forward_impl(
+        &self,
+        tape: &mut Tape,
+        inputs: &[Tensor],
+        horizon: usize,
+        mode: Mode,
+        rng: &mut Rng64,
+        masks: Option<&[Tensor]>,
+    ) -> ModelOutput {
         assert!(!inputs.is_empty(), "BF needs at least one input step");
         let dims = inputs[0].dims().to_vec();
         assert_eq!(dims.len(), 4, "inputs must be [B, N, N', K]");
@@ -209,10 +235,16 @@ impl OdForecaster for BfModel {
         let bias = self.recovery_bias(tape);
         let mut predictions = Vec::with_capacity(horizon);
         let mut reg: Option<Var> = None;
-        for (rv, cv) in r_future.into_iter().zip(c_future) {
+        for (j, (rv, cv)) in r_future.into_iter().zip(c_future).enumerate() {
             let r4 = tape.reshape(rv, &[b, n, self.cfg.rank, k]);
             let c4 = tape.reshape(cv, &[b, self.cfg.rank, n, k]);
-            predictions.push(recover(tape, r4, c4, Some(bias)));
+            // With the step's loss mask available, recovery can skip empty
+            // OD cells (bitwise-identical loss and gradients; see
+            // recovery::recover_masked).
+            predictions.push(match masks.and_then(|m| m.get(j)) {
+                Some(mask) => recover_masked(tape, r4, c4, Some(bias), mask),
+                None => recover(tape, r4, c4, Some(bias)),
+            });
             let r_reg = tape.frob_sq(r4);
             let r_reg = tape.scale(r_reg, self.cfg.lambda_r / b as f32);
             let c_reg = tape.frob_sq(c4);

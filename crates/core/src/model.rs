@@ -70,6 +70,26 @@ pub trait OdForecaster: Send + Sync {
         rng: &mut Rng64,
     ) -> ModelOutput;
 
+    /// Like [`OdForecaster::forward`], but with the per-step Eq. 4 loss
+    /// masks (`[B, N, N', K]`, one per horizon step) available so the
+    /// recovery stage can skip empty `(o, d)` cells. The contract: the
+    /// masked loss and all parameter gradients are **bitwise identical**
+    /// to [`OdForecaster::forward`]'s — only predictions at masked cells
+    /// may differ (they are uniform on the sparse path). The default
+    /// implementation ignores the masks; factorization models override it.
+    fn forward_masked(
+        &self,
+        tape: &mut Tape,
+        inputs: &[Tensor],
+        horizon: usize,
+        mode: Mode,
+        rng: &mut Rng64,
+        masks: &[Tensor],
+    ) -> ModelOutput {
+        let _ = masks;
+        self.forward(tape, inputs, horizon, mode, rng)
+    }
+
     /// Total number of scalar weights (the `#weights` column of Table I).
     fn num_weights(&self) -> usize {
         self.params().num_weights()

@@ -174,12 +174,13 @@ fn minibatch_outcome(
             let mut shard_rng = Rng64::new(seeds[i]);
             let mut tape = Tape::new();
             let fwd_span = stod_obs::span!("train/fwd");
-            let out = model.forward(
+            let out = model.forward_masked(
                 &mut tape,
                 &batch.inputs,
                 horizon,
                 Mode::Train { dropout },
                 &mut shard_rng,
+                &batch.masks,
             );
             assert_eq!(
                 out.predictions.len(),

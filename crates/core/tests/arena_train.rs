@@ -1,0 +1,175 @@
+//! Training-level arena properties (ISSUE 8, satellite 2): the workspace
+//! arena reuses buffers across minibatches and epochs, so training must
+//! be bitwise invariant to whatever the arena holds — including a
+//! checkpoint restore that lands mid-sequence on a warm, garbage-filled
+//! arena — and its high-water mark must stabilize after the first epoch
+//! instead of growing with epoch count.
+
+use stod_core::config::BfConfig;
+use stod_core::{
+    train, train_resume, train_robust, BfModel, OdForecaster, RobustConfig, TrainConfig,
+    TrainError, TrainReport,
+};
+use stod_tensor::{arena, par};
+use stod_traffic::{CityModel, OdDataset, SimConfig};
+
+fn tiny_ds() -> OdDataset {
+    let cfg = SimConfig {
+        num_days: 2,
+        intervals_per_day: 12,
+        trips_per_interval: 100.0,
+        ..SimConfig::small(7)
+    };
+    OdDataset::generate(CityModel::small(4), &cfg)
+}
+
+fn fresh_model(seed: u64) -> BfModel {
+    BfModel::new(4, 7, BfConfig::default(), seed)
+}
+
+fn cfg(seed: u64, epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        seed,
+        ..TrainConfig::fast_test()
+    }
+}
+
+fn fingerprint(model: &BfModel, report: &TrainReport) -> (Vec<u8>, Vec<u32>) {
+    (
+        model.params().to_bytes().to_vec(),
+        report.epoch_losses.iter().map(|l| l.to_bits()).collect(),
+    )
+}
+
+/// Parks NaN-filled buffers in every size class training could reuse, so
+/// any kernel reading recycled memory before writing it turns the loss
+/// into NaN and the fingerprint comparison fails loudly.
+fn poison_arena() {
+    for c in 6..20u32 {
+        let mut bufs = Vec::new();
+        for _ in 0..4 {
+            let mut v = arena::alloc_raw(1usize << c);
+            v.fill(f32::NAN);
+            bufs.push(v);
+        }
+        for v in bufs {
+            arena::recycle(v);
+        }
+    }
+}
+
+/// A full training run started on a NaN-poisoned arena matches a run
+/// started on a drained arena bitwise, at 1 and 4 threads.
+#[test]
+fn training_is_bitwise_invariant_to_arena_state() {
+    let ds = tiny_ds();
+    let windows = ds.windows(2, 1);
+    for &threads in &[1usize, 4] {
+        par::with_forced_threads(threads, || {
+            arena::drain();
+            let mut cold_model = fresh_model(11);
+            let cold = train(&mut cold_model, &ds, &windows, None, &cfg(11, 2));
+            let cold_fp = fingerprint(&cold_model, &cold);
+
+            poison_arena();
+            let mut warm_model = fresh_model(11);
+            let warm = train(&mut warm_model, &ds, &windows, None, &cfg(11, 2));
+            assert_eq!(
+                fingerprint(&warm_model, &warm),
+                cold_fp,
+                "threads={threads}: arena contents leaked into training"
+            );
+        });
+    }
+}
+
+/// Checkpoint-restore mid-sequence on a warm, poisoned arena reproduces
+/// the uninterrupted run bitwise: buffer reuse cannot smuggle state from
+/// the killed run (or anything else) into the resumed one.
+#[test]
+fn checkpoint_restore_on_poisoned_arena_is_bitwise() {
+    let ds = tiny_ds();
+    let windows = ds.windows(2, 1);
+    let tcfg = cfg(23, 2);
+    let path = std::env::temp_dir().join(format!("stod_arena_ckpt_{}.stck", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    par::with_forced_threads(1, || {
+        arena::drain();
+        let mut base_model = fresh_model(23);
+        let base = train_robust(
+            &mut base_model,
+            &ds,
+            &windows,
+            None,
+            &tcfg,
+            &RobustConfig::default(),
+        )
+        .unwrap();
+        let base_fp = fingerprint(&base_model, &base);
+        assert!(base.steps >= 4, "need a mid-sequence kill point");
+
+        let rcfg = RobustConfig {
+            ckpt_path: Some(path.clone()),
+            ckpt_every_steps: 1,
+            stop_after_steps: Some(base.steps / 2),
+            ..RobustConfig::default()
+        };
+        let mut killed = fresh_model(23);
+        match train_robust(&mut killed, &ds, &windows, None, &tcfg, &rcfg) {
+            Err(TrainError::Aborted { .. }) => {}
+            other => panic!("expected abort, got {other:?}"),
+        }
+
+        // Resume on an arena full of the killed run's recycled buffers
+        // plus explicit NaN poison.
+        poison_arena();
+        let rcfg_resume = RobustConfig {
+            stop_after_steps: None,
+            ..rcfg
+        };
+        let mut resumed = fresh_model(23);
+        let report = train_resume(&mut resumed, &ds, &windows, None, &tcfg, &rcfg_resume).unwrap();
+        assert_eq!(
+            fingerprint(&resumed, &report),
+            base_fp,
+            "restore on a warm arena diverged from the uninterrupted run"
+        );
+    });
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The arena's high-water mark is set by the first epoch's working set;
+/// training five times as long must not push it meaningfully higher, and
+/// steady-state epochs must be served overwhelmingly from reuse.
+#[test]
+fn arena_high_water_is_stable_across_epochs() {
+    let ds = tiny_ds();
+    let windows = ds.windows(2, 1);
+    par::with_forced_threads(1, || {
+        arena::reset_stats();
+        let mut m1 = fresh_model(31);
+        let _ = train(&mut m1, &ds, &windows, None, &cfg(31, 1));
+        let one = arena::stats();
+        assert!(one.high_water_bytes > 0, "training never parked a buffer?");
+
+        arena::reset_stats();
+        let mut m5 = fresh_model(31);
+        let _ = train(&mut m5, &ds, &windows, None, &cfg(31, 5));
+        let five = arena::stats();
+        assert!(
+            five.high_water_bytes <= one.high_water_bytes * 3 / 2,
+            "high-water grew with epochs: 1-epoch {} bytes, 5-epoch {} bytes",
+            one.high_water_bytes,
+            five.high_water_bytes
+        );
+        assert!(
+            five.reuses > five.fresh,
+            "steady state must reuse more than it allocates: {} reuses, {} fresh",
+            five.reuses,
+            five.fresh
+        );
+        arena::reset_stats();
+    });
+}

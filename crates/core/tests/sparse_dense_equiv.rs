@@ -1,0 +1,206 @@
+//! Sparse/dense recovery equivalence (ISSUE 8, satellite 3).
+//!
+//! The sparse-skip recovery path must be a drop-in replacement for the
+//! dense factorization pipeline during training: observed-cell outputs,
+//! the masked loss, and every parameter gradient must match the dense
+//! path **bitwise**, at any thread count, and none of them may depend on
+//! what the ground truth holds at empty cells (Eq. 4 invariance).
+
+use stod_core::recovery::{recover, recover_masked, recover_sparse, SPARSE_DENSITY_CUTOFF};
+use stod_nn::{Tape, Var};
+use stod_tensor::rng::Rng64;
+use stod_tensor::{par, Tensor};
+
+/// Deterministic pseudo-random cell mask with roughly `density` observed.
+fn make_cells(b: usize, n: usize, nd: usize, density: f64, seed: u64) -> Vec<bool> {
+    let mut rng = Rng64::new(seed);
+    (0..b * n * nd)
+        .map(|_| (rng.next_f32() as f64) < density)
+        .collect()
+}
+
+/// Expands a per-cell mask to the `[B, N, N', K]` loss mask.
+fn loss_mask(cells: &[bool], dims: &[usize]) -> Tensor {
+    let k = dims[3];
+    let data: Vec<f32> = cells
+        .iter()
+        .flat_map(|&m| std::iter::repeat_n(if m { 1.0 } else { 0.0 }, k))
+        .collect();
+    Tensor::from_vec(dims, data)
+}
+
+struct Setup {
+    r: Tensor,
+    c: Tensor,
+    bias: Tensor,
+    target: Tensor,
+    cells: Vec<bool>,
+    dims: Vec<usize>, // [B, N, N', K]
+}
+
+fn setup(b: usize, n: usize, beta: usize, nd: usize, k: usize, density: f64, seed: u64) -> Setup {
+    let mut rng = Rng64::new(seed);
+    Setup {
+        r: Tensor::randn(&[b, n, beta, k], 0.7, &mut rng),
+        c: Tensor::randn(&[b, beta, nd, k], 0.7, &mut rng),
+        bias: Tensor::randn(&[n, nd, k], 0.3, &mut rng),
+        target: Tensor::rand_uniform(&[b, n, nd, k], 0.0, 1.0, &mut rng),
+        cells: make_cells(b, n, nd, density, seed ^ 0xabcdef),
+        dims: vec![b, n, nd, k],
+    }
+}
+
+/// Runs one path end to end and returns (prediction, loss, dr, dc, dbias).
+fn run(s: &Setup, sparse: bool) -> (Tensor, f32, Tensor, Tensor, Tensor) {
+    let mut tape = Tape::new();
+    let r = tape.leaf(s.r.clone());
+    let c = tape.leaf(s.c.clone());
+    let bias = tape.leaf(s.bias.clone());
+    let pred = if sparse {
+        recover_sparse(&mut tape, r, c, Some(bias), &s.cells)
+    } else {
+        recover(&mut tape, r, c, Some(bias))
+    };
+    let mask = loss_mask(&s.cells, &s.dims);
+    let loss = tape.masked_sq_err(pred, &s.target, &mask);
+    let loss_val = tape.value(loss).item();
+    let grads = tape.backward_wrt(loss, &[r, c, bias]);
+    let pred_val = tape.value(pred).clone();
+    let mut it = grads.into_iter();
+    (
+        pred_val,
+        loss_val,
+        it.next().unwrap().expect("dr"),
+        it.next().unwrap().expect("dc"),
+        it.next().unwrap().expect("dbias"),
+    )
+}
+
+fn assert_bitwise(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.dims(), b.dims(), "{what} dims");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what} diverges at flat index {i}: {x:e} vs {y:e}"
+        );
+    }
+}
+
+fn check_equivalence(s: &Setup) {
+    let (dense_pred, dense_loss, dense_dr, dense_dc, dense_db) = run(s, false);
+    let (sparse_pred, sparse_loss, sparse_dr, sparse_dc, sparse_db) = run(s, true);
+
+    // Forward: observed cells bitwise identical; empty cells uniform 1/K.
+    let k = s.dims[3];
+    let uniform = 1.0 / k as f32;
+    for (cell, &obs) in s.cells.iter().enumerate() {
+        for ki in 0..k {
+            let d = dense_pred.data()[cell * k + ki];
+            let sp = sparse_pred.data()[cell * k + ki];
+            if obs {
+                assert_eq!(d.to_bits(), sp.to_bits(), "observed cell {cell} lane {ki}");
+            } else {
+                assert_eq!(sp, uniform, "empty cell {cell} must be uniform");
+            }
+        }
+    }
+    assert_eq!(
+        dense_loss.to_bits(),
+        sparse_loss.to_bits(),
+        "masked loss must not depend on the path"
+    );
+    assert_bitwise(&dense_dr, &sparse_dr, "dR");
+    assert_bitwise(&dense_dc, &sparse_dc, "dC");
+    assert_bitwise(&dense_db, &sparse_db, "dBias");
+}
+
+#[test]
+fn sparse_matches_dense_bitwise_serial_and_parallel() {
+    // Shapes chosen to land on both GEMM flavors: the first is small
+    // enough for the naive kernel, the second large enough that the dense
+    // per-bucket products take the blocked path.
+    for &(b, n, beta, nd, k, density) in &[
+        (2usize, 6usize, 3usize, 5usize, 4usize, 0.35f64),
+        (2, 24, 5, 26, 6, 0.25),
+    ] {
+        let s = setup(b, n, beta, nd, k, density, 0x5eed + n as u64);
+        par::with_forced_threads(1, || check_equivalence(&s));
+        par::with_forced_threads(4, || check_equivalence(&s));
+    }
+}
+
+#[test]
+fn empty_cell_ground_truth_cannot_leak_into_gradients() {
+    // Eq. 4 invariance: rewriting targets at *empty* cells must leave the
+    // loss and every gradient bitwise unchanged on both paths.
+    let mut s = setup(2, 8, 3, 7, 5, 0.3, 0xfeed);
+    for sparse in [false, true] {
+        let (_, loss_a, dr_a, dc_a, db_a) = run(&s, sparse);
+        let mut poisoned = s.target.clone();
+        let k = s.dims[3];
+        for (cell, &obs) in s.cells.iter().enumerate() {
+            if !obs {
+                for ki in 0..k {
+                    poisoned.data_mut()[cell * k + ki] = 1e6;
+                }
+            }
+        }
+        std::mem::swap(&mut s.target, &mut poisoned);
+        let (_, loss_b, dr_b, dc_b, db_b) = run(&s, sparse);
+        std::mem::swap(&mut s.target, &mut poisoned);
+        assert_eq!(
+            loss_a.to_bits(),
+            loss_b.to_bits(),
+            "loss leaked (sparse={sparse})"
+        );
+        assert_bitwise(&dr_a, &dr_b, "dR invariance");
+        assert_bitwise(&dc_a, &dc_b, "dC invariance");
+        assert_bitwise(&db_a, &db_b, "dBias invariance");
+    }
+}
+
+#[test]
+fn all_empty_mask_gives_uniform_output_and_zero_gradients() {
+    let s = Setup {
+        cells: vec![false; 2 * 4 * 5],
+        ..setup(2, 4, 3, 5, 6, 0.0, 7)
+    };
+    let (pred, loss, dr, dc, db) = run(&s, true);
+    assert!(pred.data().iter().all(|&x| x == 1.0 / 6.0));
+    assert_eq!(loss, 0.0);
+    assert!(dr.data().iter().all(|&x| x == 0.0));
+    assert!(dc.data().iter().all(|&x| x == 0.0));
+    assert!(db.data().iter().all(|&x| x == 0.0));
+}
+
+#[test]
+fn recover_masked_dispatches_on_density() {
+    // Below the cutoff the wrapper must produce the sparse (uniform at
+    // empty cells) output; at/above it, the dense output everywhere.
+    let s = setup(1, 10, 3, 10, 4, 0.2, 99);
+    const { assert!(SPARSE_DENSITY_CUTOFF > 0.2 && SPARSE_DENSITY_CUTOFF < 1.0) };
+
+    let build = |cells: &[bool]| -> (Tensor, Tensor) {
+        let mask = loss_mask(cells, &s.dims);
+        let mut tape = Tape::new();
+        let (r, c, bias): (Var, Var, Var) = (
+            tape.leaf(s.r.clone()),
+            tape.leaf(s.c.clone()),
+            tape.leaf(s.bias.clone()),
+        );
+        let m = recover_masked(&mut tape, r, c, Some(bias), &mask);
+        let d = recover(&mut tape, r, c, Some(bias));
+        (tape.value(m).clone(), tape.value(d).clone())
+    };
+
+    let (masked_out, dense_out) = build(&s.cells);
+    let k = s.dims[3];
+    let empty = s.cells.iter().position(|&m| !m).expect("has empty cells");
+    assert_eq!(masked_out.data()[empty * k], 0.25, "sparse path expected");
+
+    let all_obs = vec![true; s.cells.len()];
+    let (masked_all, dense_all) = build(&all_obs);
+    assert_bitwise(&masked_all, &dense_all, "dense fallback");
+    drop(dense_out);
+}

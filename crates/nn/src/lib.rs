@@ -28,4 +28,4 @@ pub mod tape;
 pub use gradcheck::{analytic_gradients, assert_grad_ok_at_threads, gradient_check};
 pub use optim::ClipStatus;
 pub use params::{ParamId, ParamStore, StoreError};
-pub use tape::{Gradients, Tape, Var};
+pub use tape::{BackwardFn, Gradients, Tape, Var};

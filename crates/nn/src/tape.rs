@@ -21,7 +21,11 @@ pub struct Var(pub(crate) usize);
 
 /// Backward closure: `(grad_out, parent_values, own_value, parent_needs)`
 /// returns one optional gradient per parent (`None` where not needed).
-type BackwardFn = Box<dyn Fn(&Tensor, &[&Tensor], &Tensor, &[bool]) -> Vec<Option<Tensor>>>;
+///
+/// Public so fused operations living outside this crate (e.g. the sparse
+/// masked recovery kernel in `stod-core`) can register themselves via
+/// [`Tape::custom_op`].
+pub type BackwardFn = Box<dyn Fn(&Tensor, &[&Tensor], &Tensor, &[bool]) -> Vec<Option<Tensor>>>;
 
 struct Node {
     value: Tensor,
@@ -160,6 +164,19 @@ impl Tape {
             requires_grad,
         });
         Var(self.nodes.len() - 1)
+    }
+
+    /// Registers a fused operation computed outside the tape: `value` is
+    /// the eagerly evaluated result, `parents` the inputs it was computed
+    /// from, and `backward` the hand-written gradient. The closure receives
+    /// `(grad_out, parent_values, own_value, parent_needs)` and must return
+    /// one optional gradient per parent, shaped like that parent.
+    ///
+    /// The tape applies the same pruning as built-in ops: if no parent
+    /// requires gradients the closure is dropped and the node becomes a
+    /// constant.
+    pub fn custom_op(&mut self, value: Tensor, parents: &[Var], backward: BackwardFn) -> Var {
+        self.push(value, parents.iter().map(|v| v.0).collect(), Some(backward))
     }
 
     /// Adds a constant (non-differentiable) leaf.

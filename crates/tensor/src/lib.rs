@@ -16,6 +16,7 @@
 //! the Gaussian-process and VAR baselines, and power iteration for the
 //! maximum Laplacian eigenvalue used by Chebyshev graph convolutions.
 
+pub mod arena;
 pub mod linalg;
 pub mod ops;
 pub mod par;

@@ -1,0 +1,605 @@
+//! Cache-blocked, register-tiled f32 GEMM microkernels (DESIGN.md §5h).
+//!
+//! The naive `i-k-j` kernel streams memory well but leaves the FMA units
+//! idle: one scalar multiply-add per iteration against a machine that can
+//! retire 32 f32 FLOPs per cycle. This module implements the classic
+//! three-level blocking scheme (Goto & van de Geijn):
+//!
+//! * the innermost **microkernel** computes an `MR×NR` output tile held
+//!   entirely in vector registers, reading *packed* operand panels;
+//! * **KC** blocks the reduction dimension so one packed B panel strip
+//!   (`KC×NR` floats) lives in L1 while it is reused by every row strip;
+//! * **MC** blocks the rows so a packed A block (`MC×KC`) stays in L2.
+//!
+//! # Determinism
+//!
+//! The repo-wide contract is bitwise-identical results at any
+//! `STOD_THREADS`. Blocked GEMM keeps it through one invariant: **the
+//! accumulation order of every output element is a pure function of its
+//! coordinates and `K`** — a single fused-multiply-add chain over
+//! `p = 0, 1, …, K-1`:
+//!
+//! * Block sizes are fixed constants; KC blocks are visited in ascending
+//!   order, and the microkernel loads the partial `C` tile, continues the
+//!   FMA chain, and stores it back — so KC blocking never reassociates
+//!   the chain.
+//! * Edge tiles (when `m % MR != 0` or `n % NR != 0`) are computed by the
+//!   *same* microkernel on zero-padded panels via a scratch `C` tile, so
+//!   a row computes the same bits whether it lands in a full or partial
+//!   tile — and therefore whether or not a thread-chunk boundary cuts
+//!   next to it.
+//! * Thread fan-out splits output *rows*; rows are independent, so the
+//!   split affects only where a row is computed, never its FMA chain.
+//!
+//! FMA rounds once per multiply-add, so the blocked path's results differ
+//! from the naive kernel's (both are within the conformance oracles'
+//! forward-error bound; the f64 differential fuzzer covers both paths).
+//! Which path runs is decided only by the *problem shape* and the host's
+//! CPU features — never by thread count — so determinism holds per shape
+//! on a given machine. Hosts without AVX2+FMA use the naive kernel
+//! everywhere, which is equally deterministic.
+
+use crate::arena;
+use crate::par;
+
+/// Microkernel tile rows (one broadcast register each).
+pub const MR: usize = 6;
+/// Microkernel tile columns (two 8-lane vectors).
+pub const NR: usize = 16;
+/// Reduction-dimension block: one packed B strip is `KC×NR` floats (16 KiB).
+pub const KC: usize = 256;
+/// Row block: one packed A block is at most `MC×KC` floats (120 KiB, L2).
+pub const MC: usize = 120;
+
+/// Flop count (`m·k·n`) below which packing overhead beats the blocked
+/// kernel's throughput and the naive kernel is used instead. Chosen so
+/// the tiny per-bucket recovery products (`N×β×N'` with β ≈ 5) stay on
+/// the zero-skipping naive path while every encoder/GRU/Cheby product
+/// goes blocked.
+pub const MIN_BLOCKED_FLOPS: usize = 24 * 24 * 24;
+
+/// Minimum output-row count for the blocked path. Below two `MR` strips the
+/// packed-B traffic is amortized over too few rows and the tail strip wastes
+/// most of the microkernel, so the streaming naive kernel wins.
+pub const MIN_BLOCKED_ROWS: usize = 2 * MR;
+
+/// Whether this host runs the blocked AVX2+FMA path at all.
+#[inline]
+pub fn blocked_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static AVAIL: OnceLock<bool> = OnceLock::new();
+        *AVAIL.get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether a product of this shape takes the blocked path. Pure function
+/// of shape + host features, so path choice can never diverge across
+/// thread counts (and the sparse recovery path can mirror the decision).
+#[inline]
+pub fn uses_blocked(m: usize, k: usize, n: usize) -> bool {
+    blocked_available() && m >= MIN_BLOCKED_ROWS && m * k * n >= MIN_BLOCKED_FLOPS
+}
+
+/// `out += a · b` for row-major `a (m×k)`, `b (k×n)`, `out (m×n)`, with
+/// `out` expected zeroed by the caller (the kernels accumulate).
+///
+/// Dispatches between the blocked microkernel path and the naive `i-k-j`
+/// kernel by [`uses_blocked`], and fans output rows across the pool when
+/// the product is large enough. Bitwise identical at any thread count.
+pub fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if !uses_blocked(m, k, n) {
+        naive_rows(a, b, out, m, k, n);
+        return;
+    }
+    let pb = pack_b(b, k, n);
+    if m > 1 && par::should_parallelize(2 * m * k * n) {
+        par::for_each_row_chunk(out, m, n, |rows, chunk| {
+            blocked_chunk(
+                &a[rows.start * k..rows.end * k],
+                &pb,
+                chunk,
+                rows.len(),
+                k,
+                n,
+            );
+        });
+    } else {
+        blocked_chunk(a, &pb, out, m, k, n);
+    }
+    arena::recycle(pb);
+}
+
+/// The pre-blocked-kernel dispatcher: row-parallel naive `i-k-j`.
+pub fn naive_rows(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if m > 1 && par::should_parallelize(m * k * n) {
+        par::for_each_row_chunk(out, m, n, |rows, chunk| {
+            naive_into(&a[rows.start * k..rows.end * k], b, chunk, rows.len(), k, n);
+        });
+    } else {
+        naive_into(a, b, out, m, k, n);
+    }
+}
+
+/// Raw `i-k-j` kernel accumulating into `out`. The `a == 0` skip makes
+/// sparse lhs operands (zero-masked gradients, sparse factors) cheap.
+pub(crate) fn naive_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &aip) in a[i * k..(i + 1) * k].iter().enumerate() {
+            if aip == 0.0 {
+                continue; // sparse factor matrices benefit measurably
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += aip * bv;
+            }
+        }
+    }
+}
+
+/// Number of NR-wide column strips (zero-padded at the right edge).
+#[inline]
+fn num_strips(n: usize) -> usize {
+    n.div_ceil(NR)
+}
+
+/// Packs all of `b (k×n)` into KC-major, NR-strip panels.
+///
+/// Layout: for KC block `kb` and column strip `js`, the strip panel lives
+/// at offset `(kb * num_strips + js) * KC * NR` and holds `kc_len` rows of
+/// `NR` floats (`b[p][js*NR ..]`, zero-padded past `n`). The fixed
+/// `KC*NR` stride keeps addressing trivial; the tail block's unused rows
+/// are simply never read.
+pub(crate) fn pack_b(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let njs = num_strips(n);
+    let nkb = k.div_ceil(KC);
+    // alloc_raw: every slot the microkernel reads is written below —
+    // `kc_len` rows per strip, with pad columns explicitly zeroed (they
+    // accumulate garbage lanes that are never stored, but must not be
+    // Inf/NaN, whose products would poison the whole vector lane).
+    let mut pb = arena::alloc_raw(nkb * njs * KC * NR);
+    for kb in 0..nkb {
+        let k0 = kb * KC;
+        let kc_len = KC.min(k - k0);
+        for js in 0..njs {
+            let j0 = js * NR;
+            let w = NR.min(n - j0);
+            let panel = &mut pb[(kb * njs + js) * KC * NR..];
+            for p in 0..kc_len {
+                let src = &b[(k0 + p) * n + j0..(k0 + p) * n + j0 + w];
+                panel[p * NR..p * NR + w].copy_from_slice(src);
+                panel[p * NR + w..(p + 1) * NR].fill(0.0);
+            }
+        }
+    }
+    pb
+}
+
+/// Packs rows `i0..i0+mc_len` of `a` for KC block `kb` into MR strips:
+/// strip `s` holds `a[i0 + s*MR + r][k0 + p]` at `[p*MR + r]`, rows past
+/// `m` zero-padded (they compute garbage that is never stored).
+fn pack_a(a: &[f32], k: usize, i0: usize, mc_len: usize, k0: usize, kc_len: usize, pa: &mut [f32]) {
+    let nstrips = mc_len.div_ceil(MR);
+    for s in 0..nstrips {
+        let panel = &mut pa[s * KC * MR..];
+        let rows = MR.min(mc_len - s * MR);
+        for p in 0..kc_len {
+            for r in 0..rows {
+                panel[p * MR + r] = a[(i0 + s * MR + r) * k + k0 + p];
+            }
+            for r in rows..MR {
+                panel[p * MR + r] = 0.0;
+            }
+        }
+    }
+}
+
+/// Blocked GEMM over one contiguous row chunk, reading the shared packed
+/// B. Serial: callers handle fan-out (workers run nested-serial anyway).
+pub(crate) fn blocked_chunk(a: &[f32], pb: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let njs = num_strips(n);
+    let mut pa = arena::alloc_raw(MC.div_ceil(MR) * KC * MR);
+    let mut scratch = [0.0f32; MR * NR];
+    // KC ascending and outermost: each block continues every element's
+    // FMA chain exactly where the previous block left it.
+    for (kb, k0) in (0..k).step_by(KC).enumerate() {
+        let kc_len = KC.min(k - k0);
+        for i0 in (0..m).step_by(MC) {
+            let mc_len = MC.min(m - i0);
+            pack_a(a, k, i0, mc_len, k0, kc_len, &mut pa);
+            for js in 0..njs {
+                let j0 = js * NR;
+                let w = NR.min(n - j0);
+                let bpanel = &pb[(kb * njs + js) * KC * NR..];
+                for s in 0..mc_len.div_ceil(MR) {
+                    let apanel = &pa[s * KC * MR..];
+                    let rows = MR.min(mc_len - s * MR);
+                    let c0 = (i0 + s * MR) * n + j0;
+                    if rows == MR && w == NR {
+                        // SAFETY: blocked_available() checked by the
+                        // dispatcher; panels hold kc_len full rows; the C
+                        // tile is MR rows × NR cols inside `out`.
+                        unsafe {
+                            microkernel_6x16(
+                                kc_len,
+                                apanel.as_ptr(),
+                                bpanel.as_ptr(),
+                                out.as_mut_ptr().add(c0),
+                                n,
+                            );
+                        }
+                    } else {
+                        // Edge tile: stage the valid C region in a fully
+                        // padded scratch tile so the same microkernel (and
+                        // therefore the same per-element FMA chain) runs.
+                        for r in 0..rows {
+                            scratch[r * NR..r * NR + w]
+                                .copy_from_slice(&out[c0 + r * n..c0 + r * n + w]);
+                        }
+                        unsafe {
+                            microkernel_6x16(
+                                kc_len,
+                                apanel.as_ptr(),
+                                bpanel.as_ptr(),
+                                scratch.as_mut_ptr(),
+                                NR,
+                            );
+                        }
+                        for r in 0..rows {
+                            out[c0 + r * n..c0 + r * n + w]
+                                .copy_from_slice(&scratch[r * NR..r * NR + w]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    arena::recycle(pa);
+}
+
+/// The register-tiled core: `C[0..6][0..16] = FMA-chain over kc packed
+/// panel rows`, continuing from the C values already in memory.
+///
+/// # Safety
+/// Requires AVX2+FMA (guarded by [`blocked_available`]); `ap` must hold
+/// `kc*MR` floats, `bp` `kc*NR` floats, and `c` an `MR×NR` tile with row
+/// stride `ldc`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn microkernel_6x16(kc: usize, ap: *const f32, bp: *const f32, c: *mut f32, ldc: usize) {
+    use std::arch::x86_64::*;
+    let mut c0a = _mm256_loadu_ps(c);
+    let mut c0b = _mm256_loadu_ps(c.add(8));
+    let mut c1a = _mm256_loadu_ps(c.add(ldc));
+    let mut c1b = _mm256_loadu_ps(c.add(ldc + 8));
+    let mut c2a = _mm256_loadu_ps(c.add(2 * ldc));
+    let mut c2b = _mm256_loadu_ps(c.add(2 * ldc + 8));
+    let mut c3a = _mm256_loadu_ps(c.add(3 * ldc));
+    let mut c3b = _mm256_loadu_ps(c.add(3 * ldc + 8));
+    let mut c4a = _mm256_loadu_ps(c.add(4 * ldc));
+    let mut c4b = _mm256_loadu_ps(c.add(4 * ldc + 8));
+    let mut c5a = _mm256_loadu_ps(c.add(5 * ldc));
+    let mut c5b = _mm256_loadu_ps(c.add(5 * ldc + 8));
+    let mut a = ap;
+    let mut b = bp;
+    for _ in 0..kc {
+        let b0 = _mm256_loadu_ps(b);
+        let b1 = _mm256_loadu_ps(b.add(8));
+        let a0 = _mm256_broadcast_ss(&*a);
+        c0a = _mm256_fmadd_ps(a0, b0, c0a);
+        c0b = _mm256_fmadd_ps(a0, b1, c0b);
+        let a1 = _mm256_broadcast_ss(&*a.add(1));
+        c1a = _mm256_fmadd_ps(a1, b0, c1a);
+        c1b = _mm256_fmadd_ps(a1, b1, c1b);
+        let a2 = _mm256_broadcast_ss(&*a.add(2));
+        c2a = _mm256_fmadd_ps(a2, b0, c2a);
+        c2b = _mm256_fmadd_ps(a2, b1, c2b);
+        let a3 = _mm256_broadcast_ss(&*a.add(3));
+        c3a = _mm256_fmadd_ps(a3, b0, c3a);
+        c3b = _mm256_fmadd_ps(a3, b1, c3b);
+        let a4 = _mm256_broadcast_ss(&*a.add(4));
+        c4a = _mm256_fmadd_ps(a4, b0, c4a);
+        c4b = _mm256_fmadd_ps(a4, b1, c4b);
+        let a5 = _mm256_broadcast_ss(&*a.add(5));
+        c5a = _mm256_fmadd_ps(a5, b0, c5a);
+        c5b = _mm256_fmadd_ps(a5, b1, c5b);
+        a = a.add(MR);
+        b = b.add(NR);
+    }
+    _mm256_storeu_ps(c, c0a);
+    _mm256_storeu_ps(c.add(8), c0b);
+    _mm256_storeu_ps(c.add(ldc), c1a);
+    _mm256_storeu_ps(c.add(ldc + 8), c1b);
+    _mm256_storeu_ps(c.add(2 * ldc), c2a);
+    _mm256_storeu_ps(c.add(2 * ldc + 8), c2b);
+    _mm256_storeu_ps(c.add(3 * ldc), c3a);
+    _mm256_storeu_ps(c.add(3 * ldc + 8), c3b);
+    _mm256_storeu_ps(c.add(4 * ldc), c4a);
+    _mm256_storeu_ps(c.add(4 * ldc + 8), c4b);
+    _mm256_storeu_ps(c.add(5 * ldc), c5a);
+    _mm256_storeu_ps(c.add(5 * ldc + 8), c5b);
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+unsafe fn microkernel_6x16(_: usize, _: *const f32, _: *const f32, _: *mut f32, _: usize) {
+    unreachable!("blocked path is gated on blocked_available()")
+}
+
+/// The dot-product flavor the blocked microkernel applies per output
+/// element: a sequential `f32::mul_add` chain over `p` ascending with
+/// `b` read at stride `ldb`. The sparse recovery path calls this for
+/// observed cells so its results match the dense blocked path bitwise
+/// (software and hardware FMA are both correctly rounded).
+#[inline]
+pub fn dot_fma(a: &[f32], b: &[f32], ldb: usize) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if blocked_available() {
+            // SAFETY: feature presence just checked.
+            return unsafe { dot_fma_hw(a, b, ldb) };
+        }
+    }
+    let mut acc = 0.0f32;
+    for (p, &av) in a.iter().enumerate() {
+        acc = av.mul_add(b[p * ldb], acc);
+    }
+    acc
+}
+
+/// Hardware-FMA scalar chain — bitwise identical to `f32::mul_add` but
+/// without the soft-float call on hosts whose baseline codegen lacks FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "fma")]
+unsafe fn dot_fma_hw(a: &[f32], b: &[f32], ldb: usize) -> f32 {
+    use std::arch::x86_64::*;
+    let mut acc = _mm_set_ss(0.0);
+    for (p, &av) in a.iter().enumerate() {
+        let bv = _mm_set_ss(*b.get_unchecked(p * ldb));
+        acc = _mm_fmadd_ss(_mm_set_ss(av), bv, acc);
+    }
+    _mm_cvtss_f32(acc)
+}
+
+/// The naive kernel's per-element flavor: plain multiply-add over `p`
+/// ascending, skipping `a[p] == 0` exactly as [`naive_into`] does.
+#[inline]
+pub fn dot_naive(a: &[f32], b: &[f32], ldb: usize) -> f32 {
+    let mut acc = 0.0f32;
+    for (p, &av) in a.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        acc += av * b[p * ldb];
+    }
+    acc
+}
+
+/// [`dot_fma`] with *both* operands strided: `Σ_p a[p·lda] · b[p·ldb]` as
+/// one FMA chain over `p = 0..len` ascending. Strides change which memory
+/// is read, never the chain, so this reproduces a blocked-GEMM output
+/// element bitwise from unpacked tensors (the sparse recovery path relies
+/// on this to skip empty OD cells without perturbing observed ones).
+#[inline]
+pub fn dot_fma_strided(a: &[f32], lda: usize, b: &[f32], ldb: usize, len: usize) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if blocked_available() {
+            // SAFETY: feature presence just checked.
+            return unsafe { dot_fma_strided_hw(a, lda, b, ldb, len) };
+        }
+    }
+    let mut acc = 0.0f32;
+    for p in 0..len {
+        acc = a[p * lda].mul_add(b[p * ldb], acc);
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "fma")]
+unsafe fn dot_fma_strided_hw(a: &[f32], lda: usize, b: &[f32], ldb: usize, len: usize) -> f32 {
+    use std::arch::x86_64::*;
+    let mut acc = _mm_set_ss(0.0);
+    for p in 0..len {
+        let av = _mm_set_ss(*a.get_unchecked(p * lda));
+        let bv = _mm_set_ss(*b.get_unchecked(p * ldb));
+        acc = _mm_fmadd_ss(av, bv, acc);
+    }
+    _mm_cvtss_f32(acc)
+}
+
+/// [`dot_naive`] with both operands strided (same `a == 0` skip).
+#[inline]
+pub fn dot_naive_strided(a: &[f32], lda: usize, b: &[f32], ldb: usize, len: usize) -> f32 {
+    let mut acc = 0.0f32;
+    for p in 0..len {
+        let av = a[p * lda];
+        if av == 0.0 {
+            continue;
+        }
+        acc += av * b[p * ldb];
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f64> {
+        let mut out = vec![0.0f64; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    out[i * n + j] += a[i * k + p] as f64 * b[p * n + j] as f64;
+                }
+            }
+        }
+        out
+    }
+
+    fn arb(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = crate::rng::Rng64::new(seed);
+        (0..len).map(|_| rng.next_gaussian() as f32).collect()
+    }
+
+    #[test]
+    fn blocked_matches_f64_reference_across_edge_shapes() {
+        // Every block-boundary regime: 1, MR±1, NR±1, KC±1, and
+        // non-multiples spanning several blocks.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (MR - 1, KC + 1, NR - 1),
+            (MR, KC, NR),
+            (MR + 1, KC - 1, NR + 1),
+            (2 * MR + 3, 2 * KC + 3, 2 * NR + 3),
+            (MC + 1, 40, 33),
+            (37, 19, 23),
+        ] {
+            let a = arb(m * k, 1 + (m * 31 + n) as u64);
+            let b = arb(k * n, 2 + (k * 17 + m) as u64);
+            let mut out = vec![0.0f32; m * n];
+            // Force the blocked path when the host supports it.
+            if blocked_available() {
+                let pb = pack_b(&b, k, n);
+                blocked_chunk(&a, &pb, &mut out, m, k, n);
+            } else {
+                naive_into(&a, &b, &mut out, m, k, n);
+            }
+            let want = reference(&a, &b, m, k, n);
+            for (i, (&got, &w)) in out.iter().zip(want.iter()).enumerate() {
+                let tol = (k as f64 + 2.0) * f32::EPSILON as f64 * w.abs().max(1.0);
+                assert!(
+                    (got as f64 - w).abs() <= tol,
+                    "m={m} k={k} n={n} idx={i}: got {got}, want {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_is_bitwise_thread_count_independent() {
+        let (m, k, n) = (67, 40, 67);
+        let a = arb(m * k, 11);
+        let b = arb(k * n, 12);
+        let serial = crate::par::with_forced_threads(1, || {
+            let mut out = vec![0.0f32; m * n];
+            gemm_rows(&a, &b, &mut out, m, k, n);
+            out
+        });
+        for t in [2, 4, 7] {
+            let par = crate::par::with_forced_threads(t, || {
+                let mut out = vec![0.0f32; m * n];
+                gemm_rows(&a, &b, &mut out, m, k, n);
+                out
+            });
+            assert!(
+                par.iter()
+                    .zip(serial.iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "threads={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_tiles_match_full_tiles_elementwise() {
+        // The first NR columns of a (MR, k, NR+1) product must equal the
+        // (MR, k, NR) product bitwise: the edge tile may not change the
+        // FMA chain of elements it shares with a full-tile run.
+        if !blocked_available() {
+            return;
+        }
+        let (m, k) = (MR, KC + 7);
+        let a = arb(m * k, 21);
+        let b_wide = arb(k * (NR + 1), 22);
+        let b_narrow: Vec<f32> = (0..k)
+            .flat_map(|p| b_wide[p * (NR + 1)..p * (NR + 1) + NR].to_vec())
+            .collect();
+        let mut wide = vec![0.0f32; m * (NR + 1)];
+        let pbw = pack_b(&b_wide, k, NR + 1);
+        blocked_chunk(&a, &pbw, &mut wide, m, k, NR + 1);
+        let mut narrow = vec![0.0f32; m * NR];
+        let pbn = pack_b(&b_narrow, k, NR);
+        blocked_chunk(&a, &pbn, &mut narrow, m, k, NR);
+        for i in 0..m {
+            for j in 0..NR {
+                assert_eq!(
+                    wide[i * (NR + 1) + j].to_bits(),
+                    narrow[i * NR + j].to_bits(),
+                    "element ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_fma_matches_blocked_elements() {
+        if !blocked_available() {
+            return;
+        }
+        let (m, k, n) = (MR, 2 * KC + 5, NR);
+        let a = arb(m * k, 31);
+        let b = arb(k * n, 32);
+        let mut out = vec![0.0f32; m * n];
+        let pb = pack_b(&b, k, n);
+        blocked_chunk(&a, &pb, &mut out, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let d = dot_fma(&a[i * k..(i + 1) * k], &b[j..], n);
+                assert_eq!(
+                    d.to_bits(),
+                    out[i * n + j].to_bits(),
+                    "dot_fma must replicate the microkernel chain at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strided_dots_match_contiguous() {
+        let k = 37;
+        let (lda, ldb) = (3, 5);
+        let aw = arb(k * lda, 51);
+        let bw = arb(k * ldb, 52);
+        let a: Vec<f32> = (0..k).map(|p| aw[p * lda]).collect();
+        let b: Vec<f32> = (0..k).map(|p| bw[p * ldb]).collect();
+        let f = dot_fma_strided(&aw, lda, &bw, ldb, k);
+        assert_eq!(f.to_bits(), dot_fma(&a, &b, 1).to_bits());
+        let mut az = a.clone();
+        az[7] = 0.0;
+        let mut awz = aw.clone();
+        awz[7 * lda] = 0.0;
+        let nv = dot_naive_strided(&awz, lda, &bw, ldb, k);
+        assert_eq!(nv.to_bits(), dot_naive(&az, &b, 1).to_bits());
+    }
+
+    #[test]
+    fn dot_naive_matches_naive_kernel_elements() {
+        let (m, k, n) = (3, 9, 4);
+        let mut a = arb(m * k, 41);
+        a[4] = 0.0;
+        a[10] = 0.0;
+        let b = arb(k * n, 42);
+        let mut out = vec![0.0f32; m * n];
+        naive_into(&a, &b, &mut out, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let d = dot_naive(&a[i * k..(i + 1) * k], &b[j..], n);
+                assert_eq!(d.to_bits(), out[i * n + j].to_bits(), "({i},{j})");
+            }
+        }
+    }
+}

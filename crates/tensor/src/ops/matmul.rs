@@ -1,15 +1,19 @@
 //! Matrix multiplication kernels.
 //!
-//! The 2-D kernel uses the `i-k-j` loop order: the innermost loop walks a
-//! row of `b` and a row of the output, so both are streamed sequentially
-//! from memory. That is within a small factor of a tuned BLAS for the
-//! matrix sizes this workspace uses (tens to a few hundreds per side).
+//! Large products route through the cache-blocked, register-tiled
+//! microkernels in [`crate::ops::gemm`]; small ones use the naive
+//! `i-k-j` kernel whose inner loop streams both operands (packing
+//! overhead would dominate). The path is a pure function of the problem
+//! shape and host CPU features — see the determinism notes in
+//! [`crate::ops::gemm`].
 //!
 //! Large products fan out across [`crate::par`]: output rows (2-D) or
 //! batch items (batched) are distributed over the pool, and every
 //! row/item is still produced by the identical serial inner kernel — so
 //! results are bitwise identical at any `STOD_THREADS`.
 
+use crate::arena;
+use crate::ops::gemm;
 use crate::par;
 use crate::tensor::Tensor;
 
@@ -41,42 +45,17 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         stod_obs::count("kernel/matmul/calls", 1);
         stod_obs::count("kernel/matmul/elements", (m * n) as u64);
     }
-    let mut out = vec![0.0f32; m * n];
+    let mut out = arena::alloc_filled(m * n, 0.0);
     matmul_rows(a.data(), b.data(), &mut out, m, k, n);
     Tensor::from_vec(&[m, n], out)
 }
 
-/// Row-parallel dispatch over [`matmul_into`]: splits the output rows
+/// Dispatch over the blocked/naive GEMM kernels: splits the output rows
 /// across the pool when the product is large enough, otherwise runs the
 /// serial kernel directly. Either way each row is computed by the same
 /// inner loops, so the result is bitwise independent of the schedule.
 pub(crate) fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    if m > 1 && par::should_parallelize(m * k * n) {
-        par::for_each_row_chunk(out, m, n, |rows, chunk| {
-            matmul_into(&a[rows.start * k..rows.end * k], b, chunk, rows.len(), k, n);
-        });
-    } else {
-        matmul_into(a, b, out, m, k, n);
-    }
-}
-
-/// Raw `i-k-j` matmul kernel writing into a preallocated buffer.
-pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (p, &aip) in a[i * k..(i + 1) * k].iter().enumerate() {
-            if aip == 0.0 {
-                continue; // sparse factor matrices benefit measurably
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += aip * bv;
-            }
-        }
-    }
+    gemm::gemm_rows(a, b, out, m, k, n);
 }
 
 /// Matrix–vector product `a (m×k) · x (k) → (m)`.
@@ -92,7 +71,10 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
         stod_obs::count("kernel/matvec/calls", 1);
         stod_obs::count("kernel/matvec/elements", m as u64);
     }
-    let mut out = vec![0.0f32; m];
+    // matvec keeps its f64 accumulation (power iteration, VAR fits and
+    // proximity kernels lean on the extra precision); it is memory-bound,
+    // so the blocked f32 microkernels would not make it faster anyway.
+    let mut out = arena::alloc_raw(m);
     let fill = |rows: std::ops::Range<usize>, chunk: &mut [f32]| {
         for (o, i) in chunk.iter_mut().zip(rows) {
             let row = &a.data()[i * k..(i + 1) * k];
@@ -155,7 +137,7 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
         stod_obs::count("kernel/batched_matmul/calls", 1);
         stod_obs::count("kernel/batched_matmul/elements", (batch * m * n) as u64);
     }
-    let mut out = vec![0.0f32; batch * m * n];
+    let mut out = arena::alloc_filled(batch * m * n, 0.0);
     let a_step = if batch_a == 1 && a.ndim() == 2 {
         0
     } else {
@@ -169,13 +151,54 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
     if batch == 1 {
         // A single item: the row-parallel 2-D path covers it.
         matmul_rows(&a.data()[..m * k], &b.data()[..k * n], &mut out, m, k, n);
+    } else if gemm::uses_blocked(m, k, n) {
+        // Blocked items: a broadcast rhs is packed once and shared by
+        // every item (and thread); per-item rhs operands are packed by
+        // whichever thread runs the item, from its own arena.
+        let shared_pb = (b_step == 0).then(|| gemm::pack_b(&b.data()[..k * n], k, n));
+        let run_item = |t: usize, item_out: &mut [f32]| match &shared_pb {
+            Some(pb) => gemm::blocked_chunk(
+                &a.data()[t * a_step..t * a_step + m * k],
+                pb,
+                item_out,
+                m,
+                k,
+                n,
+            ),
+            None => {
+                let pb = gemm::pack_b(&b.data()[t * b_step..t * b_step + k * n], k, n);
+                gemm::blocked_chunk(
+                    &a.data()[t * a_step..t * a_step + m * k],
+                    &pb,
+                    item_out,
+                    m,
+                    k,
+                    n,
+                );
+                arena::recycle(pb);
+            }
+        };
+        if par::should_parallelize(batch * m * k * n) {
+            par::for_each_row_chunk(&mut out, batch, m * n, |items, chunk| {
+                for (local, t) in items.enumerate() {
+                    run_item(t, &mut chunk[local * m * n..(local + 1) * m * n]);
+                }
+            });
+        } else {
+            for t in 0..batch {
+                run_item(t, &mut out[t * m * n..(t + 1) * m * n]);
+            }
+        }
+        if let Some(pb) = shared_pb {
+            arena::recycle(pb);
+        }
     } else if par::should_parallelize(batch * m * k * n) {
         // Batch items are fully independent — distribute them whole.
         par::for_each_row_chunk(&mut out, batch, m * n, |items, chunk| {
             for (local, t) in items.enumerate() {
                 let a_sl = &a.data()[t * a_step..t * a_step + m * k];
                 let b_sl = &b.data()[t * b_step..t * b_step + k * n];
-                matmul_into(
+                gemm::naive_into(
                     a_sl,
                     b_sl,
                     &mut chunk[local * m * n..(local + 1) * m * n],
@@ -189,7 +212,7 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
         for t in 0..batch {
             let a_sl = &a.data()[t * a_step..t * a_step + m * k];
             let b_sl = &b.data()[t * b_step..t * b_step + k * n];
-            matmul_into(a_sl, b_sl, &mut out[t * m * n..(t + 1) * m * n], m, k, n);
+            gemm::naive_into(a_sl, b_sl, &mut out[t * m * n..(t + 1) * m * n], m, k, n);
         }
     }
     let mut dims = batch_dims;

@@ -1,6 +1,7 @@
 //! Tensor kernels grouped by family.
 
 pub mod elementwise;
+pub mod gemm;
 pub mod matmul;
 pub mod reduce;
 pub mod softmax;

@@ -27,24 +27,36 @@
 //! The pool size is resolved per call as: thread-local override (set by
 //! [`with_threads`] / [`with_forced_threads`], used by tests and by pool
 //! workers to keep nested kernels serial) → `STOD_THREADS` → available
-//! cores. Threads are scoped (`compat/crossbeam`'s `thread::scope`) and
-//! joined before the kernel returns, so borrowed operands need no `Arc`
-//! and panics propagate to the caller.
+//! cores. Fan-out dispatches onto a **persistent worker pool**: workers
+//! are spawned once (lazily, on first use) and parked on a shared queue,
+//! so a dispatch costs a queue push + wake instead of a thread spawn.
+//! The dispatching thread blocks until every task of its batch has
+//! completed — helping drain the queue while it waits — so borrowed
+//! operands need no `Arc` and panics propagate to the caller.
 //!
-//! Small operations are not worth a thread spawn; kernels gate on
+//! During a fan-out, *all* participating threads (the caller included)
+//! run nested kernels serial: the batch is already using every thread
+//! the caller was entitled to, so a nested fan-out could only
+//! oversubscribe the machine.
+//!
+//! Small operations are not worth even a pool dispatch; kernels gate on
 //! [`should_parallelize`] with an approximate scalar-op count. The gate
 //! only affects *where* code runs, never *what* it computes, so crossing
 //! the threshold cannot change results.
 
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::OnceLock;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Minimum approximate scalar-op count before a kernel fans out.
 ///
-/// A scoped thread spawn costs tens of microseconds; below ~64k
-/// multiply-adds the serial kernel wins on every machine we care about.
-pub const MIN_PARALLEL_WORK: usize = 1 << 16;
+/// A pool dispatch costs a few microseconds of queueing and wakeup; below
+/// ~256k multiply-adds the serial kernel finishes before the workers
+/// would. (The old per-call-spawn pool used 1<<16; the persistent pool
+/// cut the dispatch cost but the blocked GEMM kernels cut per-op runtime
+/// further, so the break-even point moved *up*.)
+pub const MIN_PARALLEL_WORK: usize = 1 << 18;
 
 thread_local! {
     /// Per-thread override of the pool size. `None` defers to the
@@ -124,9 +136,23 @@ pub fn with_forced_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Physical cores available to the process (cached).
+fn host_cores() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, usize::from))
+}
+
 /// Whether a kernel with roughly `work` scalar operations should fan out.
+///
+/// Besides the work threshold, this respects the *physical* machine: on a
+/// single-core host a fan-out can only timeshare the one core and thrash
+/// its caches, so `STOD_THREADS=2` there runs the same serial schedule as
+/// `STOD_THREADS=1` (bitwise-identical results either way — the gate is
+/// scheduling-only by contract). [`with_forced_threads`] still forces the
+/// parallel path so determinism tests exercise it everywhere.
 pub fn should_parallelize(work: usize) -> bool {
-    num_threads() > 1 && (FORCE_PARALLEL.with(Cell::get) || work >= MIN_PARALLEL_WORK)
+    num_threads() > 1
+        && (FORCE_PARALLEL.with(Cell::get) || (host_cores() > 1 && work >= MIN_PARALLEL_WORK))
 }
 
 /// Splits `0..n` into `parts` contiguous, balanced, in-order ranges
@@ -181,46 +207,171 @@ fn split_by_ranges<'a, T>(
     pairs
 }
 
-/// Runs `(range, chunk)` pairs across the pool: pairs `1..` on scoped
-/// worker threads (pinned serial so nested kernels don't oversubscribe),
-/// pair `0` on the calling thread. Joins — and therefore propagates
-/// worker panics — before returning.
+/// One unit of dispatched work: the erased task closure plus the batch
+/// latch it reports completion (or its panic payload) to.
+struct Job {
+    task: Box<dyn FnOnce() + Send>,
+    latch: Arc<Latch>,
+    queued_at: Option<std::time::Instant>,
+}
+
+impl Job {
+    /// Runs the task pinned serial (nested kernels must not fan out) and
+    /// signals the batch latch, capturing a panic payload instead of
+    /// unwinding through the worker.
+    fn run(self) {
+        if let Some(q) = self.queued_at {
+            stod_obs::observe_ns("pool/queue_wait_ns", q.elapsed().as_nanos() as u64);
+        }
+        let _serial = push_override(Some(1), false);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(self.task));
+        if let Err(payload) = result {
+            self.latch.panics.lock().unwrap().push(payload);
+        }
+        self.latch.done();
+    }
+}
+
+/// Completion latch for one dispatched batch.
+struct Latch {
+    remaining: Mutex<usize>,
+    cv: Condvar,
+    panics: Mutex<Vec<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Latch {
+    fn new(count: usize) -> Arc<Latch> {
+        Arc::new(Latch {
+            remaining: Mutex::new(count),
+            cv: Condvar::new(),
+            panics: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn done(&self) {
+        let mut rem = self.remaining.lock().unwrap();
+        *rem -= 1;
+        if *rem == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut rem = self.remaining.lock().unwrap();
+        while *rem > 0 {
+            rem = self.cv.wait(rem).unwrap();
+        }
+    }
+}
+
+/// The persistent pool: a shared injector queue and the number of worker
+/// threads spawned so far. Workers are started lazily as batches demand
+/// them and then live for the life of the process, parked on the queue.
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    spawned: Mutex<usize>,
+}
+
+/// Upper bound on pool workers — far above any sane `STOD_THREADS`, it
+/// only guards against a runaway configuration.
+const MAX_WORKERS: usize = 64;
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        cv: Condvar::new(),
+        spawned: Mutex::new(0),
+    })
+}
+
+/// Makes sure at least `wanted` workers exist, spawning any missing ones.
+fn ensure_workers(p: &'static Pool, wanted: usize) {
+    let wanted = wanted.min(MAX_WORKERS);
+    let mut spawned = p.spawned.lock().unwrap();
+    while *spawned < wanted {
+        std::thread::Builder::new()
+            .name(format!("stod-pool-{spawned}"))
+            .spawn(move || worker_loop(p))
+            .expect("spawn pool worker");
+        *spawned += 1;
+    }
+}
+
+fn worker_loop(p: &'static Pool) {
+    loop {
+        let job = {
+            let mut q = p.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = p.cv.wait(q).unwrap();
+            }
+        };
+        job.run();
+    }
+}
+
+/// Runs `(range, chunk)` pairs across the pool: pairs `1..` as queued
+/// jobs on the persistent workers (pinned serial so nested kernels don't
+/// oversubscribe), pair `0` on the calling thread — also pinned serial,
+/// since the batch already occupies the caller's thread budget. Blocks —
+/// helping drain the queue — until every job completed, then propagates
+/// the first captured panic.
 fn run_chunked<T, F>(pairs: Vec<(Range<usize>, &mut [T])>, f: &F)
 where
     T: Send,
     F: Fn(Range<usize>, &mut [T]) + Sync,
 {
     // Observability (armed only): fan-out count, tasks dispatched, and
-    // per-worker queue wait — spawn-to-start latency, the pool's analogue
+    // per-job queue wait — enqueue-to-start latency, the pool's analogue
     // of time spent sitting in a run queue. Probes never touch operands.
     let armed = stod_obs::armed();
     if armed {
         stod_obs::count("pool/fanouts", 1);
         stod_obs::count("pool/tasks", pairs.len() as u64);
     }
-    crossbeam::thread::scope(|s| {
-        let mut pairs = pairs.into_iter();
-        let (lead_range, lead_chunk) = pairs.next().expect("at least one chunk");
-        let handles: Vec<_> = pairs
-            .map(|(range, chunk)| {
-                let queued_at = armed.then(std::time::Instant::now);
-                s.spawn(move |_| {
-                    if let Some(q) = queued_at {
-                        stod_obs::observe_ns("pool/queue_wait_ns", q.elapsed().as_nanos() as u64);
-                    }
-                    let _serial = push_override(Some(1), false);
-                    f(range, chunk);
-                })
-            })
-            .collect();
-        f(lead_range, lead_chunk);
-        for h in handles {
-            if let Err(payload) = h.join() {
-                std::panic::resume_unwind(payload);
-            }
+    let mut pairs = pairs.into_iter();
+    let (lead_range, lead_chunk) = pairs.next().expect("at least one chunk");
+    let latch = Latch::new(pairs.len());
+    let p = pool();
+    ensure_workers(p, pairs.len());
+    {
+        let mut q = p.queue.lock().unwrap();
+        for (range, chunk) in pairs {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || f(range, chunk));
+            // SAFETY: this function blocks on `latch.wait()` below until
+            // every job has run to completion, so the borrows of `f` and
+            // the output chunks captured by `task` outlive its execution.
+            let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+            q.push_back(Job {
+                task,
+                latch: Arc::clone(&latch),
+                queued_at: armed.then(std::time::Instant::now),
+            });
         }
-    })
-    .expect("scope itself does not panic");
+        p.cv.notify_all();
+    }
+    {
+        let _serial = push_override(Some(1), false);
+        f(lead_range, lead_chunk);
+    }
+    // Help: drain pending jobs (ours or a concurrent batch's) instead of
+    // sleeping — on a saturated machine the caller is a worker too.
+    loop {
+        let job = p.queue.lock().unwrap().pop_front();
+        match job {
+            Some(job) => job.run(),
+            None => break,
+        }
+    }
+    latch.wait();
+    let payload = latch.panics.lock().unwrap().pop();
+    if let Some(payload) = payload {
+        std::panic::resume_unwind(payload);
+    }
 }
 
 /// Splits the `rows × row_len` buffer `out` into contiguous row chunks and
@@ -348,9 +499,16 @@ mod tests {
     }
 
     #[test]
-    fn workers_run_nested_kernels_serial() {
-        let nested: Vec<usize> = with_forced_threads(4, || map(4, |_| num_threads()));
-        assert_eq!(nested, vec![4, 1, 1, 1], "leader inherits, workers serial");
+    fn all_fanout_participants_run_nested_kernels_serial() {
+        // The batch already holds every thread the caller was entitled
+        // to, so the caller's lead chunk is pinned serial exactly like
+        // the pool workers — a nested fan-out could only oversubscribe.
+        let nested: Vec<usize> = with_forced_threads(4, || {
+            let nested = map(4, |_| num_threads());
+            assert_eq!(num_threads(), 4, "override restored after the fan-out");
+            nested
+        });
+        assert_eq!(nested, vec![1, 1, 1, 1], "every participant serial");
     }
 
     #[test]

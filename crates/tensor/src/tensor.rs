@@ -1,9 +1,73 @@
 //! The dense [`Tensor`] type: an always-contiguous, row-major `f32` buffer
 //! plus its shape.
 
+use crate::arena;
 use crate::rng::Rng64;
 use crate::shape::Shape;
 use std::fmt;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+
+/// Arena-aware owning buffer backing a [`Tensor`].
+///
+/// Behaves like the `Vec<f32>` it wraps, except that on drop the vector is
+/// offered back to the thread-local workspace arena (see [`crate::arena`]).
+/// Buffers whose capacity matches an arena size class are parked for reuse;
+/// anything else is freed normally. This is what lets per-minibatch
+/// temporaries (activations, gradients, packed panels) recycle their
+/// allocations instead of round-tripping through the global allocator.
+struct Buf(ManuallyDrop<Vec<f32>>);
+
+impl Buf {
+    #[inline]
+    fn new(v: Vec<f32>) -> Self {
+        Buf(ManuallyDrop::new(v))
+    }
+
+    /// Takes the vector out, skipping the recycle-on-drop path.
+    #[inline]
+    fn take(mut self) -> Vec<f32> {
+        let v = unsafe { ManuallyDrop::take(&mut self.0) };
+        std::mem::forget(self);
+        v
+    }
+}
+
+impl Drop for Buf {
+    fn drop(&mut self) {
+        let v = unsafe { ManuallyDrop::take(&mut self.0) };
+        arena::recycle(v);
+    }
+}
+
+impl Deref for Buf {
+    type Target = Vec<f32>;
+    #[inline]
+    fn deref(&self) -> &Vec<f32> {
+        &self.0
+    }
+}
+
+impl DerefMut for Buf {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut Vec<f32> {
+        &mut self.0
+    }
+}
+
+impl Clone for Buf {
+    fn clone(&self) -> Self {
+        let mut v = arena::alloc_raw(self.len());
+        v.copy_from_slice(self);
+        Buf::new(v)
+    }
+}
+
+impl PartialEq for Buf {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
 
 /// A dense, row-major tensor of `f32` values.
 ///
@@ -23,7 +87,7 @@ use std::fmt;
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
-    data: Vec<f32>,
+    data: Buf,
 }
 
 impl Tensor {
@@ -40,7 +104,10 @@ impl Tensor {
             data.len(),
             shape
         );
-        Tensor { shape, data }
+        Tensor {
+            shape,
+            data: Buf::new(data),
+        }
     }
 
     /// A tensor filled with zeros.
@@ -59,7 +126,7 @@ impl Tensor {
         let n = shape.numel();
         Tensor {
             shape,
-            data: vec![value; n],
+            data: Buf::new(arena::alloc_filled(n, value)),
         }
     }
 
@@ -67,7 +134,7 @@ impl Tensor {
     pub fn scalar(value: f32) -> Self {
         Tensor {
             shape: Shape::new(&[]),
-            data: vec![value],
+            data: Buf::new(vec![value]),
         }
     }
 
@@ -84,16 +151,28 @@ impl Tensor {
     pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut Rng64) -> Self {
         let shape = Shape::new(dims);
         let n = shape.numel();
-        let data = (0..n).map(|_| lo + (hi - lo) * rng.next_f32()).collect();
-        Tensor { shape, data }
+        let mut data = arena::alloc_raw(n);
+        for x in data.iter_mut() {
+            *x = lo + (hi - lo) * rng.next_f32();
+        }
+        Tensor {
+            shape,
+            data: Buf::new(data),
+        }
     }
 
     /// Gaussian random tensor with the given standard deviation (mean 0).
     pub fn randn(dims: &[usize], std: f32, rng: &mut Rng64) -> Self {
         let shape = Shape::new(dims);
         let n = shape.numel();
-        let data = (0..n).map(|_| std * rng.next_gaussian() as f32).collect();
-        Tensor { shape, data }
+        let mut data = arena::alloc_raw(n);
+        for x in data.iter_mut() {
+            *x = std * rng.next_gaussian() as f32;
+        }
+        Tensor {
+            shape,
+            data: Buf::new(data),
+        }
     }
 
     /// Glorot/Xavier uniform initialization for a weight of shape
@@ -142,7 +221,7 @@ impl Tensor {
 
     /// Consumes the tensor, returning its buffer.
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        self.data.take()
     }
 
     /// Element at a multi-index.
@@ -205,15 +284,19 @@ impl Tensor {
 
     /// Applies `f` elementwise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut data = arena::alloc_raw(self.data.len());
+        for (o, &x) in data.iter_mut().zip(self.data.iter()) {
+            *o = f(x);
+        }
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: Buf::new(data),
         }
     }
 
     /// Applies `f` elementwise in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
+        for x in self.data.iter_mut() {
             *x = f(*x);
         }
     }
@@ -278,7 +361,7 @@ impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{:?} ", self.shape)?;
         if self.numel() <= 16 {
-            write!(f, "{:?}", self.data)
+            write!(f, "{:?}", &self.data[..])
         } else {
             write!(
                 f,

@@ -1,0 +1,125 @@
+//! Property tests for the workspace arena (ISSUE 8, satellite 2).
+//!
+//! The arena hands previously-dropped buffers to new allocations, so the
+//! properties that matter are *absence of aliasing* (no two live buffers
+//! ever share memory, whatever the alloc/recycle schedule) and *absence
+//! of stale reads* (kernel outputs are bitwise invariant to whatever
+//! garbage parked buffers hold). The tests drive randomized schedules and
+//! deliberately park NaN-poisoned buffers to make any violation loud.
+
+use proptest::prelude::*;
+use stod_tensor::{arena, matmul, softmax, sum_axis, Tensor};
+
+/// Parks NaN-filled buffers in every small-to-medium size class, so any
+/// kernel that reads recycled memory before writing it produces NaNs.
+fn poison_arena() {
+    for c in 6..18u32 {
+        let mut bufs = Vec::new();
+        for _ in 0..4 {
+            let mut v = arena::alloc_raw(1usize << c);
+            v.fill(f32::NAN);
+            bufs.push(v);
+        }
+        for v in bufs {
+            arena::recycle(v);
+        }
+    }
+}
+
+proptest! {
+    /// Whatever the interleaving of allocs and recycles, every live
+    /// buffer keeps the exact pattern its owner wrote, and the live
+    /// buffers' memory ranges stay pairwise disjoint.
+    #[test]
+    fn random_schedule_never_aliases_live_buffers(
+        ops in proptest::collection::vec((0usize..3, 1usize..5000, 0u16..u16::MAX), 1..80)
+    ) {
+        let mut live: Vec<(Vec<f32>, f32)> = Vec::new();
+        for (i, &(op, len, tag)) in ops.iter().enumerate() {
+            match op {
+                0 | 1 => {
+                    let mut b = if op == 0 {
+                        arena::alloc_raw(len)
+                    } else {
+                        arena::alloc_filled(len, 0.0)
+                    };
+                    prop_assert_eq!(b.len(), len);
+                    let pat = 1.0 + tag as f32 + (i as f32) * 65536.0;
+                    b.fill(pat);
+                    live.push((b, pat));
+                }
+                _ => {
+                    if !live.is_empty() {
+                        let idx = tag as usize % live.len();
+                        let (b, _) = live.swap_remove(idx);
+                        arena::recycle(b);
+                    }
+                }
+            }
+            for (b, pat) in &live {
+                prop_assert!(
+                    b.iter().all(|x| x == pat),
+                    "a live buffer lost its pattern after step {}", i
+                );
+            }
+        }
+        for i in 0..live.len() {
+            for j in i + 1..live.len() {
+                let (a, _) = &live[i];
+                let (b, _) = &live[j];
+                let (a0, a1) = (a.as_ptr() as usize, a.as_ptr() as usize + 4 * a.capacity());
+                let (b0, b1) = (b.as_ptr() as usize, b.as_ptr() as usize + 4 * b.capacity());
+                prop_assert!(a1 <= b0 || b1 <= a0, "live buffers alias");
+            }
+        }
+        for (b, _) in live {
+            arena::recycle(b);
+        }
+    }
+
+    /// NaN-poisoned parked buffers resurface with the requested length,
+    /// and `alloc_filled` never leaks the poison.
+    #[test]
+    fn reuse_after_poisoned_parking_is_clean(
+        lens in proptest::collection::vec(1usize..5000, 2..32)
+    ) {
+        for &len in &lens {
+            let mut b = arena::alloc_raw(len);
+            b.fill(f32::NAN);
+            arena::recycle(b);
+        }
+        for &len in &lens {
+            let b = arena::alloc_filled(len, 1.5);
+            prop_assert_eq!(b.len(), len);
+            prop_assert!(b.iter().all(|&x| x == 1.5));
+            arena::recycle(b);
+        }
+    }
+
+    /// Kernel outputs are bitwise invariant to the arena's parked
+    /// contents: a matmul→softmax→reduce chain computed against a drained
+    /// arena matches the same chain computed right after parking NaN
+    /// garbage in every class it could possibly reuse.
+    #[test]
+    fn kernels_are_bitwise_invariant_to_parked_garbage(
+        (m, k, n) in (1usize..8, 1usize..8, 1usize..8),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = stod_tensor::rng::Rng64::new(seed);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let run = || {
+            let p = matmul(&a, &b);
+            let s = softmax(&p, 1);
+            sum_axis(&s, 0, false)
+        };
+        arena::drain();
+        let cold = run();
+        poison_arena();
+        let warm = run();
+        for (x, y) in cold.data().iter().zip(warm.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "arena state leaked into a kernel");
+        }
+        arena::drain();
+    }
+}

@@ -24,7 +24,11 @@
 # containment, corrupt-checkpoint rejection and interrupted-save
 # atomicity, each at 1 and 4 threads.
 #
-# --bench runs the observability probe (`M=obs`) twice at STOD_THREADS=2,
+# --bench first runs the blocked-kernel sweep (`M=parallel`) and fails if
+# the fresh matmul_512 serial time regresses more than 60% over the
+# blessed time in the committed results/BENCH_parallel.json (commit the
+# fresh artifact to re-bless), then runs the observability probe
+# (`M=obs`) twice at STOD_THREADS=2,
 # checks run-to-run span-tree stability, diffs the runs against the
 # committed results/BENCH_baseline.json via scripts/bench_gate.sh (fails
 # on >25% wall-time regression in any gated span; `scripts/bench_gate.sh
@@ -131,8 +135,27 @@ stage_chaos() {
   done
 }
 
+# Serial matmul_512 best-of-N ms from a BENCH_parallel.json artifact.
+matmul_ms() {
+  sed -n 's/.*"name": "matmul_512".*"serial_ms": \([0-9.]*\).*/\1/p' "$1" 2>/dev/null
+}
+
 stage_bench() {
   cargo build -q --release -p stod-bench
+  echo "==> blocked-kernel sweep (M=parallel) vs blessed matmul_512 time"
+  local blessed fresh
+  blessed=$(matmul_ms results/BENCH_parallel.json)
+  M=parallel cargo run -q --release -p stod-bench --bin probe
+  fresh=$(matmul_ms results/BENCH_parallel.json)
+  if [[ -z "$blessed" ]]; then
+    echo "no blessed matmul_512 row found — fresh artifact written; commit results/BENCH_parallel.json to bless"
+  elif ! awk -v f="$fresh" -v b="$blessed" 'BEGIN { exit !(f <= b * 1.6) }'; then
+    echo "bench: FAILED — matmul_512 serial ${fresh} ms regressed >60% over blessed ${blessed} ms" >&2
+    echo "(if intentional, re-bless by committing the fresh results/BENCH_parallel.json)" >&2
+    exit 1
+  else
+    echo "matmul_512 serial ${fresh} ms vs blessed ${blessed} ms (limit 1.6x) — OK"
+  fi
   echo "==> obs probe, run 1/2 (STOD_THREADS=2)"
   STOD_THREADS=2 M=obs STOD_OBS_OUT=results/BENCH_obs.json \
     cargo run -q --release -p stod-bench --bin probe
