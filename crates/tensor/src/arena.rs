@@ -17,10 +17,13 @@
 //!   itself handed out. Buffers built elsewhere (`Tensor::from_vec` with
 //!   a caller-provided `Vec`) fall through to the normal allocator.
 //! * **Bounded.** Each class keeps at most [`MAX_PER_CLASS`] buffers and
-//!   the arena holds at most [`MAX_HELD_BYTES`] in total; beyond that,
-//!   buffers are simply freed. This bounds the high-water mark: steady-
-//!   state training reuses the same few buffers per class instead of
-//!   growing without limit (checked by the arena proptests).
+//!   the arena holds at most a per-thread byte cap in total (default
+//!   `MAX_HELD_BYTES`; persistent pool workers lower theirs to
+//!   [`WORKER_MAX_HELD_BYTES`] via [`set_held_cap`] so dozens of
+//!   process-lifetime threads can't pin GiBs of freed buffers). Beyond
+//!   the caps, buffers are simply freed. This bounds the high-water
+//!   mark: steady-state training reuses the same few buffers per class
+//!   instead of growing without limit (checked by the arena proptests).
 //! * **Thread-local.** Worker threads recycle into their own arenas; a
 //!   buffer allocated on one thread and dropped on another migrates — a
 //!   plain `Vec` free/reuse either way, so no synchronization is needed.
@@ -37,8 +40,16 @@ use std::cell::RefCell;
 
 /// Maximum buffers parked per size class.
 const MAX_PER_CLASS: usize = 8;
-/// Maximum total bytes the arena will hold parked.
+/// Default cap on total bytes the arena will hold parked (per thread;
+/// see [`set_held_cap`]).
 const MAX_HELD_BYTES: usize = 128 << 20;
+/// Held-bytes cap for persistent pool worker threads. Workers live for
+/// the life of the process and there can be dozens of them; at the
+/// default cap a long-lived many-core process could pin several GiB of
+/// freed buffers forever. Workers only recycle packing panels and row
+/// chunks, so a small cap costs nothing — `stod_tensor::par` applies it
+/// at worker startup via [`set_held_cap`].
+pub const WORKER_MAX_HELD_BYTES: usize = 8 << 20;
 /// Number of power-of-two size classes (class `c` holds `2^c` elements);
 /// requests above `2^(NUM_CLASSES-1)` elements are never recycled.
 const NUM_CLASSES: usize = 27;
@@ -59,6 +70,9 @@ pub struct ArenaStats {
 struct Arena {
     classes: Vec<Vec<Vec<f32>>>,
     stats: ArenaStats,
+    /// This thread's cap on parked bytes ([`MAX_HELD_BYTES`] unless
+    /// lowered by [`set_held_cap`]).
+    held_cap: usize,
 }
 
 impl Arena {
@@ -66,6 +80,7 @@ impl Arena {
         Arena {
             classes: (0..NUM_CLASSES).map(|_| Vec::new()).collect(),
             stats: ArenaStats::default(),
+            held_cap: MAX_HELD_BYTES,
         }
     }
 }
@@ -149,7 +164,7 @@ pub fn recycle(buf: Vec<f32>) {
     }
     ARENA.with(|a| {
         let mut a = a.borrow_mut();
-        if a.classes[c].len() >= MAX_PER_CLASS || a.stats.held_bytes + 4 * cap > MAX_HELD_BYTES {
+        if a.classes[c].len() >= MAX_PER_CLASS || a.stats.held_bytes + 4 * cap > a.held_cap {
             return;
         }
         // Parked as-is: the next alloc truncates or zero-extends from the
@@ -157,6 +172,28 @@ pub fn recycle(buf: Vec<f32>) {
         a.stats.held_bytes += 4 * cap;
         a.stats.high_water_bytes = a.stats.high_water_bytes.max(a.stats.held_bytes);
         a.classes[c].push(buf);
+    });
+}
+
+/// Caps the bytes this thread's arena may hold parked, freeing already-
+/// parked buffers (largest classes first) until holdings fit the new
+/// cap. Long-lived pool workers call this at startup with
+/// [`WORKER_MAX_HELD_BYTES`] so their arenas never pin the full
+/// per-thread budget for the life of the process.
+pub fn set_held_cap(bytes: usize) {
+    ARENA.with(|a| {
+        let mut a = a.borrow_mut();
+        a.held_cap = bytes;
+        let mut c = NUM_CLASSES;
+        while a.stats.held_bytes > bytes && c > 0 {
+            c -= 1;
+            while a.stats.held_bytes > bytes {
+                match a.classes[c].pop() {
+                    Some(buf) => a.stats.held_bytes -= 4 * buf.capacity(),
+                    None => break,
+                }
+            }
+        }
     });
 }
 
@@ -246,6 +283,22 @@ mod tests {
         recycle(a);
         let b = alloc_filled(64, 0.0);
         assert!(b.iter().all(|&x| x == 0.0));
+        reset_stats();
+    }
+
+    #[test]
+    fn set_held_cap_trims_parked_buffers_and_caps_future_recycles() {
+        reset_stats();
+        let bufs: Vec<_> = (0..4).map(|_| alloc_raw(1 << 20)).collect(); // 4 MiB each
+        for b in bufs {
+            recycle(b);
+        }
+        assert_eq!(stats().held_bytes, 16 << 20);
+        set_held_cap(9 << 20);
+        assert!(stats().held_bytes <= 9 << 20, "existing holdings trimmed");
+        recycle(alloc_raw(1 << 20)); // would push holdings to 12 MiB
+        assert!(stats().held_bytes <= 9 << 20, "over-cap recycle refused");
+        set_held_cap(MAX_HELD_BYTES);
         reset_stats();
     }
 

@@ -52,10 +52,16 @@ pub const KC: usize = 256;
 pub const MC: usize = 120;
 
 /// Flop count (`m·k·n`) below which packing overhead beats the blocked
-/// kernel's throughput and the naive kernel is used instead. Chosen so
-/// the tiny per-bucket recovery products (`N×β×N'` with β ≈ 5) stay on
-/// the zero-skipping naive path while every encoder/GRU/Cheby product
-/// goes blocked.
+/// kernel's throughput and the naive kernel is used instead. Small eval
+/// shapes stay on the zero-skipping naive path; every encoder/GRU/Cheby
+/// product goes blocked. The per-bucket recovery products sit at the
+/// boundary: at paper scale (`N = N' = 75`, β ≈ 5) the `N×β · β×N'`
+/// forward and `dR` products clear both this and [`MIN_BLOCKED_ROWS`]
+/// and go blocked (75·5·75 ≈ 28k > 24³), while the `β×N · N×N'` `dC`
+/// product stays naive on the row floor (`m = β < 2·MR`). Either way
+/// [`uses_blocked`] is a pure function of shape, and the sparse recovery
+/// path mirrors its decision per product, so dispatch can never split
+/// between the dense and sparse kernels.
 pub const MIN_BLOCKED_FLOPS: usize = 24 * 24 * 24;
 
 /// Minimum output-row count for the blocked path. Below two `MR` strips the

@@ -31,8 +31,9 @@
 //! are spawned once (lazily, on first use) and parked on a shared queue,
 //! so a dispatch costs a queue push + wake instead of a thread spawn.
 //! The dispatching thread blocks until every task of its batch has
-//! completed — helping drain the queue while it waits — so borrowed
-//! operands need no `Arc` and panics propagate to the caller.
+//! completed — helping drain the queue while it waits, and doing the
+//! same on its own unwind path — so borrowed operands need no `Arc` and
+//! panics propagate to the caller without ever outliving the operands.
 //!
 //! During a fan-out, *all* participating threads (the caller included)
 //! run nested kernels serial: the batch is already using every thread
@@ -136,23 +137,27 @@ pub fn with_forced_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
-/// Physical cores available to the process (cached).
-fn host_cores() -> usize {
+/// Logical CPUs available to the process (cached). This is
+/// `available_parallelism`, which honors cgroup/affinity limits but
+/// counts SMT siblings as separate CPUs — it is *not* a physical-core
+/// count, and a 1-core/2-hyperthread host reports 2 here.
+fn host_threads() -> usize {
     static CORES: OnceLock<usize> = OnceLock::new();
     *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, usize::from))
 }
 
 /// Whether a kernel with roughly `work` scalar operations should fan out.
 ///
-/// Besides the work threshold, this respects the *physical* machine: on a
-/// single-core host a fan-out can only timeshare the one core and thrash
-/// its caches, so `STOD_THREADS=2` there runs the same serial schedule as
-/// `STOD_THREADS=1` (bitwise-identical results either way — the gate is
-/// scheduling-only by contract). [`with_forced_threads`] still forces the
-/// parallel path so determinism tests exercise it everywhere.
+/// Besides the work threshold, this respects the host: when the process
+/// has only one logical CPU available ([`host_threads`]), a fan-out can
+/// only timeshare it and thrash its caches, so `STOD_THREADS=2` there
+/// runs the same serial schedule as `STOD_THREADS=1` (bitwise-identical
+/// results either way — the gate is scheduling-only by contract).
+/// [`with_forced_threads`] still forces the parallel path so determinism
+/// tests exercise it everywhere.
 pub fn should_parallelize(work: usize) -> bool {
     num_threads() > 1
-        && (FORCE_PARALLEL.with(Cell::get) || (host_cores() > 1 && work >= MIN_PARALLEL_WORK))
+        && (FORCE_PARALLEL.with(Cell::get) || (host_threads() > 1 && work >= MIN_PARALLEL_WORK))
 }
 
 /// Splits `0..n` into `parts` contiguous, balanced, in-order ranges
@@ -207,6 +212,15 @@ fn split_by_ranges<'a, T>(
     pairs
 }
 
+/// Locks a mutex, ignoring poisoning. Pool state is only mutated in
+/// panic-free critical sections (queue push/pop, counter updates, payload
+/// pushes), so a poisoned lock's data is still consistent — and the batch
+/// guard must be able to drain the queue and wait on the latch while its
+/// thread is *already unwinding*, where a poison panic would abort.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// One unit of dispatched work: the erased task closure plus the batch
 /// latch it reports completion (or its panic payload) to.
 struct Job {
@@ -226,7 +240,7 @@ impl Job {
         let _serial = push_override(Some(1), false);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(self.task));
         if let Err(payload) = result {
-            self.latch.panics.lock().unwrap().push(payload);
+            lock_ignore_poison(&self.latch.panics).push(payload);
         }
         self.latch.done();
     }
@@ -249,7 +263,7 @@ impl Latch {
     }
 
     fn done(&self) {
-        let mut rem = self.remaining.lock().unwrap();
+        let mut rem = lock_ignore_poison(&self.remaining);
         *rem -= 1;
         if *rem == 0 {
             self.cv.notify_all();
@@ -257,9 +271,12 @@ impl Latch {
     }
 
     fn wait(&self) {
-        let mut rem = self.remaining.lock().unwrap();
+        let mut rem = lock_ignore_poison(&self.remaining);
         while *rem > 0 {
-            rem = self.cv.wait(rem).unwrap();
+            rem = self
+                .cv
+                .wait(rem)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }
@@ -300,6 +317,10 @@ fn ensure_workers(p: &'static Pool, wanted: usize) {
 }
 
 fn worker_loop(p: &'static Pool) {
+    // Workers live for the life of the process and there can be up to
+    // MAX_WORKERS of them; cap their workspace arenas so parked buffers
+    // can't pin GiBs across a long-lived many-core process.
+    crate::arena::set_held_cap(crate::arena::WORKER_MAX_HELD_BYTES);
     loop {
         let job = {
             let mut q = p.queue.lock().unwrap();
@@ -314,12 +335,43 @@ fn worker_loop(p: &'static Pool) {
     }
 }
 
+/// Blocks until a batch's jobs have all completed, on the normal return
+/// path *and on unwind*. Created immediately after the batch is
+/// enqueued: the jobs hold `'static`-transmuted borrows of the kernel
+/// closure and the output chunks, both living in [`run_chunked`]'s
+/// callers' frames, so those frames must not be torn down — not even by
+/// a panicking lead-chunk call — while any job is pending or running.
+/// This guard is what upholds the SAFETY comment on the transmute.
+struct BatchGuard<'a> {
+    pool: &'static Pool,
+    latch: &'a Latch,
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        // Help drain pending jobs (ours or a concurrent batch's) instead
+        // of sleeping — on a saturated machine the caller is a worker
+        // too. `Job::run` captures panics in the latch rather than
+        // unwinding, and the locks tolerate poisoning, so this cannot
+        // panic out of a destructor that may already be unwinding.
+        loop {
+            let job = lock_ignore_poison(&self.pool.queue).pop_front();
+            match job {
+                Some(job) => job.run(),
+                None => break,
+            }
+        }
+        self.latch.wait();
+    }
+}
+
 /// Runs `(range, chunk)` pairs across the pool: pairs `1..` as queued
 /// jobs on the persistent workers (pinned serial so nested kernels don't
 /// oversubscribe), pair `0` on the calling thread — also pinned serial,
 /// since the batch already occupies the caller's thread budget. Blocks —
 /// helping drain the queue — until every job completed, then propagates
-/// the first captured panic.
+/// the first captured panic; if the lead-chunk call itself panics, the
+/// unwind likewise waits for the whole batch before leaving this frame.
 fn run_chunked<T, F>(pairs: Vec<(Range<usize>, &mut [T])>, f: &F)
 where
     T: Send,
@@ -339,12 +391,15 @@ where
     let p = pool();
     ensure_workers(p, pairs.len());
     {
-        let mut q = p.queue.lock().unwrap();
+        let mut q = lock_ignore_poison(&p.queue);
         for (range, chunk) in pairs {
             let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || f(range, chunk));
-            // SAFETY: this function blocks on `latch.wait()` below until
-            // every job has run to completion, so the borrows of `f` and
-            // the output chunks captured by `task` outlive its execution.
+            // SAFETY: `run_chunked` cannot return *or unwind* until every
+            // job of this batch has completed — the `BatchGuard` created
+            // right below drains the queue and blocks on the batch latch
+            // in its destructor — so the borrows of `f` and the output
+            // chunks captured by `task` outlive its execution even when
+            // the lead-chunk call panics.
             let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
             q.push_back(Job {
                 task,
@@ -354,21 +409,18 @@ where
         }
         p.cv.notify_all();
     }
+    let guard = BatchGuard {
+        pool: p,
+        latch: &latch,
+    };
     {
         let _serial = push_override(Some(1), false);
         f(lead_range, lead_chunk);
     }
-    // Help: drain pending jobs (ours or a concurrent batch's) instead of
-    // sleeping — on a saturated machine the caller is a worker too.
-    loop {
-        let job = p.queue.lock().unwrap().pop_front();
-        match job {
-            Some(job) => job.run(),
-            None => break,
-        }
-    }
-    latch.wait();
-    let payload = latch.panics.lock().unwrap().pop();
+    // Normal path: run the guard's drain-and-wait now; the unwind path
+    // runs the same drop when `f` panics above.
+    drop(guard);
+    let payload = lock_ignore_poison(&latch.panics).pop();
     if let Some(payload) = payload {
         std::panic::resume_unwind(payload);
     }
@@ -509,6 +561,29 @@ mod tests {
             nested
         });
         assert_eq!(nested, vec![1, 1, 1, 1], "every participant serial");
+    }
+
+    #[test]
+    fn lead_chunk_panic_waits_for_in_flight_workers() {
+        // Index 0 lands on the *calling* thread's lead chunk; the worker
+        // chunks sleep so they are still writing their (borrowed) output
+        // slots when the lead panics. The unwind must block until the
+        // batch completes — otherwise the workers would scribble on a
+        // freed stack frame — and the pool must stay usable afterwards.
+        let r = std::panic::catch_unwind(|| {
+            with_forced_threads(4, || {
+                map(8, |i| {
+                    if i == 0 {
+                        panic!("lead chunk panics first");
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    i
+                })
+            })
+        });
+        assert!(r.is_err());
+        let v: Vec<usize> = with_forced_threads(4, || map(8, |i| i + 1));
+        assert_eq!(v, (1..=8).collect::<Vec<_>>(), "pool survives the unwind");
     }
 
     #[test]
