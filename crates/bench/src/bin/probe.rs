@@ -696,6 +696,7 @@ fn run_adapt_bench() {
             window_capacity: 24,
             broker_cache_capacity: 32,
             retain_results: true,
+            breaker: stod_fleet::BreakerConfig::default(),
         },
     );
     shard
@@ -712,7 +713,7 @@ fn run_adapt_bench() {
     );
     for (t, interval) in trips.iter().enumerate() {
         for trip in interval {
-            fleet.shard(0).ingest_trip(*trip);
+            fleet.shard(0).ingest_trip(*trip).unwrap();
         }
         fleet.shard(0).seal_interval(t);
     }

@@ -63,10 +63,24 @@ pub enum FaultSite {
     /// decision durably and applying the in-memory hot-swap, simulating a
     /// process kill at the worst possible instant of a promote.
     PromoteCrash,
+    /// Tear a write-ahead-log append: only a prefix of the frame reaches
+    /// the segment file, then the "process" dies (the WAL handle goes
+    /// dead, refusing further appends), so recovery must truncate the
+    /// torn tail.
+    WalTornWrite,
+    /// Corrupt write-ahead-log bytes between disk read and frame decode
+    /// during replay (param picks the corruption mode, see
+    /// [`CorruptKind`]), so recovery must stop at the longest valid
+    /// prefix instead of decoding garbage.
+    WalCorrupt,
+    /// Crash one serving shard in place: its in-memory ingest window is
+    /// wiped and its circuit breaker force-opened, exercising degraded
+    /// serving and WAL-backed self-healing.
+    ShardCrash,
 }
 
 /// Number of distinct sites; array-indexed state below.
-const N_SITES: usize = 7;
+const N_SITES: usize = 10;
 
 /// All sites, for iteration/reporting.
 pub const ALL_SITES: [FaultSite; N_SITES] = [
@@ -77,6 +91,9 @@ pub const ALL_SITES: [FaultSite; N_SITES] = [
     FaultSite::SaveDiskFull,
     FaultSite::TrainAbort,
     FaultSite::PromoteCrash,
+    FaultSite::WalTornWrite,
+    FaultSite::WalCorrupt,
+    FaultSite::ShardCrash,
 ];
 
 impl FaultSite {
@@ -89,6 +106,9 @@ impl FaultSite {
             FaultSite::SaveDiskFull => 4,
             FaultSite::TrainAbort => 5,
             FaultSite::PromoteCrash => 6,
+            FaultSite::WalTornWrite => 7,
+            FaultSite::WalCorrupt => 8,
+            FaultSite::ShardCrash => 9,
         }
     }
 
@@ -102,6 +122,9 @@ impl FaultSite {
             FaultSite::SaveDiskFull => "save_disk_full",
             FaultSite::TrainAbort => "train_abort",
             FaultSite::PromoteCrash => "promote_crash",
+            FaultSite::WalTornWrite => "wal_torn_write",
+            FaultSite::WalCorrupt => "wal_corrupt",
+            FaultSite::ShardCrash => "shard_crash",
         }
     }
 

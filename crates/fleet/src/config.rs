@@ -13,6 +13,11 @@
 //! contract as `STOD_THREADS` and the bench probe's `SCALE`. A fleet
 //! silently running with 1 shard because `STOD_SHARDS=fourr` failed to
 //! parse would invalidate every number the load harness reports.
+//!
+//! Circuit-breaker knobs (`STOD_BREAKER_THRESHOLD`,
+//! `STOD_BREAKER_BACKOFF_MS`) live in [`crate::breaker::BreakerConfig`]
+//! and WAL knobs (`STOD_WAL_FSYNC`, `STOD_WAL_SEGMENT`) in
+//! [`stod_serve::wal::WalConfig`], all under the same contract.
 
 use std::fmt;
 
@@ -97,8 +102,14 @@ impl fmt::Display for FleetConfigError {
 
 impl std::error::Error for FleetConfigError {}
 
-/// Parses one knob: digits only, then range-checked.
-fn parse_knob(var: &'static str, value: &str, min: u64, max: u64) -> Result<u64, FleetConfigError> {
+/// Parses one knob: digits only, then range-checked. Shared with the
+/// breaker's `STOD_BREAKER_*` knobs ([`crate::breaker::BreakerConfig`]).
+pub(crate) fn parse_knob(
+    var: &'static str,
+    value: &str,
+    min: u64,
+    max: u64,
+) -> Result<u64, FleetConfigError> {
     if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
         return Err(FleetConfigError::NotANumber {
             var,

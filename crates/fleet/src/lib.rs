@@ -16,7 +16,18 @@
 //! * [`router::Fleet`] — the per-request flow: result cache, then
 //!   admission control (requests a deep queue could never answer in time
 //!   are *shed* to the NH baseline with a typed outcome), then the
-//!   shard's broker.
+//!   shard's circuit breaker (an open breaker answers *degraded* from the
+//!   baseline instead of feeding a broken shard), then the shard's
+//!   broker.
+//! * [`breaker::CircuitBreaker`] — per-shard closed → open → half-open
+//!   failure isolation with deterministic seeded backoff; repeated worker
+//!   panics or deadline misses trip it, a successful probe closes it.
+//! * Durability — [`router::Fleet::from_replay_durable`] attaches a
+//!   per-shard segmented write-ahead trip log
+//!   ([`stod_serve::TripWal`]); [`router::Fleet::recover`] rebuilds the
+//!   fleet after a kill at any instant: sealed windows come back bitwise
+//!   up to the last fsynced record, and every registry checkpoint is
+//!   CRC-scrubbed before it can serve again.
 //! * [`loadgen`] — a deterministic open/closed-loop load harness that
 //!   replays seeded multi-city traffic (see
 //!   [`stod_traffic::generate_fleet`]) and reports throughput, per-path
@@ -29,6 +40,7 @@
 //! ```text
 //! requests = model_invocations + failed_jobs + worker_panics
 //!          + batched_joins + cache_hits + result_cache_hits + shed
+//!          + degraded
 //! ```
 //!
 //! Each router stage and broker outcome increments exactly one term, so
@@ -41,20 +53,29 @@
 //! ## Env knobs
 //!
 //! `STOD_SHARDS`, `STOD_CACHE_CAP`, `STOD_SHED_DEPTH` — validated, typed
-//! errors on garbage; see [`config::FleetConfig`].
+//! errors on garbage; see [`config::FleetConfig`]. The breaker adds
+//! `STOD_BREAKER_THRESHOLD` / `STOD_BREAKER_BACKOFF_MS`
+//! ([`breaker::BreakerConfig`]) and the WAL adds `STOD_WAL_FSYNC` /
+//! `STOD_WAL_SEGMENT` ([`stod_serve::WalConfig`]), all under the same
+//! contract.
 
+pub mod breaker;
 pub mod cache;
 pub mod config;
 pub mod loadgen;
 pub mod router;
 pub mod shard;
 
+pub use breaker::{Admission, BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker};
 pub use cache::{CacheKey, ForecastCache};
 pub use config::{FleetConfig, FleetConfigError};
 pub use loadgen::{
     build_schedule, run_load, LoadConfig, LoadReport, OutcomeTally, ScheduledRequest,
 };
-pub use router::{Fleet, FleetForecast, FleetRequest, FleetSnapshot, FleetSource, ShardSnapshot};
+pub use router::{
+    DurabilityConfig, Fleet, FleetForecast, FleetHealth, FleetRequest, FleetSnapshot, FleetSource,
+    RecoveryReport, ShardHealth, ShardRecovery, ShardSnapshot,
+};
 pub use shard::{Shard, ShardConfig};
 
 /// The fleet is shared across client threads; keep the central types
@@ -96,6 +117,7 @@ pub(crate) mod testfleet {
             window_capacity: 8,
             broker_cache_capacity: 8,
             retain_results: true,
+            breaker: BreakerConfig::default(),
         };
         Fleet::from_replay(
             &cfg,

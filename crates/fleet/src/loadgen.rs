@@ -128,6 +128,8 @@ pub struct OutcomeTally {
     pub fallback: u64,
     /// Shed by admission control.
     pub shed: u64,
+    /// Answered degraded because the shard's circuit breaker was open.
+    pub degraded: u64,
 }
 
 impl OutcomeTally {
@@ -137,6 +139,7 @@ impl OutcomeTally {
             FleetSource::Model { .. } => self.model += 1,
             FleetSource::Fallback(_) => self.fallback += 1,
             FleetSource::Shed => self.shed += 1,
+            FleetSource::Degraded => self.degraded += 1,
         }
     }
 
@@ -145,11 +148,12 @@ impl OutcomeTally {
         self.model += other.model;
         self.fallback += other.fallback;
         self.shed += other.shed;
+        self.degraded += other.degraded;
     }
 
     /// Total requests tallied.
     pub fn total(&self) -> u64 {
-        self.result_cache + self.model + self.fallback + self.shed
+        self.result_cache + self.model + self.fallback + self.shed + self.degraded
     }
 }
 
@@ -160,6 +164,7 @@ impl Serialize for OutcomeTally {
             o.field("model", &self.model);
             o.field("fallback", &self.fallback);
             o.field("shed", &self.shed);
+            o.field("degraded", &self.degraded);
         });
     }
 }

@@ -11,25 +11,46 @@
 //!    [`FleetSource::Shed`] outcome rather than queued past its deadline.
 //!    The check runs after the cache lookup on purpose — a deep queue is
 //!    no reason to refuse a request the cache can answer.
-//! 3. **Broker** — dispatch through [`Broker::forecast_shared`]
+//! 3. **Circuit breaker** — each shard carries a
+//!    [`CircuitBreaker`](crate::breaker::CircuitBreaker); while it is
+//!    open the request is answered *degraded* from the NH baseline with
+//!    the typed [`FleetSource::Degraded`] outcome instead of being fed to
+//!    a shard that keeps panicking or missing deadlines. A half-open
+//!    breaker admits exactly one probe — and if a crash injection wiped
+//!    the shard's window, the probe first rebuilds it from the
+//!    write-ahead log ([`Shard::rebuild_from_wal`]).
+//! 4. **Broker** — dispatch through [`Broker::forecast_shared`]
 //!    (coalescing, deadline, fallback semantics unchanged from
 //!    `stod-serve`); when the model answered, the shared full-tensor
-//!    result is inserted into the cache for every later request.
+//!    result is inserted into the cache for every later request. The
+//!    outcome feeds back into the breaker: a model answer (or an honest
+//!    no-model / no-features fallback) counts as success, a worker panic
+//!    or deadline miss as failure.
 //!
 //! Each stage increments exactly one ledger counter, keeping the per-shard
 //! request-conservation invariant (see [`StatsSnapshot::ledger_balance`])
 //! exact under arbitrary concurrency.
+//!
+//! Durable fleets ([`Fleet::from_replay_durable`]) additionally append
+//! every accepted trip and seal to a per-shard write-ahead log;
+//! [`Fleet::recover`] rebuilds the same fleet after a crash by replaying
+//! those logs and scrubbing every registry checkpoint.
 
+use crate::breaker::{Admission, BreakerSnapshot, BreakerState};
 use crate::cache::{CacheKey, ForecastCache};
 use crate::config::FleetConfig;
 use crate::shard::{Shard, ShardConfig};
 use serde::{json, Serialize};
+use std::io;
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 use stod_baselines::NaiveHistograms;
+use stod_faultline::FaultSite;
 use stod_nn::ParamStore;
 use stod_serve::{
-    FallbackReason, ForecastRequest, ModelConfig, ModelKind, RegistryError, Source, StatsSnapshot,
+    FallbackReason, ForecastRequest, ModelConfig, ModelKind, RegistryError, ScrubReport, Source,
+    StatsSnapshot, TripWal, WalConfig, WalStats,
 };
 use stod_traffic::FleetCity;
 
@@ -71,6 +92,11 @@ pub enum FleetSource {
     /// Admission control shed the request (queue beyond `shed_depth`);
     /// answered from the NH baseline.
     Shed,
+    /// The shard's circuit breaker was open (repeated worker panics,
+    /// deadline misses, or an in-place crash); answered from the NH
+    /// baseline. Distinct from [`FleetSource::Shed`] so dashboards can
+    /// tell "overloaded" from "broken".
+    Degraded,
 }
 
 /// A served fleet forecast.
@@ -139,36 +165,107 @@ impl Fleet {
         let shards = cities
             .iter()
             .map(|city| {
-                let model = ModelConfig {
-                    kind: kind(city.city_id),
-                    centroids: city.dataset.city.centroids(),
-                    num_buckets: city.dataset.spec.num_buckets,
-                };
-                let fallback = NaiveHistograms::fit(&city.dataset, city.num_intervals());
-                let shard = Shard::new(
-                    city.city_id,
-                    city.dataset.city.name.clone(),
-                    model.clone(),
-                    city.dataset.spec,
-                    fallback,
-                    shard_cfg,
-                );
-                let built = model.build(checkpoint_seed ^ city.city_id as u64);
-                let store = ParamStore::from_bytes(built.params().to_bytes())
-                    .expect("freshly-serialized checkpoint roundtrips");
-                shard
-                    .install_checkpoint(store)
-                    .expect("freshly-built checkpoint matches its own config");
-                for (t, trips) in city.trips.iter().enumerate() {
-                    for trip in trips {
-                        shard.ingest_trip(*trip);
-                    }
-                    shard.seal_interval(t);
-                }
+                let shard = build_shard(city, shard_cfg, &kind, checkpoint_seed);
+                replay_city(&shard, city);
                 shard
             })
             .collect();
         Fleet::new(cfg, shards)
+    }
+
+    /// [`Fleet::from_replay`] with a write-ahead trip log attached to
+    /// every shard *before* the dataset replays, so the full ingest
+    /// stream is durable from the first trip. Expects fresh (or empty)
+    /// log directories — replaying a dataset on top of surviving WAL
+    /// records would double-count, so a non-empty log is a typed error
+    /// pointing at [`Fleet::recover`] instead.
+    pub fn from_replay_durable(
+        cfg: &FleetConfig,
+        cities: &[FleetCity],
+        shard_cfg: &ShardConfig,
+        kind: impl Fn(usize) -> ModelKind,
+        checkpoint_seed: u64,
+        durability: &DurabilityConfig,
+    ) -> io::Result<Fleet> {
+        let mut shards = Vec::with_capacity(cities.len());
+        for city in cities {
+            let mut shard = build_shard(city, shard_cfg, &kind, checkpoint_seed);
+            let (wal, replay) = TripWal::open(
+                &durability.shard_dir(city.city_id),
+                city.city_id as u32,
+                shard_cfg.window_capacity,
+                durability.wal,
+            )?;
+            if !replay.records.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "WAL dir for shard {} already holds {} records; use Fleet::recover",
+                        city.city_id,
+                        replay.records.len()
+                    ),
+                ));
+            }
+            shard.set_wal(wal);
+            replay_city(&shard, city);
+            shards.push(shard);
+        }
+        Ok(Fleet::new(cfg, shards))
+    }
+
+    /// Rebuilds a durable fleet after a crash (or a clean shutdown — the
+    /// two are indistinguishable on purpose). Shards are constructed
+    /// exactly as [`Fleet::from_replay_durable`] built them — same model
+    /// architectures, same seeded base checkpoint — but the ingest window
+    /// is rebuilt from the write-ahead log instead of the dataset:
+    /// everything the WAL made durable before the kill comes back
+    /// bitwise, everything after the last fsync is honestly gone. Every
+    /// registry is then scrubbed ([`Registry::scrub`]) so a checkpoint
+    /// that bit-rotted while the process was down can never serve.
+    ///
+    /// [`Registry::scrub`]: stod_serve::Registry::scrub
+    pub fn recover(
+        cfg: &FleetConfig,
+        cities: &[FleetCity],
+        shard_cfg: &ShardConfig,
+        kind: impl Fn(usize) -> ModelKind,
+        checkpoint_seed: u64,
+        durability: &DurabilityConfig,
+    ) -> io::Result<(Fleet, RecoveryReport)> {
+        let started = Instant::now();
+        let mut shards = Vec::with_capacity(cities.len());
+        let mut recovered = Vec::with_capacity(cities.len());
+        for city in cities {
+            let shard_started = Instant::now();
+            let mut shard = build_shard(city, shard_cfg, &kind, checkpoint_seed);
+            let (wal, replay) = TripWal::open(
+                &durability.shard_dir(city.city_id),
+                city.city_id as u32,
+                shard_cfg.window_capacity,
+                durability.wal,
+            )?;
+            shard.apply_wal_records(&replay.records);
+            shard.set_wal(wal);
+            let scrub = shard.registry().scrub();
+            if stod_obs::armed() {
+                stod_obs::observe_duration("fleet/recovery_time/shard", shard_started.elapsed());
+            }
+            recovered.push(ShardRecovery {
+                city: city.city_id,
+                replayed: replay.records.len(),
+                truncated_tails: replay.truncated_tails,
+                segments: replay.segments,
+                scrub,
+            });
+            shards.push(shard);
+        }
+        if stod_obs::armed() {
+            stod_obs::observe_duration("fleet/recovery_time", started.elapsed());
+        }
+        Ok((
+            Fleet::new(cfg, shards),
+            RecoveryReport { shards: recovered },
+        ))
     }
 
     /// Number of shards.
@@ -304,7 +401,49 @@ impl Fleet {
             };
         }
 
-        // Stage 3: the shard's broker (coalescing, deadline, fallback).
+        // Stage 2½: fault injection can crash this shard in place — the
+        // in-memory window is wiped (exactly what a process kill loses)
+        // and the breaker force-opens, so this very request and everything
+        // behind it degrades instead of serving from an empty window.
+        if stod_faultline::fire(FaultSite::ShardCrash).is_some() {
+            shard.simulate_crash();
+        }
+
+        // Stage 3: the circuit breaker. Open → degraded NH answer, typed
+        // and counted (`breaker_open_rejects` is the diagnostic subset of
+        // `degraded`; only `degraded` is a ledger term). Half-open admits
+        // exactly one probe; if a crash wiped the window, the probe
+        // rebuilds it from the WAL before dispatching.
+        match shard.breaker().admit() {
+            Admission::Reject => {
+                stats.degraded.fetch_add(1, Ordering::Relaxed);
+                stats.breaker_open_rejects.fetch_add(1, Ordering::Relaxed);
+                if stod_obs::armed() {
+                    stod_obs::count("fleet/degraded", 1);
+                }
+                stats.obs_mirror(|p| p.degraded);
+                let histogram = shard.shed_histogram(req.origin, req.dest);
+                let latency = start.elapsed();
+                stats.latency.record(latency);
+                stats.latency_degraded.record(latency);
+                if stod_obs::armed() {
+                    stod_obs::observe_duration("fleet/latency/degraded", latency);
+                }
+                return FleetForecast {
+                    city: req.city,
+                    histogram,
+                    source: FleetSource::Degraded,
+                    latency,
+                };
+            }
+            Admission::Probe | Admission::Admit => {
+                if shard.is_crashed() {
+                    shard.rebuild_from_wal();
+                }
+            }
+        }
+
+        // Stage 4: the shard's broker (coalescing, deadline, fallback).
         let (served, computed) = shard.broker().forecast_shared(ForecastRequest {
             origin: req.origin,
             dest: req.dest,
@@ -313,6 +452,17 @@ impl Fleet {
             step: req.step,
             deadline: req.deadline,
         });
+        // Feed the outcome back into the breaker: panics and deadline
+        // misses are shard-health failures; a model answer — or an honest
+        // structural fallback (no model promoted yet, window not warm) —
+        // is not.
+        match served.source {
+            Source::Model { .. } => shard.breaker().record_success(),
+            Source::Fallback(FallbackReason::WorkerPanic | FallbackReason::Deadline) => {
+                shard.breaker().record_failure();
+            }
+            Source::Fallback(_) => shard.breaker().record_success(),
+        }
         if let (Some(cache), Some(computed)) = (&self.cache, computed) {
             let key = CacheKey {
                 city: req.city,
@@ -338,6 +488,29 @@ impl Fleet {
         }
     }
 
+    /// Liveness and durability view of every shard: breaker state, WAL
+    /// counters, crash/dead flags, window occupancy, incumbent version.
+    /// The stats snapshot says what *happened*; health says what is wrong
+    /// *right now* — it is what an operator pages on.
+    pub fn health(&self) -> FleetHealth {
+        FleetHealth {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardHealth {
+                    city: s.city_id(),
+                    name: s.name().to_string(),
+                    breaker: s.breaker().snapshot(),
+                    wal: s.wal_stats(),
+                    wal_dead: s.wal_dead(),
+                    crashed: s.is_crashed(),
+                    sealed_intervals: s.sealed_intervals(),
+                    active_version: s.registry().active_version(),
+                })
+                .collect(),
+        }
+    }
+
     /// A point-in-time copy of every shard's stats plus cache occupancy.
     pub fn snapshot(&self) -> FleetSnapshot {
         FleetSnapshot {
@@ -353,6 +526,185 @@ impl Fleet {
             cache_entries: self.cache.as_ref().map_or(0, ForecastCache::len),
             cache_bytes: self.cache.as_ref().map_or(0, ForecastCache::approx_bytes),
         }
+    }
+}
+
+/// Builds one city's shard — model config, NH fallback, seeded base
+/// checkpoint registered and promoted — *without* replaying any trips.
+/// Deterministic given the same inputs, which is what lets
+/// [`Fleet::recover`] reconstruct the exact pre-crash fleet and only
+/// replay the WAL on top.
+fn build_shard(
+    city: &FleetCity,
+    shard_cfg: &ShardConfig,
+    kind: &impl Fn(usize) -> ModelKind,
+    checkpoint_seed: u64,
+) -> Shard {
+    let model = ModelConfig {
+        kind: kind(city.city_id),
+        centroids: city.dataset.city.centroids(),
+        num_buckets: city.dataset.spec.num_buckets,
+    };
+    let fallback = NaiveHistograms::fit(&city.dataset, city.num_intervals());
+    let shard = Shard::new(
+        city.city_id,
+        city.dataset.city.name.clone(),
+        model.clone(),
+        city.dataset.spec,
+        fallback,
+        shard_cfg,
+    );
+    let built = model.build(checkpoint_seed ^ city.city_id as u64);
+    let store = ParamStore::from_bytes(built.params().to_bytes())
+        .expect("freshly-serialized checkpoint roundtrips");
+    shard
+        .install_checkpoint(store)
+        .expect("freshly-built checkpoint matches its own config");
+    shard
+}
+
+/// Replays a city's dataset through the live-ingest path (`ingest_trip` +
+/// `seal_interval`) — the offline tensors are never copied in, so serving
+/// conditions on exactly what a production feed would have delivered.
+fn replay_city(shard: &Shard, city: &FleetCity) {
+    for (t, trips) in city.trips.iter().enumerate() {
+        for trip in trips {
+            shard
+                .ingest_trip(*trip)
+                .expect("generated dataset trips are valid");
+        }
+        shard.seal_interval(t);
+    }
+}
+
+/// Where a durable fleet keeps its write-ahead logs and how it syncs
+/// them. Shard `i` logs under `root/shard{i}/`.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Root directory for the fleet's per-shard log directories.
+    pub root: PathBuf,
+    /// WAL tuning (fsync batching, segment rotation size); see
+    /// [`WalConfig::from_env`] for the `STOD_WAL_*` bindings.
+    pub wal: WalConfig,
+}
+
+impl DurabilityConfig {
+    /// A durability config rooted at `root` with default WAL tuning.
+    pub fn new(root: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            root: root.into(),
+            wal: WalConfig::default(),
+        }
+    }
+
+    /// The log directory for one shard.
+    pub fn shard_dir(&self, city: usize) -> PathBuf {
+        self.root.join(format!("shard{city}"))
+    }
+}
+
+/// What [`Fleet::recover`] rebuilt, per shard.
+#[derive(Debug)]
+pub struct ShardRecovery {
+    /// Tenant id.
+    pub city: usize,
+    /// WAL records replayed into the window.
+    pub replayed: usize,
+    /// Torn/corrupt tails truncated during the scan.
+    pub truncated_tails: u64,
+    /// Segment files scanned.
+    pub segments: usize,
+    /// What the post-replay registry scrub found.
+    pub scrub: ScrubReport,
+}
+
+/// What [`Fleet::recover`] rebuilt.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// Per-shard recovery outcomes, ordered by tenant id.
+    pub shards: Vec<ShardRecovery>,
+}
+
+impl RecoveryReport {
+    /// Total WAL records replayed across the fleet.
+    pub fn total_replayed(&self) -> usize {
+        self.shards.iter().map(|s| s.replayed).sum()
+    }
+
+    /// True when no tail was truncated and every scrub came back clean —
+    /// i.e. the restart recovered a cleanly shut-down fleet.
+    pub fn is_clean(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.truncated_tails == 0 && s.scrub.is_clean())
+    }
+}
+
+/// One shard's liveness/durability state (see [`Fleet::health`]).
+#[derive(Debug, Clone)]
+pub struct ShardHealth {
+    /// Tenant id.
+    pub city: usize,
+    /// Tenant name.
+    pub name: String,
+    /// Circuit-breaker state and counters.
+    pub breaker: BreakerSnapshot,
+    /// WAL counters, when the shard is durable.
+    pub wal: Option<WalStats>,
+    /// True when a torn write killed the WAL handle (serving continues
+    /// from memory, but durability stopped at that instant).
+    pub wal_dead: bool,
+    /// True between a `ShardCrash` injection and the WAL rebuild.
+    pub crashed: bool,
+    /// Sealed intervals currently in the sliding window.
+    pub sealed_intervals: usize,
+    /// The registry's incumbent version, if any.
+    pub active_version: Option<u32>,
+}
+
+/// Fleet-wide liveness/durability view, ordered by tenant id.
+#[derive(Debug, Clone)]
+pub struct FleetHealth {
+    /// Per-shard health.
+    pub shards: Vec<ShardHealth>,
+}
+
+impl FleetHealth {
+    /// True when every breaker is closed and no shard is crashed or has
+    /// a dead WAL — the all-green steady state.
+    pub fn all_healthy(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.breaker.state == BreakerState::Closed && !s.crashed && !s.wal_dead)
+    }
+
+    /// This health view as a JSON object string.
+    pub fn to_json(&self) -> String {
+        json::to_string(self)
+    }
+}
+
+impl Serialize for ShardHealth {
+    fn serialize_json(&self, out: &mut String) {
+        json::object(out, |o| {
+            o.field("city", &self.city);
+            o.field("name", &self.name);
+            o.field("breaker", &self.breaker);
+            o.field("wal", &self.wal);
+            o.field("wal_dead", &self.wal_dead);
+            o.field("crashed", &self.crashed);
+            o.field("sealed_intervals", &self.sealed_intervals);
+            o.field("active_version", &self.active_version);
+        });
+    }
+}
+
+impl Serialize for FleetHealth {
+    fn serialize_json(&self, out: &mut String) {
+        json::object(out, |o| {
+            o.field("shards", &self.shards);
+            o.field("all_healthy", &self.all_healthy());
+        });
     }
 }
 

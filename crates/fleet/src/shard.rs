@@ -9,12 +9,14 @@
 //! share are the fleet-level result cache and the process-wide kernel
 //! thread pool, both of which are tenant-attributed by the router.
 
-use std::sync::atomic::Ordering;
+use crate::breaker::{BreakerConfig, CircuitBreaker};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use stod_baselines::NaiveHistograms;
 use stod_nn::ParamStore;
 use stod_serve::{
-    Broker, BrokerConfig, FeatureStore, ModelConfig, Registry, RegistryError, ServeStats,
+    Broker, BrokerConfig, FeatureStore, IngestError, ModelConfig, Registry, RegistryError,
+    ServeStats, TripWal, WalRecord, WalStats,
 };
 use stod_traffic::{HistogramSpec, Trip};
 
@@ -34,6 +36,8 @@ pub struct ShardConfig {
     /// [`BrokerConfig::retain_results`]); `false` is the honest
     /// no-result-cache baseline.
     pub retain_results: bool,
+    /// Circuit-breaker tuning (threshold, backoff, jitter seed).
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ShardConfig {
@@ -44,6 +48,7 @@ impl Default for ShardConfig {
             window_capacity: 32,
             broker_cache_capacity: 32,
             retain_results: true,
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -59,6 +64,14 @@ pub struct Shard {
     /// The shard's own NH copy for admission-control shed answers; the
     /// broker owns another for its fallback paths.
     shed_fallback: NaiveHistograms,
+    /// This tenant's circuit breaker; the router consults it between the
+    /// shed check and broker dispatch.
+    breaker: CircuitBreaker,
+    /// The write-ahead trip log, when the fleet was built durable.
+    wal: Option<TripWal>,
+    /// Set by the `ShardCrash` fault injection: the in-memory window was
+    /// wiped in place. Cleared by [`Shard::rebuild_from_wal`].
+    crashed: AtomicBool,
 }
 
 impl Shard {
@@ -95,6 +108,18 @@ impl Shard {
                 retain_results: cfg.retain_results,
             },
         );
+        // Each shard jitters its probe backoffs differently (seed is
+        // city-salted) so a fleet-wide incident doesn't synchronize every
+        // tenant's probes, while any single shard stays deterministic.
+        let breaker = CircuitBreaker::with_gauge(
+            BreakerConfig {
+                seed: cfg.breaker.seed ^ city_id as u64,
+                ..cfg.breaker
+            },
+            Some(stod_obs::intern(&format!(
+                "fleet/shard{city_id}/breaker_state"
+            ))),
+        );
         Shard {
             city_id,
             name,
@@ -103,6 +128,9 @@ impl Shard {
             stats,
             broker,
             shed_fallback: fallback,
+            breaker,
+            wal: None,
+            crashed: AtomicBool::new(false),
         }
     }
 
@@ -155,16 +183,125 @@ impl Shard {
         Ok(version)
     }
 
+    /// This shard's circuit breaker.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Attaches a write-ahead log; every subsequent accepted
+    /// `ingest_trip` / `seal_interval` is also appended to it. Called by
+    /// the fleet's durable constructors before the shard serves traffic.
+    pub(crate) fn set_wal(&mut self, wal: TripWal) {
+        self.wal = Some(wal);
+    }
+
+    /// The WAL's counters, when this shard is durable.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.as_ref().map(TripWal::stats)
+    }
+
+    /// True when a torn write killed the WAL handle: in-memory serving
+    /// continues, but nothing after the tear is durable — the honest
+    /// state a restart will recover to.
+    pub fn wal_dead(&self) -> bool {
+        self.wal.as_ref().is_some_and(TripWal::is_dead)
+    }
+
+    /// Fsyncs any unflushed WAL appends (no-op for a non-durable shard).
+    pub fn flush_wal(&self) -> std::io::Result<()> {
+        match &self.wal {
+            Some(wal) => wal.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Sealed intervals currently held in the sliding window.
+    pub fn sealed_intervals(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True after a `ShardCrash` injection wiped the in-memory window.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Crashes this shard in place: the ingest window is wiped (exactly
+    /// what a process kill loses) and the breaker is force-opened so the
+    /// router serves degraded until a probe triggers
+    /// [`Shard::rebuild_from_wal`].
+    pub fn simulate_crash(&self) {
+        self.features.clear();
+        self.crashed.store(true, Ordering::Relaxed);
+        self.breaker.trip_now();
+    }
+
+    /// Replays the WAL into the (wiped) feature store — the self-healing
+    /// path after [`Shard::simulate_crash`]. Returns `true` when a WAL
+    /// existed and the window was rebuilt.
+    pub fn rebuild_from_wal(&self) -> bool {
+        let Some(wal) = &self.wal else {
+            return false;
+        };
+        let Ok(records) = wal.replay_records() else {
+            return false;
+        };
+        self.features.clear();
+        self.apply_wal_records(&records);
+        self.crashed.store(false, Ordering::Relaxed);
+        true
+    }
+
+    /// Applies replayed WAL records to the feature store *without*
+    /// re-logging them. Records were validated before they were ever
+    /// logged, so validation failures here are impossible by construction
+    /// (and ignored defensively rather than poisoning the replay).
+    pub(crate) fn apply_wal_records(&self, records: &[WalRecord]) {
+        for rec in records {
+            match rec {
+                WalRecord::Push(trip) => {
+                    let _ = self.features.push_trip(*trip);
+                }
+                WalRecord::Seal(t) => {
+                    self.features.seal_interval(*t as usize);
+                }
+            }
+        }
+    }
+
     /// Streams one trip into the feature store's open interval.
-    pub fn ingest_trip(&self, trip: Trip) {
-        self.features.push_trip(trip);
+    ///
+    /// Order is apply-then-log: the store validates and buffers the trip
+    /// first, then the accepted record is appended to the WAL (rejected
+    /// trips never reach the log, so a replay cannot re-poison the
+    /// window). A WAL append failure does not un-ingest the trip —
+    /// serving continues from memory — but the handle goes dead and
+    /// [`Shard::wal_dead`] / `Fleet::health()` surface that durability
+    /// stopped at that instant.
+    pub fn ingest_trip(&self, trip: Trip) -> Result<(), IngestError> {
+        self.features.push_trip(trip)?;
+        if let Some(wal) = &self.wal {
+            let _ = wal.append_push(&trip);
+        }
+        Ok(())
     }
 
     /// Streams one trip by wall-clock departure time (the live-feed path;
     /// see [`FeatureStore::push_trip_departing`]).
-    pub fn ingest_trip_departing(&self, trip: Trip, depart_s: f64, interval_len_s: f64) {
-        self.features
-            .push_trip_departing(trip, depart_s, interval_len_s);
+    pub fn ingest_trip_departing(
+        &self,
+        mut trip: Trip,
+        depart_s: f64,
+        interval_len_s: f64,
+    ) -> Result<(), IngestError> {
+        let Some(interval) = stod_serve::interval_for_departure(depart_s, interval_len_s) else {
+            // Delegate so the rejection is validated and counted in one
+            // place; this always errors.
+            return self
+                .features
+                .push_trip_departing(trip, depart_s, interval_len_s);
+        };
+        trip.interval = interval;
+        self.ingest_trip(trip)
     }
 
     /// A consistent, interval-aligned read-snapshot of this shard's sealed
@@ -177,8 +314,13 @@ impl Shard {
     }
 
     /// Closes an interval, binning its buffered trips into the sliding
-    /// window; returns how many trips were binned.
+    /// window; returns how many trips were binned. Logged to the WAL
+    /// after the in-memory seal (same contract as [`Shard::ingest_trip`]).
     pub fn seal_interval(&self, t: usize) -> usize {
-        self.features.seal_interval(t)
+        let n = self.features.seal_interval(t);
+        if let Some(wal) = &self.wal {
+            let _ = wal.append_seal(t);
+        }
+        n
     }
 }

@@ -221,6 +221,11 @@ impl ObsSnapshot {
             .map_or(0, |c| c.value)
     }
 
+    /// A gauge's last-written value (`None` when never set).
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
     /// Looks up a histogram by name.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnap> {
         self.histograms.iter().find(|h| h.name == name)

@@ -829,13 +829,15 @@ mod tests {
         let features = Arc::new(FeatureStore::new(N, HistogramSpec::paper(), 4));
         for t in 0..3 {
             for o in 0..N {
-                features.push_trip(Trip {
-                    origin: o,
-                    dest: (o + 1) % N,
-                    interval: t,
-                    distance_km: 2.0,
-                    speed_ms: 8.0,
-                });
+                features
+                    .push_trip(Trip {
+                        origin: o,
+                        dest: (o + 1) % N,
+                        interval: t,
+                        distance_km: 2.0,
+                        speed_ms: 8.0,
+                    })
+                    .unwrap();
             }
             assert_eq!(features.seal_interval(t), N);
         }

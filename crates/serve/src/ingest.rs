@@ -73,6 +73,62 @@ impl IngestSnapshot {
     }
 }
 
+/// A trip rejected at the ingest boundary.
+///
+/// The live feed is untrusted input: region ids can be out of range and
+/// floating-point fields can be NaN/∞ (a malformed upstream record, a
+/// corrupted message). Every rejection is typed so callers can count and
+/// log it, and — critically — a rejected trip never reaches the sealed
+/// tensors *or* the write-ahead log: one NaN speed would otherwise poison
+/// an entire interval histogram and then be faithfully replayed into the
+/// poisoned state on every recovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IngestError {
+    /// Origin or destination region id is outside `0..num_regions`.
+    RegionOutOfRange {
+        /// The trip's origin region id.
+        origin: usize,
+        /// The trip's destination region id.
+        dest: usize,
+        /// The store's region count.
+        num_regions: usize,
+    },
+    /// `distance_km` is non-finite or negative.
+    BadDistance(f64),
+    /// `speed_ms` is non-finite or non-positive (duration would be ∞).
+    BadSpeed(f64),
+    /// The wall-clock departure time does not map to an interval
+    /// (negative or non-finite, or degenerate interval length).
+    BadDeparture(f64),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::RegionOutOfRange {
+                origin,
+                dest,
+                num_regions,
+            } => write!(
+                f,
+                "trip region ids ({origin}, {dest}) outside 0..{num_regions}"
+            ),
+            IngestError::BadDistance(d) => write!(
+                f,
+                "trip distance_km {d} is not a finite, non-negative number"
+            ),
+            IngestError::BadSpeed(s) => {
+                write!(f, "trip speed_ms {s} is not a finite, positive number")
+            }
+            IngestError::BadDeparture(t) => {
+                write!(f, "trip departure time {t} does not map to an interval")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
 /// Thread-safe sliding-window store of recent interval tensors.
 pub struct FeatureStore {
     num_regions: usize,
@@ -109,32 +165,65 @@ impl FeatureStore {
 
     /// Buffers one streamed trip into its (still open) interval.
     ///
-    /// Trips with out-of-range region ids are dropped — a live feed must
-    /// not be able to crash the server.
-    pub fn push_trip(&self, trip: Trip) {
-        if trip.origin >= self.num_regions || trip.dest >= self.num_regions {
-            return;
-        }
+    /// Malformed trips — out-of-range region ids, non-finite or negative
+    /// distance, non-finite or non-positive speed — are rejected with a
+    /// typed [`IngestError`] and counted under `ingest/rejected_trips`: a
+    /// live feed must not be able to crash the server *or* poison a
+    /// sealed histogram with NaN.
+    pub fn push_trip(&self, trip: Trip) -> Result<(), IngestError> {
+        self.validate(&trip).inspect_err(|_| {
+            if stod_obs::armed() {
+                stod_obs::count("ingest/rejected_trips", 1);
+            }
+        })?;
         self.inner
             .lock()
             .pending
             .entry(trip.interval)
             .or_default()
             .push(trip);
+        Ok(())
+    }
+
+    fn validate(&self, trip: &Trip) -> Result<(), IngestError> {
+        if trip.origin >= self.num_regions || trip.dest >= self.num_regions {
+            return Err(IngestError::RegionOutOfRange {
+                origin: trip.origin,
+                dest: trip.dest,
+                num_regions: self.num_regions,
+            });
+        }
+        if !trip.distance_km.is_finite() || trip.distance_km < 0.0 {
+            return Err(IngestError::BadDistance(trip.distance_km));
+        }
+        if !trip.speed_ms.is_finite() || trip.speed_ms <= 0.0 {
+            return Err(IngestError::BadSpeed(trip.speed_ms));
+        }
+        Ok(())
     }
 
     /// Buffers a streamed trip by wall-clock departure time instead of a
     /// pre-binned interval index.
     ///
     /// The trip's `interval` field is overwritten with
-    /// [`interval_for_departure`]`(depart_s, interval_len_s)`; trips with
-    /// invalid departure times are dropped like out-of-range region ids.
-    pub fn push_trip_departing(&self, mut trip: Trip, depart_s: f64, interval_len_s: f64) {
+    /// [`interval_for_departure`]`(depart_s, interval_len_s)`; a departure
+    /// that maps to no interval is rejected as
+    /// [`IngestError::BadDeparture`] and counted like any other malformed
+    /// trip.
+    pub fn push_trip_departing(
+        &self,
+        mut trip: Trip,
+        depart_s: f64,
+        interval_len_s: f64,
+    ) -> Result<(), IngestError> {
         let Some(interval) = interval_for_departure(depart_s, interval_len_s) else {
-            return;
+            if stod_obs::armed() {
+                stod_obs::count("ingest/rejected_trips", 1);
+            }
+            return Err(IngestError::BadDeparture(depart_s));
         };
         trip.interval = interval;
-        self.push_trip(trip);
+        self.push_trip(trip)
     }
 
     /// Closes interval `t`: bins its buffered trips into a sparse OD
@@ -175,6 +264,15 @@ impl FeatureStore {
             let horizon = (newest + 1).saturating_sub(self.capacity);
             inner.pending.retain(|&t, _| t >= horizon);
         }
+    }
+
+    /// Drops every pending trip and sealed tensor — the in-memory state a
+    /// process crash would lose. Used by the fleet's shard-crash fault
+    /// injection; real recovery rebuilds the window from the WAL.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.pending.clear();
+        inner.sealed.clear();
     }
 
     /// Newest sealed interval index, if any.
@@ -275,9 +373,9 @@ mod tests {
     #[test]
     fn seal_bins_trips_into_histograms() {
         let fs = store();
-        fs.push_trip(trip(0, 1, 5, 2.0));
-        fs.push_trip(trip(0, 1, 5, 4.0));
-        fs.push_trip(trip(2, 2, 5, 10.0));
+        fs.push_trip(trip(0, 1, 5, 2.0)).unwrap();
+        fs.push_trip(trip(0, 1, 5, 4.0)).unwrap();
+        fs.push_trip(trip(2, 2, 5, 10.0)).unwrap();
         assert_eq!(fs.seal_interval(5), 3);
         let inputs = fs.window_inputs(5, 1).unwrap();
         assert_eq!(inputs.len(), 1);
@@ -292,11 +390,96 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_trips_dropped() {
+    fn out_of_range_trips_rejected_with_typed_error() {
         let fs = store();
-        fs.push_trip(trip(7, 0, 1, 5.0));
-        fs.push_trip(trip(0, 9, 1, 5.0));
+        assert_eq!(
+            fs.push_trip(trip(7, 0, 1, 5.0)),
+            Err(IngestError::RegionOutOfRange {
+                origin: 7,
+                dest: 0,
+                num_regions: 3
+            })
+        );
+        assert!(fs.push_trip(trip(0, 9, 1, 5.0)).is_err());
         assert_eq!(fs.seal_interval(1), 0);
+    }
+
+    #[test]
+    fn non_finite_trips_never_reach_sealed_tensors() {
+        let fs = store();
+        // Every malformed-field combination is rejected with its typed
+        // error...
+        assert!(matches!(
+            fs.push_trip(Trip {
+                speed_ms: f64::NAN,
+                ..trip(0, 1, 2, 1.0)
+            }),
+            Err(IngestError::BadSpeed(s)) if s.is_nan()
+        ));
+        assert!(matches!(
+            fs.push_trip(Trip {
+                speed_ms: 0.0,
+                ..trip(0, 1, 2, 1.0)
+            }),
+            Err(IngestError::BadSpeed(_))
+        ));
+        assert!(matches!(
+            fs.push_trip(Trip {
+                speed_ms: f64::INFINITY,
+                ..trip(0, 1, 2, 1.0)
+            }),
+            Err(IngestError::BadSpeed(_))
+        ));
+        assert!(matches!(
+            fs.push_trip(Trip {
+                distance_km: f64::NAN,
+                ..trip(0, 1, 2, 1.0)
+            }),
+            Err(IngestError::BadDistance(_))
+        ));
+        assert!(matches!(
+            fs.push_trip(Trip {
+                distance_km: -1.0,
+                ..trip(0, 1, 2, 1.0)
+            }),
+            Err(IngestError::BadDistance(_))
+        ));
+        // ...and one accepted trip alongside them seals into a histogram
+        // with no NaN anywhere: the boundary kept the poison out.
+        fs.push_trip(trip(0, 1, 2, 2.0)).unwrap();
+        assert_eq!(fs.seal_interval(2), 1);
+        let inputs = fs.window_inputs(2, 1).unwrap();
+        assert!(inputs[0].data().iter().all(|v| v.is_finite()));
+        assert_eq!(inputs[0].data().iter().sum::<f32>(), 1.0);
+    }
+
+    #[test]
+    fn rejected_trips_counted_in_obs() {
+        stod_obs::with_mode(stod_obs::ObsMode::On, || {
+            stod_obs::reset();
+            let fs = store();
+            fs.push_trip(trip(7, 0, 1, 5.0)).unwrap_err();
+            fs.push_trip(Trip {
+                speed_ms: f64::NAN,
+                ..trip(0, 1, 1, 1.0)
+            })
+            .unwrap_err();
+            fs.push_trip_departing(trip(0, 0, 0, 5.0), f64::NAN, 900.0)
+                .unwrap_err();
+            fs.push_trip(trip(0, 1, 1, 5.0)).unwrap();
+            let snap = stod_obs::snapshot();
+            assert_eq!(snap.counter("ingest/rejected_trips"), 3);
+        });
+    }
+
+    #[test]
+    fn clear_wipes_pending_and_sealed() {
+        let fs = store();
+        fs.push_trip(trip(0, 1, 2, 2.0)).unwrap();
+        fs.seal_interval(1);
+        fs.clear();
+        assert!(fs.is_empty());
+        assert_eq!(fs.seal_interval(2), 0, "pending wiped with the window");
     }
 
     #[test]
@@ -312,9 +495,9 @@ mod tests {
     #[test]
     fn missing_interior_intervals_are_empty() {
         let fs = store();
-        fs.push_trip(trip(0, 0, 2, 5.0));
+        fs.push_trip(trip(0, 0, 2, 5.0)).unwrap();
         fs.seal_interval(2);
-        fs.push_trip(trip(1, 1, 4, 5.0));
+        fs.push_trip(trip(1, 1, 4, 5.0)).unwrap();
         fs.seal_interval(4); // interval 3 never sealed
         let inputs = fs.window_inputs(4, 3).unwrap();
         assert_eq!(inputs.len(), 3);
@@ -328,7 +511,7 @@ mod tests {
     fn eviction_keeps_newest_capacity_intervals() {
         let fs = store(); // capacity 4
         for t in 0..10 {
-            fs.push_trip(trip(0, 0, t, 5.0));
+            fs.push_trip(trip(0, 0, t, 5.0)).unwrap();
             fs.seal_interval(t);
         }
         assert_eq!(fs.len(), 4);
@@ -352,8 +535,10 @@ mod tests {
 
         let fs = store();
         // Two trips straddling the tick at t = 900 s, one exactly on it.
-        fs.push_trip_departing(trip(0, 1, 0, 2.0), 899.0, 900.0);
-        fs.push_trip_departing(trip(0, 1, 0, 2.0), 900.0, 900.0);
+        fs.push_trip_departing(trip(0, 1, 0, 2.0), 899.0, 900.0)
+            .unwrap();
+        fs.push_trip_departing(trip(0, 1, 0, 2.0), 900.0, 900.0)
+            .unwrap();
         assert_eq!(fs.seal_interval(0), 1, "only the pre-tick trip is in 0");
         assert_eq!(fs.seal_interval(1), 1, "the on-tick trip lands in 1");
 
@@ -375,15 +560,20 @@ mod tests {
         assert_eq!(interval_for_departure(100.0, -900.0), None);
 
         let fs = store();
-        fs.push_trip_departing(trip(0, 0, 0, 5.0), -0.5, 900.0);
-        fs.push_trip_departing(trip(0, 0, 0, 5.0), f64::NAN, 900.0);
+        assert_eq!(
+            fs.push_trip_departing(trip(0, 0, 0, 5.0), -0.5, 900.0),
+            Err(IngestError::BadDeparture(-0.5))
+        );
+        assert!(fs
+            .push_trip_departing(trip(0, 0, 0, 5.0), f64::NAN, 900.0)
+            .is_err());
         assert_eq!(fs.seal_interval(0), 0);
     }
 
     #[test]
     fn stale_pending_trips_pruned() {
         let fs = store(); // capacity 4
-        fs.push_trip(trip(0, 0, 0, 5.0));
+        fs.push_trip(trip(0, 0, 0, 5.0)).unwrap();
         for t in 1..8 {
             fs.seal_interval(t);
         }

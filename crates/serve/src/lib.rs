@@ -56,13 +56,15 @@ pub mod broker;
 pub mod ingest;
 pub mod registry;
 pub mod stats;
+pub mod wal;
 
 pub use broker::{
     Broker, BrokerConfig, ComputedForecast, FallbackReason, ForecastRequest, ServedForecast, Source,
 };
-pub use ingest::{interval_for_departure, FeatureStore, IngestSnapshot};
-pub use registry::{ModelConfig, ModelKind, Registry, RegistryError, ServedModel};
+pub use ingest::{interval_for_departure, FeatureStore, IngestError, IngestSnapshot};
+pub use registry::{ModelConfig, ModelKind, Registry, RegistryError, ScrubReport, ServedModel};
 pub use stats::{LatencyHistogram, LedgerObsPaths, ServeStats, StatsSnapshot};
+pub use wal::{FsyncPolicy, TripWal, WalConfig, WalConfigError, WalRecord, WalReplay, WalStats};
 
 /// The serving stack is shared across request threads; keep the central
 /// types `Send + Sync` (compile-time check).
@@ -72,4 +74,5 @@ fn _assert_thread_safe() {
     check::<FeatureStore>();
     check::<Broker>();
     check::<ServeStats>();
+    check::<TripWal>();
 }

@@ -158,10 +158,46 @@ impl ServedModel {
     }
 }
 
+/// One registry slot: the immutable model plus what [`Registry::scrub`]
+/// needs to re-verify it later — the CRC of the bytes it was validated
+/// from and, for file-backed registrations, where those bytes live.
+struct VersionEntry {
+    model: Arc<ServedModel>,
+    /// False once a scrub caught bit-rot; invalid versions are
+    /// unreachable through [`Registry::get`] and never promoted.
+    valid: bool,
+    /// CRC-32 of the serialized checkpoint bytes at registration.
+    crc: u32,
+    /// Backing file, when the version came through
+    /// [`Registry::register_file`].
+    source: Option<std::path::PathBuf>,
+}
+
+/// What a [`Registry::scrub`] pass found.
+#[derive(Debug)]
+pub struct ScrubReport {
+    /// Versions whose integrity was re-verified (invalid ones are skipped).
+    pub checked: usize,
+    /// Versions newly rejected this pass, with the typed reason.
+    pub rejects: Vec<(u32, RegistryError)>,
+    /// The active version, when this pass invalidated it.
+    pub demoted_active: Option<u32>,
+    /// The replacement incumbent (newest surviving version), when a
+    /// demotion happened and any valid version remained.
+    pub new_active: Option<u32>,
+}
+
+impl ScrubReport {
+    /// True when every checked version verified clean.
+    pub fn is_clean(&self) -> bool {
+        self.rejects.is_empty()
+    }
+}
+
 /// The versioned checkpoint registry.
 pub struct Registry {
     config: ModelConfig,
-    versions: RwLock<Vec<Arc<ServedModel>>>,
+    versions: RwLock<Vec<VersionEntry>>,
     active: RwLock<Option<Arc<ServedModel>>>,
     stats: Arc<ServeStats>,
 }
@@ -196,8 +232,9 @@ impl Registry {
         let result = (|| {
             let mut raw = std::fs::read(path).map_err(RegistryError::Io)?;
             stod_faultline::maybe_corrupt(stod_faultline::FaultSite::CkptCorrupt, &mut raw);
+            let crc = stod_faultline::crc::crc32(&raw);
             let store = ParamStore::from_bytes(bytes::Bytes::from(raw))?;
-            self.register_validated(store)
+            self.register_validated(store, crc, Some(path.to_path_buf()))
         })();
         if result.is_err() {
             self.stats
@@ -210,7 +247,8 @@ impl Registry {
     /// Validates a checkpoint against the configured architecture and
     /// registers it as a new (inactive) version, returning its number.
     pub fn register_store(&self, store: ParamStore) -> Result<u32, RegistryError> {
-        let result = self.register_validated(store);
+        let crc = stod_faultline::crc::crc32(&store.to_bytes());
+        let result = self.register_validated(store, crc, None);
         if result.is_err() {
             self.stats
                 .checkpoint_rejects
@@ -219,14 +257,109 @@ impl Registry {
         result
     }
 
-    fn register_validated(&self, store: ParamStore) -> Result<u32, RegistryError> {
+    fn register_validated(
+        &self,
+        store: ParamStore,
+        crc: u32,
+        source: Option<std::path::PathBuf>,
+    ) -> Result<u32, RegistryError> {
         let mut model = self.config.build(0);
         validate_layout(model.params(), &store)?;
         model.params_mut().copy_from(&store);
         let mut versions = self.versions.write();
         let version = versions.len() as u32 + 1;
-        versions.push(Arc::new(ServedModel { version, model }));
+        versions.push(VersionEntry {
+            model: Arc::new(ServedModel { version, model }),
+            valid: true,
+            crc,
+            source,
+        });
         Ok(version)
+    }
+
+    /// Re-verifies the integrity of every registered version — the
+    /// bit-rot scrub. File-backed versions are re-read from their backing
+    /// checkpoint and must still carry the CRC recorded at registration
+    /// *and* parse as a structurally valid store; in-memory versions have
+    /// their live parameters re-serialized and CRC-compared.
+    ///
+    /// A version that fails is marked invalid: [`Registry::get`] stops
+    /// returning it and it can never be promoted again. If the *active*
+    /// version is among the casualties, the incumbency falls back to the
+    /// newest surviving version (or to none — callers then serve NH
+    /// fallback, which is degraded but honest, rather than forecasts from
+    /// weights that no longer match any validated checkpoint). Every
+    /// rejection is counted in the `scrub_rejects` stat and the
+    /// `registry/scrub_rejects` obs counter.
+    pub fn scrub(&self) -> ScrubReport {
+        let mut versions = self.versions.write();
+        let mut rejects = Vec::new();
+        for entry in versions.iter_mut() {
+            if !entry.valid {
+                continue;
+            }
+            let verdict: Result<(), RegistryError> = match &entry.source {
+                Some(path) => (|| {
+                    let raw = std::fs::read(path).map_err(RegistryError::Io)?;
+                    let found = stod_faultline::crc::crc32(&raw);
+                    if found != entry.crc {
+                        return Err(RegistryError::Corrupt {
+                            expected: entry.crc,
+                            found,
+                        });
+                    }
+                    ParamStore::from_bytes(bytes::Bytes::from(raw))?;
+                    Ok(())
+                })(),
+                None => {
+                    let found = stod_faultline::crc::crc32(&entry.model.model.params().to_bytes());
+                    if found != entry.crc {
+                        Err(RegistryError::Corrupt {
+                            expected: entry.crc,
+                            found,
+                        })
+                    } else {
+                        Ok(())
+                    }
+                }
+            };
+            if let Err(err) = verdict {
+                entry.valid = false;
+                rejects.push((entry.model.version, err));
+            }
+        }
+        let checked = versions.iter().filter(|e| e.valid).count() + rejects.len();
+        if !rejects.is_empty() {
+            self.stats
+                .scrub_rejects
+                .fetch_add(rejects.len() as u64, Ordering::Relaxed);
+            if stod_obs::armed() {
+                stod_obs::count("registry/scrub_rejects", rejects.len() as u64);
+            }
+        }
+        // Demote a now-invalid incumbent to the newest surviving version.
+        let mut demoted_active = None;
+        let mut new_active = None;
+        let mut active = self.active.write();
+        if let Some(current) = active.as_ref() {
+            let version = current.version;
+            let invalidated = rejects.iter().any(|(v, _)| *v == version);
+            if invalidated {
+                demoted_active = Some(version);
+                let replacement = versions.iter().rev().find(|e| e.valid);
+                new_active = replacement.map(|e| e.model.version);
+                *active = replacement.map(|e| Arc::clone(&e.model));
+                if new_active.is_some() {
+                    self.stats.hot_swaps.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        ScrubReport {
+            checked,
+            rejects,
+            demoted_active,
+            new_active,
+        }
     }
 
     /// Atomically makes `version` the one answering new requests.
@@ -255,10 +388,13 @@ impl Registry {
         self.active.read().as_ref().map(|m| m.version)
     }
 
-    /// Looks a registered version up by number.
+    /// Looks a registered version up by number. Versions invalidated by a
+    /// [`Registry::scrub`] are gone: they resolve to `None` like a number
+    /// that was never registered.
     pub fn get(&self, version: u32) -> Option<Arc<ServedModel>> {
         let versions = self.versions.read();
-        versions.get(version.checked_sub(1)? as usize).cloned()
+        let entry = versions.get(version.checked_sub(1)? as usize)?;
+        entry.valid.then(|| Arc::clone(&entry.model))
     }
 
     /// Number of registered versions.
@@ -428,6 +564,86 @@ mod tests {
 
         // Disarmed, the same file registers.
         assert_eq!(reg.register_file(&path).unwrap(), 1);
+    }
+
+    /// Bit-rot on a registered checkpoint's backing file is caught by
+    /// `scrub()`, the version becomes unreachable, and the incumbency
+    /// falls back to the newest surviving version.
+    #[test]
+    fn scrub_rejects_bit_rotted_file_and_demotes_incumbent() {
+        let config = bf_config(4);
+        let stats = Arc::new(ServeStats::new());
+        let reg = Registry::new(config.clone(), stats.clone());
+
+        let v1_bytes = config.build(1).params().to_bytes().to_vec();
+        let p1 = write_tmp_file("scrub_v1.stpw", &v1_bytes);
+        let v1 = reg.register_file(&p1).unwrap();
+        let v2_bytes = config.build(2).params().to_bytes().to_vec();
+        let p2 = write_tmp_file("scrub_v2.stpw", &v2_bytes);
+        let v2 = reg.register_file(&p2).unwrap();
+        reg.promote(v2).unwrap();
+
+        // Clean pass: nothing rejected, nothing demoted.
+        let report = reg.scrub();
+        assert!(report.is_clean());
+        assert_eq!(report.checked, 2);
+        assert_eq!(reg.active_version(), Some(v2));
+
+        // Rot a byte in the incumbent's backing file.
+        let mut rotted = v2_bytes.clone();
+        rotted[v2_bytes.len() / 3] ^= 0x04;
+        std::fs::write(&p2, &rotted).unwrap();
+
+        let report = reg.scrub();
+        assert_eq!(report.rejects.len(), 1);
+        assert_eq!(report.rejects[0].0, v2);
+        assert!(matches!(report.rejects[0].1, RegistryError::Corrupt { .. }));
+        assert_eq!(report.demoted_active, Some(v2));
+        assert_eq!(report.new_active, Some(v1));
+        assert_eq!(reg.active_version(), Some(v1), "incumbency fell back");
+        assert!(reg.get(v2).is_none(), "rotted version is unreachable");
+        assert!(matches!(
+            reg.promote(v2),
+            Err(RegistryError::UnknownVersion(_))
+        ));
+        assert_eq!(stats.snapshot().scrub_rejects, 1);
+
+        // A second pass skips the already-invalid version: idempotent.
+        let report = reg.scrub();
+        assert!(report.is_clean());
+        assert_eq!(report.checked, 1);
+        assert_eq!(stats.snapshot().scrub_rejects, 1);
+    }
+
+    /// When every version rots, scrub leaves the registry with no
+    /// incumbent at all rather than serving unverifiable weights.
+    #[test]
+    fn scrub_with_no_survivor_clears_the_incumbent() {
+        let config = bf_config(4);
+        let reg = Registry::new(config.clone(), Arc::new(ServeStats::new()));
+        let bytes = config.build(1).params().to_bytes().to_vec();
+        let p = write_tmp_file("scrub_only.stpw", &bytes);
+        let v = reg.register_file(&p).unwrap();
+        reg.promote(v).unwrap();
+        std::fs::write(&p, b"not a checkpoint").unwrap();
+        let report = reg.scrub();
+        assert_eq!(report.rejects.len(), 1);
+        assert_eq!(report.demoted_active, Some(v));
+        assert_eq!(report.new_active, None);
+        assert!(reg.active().is_none());
+    }
+
+    /// In-memory registrations scrub against their live parameters.
+    #[test]
+    fn scrub_passes_in_memory_versions() {
+        let config = bf_config(4);
+        let reg = Registry::new(config.clone(), Arc::new(ServeStats::new()));
+        let v = reg.register_store(checkpoint_for(&config, 1)).unwrap();
+        reg.promote(v).unwrap();
+        let report = reg.scrub();
+        assert!(report.is_clean());
+        assert_eq!(report.checked, 1);
+        assert_eq!(reg.active_version(), Some(v));
     }
 
     #[test]

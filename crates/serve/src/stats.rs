@@ -138,6 +138,8 @@ pub struct LedgerObsPaths {
     pub result_cache_hits: &'static str,
     /// Mirror of [`ServeStats::shed`].
     pub shed: &'static str,
+    /// Mirror of [`ServeStats::degraded`].
+    pub degraded: &'static str,
     /// Mirror of [`ServeStats::worker_panics`].
     pub worker_panics: &'static str,
     /// Mirror of [`ServeStats::failed_jobs`].
@@ -174,6 +176,16 @@ pub struct ServeStats {
     /// Requests shed by admission control (queue beyond deadline-feasible
     /// depth) and answered from the NH baseline with a typed outcome.
     pub shed: AtomicU64,
+    /// Requests answered in degraded mode — the shard's circuit breaker
+    /// was open (or the shard had crashed in place), so the answer came
+    /// from the NH baseline without touching the broker. Typed outcome;
+    /// a term of the conservation ledger.
+    pub degraded: AtomicU64,
+    /// The subset of [`ServeStats::degraded`] rejected *by* an open
+    /// breaker (as opposed to an in-place shard crash). Diagnostic, not a
+    /// ledger term: every breaker-open reject is already counted in
+    /// `degraded`.
+    pub breaker_open_rejects: AtomicU64,
     /// Broker jobs that completed without a model invocation (no promoted
     /// model, missing feature window); each closes its leader's slot in
     /// the conservation ledger.
@@ -199,6 +211,10 @@ pub struct ServeStats {
     /// Checkpoints the registry refused (unreadable, corrupt, malformed,
     /// or layout-mismatched).
     pub checkpoint_rejects: AtomicU64,
+    /// Registered versions invalidated by a bit-rot scrub
+    /// (`Registry::scrub`): the backing checkpoint no longer carries the
+    /// CRC it was validated with.
+    pub scrub_rejects: AtomicU64,
     /// Batches whose loss or gradients were non-finite during training
     /// (reported by the trainer when it shares this stats instance).
     pub nonfinite_batches: AtomicU64,
@@ -213,6 +229,8 @@ pub struct ServeStats {
     pub latency_cache: LatencyHistogram,
     /// End-to-end latencies of requests shed by admission control.
     pub latency_shed: LatencyHistogram,
+    /// End-to-end latencies of requests answered in degraded mode.
+    pub latency_degraded: LatencyHistogram,
     /// Micro-batch fan-out sizes: how many waiters each finished job
     /// answered (leader included).
     pub batch_sizes: SizeHistogram,
@@ -243,6 +261,7 @@ impl ServeStats {
                 cache_hits: path("cache_hits"),
                 result_cache_hits: path("result_cache_hits"),
                 shed: path("shed"),
+                degraded: path("degraded"),
                 worker_panics: path("worker_panics"),
                 failed_jobs: path("failed_jobs"),
             }),
@@ -304,6 +323,8 @@ impl ServeStats {
             result_cache_evictions: load(&self.result_cache_evictions),
             result_cache_invalidations: load(&self.result_cache_invalidations),
             shed: load(&self.shed),
+            degraded: load(&self.degraded),
+            breaker_open_rejects: load(&self.breaker_open_rejects),
             failed_jobs: load(&self.failed_jobs),
             fallbacks_deadline: load(&self.fallbacks_deadline),
             fallbacks_no_model: load(&self.fallbacks_no_model),
@@ -313,6 +334,7 @@ impl ServeStats {
             worker_panics: load(&self.worker_panics),
             respawns: load(&self.respawns),
             checkpoint_rejects: load(&self.checkpoint_rejects),
+            scrub_rejects: load(&self.scrub_rejects),
             nonfinite_batches: load(&self.nonfinite_batches),
             latency_count: self.latency.count(),
             p50_us: self.latency.quantile_us(0.50),
@@ -330,6 +352,9 @@ impl ServeStats {
             shed_latency_count: self.latency_shed.count(),
             shed_p50_us: self.latency_shed.quantile_us(0.50),
             shed_p99_us: self.latency_shed.quantile_us(0.99),
+            degraded_latency_count: self.latency_degraded.count(),
+            degraded_p50_us: self.latency_degraded.quantile_us(0.50),
+            degraded_p99_us: self.latency_degraded.quantile_us(0.99),
             batch_count: self.batch_sizes.count(),
             batch_p50: self.batch_sizes.quantile(0.50),
             batch_max: self.batch_sizes.max(),
@@ -359,6 +384,10 @@ pub struct StatsSnapshot {
     pub result_cache_invalidations: u64,
     /// See [`ServeStats::shed`].
     pub shed: u64,
+    /// See [`ServeStats::degraded`].
+    pub degraded: u64,
+    /// See [`ServeStats::breaker_open_rejects`].
+    pub breaker_open_rejects: u64,
     /// See [`ServeStats::failed_jobs`].
     pub failed_jobs: u64,
     /// See [`ServeStats::fallbacks_deadline`].
@@ -377,6 +406,8 @@ pub struct StatsSnapshot {
     pub respawns: u64,
     /// See [`ServeStats::checkpoint_rejects`].
     pub checkpoint_rejects: u64,
+    /// See [`ServeStats::scrub_rejects`].
+    pub scrub_rejects: u64,
     /// See [`ServeStats::nonfinite_batches`].
     pub nonfinite_batches: u64,
     /// Number of latency observations behind the percentiles.
@@ -411,6 +442,12 @@ pub struct StatsSnapshot {
     pub shed_p50_us: u64,
     /// 99th-percentile shed latency (µs).
     pub shed_p99_us: u64,
+    /// Latency observations on the degraded path.
+    pub degraded_latency_count: u64,
+    /// Median degraded latency (µs, bucket upper edge).
+    pub degraded_p50_us: u64,
+    /// 99th-percentile degraded latency (µs).
+    pub degraded_p99_us: u64,
     /// Finished jobs behind the batch-size percentiles.
     pub batch_count: u64,
     /// Median micro-batch fan-out (bucket upper edge).
@@ -434,10 +471,12 @@ impl StatsSnapshot {
     ///
     /// ```text
     /// requests = model_invocations + failed_jobs + worker_panics
-    ///          + batched_joins + cache_hits + result_cache_hits + shed
+    ///          + batched_joins + cache_hits + result_cache_hits
+    ///          + shed + degraded
     /// ```
     ///
-    /// Every request is exactly one of: shed by admission control, a
+    /// Every request is exactly one of: shed by admission control,
+    /// answered in degraded mode (breaker open or shard crashed), a
     /// result-cache hit, a broker cache hit, a joiner of an in-flight
     /// computation, or the leader of exactly one job — and every job ends
     /// as a model invocation, a failed job, or a contained worker panic.
@@ -451,7 +490,8 @@ impl StatsSnapshot {
                 + self.batched_joins
                 + self.cache_hits
                 + self.result_cache_hits
-                + self.shed) as i128
+                + self.shed
+                + self.degraded) as i128
     }
 
     /// This snapshot as a JSON object string.
@@ -475,6 +515,8 @@ impl Serialize for StatsSnapshot {
                 &self.result_cache_invalidations,
             );
             o.field("shed", &self.shed);
+            o.field("degraded", &self.degraded);
+            o.field("breaker_open_rejects", &self.breaker_open_rejects);
             o.field("failed_jobs", &self.failed_jobs);
             o.field("fallbacks_deadline", &self.fallbacks_deadline);
             o.field("fallbacks_no_model", &self.fallbacks_no_model);
@@ -484,6 +526,7 @@ impl Serialize for StatsSnapshot {
             o.field("worker_panics", &self.worker_panics);
             o.field("respawns", &self.respawns);
             o.field("checkpoint_rejects", &self.checkpoint_rejects);
+            o.field("scrub_rejects", &self.scrub_rejects);
             o.field("nonfinite_batches", &self.nonfinite_batches);
             o.field("latency_count", &self.latency_count);
             o.field("p50_us", &self.p50_us);
@@ -501,6 +544,9 @@ impl Serialize for StatsSnapshot {
             o.field("shed_latency_count", &self.shed_latency_count);
             o.field("shed_p50_us", &self.shed_p50_us);
             o.field("shed_p99_us", &self.shed_p99_us);
+            o.field("degraded_latency_count", &self.degraded_latency_count);
+            o.field("degraded_p50_us", &self.degraded_p50_us);
+            o.field("degraded_p99_us", &self.degraded_p99_us);
             o.field("batch_count", &self.batch_count);
             o.field("batch_p50", &self.batch_p50);
             o.field("batch_max", &self.batch_max);
@@ -553,6 +599,12 @@ mod tests {
         assert_eq!(s.snapshot().ledger_balance(), 0);
         s.requests_total.fetch_add(3, Ordering::Relaxed);
         assert_eq!(s.snapshot().ledger_balance(), 3);
+        // Degraded answers are a ledger term: two degraded requests (one
+        // of them a breaker-open reject — a diagnostic subset, not a
+        // second term) close two of the three open slots.
+        s.degraded.fetch_add(2, Ordering::Relaxed);
+        s.breaker_open_rejects.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(s.snapshot().ledger_balance(), 1);
     }
 
     #[test]
@@ -603,6 +655,9 @@ mod tests {
             "result_cache_evictions",
             "result_cache_invalidations",
             "shed",
+            "degraded",
+            "breaker_open_rejects",
+            "scrub_rejects",
             "failed_jobs",
         ] {
             assert!(

@@ -8,6 +8,7 @@
 #   scripts/verify.sh --bench         # additionally run the bench-regression gate
 #   scripts/verify.sh --load          # additionally run the fleet load/SLO gate
 #   scripts/verify.sh --adapt         # additionally run the streaming-adaptation gate
+#   scripts/verify.sh --durability    # additionally run the crash-consistency gate
 #   scripts/verify.sh --all           # every stage, with a per-stage timing summary
 #
 # Tier-1 (the gate CI enforces) is the root package: its integration
@@ -51,6 +52,16 @@
 # clients are served, and lands results/BENCH_adapt.json (fine-tune wall,
 # shadow-eval wall, promote latency, serve p99 during adaptation).
 #
+# --durability runs the crash-consistency gate (tests/durability_gate.rs)
+# at its full matrix (STOD_CHAOS=full widens the tier-1 kill-point slice)
+# at 1 and 4 threads: the seeded kill-anywhere sweep (recovered fleet
+# bitwise equal to an uninterrupted run over the same op prefix),
+# torn-write truncation to the synced prefix, the breaker trip/probe
+# cycle under a WorkerPanic storm with other tenants serving and all
+# ledgers balanced, ShardCrash self-healing from the WAL, recovery-scrub
+# demotion of bit-rotted checkpoints, and WalCorrupt replay robustness —
+# plus the WAL frame-codec property suite (crates/serve wal_props).
+#
 # Every stage prints its wall time at the end of the run.
 
 set -euo pipefail
@@ -62,6 +73,7 @@ chaos=0
 bench=0
 load=0
 adapt=0
+durability=0
 for arg in "$@"; do
   case "$arg" in
     --full) full=1 ;;
@@ -70,7 +82,8 @@ for arg in "$@"; do
     --bench) bench=1 ;;
     --load) load=1 ;;
     --adapt) adapt=1 ;;
-    --all) full=1; conformance=1; chaos=1; bench=1; load=1; adapt=1 ;;
+    --durability) durability=1 ;;
+    --all) full=1; conformance=1; chaos=1; bench=1; load=1; adapt=1; durability=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -189,6 +202,15 @@ stage_adapt() {
   STOD_THREADS=2 M=adapt cargo run -q --release -p stod-bench --bin probe
 }
 
+stage_durability() {
+  for t in 1 4; do
+    echo "==> durability gate, full kill-point matrix, STOD_THREADS=$t"
+    STOD_THREADS="$t" STOD_CHAOS=full cargo test -q --test durability_gate
+  done
+  echo "==> WAL frame-codec property suite"
+  STOD_THREADS=1 cargo test -q -p stod-serve --test wal_props
+}
+
 run_stage "fmt" stage_fmt
 run_stage "clippy" stage_clippy
 run_stage "tier-1 (×2 thread counts)" stage_tier1
@@ -198,6 +220,7 @@ run_stage "tier-1 (×2 thread counts)" stage_tier1
 [[ "$bench" == 1 ]] && run_stage "bench" stage_bench
 [[ "$load" == 1 ]] && run_stage "load" stage_load
 [[ "$adapt" == 1 ]] && run_stage "adapt" stage_adapt
+[[ "$durability" == 1 ]] && run_stage "durability" stage_durability
 
 echo "-- stage timing --"
 printf '%s\n' "${summary[@]}"

@@ -199,6 +199,7 @@ impl Scenario {
                 window_capacity: WINDOW_CAP,
                 broker_cache_capacity: 8,
                 retain_results: true,
+                breaker: stod_fleet::BreakerConfig::default(),
             },
         );
         shard
@@ -222,7 +223,7 @@ impl Scenario {
         let shard = fleet.shard(0);
         for t in from..to {
             for trip in &self.trips[t] {
-                shard.ingest_trip(*trip);
+                shard.ingest_trip(*trip).unwrap();
             }
             shard.seal_interval(t);
         }
@@ -663,7 +664,9 @@ fn ingest_snapshot_is_consistent_under_concurrent_pushes() {
                         distance_km: 1.0 + (i % 7) as f64,
                         speed_ms: 3.0 + (i % 11) as f64,
                     };
-                    store.push_trip_departing(trip, (t * 60 + i) as f64, 60.0);
+                    store
+                        .push_trip_departing(trip, (t * 60 + i) as f64, 60.0)
+                        .unwrap();
                 }
                 store.seal_interval(t);
             }

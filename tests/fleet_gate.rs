@@ -76,6 +76,7 @@ fn build_fleet(
         window_capacity: 8,
         broker_cache_capacity: 8,
         retain_results,
+        breaker: stod_fleet::BreakerConfig::default(),
     };
     Fleet::from_replay(&cfg, cities, &shard_cfg, small_kind, 0xC0FFEE)
 }
