@@ -169,6 +169,13 @@ pub trait Buf {
         b[0]
     }
 
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
     /// Reads a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32 {
         let mut b = [0u8; 4];
@@ -252,6 +259,11 @@ pub trait BufMut {
     /// Appends one byte.
     fn put_u8(&mut self, v: u8) {
         self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
     }
 
     /// Appends a little-endian `u32`.

@@ -818,9 +818,242 @@ fn run_adapt_bench() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `M=city`: the big-city scale probe behind `STOD_SCALE=city`. Two
+/// sections, both gated by hard asserts so CI fails loudly:
+///
+/// * **propagation sweep** — dense matmul vs CSR `spmm_panel` for the
+///   scaled-Laplacian propagation `L·X` at N ∈ {256, 512, 1000} on
+///   metropolis-density graphs (paper-default kernel σ = 1 km, α = 0.1).
+///   Gate: CSR at least 3× faster than dense at N = 1000.
+/// * **compact serving** — an end-to-end city slice: train an AF model
+///   (sparse graph path, N = 500) for one epoch, checkpoint it as f32
+///   and f16, register both in a memory-budgeted registry, and compare
+///   forecasts. Gates: f16 checkpoint ≤ 55 % of the f32 bytes, f16
+///   forecast within 1e-2 of f32, resident bytes within the
+///   `STOD_MODEL_MEM` budget (default 64 MiB when unset).
+///
+/// Writes `results/BENCH_city.json` (override `STOD_CITY_OUT`) stamped
+/// with the shared bench header; `bench_gate` compares the sweep's
+/// `csr_ms` rows against the blessed artifact.
+fn run_city_bench() {
+    use std::sync::Arc;
+    use stod_graph::{
+        proximity_csr, proximity_matrix, scaled_laplacian, scaled_laplacian_csr, ProximityParams,
+    };
+    use stod_nn::ParamStore;
+    use stod_serve::{ModelConfig, ModelKind, Registry, ServeStats};
+    use stod_tensor::{matmul, rng::Rng64, stack, Tensor};
+
+    println!("-- city bench: CSR propagation sweep + compact f16 serving --");
+
+    // Section A: dense vs CSR scaled-Laplacian propagation over a
+    // 64-feature panel. Sub-metropolis sizes use the uniform `irregular`
+    // layout at the same nominal density (radius ∝ √n) so the sweep
+    // varies N, not the generator.
+    struct PropRow {
+        n: usize,
+        nnz: usize,
+        density: f64,
+        dense_ms: f64,
+        csr_ms: f64,
+    }
+    let feat = 64;
+    let mut prop_rows: Vec<PropRow> = Vec::new();
+    for n in [256usize, 512, 1000] {
+        let cents = if n >= 500 {
+            stod_traffic::CityModel::metropolis(n, 7).centroids()
+        } else {
+            stod_traffic::CityModel::irregular(n, 0.5 * (n as f64).sqrt(), 7).centroids()
+        };
+        let params = ProximityParams::default();
+        let l = scaled_laplacian(&proximity_matrix(&cents, params));
+        let lc = scaled_laplacian_csr(&proximity_csr(&cents, params));
+        let mut rng = Rng64::new(n as u64);
+        let x = Tensor::randn(&[n, feat], 1.0, &mut rng);
+        let iters = 5;
+        std::hint::black_box(matmul(&l, &x));
+        let dense_ms = time_ms_best_of(iters, || {
+            std::hint::black_box(matmul(&l, &x));
+        });
+        std::hint::black_box(lc.spmm_panel(&x));
+        let csr_ms = time_ms_best_of(iters, || {
+            std::hint::black_box(lc.spmm_panel(&x));
+        });
+        let nnz = lc.nnz();
+        let density = nnz as f64 / (n * n) as f64;
+        println!(
+            "propagate n={n:<5} nnz {nnz:>6} ({:>5.2}%)  dense {dense_ms:>8.3} ms  csr {csr_ms:>7.3} ms  {:>6.2}x",
+            density * 100.0,
+            dense_ms / csr_ms,
+        );
+        prop_rows.push(PropRow {
+            n,
+            nnz,
+            density,
+            dense_ms,
+            csr_ms,
+        });
+    }
+    let big = prop_rows.last().unwrap();
+    assert!(
+        big.csr_ms * 3.0 <= big.dense_ms,
+        "city gate: CSR propagation must be >= 3x dense at N = {} (dense {:.3} ms, csr {:.3} ms)",
+        big.n,
+        big.dense_ms,
+        big.csr_ms
+    );
+
+    // Section B: end-to-end city slice. `Scale::City` builds a 500-region
+    // metropolis; `GraphMode::Auto` therefore takes the CSR path for both
+    // the factorization Laplacians and the CNRNN filters.
+    let seed = 11;
+    let t0 = std::time::Instant::now();
+    let ds = build_dataset(Dataset::Nyc, Scale::City, seed);
+    let n = ds.num_regions();
+    let k = ds.spec.num_buckets;
+    assert!(n >= 500, "city tier must be a >= 500-region metropolis");
+    let split = standard_split(&ds, 2, 1);
+    let windows: Vec<stod_traffic::Window> = split.train.iter().copied().take(4).collect();
+    assert!(!windows.is_empty(), "city slice produced no train windows");
+    let af_cfg = AfConfig {
+        rnn_hidden: 8,
+        rank: 4,
+        ..AfConfig::default()
+    };
+    let mut model = AfModel::new(&ds.city.centroids(), k, af_cfg.clone(), seed);
+    let report = train(
+        &mut model,
+        &ds,
+        &windows,
+        None,
+        &TrainConfig {
+            epochs: 1,
+            batch_size: 4,
+            dropout: 0.0,
+            seed,
+            ..TrainConfig::default()
+        },
+    );
+    let train_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let final_loss = report.final_loss();
+    assert!(
+        final_loss.is_finite(),
+        "city training slice diverged: loss {final_loss}"
+    );
+    println!(
+        "city slice: N={n} K={k}, {} windows, 1 epoch, loss {final_loss:.4}, {train_ms:.0} ms incl. dataset",
+        windows.len()
+    );
+
+    // Compact checkpoints: the serving tier stores f16, trains f32.
+    let f32_bytes = model.params().to_bytes();
+    let f16_bytes = model
+        .params()
+        .to_bytes_f16()
+        .expect("trained city weights must be f16-representable");
+    let (f32_len, f16_len) = (f32_bytes.len(), f16_bytes.len());
+    let ratio = f16_len as f64 / f32_len as f64;
+    println!(
+        "checkpoint: f32 {} B, f16 {} B ({:.1}% of f32)",
+        f32_bytes.len(),
+        f16_bytes.len(),
+        ratio * 100.0
+    );
+    assert!(
+        f16_bytes.len() * 100 <= f32_bytes.len() * 55,
+        "city gate: f16 checkpoint must be <= 55% of f32 ({} vs {} bytes)",
+        f16_bytes.len(),
+        f32_bytes.len()
+    );
+
+    // Memory-budgeted registry: `STOD_MODEL_MEM` when set, else 64 MiB.
+    let budget = stod_tensor::env_knob("STOD_MODEL_MEM", 1, u64::MAX)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .unwrap_or(64 << 20);
+    let config = ModelConfig {
+        kind: ModelKind::Af(af_cfg),
+        centroids: ds.city.centroids(),
+        num_buckets: k,
+    };
+    let registry = Registry::with_mem_budget(config, Arc::new(ServeStats::new()), Some(budget));
+    let v32 = registry
+        .register_store(ParamStore::from_bytes(f32_bytes).expect("f32 roundtrip"))
+        .expect("f32 version must register under the memory budget");
+    let v16 = registry
+        .register_store(ParamStore::from_bytes(f16_bytes.clone()).expect("f16 roundtrip"))
+        .expect("f16 version must register under the memory budget");
+    registry.promote(v16).expect("promote f16 version");
+    let m16 = registry.get(v16).expect("f16 version resolvable");
+    let m32 = registry.get(v32).expect("f32 version resolvable");
+    let mem_bytes = m16.mem_bytes();
+    assert!(
+        mem_bytes <= budget,
+        "city gate: resident {mem_bytes} B over the {budget} B budget"
+    );
+
+    // Serve smoke + f16 error gate: forecast the last train window on
+    // both versions; the compact path must match f32 to 1e-2.
+    let w = windows[windows.len() - 1];
+    let inputs: Vec<Tensor> = w
+        .input_indices()
+        .iter()
+        .map(|&t| stack(&[&ds.tensors[t].data], 0))
+        .collect();
+    let half = m16.forecast(&inputs, 1);
+    let full = m32.forecast(&inputs, 1);
+    let drift = half[0]
+        .data()
+        .iter()
+        .zip(full[0].data())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("serving: resident {mem_bytes} B (budget {budget} B), f16 forecast drift {drift:.2e}");
+    assert!(
+        drift < 1e-2,
+        "city gate: f16 forecast drifted {drift} from the f32 oracle"
+    );
+
+    // Artifact: shared provenance header + sweep rows + serving section.
+    let header = BenchHeader::collect(Scale::from_env());
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  {},\n", header.json_fields()));
+    json.push_str("  \"note\": \"wall-clock ms, best-of-5 after an untimed warmup\",\n");
+    json.push_str("  \"propagation\": [\n");
+    for (i, r) in prop_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"propagate_{}\", \"n\": {}, \"feat\": {feat}, \"nnz\": {}, \"density\": {:.5}, \"dense_ms\": {:.4}, \"csr_ms\": {:.4}, \"speedup\": {:.3}}}{}\n",
+            r.n,
+            r.n,
+            r.nnz,
+            r.density,
+            r.dense_ms,
+            r.csr_ms,
+            r.dense_ms / r.csr_ms,
+            if i + 1 < prop_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"city\": {{\"regions\": {n}, \"buckets\": {k}, \"train_windows\": {}, \"final_loss\": {final_loss:.6}, \"train_ms\": {train_ms:.1}, \"f32_bytes\": {f32_len}, \"f16_bytes\": {f16_len}, \"f16_ratio\": {ratio:.4}, \"resident_bytes\": {mem_bytes}, \"mem_budget_bytes\": {budget}, \"f16_forecast_drift\": {drift:.3e}}}\n",
+        windows.len(),
+    ));
+    json.push_str("}\n");
+    let out = std::env::var("STOD_CITY_OUT").unwrap_or_else(|_| "results/BENCH_city.json".into());
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(parent).expect("create artifact dir");
+    }
+    std::fs::write(&out, &json).expect("write city artifact");
+    println!("wrote {out}");
+    println!("city gates passed");
+}
+
 fn main() {
     // Modes that bring their own data short-circuit before the shared
     // NYC dataset build.
+    if std::env::var("M").is_ok_and(|m| m.contains("city")) {
+        run_city_bench();
+        return;
+    }
     if std::env::var("M").is_ok_and(|m| m.contains("serve_load")) {
         run_serve_load_bench();
         return;

@@ -19,7 +19,7 @@ pub struct BenchHeader {
     pub rev: String,
     /// Kernel worker threads the run used (`stod_tensor::par::num_threads`).
     pub threads: usize,
-    /// Dataset scale (`small` or `paper`).
+    /// Dataset scale (`small`, `paper` or `city`).
     pub scale: &'static str,
     /// Host cores available to the run (context, not compared).
     pub host_cores: usize,
@@ -34,6 +34,7 @@ impl BenchHeader {
             scale: match scale {
                 Scale::Small => "small",
                 Scale::Paper => "paper",
+                Scale::City => "city",
             },
             host_cores: std::thread::available_parallelism().map_or(1, usize::from),
         }

@@ -9,6 +9,9 @@
 //!   minutes of CPU, same qualitative structure.
 //! * `paper` — 67/79-region cities, 20 days, 96 intervals/day: the paper's
 //!   spatial scale (hours of CPU).
+//! * `city` — 500/600-region metropolis cities with a one-day horizon:
+//!   the big-city tier that exercises the CSR sparse-graph path and the
+//!   compact f16 serving pipeline (see the `city` bench probe).
 //!
 //! `STOD_EPOCHS` overrides the training epochs of the deep models.
 
@@ -50,19 +53,25 @@ pub enum Scale {
     Small,
     /// Paper-sized cities and horizons.
     Paper,
+    /// Big-city tier: metropolis cities (≥ 500 regions) with a short
+    /// horizon — exercises the CSR sparse-graph path and the compact
+    /// f16 serving pipeline rather than the paper's full experiments.
+    City,
 }
 
 impl Scale {
-    /// Parses a `STOD_SCALE` value. Only the exact strings `small` and
-    /// `paper` are accepted — anything else (e.g. the typo `Paper`) is an
-    /// error rather than a silent fall-through to `small`, which would
-    /// quietly run a many-hour experiment at the wrong scale.
+    /// Parses a `STOD_SCALE` value. Only the exact strings `small`,
+    /// `paper` and `city` are accepted — anything else (e.g. the typo
+    /// `Paper`) is an error rather than a silent fall-through to
+    /// `small`, which would quietly run a many-hour experiment at the
+    /// wrong scale.
     pub fn parse(value: &str) -> Result<Scale, String> {
         match value {
             "small" => Ok(Scale::Small),
             "paper" => Ok(Scale::Paper),
+            "city" => Ok(Scale::City),
             other => Err(format!(
-                "STOD_SCALE must be \"small\" or \"paper\", got {other:?}"
+                "STOD_SCALE must be \"small\", \"paper\" or \"city\", got {other:?}"
             )),
         }
     }
@@ -126,6 +135,35 @@ pub fn build_dataset(which: Dataset, scale: Scale, seed: u64) -> OdDataset {
         }
         (Dataset::Chengdu, Scale::Paper) => {
             OdDataset::generate(CityModel::chengdu_like(seed), &SimConfig::chengdu(seed))
+        }
+        // The city tier keeps the interval count short on purpose: OD
+        // tensors are dense N×N'×K buffers, so at N = 500 each interval
+        // already holds 1.75 M floats. A day's slice is enough to train
+        // and serve a smoke model; the point of the tier is graph size,
+        // not horizon length.
+        (Dataset::Nyc, Scale::City) => {
+            let city = CityModel::metropolis(500, seed);
+            let cfg = SimConfig {
+                num_days: 1,
+                intervals_per_day: 16,
+                trips_per_interval: 4000.0,
+                night_shutdown: false,
+                seed,
+                ..SimConfig::small(seed)
+            };
+            OdDataset::generate(city, &cfg)
+        }
+        (Dataset::Chengdu, Scale::City) => {
+            let city = CityModel::metropolis(600, seed ^ 0xCD);
+            let cfg = SimConfig {
+                num_days: 1,
+                intervals_per_day: 16,
+                trips_per_interval: 4000.0,
+                night_shutdown: true,
+                seed,
+                ..SimConfig::small(seed)
+            };
+            OdDataset::generate(city, &cfg)
         }
     }
 }
@@ -251,7 +289,10 @@ mod tests {
     fn scale_env_parsing() {
         // Can't mutate the environment safely in parallel tests; just
         // check the default path.
-        assert!(matches!(Scale::from_env(), Scale::Small | Scale::Paper));
+        assert!(matches!(
+            Scale::from_env(),
+            Scale::Small | Scale::Paper | Scale::City
+        ));
         assert!(epochs_from_env(7).max(1) >= 1);
     }
 
@@ -259,7 +300,8 @@ mod tests {
     fn scale_parse_accepts_known_values_only() {
         assert_eq!(Scale::parse("small"), Ok(Scale::Small));
         assert_eq!(Scale::parse("paper"), Ok(Scale::Paper));
-        for bad in ["Paper", "SMALL", "papper", "full", ""] {
+        assert_eq!(Scale::parse("city"), Ok(Scale::City));
+        for bad in ["Paper", "SMALL", "papper", "full", "City", ""] {
             let err = Scale::parse(bad).unwrap_err();
             assert!(
                 err.contains("STOD_SCALE") && err.contains(bad),

@@ -74,11 +74,16 @@ pub enum Kernel {
     /// `stod_core::recovery::recover_sparse` (mask-aware Eq. 3), incl.
     /// all-empty and all-observed masks.
     SparseRecovery,
+    /// `stod_tensor::CsrMatrix::spmm_panel` (sparse matrix × dense
+    /// panel, the city-scale Cheby propagation), over sparsity classes
+    /// from fully dense to ~99% empty and both the `[N, F]` and
+    /// `[B, N, F]` panel layouts.
+    Spmm,
 }
 
 impl Kernel {
     /// Every kernel, in fuzzing order.
-    pub const ALL: [Kernel; 13] = [
+    pub const ALL: [Kernel; 14] = [
         Kernel::Matmul,
         Kernel::Matvec,
         Kernel::BatchedMatmul,
@@ -92,6 +97,7 @@ impl Kernel {
         Kernel::BlockedGemm,
         Kernel::StridedDot,
         Kernel::SparseRecovery,
+        Kernel::Spmm,
     ];
 
     /// Stable lowercase name (used in dump file names).
@@ -110,6 +116,7 @@ impl Kernel {
             Kernel::BlockedGemm => "blocked_gemm",
             Kernel::StridedDot => "strided_dot",
             Kernel::SparseRecovery => "sparse_recovery",
+            Kernel::Spmm => "spmm",
         }
     }
 }
@@ -343,6 +350,22 @@ pub fn initial_dims(kernel: Kernel, seed: u64) -> Vec<usize> {
                 ]
             }
         }
+        Kernel::Spmm => {
+            let sparsity = rng.next_below(4);
+            if big {
+                // Even under the Sparse value class (~80% zeros), 96
+                // rows × 4 batches × 24 feats at ~19 nnz/row clears
+                // par::MIN_PARALLEL_WORK, so the pool path runs.
+                vec![96, 24, 4, 0]
+            } else {
+                vec![
+                    gen::dim(&mut rng, 1, 24),
+                    gen::dim(&mut rng, 1, 8),
+                    gen::dim(&mut rng, 1, 4),
+                    sparsity,
+                ]
+            }
+        }
     }
 }
 
@@ -357,6 +380,7 @@ fn normalize_dims(kernel: Kernel, dims: &[usize]) -> Vec<usize> {
         Kernel::Emd | Kernel::Kl => 1,
         Kernel::StridedDot => 4,
         Kernel::SparseRecovery => 7,
+        Kernel::Spmm => 4,
     };
     let mut d: Vec<usize> = dims
         .iter()
@@ -373,6 +397,7 @@ fn normalize_dims(kernel: Kernel, dims: &[usize]) -> Vec<usize> {
             d[5] = dims.get(5).copied().unwrap_or(0) % 2;
             d[6] = dims.get(6).copied().unwrap_or(0) % 4;
         }
+        Kernel::Spmm => d[3] = dims.get(3).copied().unwrap_or(0) % 4,
         _ => {}
     }
     d
@@ -432,6 +457,35 @@ fn build_inputs(kernel: Kernel, seed: u64, dims: &[usize]) -> Vec<InputBuf> {
                 data: gen::fill_mask(&mut rng, batch * n * n_dest, p_empty),
             });
             out
+        }
+        Kernel::Spmm => {
+            let (n, feat, batch, sparsity) = (dims[0], dims[1], dims[2], dims[3]);
+            // Sparsify the matrix on top of whatever the value class drew:
+            // the CSR path must be correct from fully dense down to the
+            // ~99%-empty proximity graphs it exists for.
+            let mut w = buf(&mut rng, "w", &[n, n]);
+            let p_zero = [0.0, 0.5, 0.9, 0.99][sparsity];
+            for (v, keep) in w
+                .data
+                .iter_mut()
+                .zip(gen::fill_mask(&mut rng, n * n, p_zero))
+            {
+                *v *= keep;
+            }
+            // batch == 1 exercises the 2-D [N, F] panel layout.
+            let x_dims: Vec<usize> = if batch == 1 {
+                vec![n, feat]
+            } else {
+                vec![batch, n, feat]
+            };
+            vec![
+                w,
+                InputBuf {
+                    name: "x",
+                    data: gen::fill(&mut rng, class, x_dims.iter().product()),
+                    dims: x_dims,
+                },
+            ]
         }
         Kernel::Matvec => {
             let (m, k) = (dims[0], dims[1]);
@@ -553,6 +607,10 @@ fn run_production(kernel: Kernel, dims: &[usize], inputs: &[InputBuf]) -> Vec<f3
             let out = stod_core::recovery::recover_sparse(&mut tape, r, c, bias, &cells);
             tape.value(out).data().to_vec()
         }
+        Kernel::Spmm => {
+            let m = stod_tensor::CsrMatrix::from_dense(&t(0));
+            m.spmm_panel(&t(1)).data().to_vec()
+        }
         Kernel::Matvec => stod_tensor::matvec(&t(0), &t(1)).data().to_vec(),
         Kernel::BatchedMatmul => stod_tensor::batched_matmul(&t(0), &t(1)).data().to_vec(),
         Kernel::Cheby => {
@@ -627,6 +685,7 @@ fn run_oracle(kernel: Kernel, dims: &[usize], inputs: &[InputBuf]) -> OracleOut 
                 dims[4],
             )
         }
+        Kernel::Spmm => oracle::spmm(&inputs[0].data, &inputs[1].data, dims[0], dims[2], dims[1]),
         Kernel::Matvec => oracle::matvec(&inputs[0].data, &inputs[1].data, dims[0], dims[1]),
         Kernel::BatchedMatmul => oracle::batched_matmul(
             &inputs[0].data,
@@ -700,6 +759,7 @@ fn tolerance(kernel: Kernel, dims: &[usize]) -> (usize, u64) {
         Kernel::Matmul | Kernel::BlockedGemm => (dims[1], 8),
         Kernel::StridedDot => (dims[0], 8),
         Kernel::SparseRecovery => (2 * (dims[2] + 8), 64),
+        Kernel::Spmm => (dims[0], 8),
         Kernel::Matvec => (dims[1], 2),
         Kernel::BatchedMatmul => (dims[2], 8),
         Kernel::Cheby => ((dims[0] + 8) * dims[1], 32),

@@ -75,6 +75,34 @@ pub fn dot_strided(a: &[f32], lda: usize, b: &[f32], ldb: usize, len: usize) -> 
     (acc, mag)
 }
 
+/// Sparse-pattern matrix × dense panel: `out[b, i, f] = Σ_{j : w[i,j] ≠ 0}
+/// w[i,j] · x[b, j, f]` — the reference for `CsrMatrix::spmm_panel`. The
+/// sum skips exactly the entries CSR storage drops, so a signed zero that
+/// `from_dense` canonicalizes away cannot contribute a `-0.0` term the
+/// production kernel never sees.
+pub fn spmm(w: &[f32], x: &[f32], n: usize, batch: usize, feat: usize) -> OracleOut {
+    assert_eq!(w.len(), n * n);
+    assert_eq!(x.len(), batch * n * feat);
+    let mut values = vec![0.0f64; batch * n * feat];
+    let mut mags = vec![0.0f64; batch * n * feat];
+    for b in 0..batch {
+        for i in 0..n {
+            for j in 0..n {
+                let a = w[i * n + j];
+                if a == 0.0 {
+                    continue;
+                }
+                for f in 0..feat {
+                    let t = a as f64 * x[(b * n + j) * feat + f] as f64;
+                    values[(b * n + i) * feat + f] += t;
+                    mags[(b * n + i) * feat + f] += t.abs();
+                }
+            }
+        }
+    }
+    OracleOut { values, mags }
+}
+
 /// Batched `[batch, m, k] · [batch, k, n]`; a `batch` of 0 on either side
 /// means that operand is a single 2-D matrix broadcast across the other's
 /// batch (mirroring `stod_tensor::batched_matmul`'s broadcasting rule).

@@ -122,6 +122,50 @@ fn cheby_basis_is_permutation_equivariant() {
     }
 }
 
+/// `spmm(P A Pᵀ, P X) = P · spmm(A, X)` — the CSR propagation that the
+/// sparse Cheby recurrence runs on has no privileged node order either,
+/// whatever pattern the permutation scatters the stored entries into.
+#[test]
+fn csr_spmm_is_permutation_equivariant() {
+    use stod_tensor::CsrMatrix;
+    let (n, feat) = (9, 3);
+    let mut rng = Rng64::new(9);
+    let mut a = Tensor::zeros(&[n, n]);
+    for i in 0..n {
+        for j in 0..n {
+            if rng.next_f64() < 0.3 {
+                a.set(&[i, j], (rng.next_f64() * 2.0 - 1.0) as f32);
+            }
+        }
+    }
+    let x = Tensor::randn(&[n, feat], 1.0, &mut rng);
+    let sigma: Vec<usize> = (0..n).map(|i| (i + 4) % n).collect();
+
+    let mut ap = Tensor::zeros(&[n, n]);
+    let mut xp = Tensor::zeros(&[n, feat]);
+    for (i, &si) in sigma.iter().enumerate() {
+        for f in 0..feat {
+            xp.set(&[i, f], x.at(&[si, f]));
+        }
+        for (j, &sj) in sigma.iter().enumerate() {
+            ap.set(&[i, j], a.at(&[si, sj]));
+        }
+    }
+
+    let base = CsrMatrix::from_dense(&a).spmm_panel(&x);
+    let perm = CsrMatrix::from_dense(&ap).spmm_panel(&xp);
+    for (i, &si) in sigma.iter().enumerate() {
+        for f in 0..feat {
+            let got = perm.at(&[i, f]);
+            let want = base.at(&[si, f]);
+            assert!(
+                (got - want).abs() <= 1e-5 * (1.0 + want.abs()),
+                "spmm[{i},{f}] = {got} vs permuted {want}"
+            );
+        }
+    }
+}
+
 /// Permuting the origin axis of `R̂` and the destination axis of `Ĉ`
 /// permutes the recovered tensor's origin/destination axes.
 #[test]

@@ -67,6 +67,11 @@ impl From<stod_nn::StoreError> for CkptError {
                 CkptError::Checksum { expected, found }
             }
             stod_nn::StoreError::Malformed(d) => CkptError::Malformed(d),
+            // Training checkpoints are always full-precision f32; an f16
+            // quantization failure can only come from the serving codec.
+            stod_nn::StoreError::Unquantizable { name, value } => CkptError::Malformed(format!(
+                "parameter {name} value {value} is not representable in f16"
+            )),
         }
     }
 }

@@ -102,35 +102,39 @@ impl fmt::Display for FleetConfigError {
 
 impl std::error::Error for FleetConfigError {}
 
+impl From<stod_tensor::knob::KnobError> for FleetConfigError {
+    fn from(err: stod_tensor::knob::KnobError) -> FleetConfigError {
+        match err {
+            stod_tensor::knob::KnobError::NotANumber { var, value } => {
+                FleetConfigError::NotANumber { var, value }
+            }
+            stod_tensor::knob::KnobError::OutOfRange {
+                var,
+                value,
+                min,
+                max,
+            } => FleetConfigError::OutOfRange {
+                var,
+                value,
+                min,
+                max,
+            },
+        }
+    }
+}
+
 /// Parses one knob: digits only, then range-checked. Shared with the
 /// breaker's `STOD_BREAKER_*` knobs ([`crate::breaker::BreakerConfig`]).
+/// Delegates to [`stod_tensor::knob::parse_knob`] — the workspace-wide
+/// implementation of the digits-then-range contract — and maps its error
+/// into the fleet's typed [`FleetConfigError`].
 pub(crate) fn parse_knob(
     var: &'static str,
     value: &str,
     min: u64,
     max: u64,
 ) -> Result<u64, FleetConfigError> {
-    if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
-        return Err(FleetConfigError::NotANumber {
-            var,
-            value: value.to_string(),
-        });
-    }
-    let parsed: u64 = value.parse().map_err(|_| FleetConfigError::OutOfRange {
-        var,
-        value: u64::MAX,
-        min,
-        max,
-    })?;
-    if parsed < min || parsed > max {
-        return Err(FleetConfigError::OutOfRange {
-            var,
-            value: parsed,
-            min,
-            max,
-        });
-    }
-    Ok(parsed)
+    stod_tensor::knob::parse_knob(var, value, min, max).map_err(FleetConfigError::from)
 }
 
 impl FleetConfig {

@@ -99,16 +99,26 @@ fn match_level(w: &Tensor) -> (Vec<usize>, Tensor) {
         }
         next_cluster += 1;
     }
-    // Coarse weights: sum of inter-cluster weights.
+    // Coarse weights: sum of inter-cluster weights. Each coarse edge is
+    // accumulated once, from its upper-triangle contributions in
+    // row-major encounter order, then mirrored — summing the two
+    // orientations independently would visit the same addends in
+    // different orders and leave the result asymmetric in the last ulp,
+    // which the bitwise-symmetric CSR Cheby filters cannot tolerate.
     let m = next_cluster;
     let mut cw = Tensor::zeros(&[m, m]);
     for i in 0..n {
         for j in 0..n {
             let (ci, cj) = (cluster[i], cluster[j]);
-            if ci != cj {
+            if ci < cj {
                 let v = cw.at(&[ci, cj]) + w.at(&[i, j]);
                 cw.set(&[ci, cj], v);
             }
+        }
+    }
+    for ci in 0..m {
+        for cj in (ci + 1)..m {
+            cw.set(&[cj, ci], cw.at(&[ci, cj]));
         }
     }
     (cluster, cw)

@@ -16,9 +16,14 @@
 
 pub mod cheby;
 pub mod coarsen;
+pub mod csr;
 pub mod laplacian;
 pub mod proximity;
 
 pub use coarsen::{coarsen_for_pooling, Coarsening};
+pub use csr::{
+    coarsen_for_pooling_csr, dirichlet_energy_csr, lambda_max_csr, laplacian_csr, proximity_csr,
+    scaled_laplacian_csr, CsrCoarsening,
+};
 pub use laplacian::{dirichlet_energy, laplacian, scaled_laplacian};
 pub use proximity::{proximity_matrix, ProximityParams};

@@ -1,0 +1,269 @@
+//! IEEE 754 binary16 conversion for compact checkpoints.
+//!
+//! The serving path stores checkpoint weights as f16 (half the bytes of
+//! f32) and dequantizes back to f32 on load — compute stays f32
+//! everywhere. No `half` crate: the conversions are plain bit
+//! manipulation, round-to-nearest-even on encode and *exact* on decode
+//! (every f16 value is exactly representable in f32, so a
+//! quantize→dequantize roundtrip is idempotent).
+//!
+//! # Error-bound contract
+//!
+//! For finite `x` with `|x| ≤` [`F16_MAX`], the decoded value `x̂`
+//! satisfies `|x̂ − x| ≤ max(2⁻¹¹·|x|, 2⁻²⁵)` — half-ULP relative error
+//! for normals, half the subnormal spacing near zero. Values that would
+//! round to infinity (`|x| ≥ 65520`), infinities, and NaNs are a typed
+//! [`Unquantizable`] error, **never** a silently saturated or NaN
+//! payload: a checkpoint that cannot honour the bound must refuse to
+//! quantize (`crates/conformance` pins this down on extreme-magnitude
+//! corpora).
+
+/// Largest finite f16 value (`(2 − 2⁻¹⁰) · 2¹⁵`).
+pub const F16_MAX: f32 = 65504.0;
+
+/// A weight value that cannot be represented in f16 within the error
+/// bound: non-finite, or large enough to round to infinity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Unquantizable(pub f32);
+
+impl std::fmt::Display for Unquantizable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "value {} is outside the f16 range (|x| must be < 65520 and finite)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for Unquantizable {}
+
+/// Converts `x` to f16 bits with round-to-nearest-even, saturating
+/// non-finite inputs to f16 infinity/NaN. Prefer [`quantize`] — the
+/// checkpoint codec must never store a saturated value silently.
+pub fn f16_bits_from_f32(x: f32) -> u16 {
+    let b = x.to_bits();
+    let sign = ((b >> 16) & 0x8000) as u16;
+    let abs = b & 0x7fff_ffff;
+
+    if abs > 0x7f80_0000 {
+        return sign | 0x7e00; // NaN → quiet f16 NaN
+    }
+    if abs >= 0x7f80_0000 {
+        return sign | 0x7c00; // ±Inf
+    }
+
+    let mut exp = (abs >> 23) as i32 - 127;
+    if abs < 0x0080_0000 {
+        // f32 subnormals are < 2^-126, far below half the smallest f16
+        // subnormal (2^-25), so they round to (signed) zero.
+        return sign;
+    }
+    let mant = (abs & 0x007f_ffff) | 0x0080_0000; // 24-bit significand
+
+    if exp >= 16 {
+        return sign | 0x7c00; // ≥ 2^16 overflows to infinity
+    }
+    if exp >= -14 {
+        // Normal range: round the 24-bit significand to 11 bits.
+        let mut m = rne_shift(mant, 13);
+        if m == 0x800 {
+            // Mantissa carry: 2.0 × 2^exp = 1.0 × 2^(exp+1).
+            m = 0x400;
+            exp += 1;
+            if exp > 15 {
+                return sign | 0x7c00;
+            }
+        }
+        sign | (((exp + 15) as u16) << 10) | ((m as u16) & 0x3ff)
+    } else {
+        // Subnormal range: shift further so the result lands on the
+        // fixed 2^-24 grid. A rounded-up 0x400 is exactly the smallest
+        // normal's encoding, which `sign | m` already produces.
+        let shift = 13 + (-14 - exp);
+        if shift >= 32 {
+            return sign;
+        }
+        sign | (rne_shift(mant, shift as u32) as u16)
+    }
+}
+
+/// Right-shift with round-to-nearest, ties-to-even.
+fn rne_shift(v: u32, shift: u32) -> u32 {
+    if shift == 0 {
+        return v;
+    }
+    if shift > 31 {
+        return 0;
+    }
+    let kept = v >> shift;
+    let half = 1u32 << (shift - 1);
+    let rem = v & ((1u32 << shift) - 1);
+    match rem.cmp(&half) {
+        std::cmp::Ordering::Greater => kept + 1,
+        std::cmp::Ordering::Equal => kept + (kept & 1),
+        std::cmp::Ordering::Less => kept,
+    }
+}
+
+/// Exact f16 → f32 decode (every f16 value is an f32 value).
+pub fn f32_from_f16_bits(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = (h >> 10) & 0x1f;
+    let mant = (h & 0x3ff) as u32;
+    let bits = match exp {
+        0 => {
+            if mant == 0 {
+                sign // ±0
+            } else {
+                // Subnormal: normalize into an f32 exponent.
+                let mut e = -14i32;
+                let mut m = mant;
+                while m & 0x400 == 0 {
+                    m <<= 1;
+                    e -= 1;
+                }
+                sign | (((e + 127) as u32) << 23) | ((m & 0x3ff) << 13)
+            }
+        }
+        0x1f => sign | 0x7f80_0000 | (mant << 13),
+        _ => sign | ((exp as u32 + 127 - 15) << 23) | (mant << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Quantizes `x` to f16 bits, refusing anything outside the error-bound
+/// contract: non-finite input or magnitude that rounds to infinity.
+pub fn quantize(x: f32) -> Result<u16, Unquantizable> {
+    if !x.is_finite() {
+        return Err(Unquantizable(x));
+    }
+    let h = f16_bits_from_f32(x);
+    if h & 0x7fff == 0x7c00 {
+        return Err(Unquantizable(x));
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The contract bound: max(2⁻¹¹·|x|, 2⁻²⁵).
+    fn bound(x: f32) -> f32 {
+        (x.abs() * (1.0 / 2048.0)).max(1.0 / 33_554_432.0)
+    }
+
+    #[test]
+    fn exact_values_roundtrip_bitwise() {
+        for x in [
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            2.0,
+            65504.0,
+            -65504.0,
+            0.25,
+            1024.0,
+            6.103_515_6e-5, // smallest f16 normal
+            5.960_464_5e-8, // smallest f16 subnormal
+        ] {
+            let h = quantize(x).unwrap();
+            let back = f32_from_f16_bits(h);
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} not exact");
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_on_dense_sweep() {
+        // Deterministic sweep across magnitudes from subnormal to F16_MAX.
+        let mut x = 1.0e-8f32;
+        while x < F16_MAX {
+            for v in [x, -x, x * 1.000123, x * 0.99987] {
+                if v.abs() >= F16_MAX {
+                    continue;
+                }
+                let h = quantize(v).unwrap();
+                let back = f32_from_f16_bits(h);
+                assert!(
+                    (back - v).abs() <= bound(v),
+                    "bound violated at {v}: back {back}"
+                );
+            }
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_idempotent() {
+        let mut x = 1.0e-7f32;
+        while x < F16_MAX {
+            let h = quantize(x).unwrap();
+            let once = f32_from_f16_bits(h);
+            let h2 = quantize(once).unwrap();
+            assert_eq!(h, h2, "re-quantizing {once} moved the bits");
+            x *= 2.31;
+        }
+    }
+
+    #[test]
+    fn ties_round_to_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next f16
+        // (1 + 2^-10); RNE keeps the even mantissa (1.0).
+        let tie = 1.0f32 + (1.0 / 2048.0);
+        assert_eq!(f32_from_f16_bits(quantize(tie).unwrap()), 1.0);
+        // 1 + 3·2^-11 is halfway between 1+2^-10 and 1+2^-9; RNE picks
+        // the even mantissa 1+2^-9.
+        let tie2 = 1.0f32 + (3.0 / 2048.0);
+        assert_eq!(
+            f32_from_f16_bits(quantize(tie2).unwrap()),
+            1.0 + (2.0 / 1024.0)
+        );
+    }
+
+    #[test]
+    fn out_of_range_is_typed_never_silent() {
+        for bad in [
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            65520.0,
+            -65520.0,
+            1.0e9,
+            f32::MAX,
+        ] {
+            let err = quantize(bad).unwrap_err();
+            assert!(
+                bad.is_nan() && err.0.is_nan() || err.0 == bad,
+                "error must carry the offending value"
+            );
+        }
+        // Just inside the boundary: 65519.996… rounds down to 65504.
+        assert_eq!(f32_from_f16_bits(quantize(65519.0).unwrap()), 65504.0);
+    }
+
+    #[test]
+    fn subnormals_and_tiny_values() {
+        // Below half the smallest subnormal → signed zero.
+        assert_eq!(quantize(1.0e-9).unwrap(), 0);
+        assert_eq!(quantize(-1.0e-9).unwrap(), 0x8000);
+        // An f16-subnormal magnitude stays within the absolute bound.
+        let v = 3.0e-7f32;
+        let back = f32_from_f16_bits(quantize(v).unwrap());
+        assert!((back - v).abs() <= bound(v));
+    }
+
+    #[test]
+    fn saturating_bit_conversion_matches_quantize_on_valid_range() {
+        let mut x = 1.0e-6f32;
+        while x < F16_MAX {
+            assert_eq!(f16_bits_from_f32(x), quantize(x).unwrap());
+            x *= 3.77;
+        }
+        assert_eq!(f16_bits_from_f32(f32::INFINITY), 0x7c00);
+        assert_eq!(f16_bits_from_f32(f32::NEG_INFINITY), 0xfc00);
+        assert_eq!(f16_bits_from_f32(f32::NAN) & 0x7c00, 0x7c00);
+    }
+}

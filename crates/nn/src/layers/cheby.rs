@@ -8,17 +8,118 @@
 
 use crate::params::{ParamId, ParamStore};
 use crate::tape::{Tape, Var};
+use std::sync::Arc;
 use stod_tensor::rng::Rng64;
-use stod_tensor::Tensor;
+use stod_tensor::{CsrMatrix, Tensor};
+
+/// The fixed graph operator a [`ChebyConv`] propagates over — a scaled
+/// Laplacian held either dense or in CSR form.
+///
+/// Dense is the historical representation and stays the default (every
+/// `Tensor` call site converts implicitly via `From`). CSR is the
+/// city-scale path: propagation runs as a sparse-matrix × dense-panel
+/// product touching only stored entries, with the backward pass
+/// multiplying by the same matrix again — sound because scaled
+/// Laplacians are symmetric, which the CSR constructor asserts.
+#[derive(Clone)]
+pub enum ChebyFilter {
+    /// Dense scaled Laplacian `L̃ ∈ R^{N×N}`; propagation is a batched
+    /// GEMM through the tape.
+    Dense(Tensor),
+    /// CSR scaled Laplacian; propagation is `CsrMatrix::spmm_panel`
+    /// wrapped in a custom tape op.
+    Csr(Arc<CsrMatrix>),
+}
+
+impl ChebyFilter {
+    /// Number of graph nodes.
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            ChebyFilter::Dense(l) => l.dim(0),
+            ChebyFilter::Csr(m) => m.rows(),
+        }
+    }
+
+    /// Whether this filter propagates over CSR.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, ChebyFilter::Csr(_))
+    }
+
+    fn validate(&self) {
+        match self {
+            ChebyFilter::Dense(l) => {
+                assert_eq!(l.ndim(), 2, "Laplacian must be 2-D");
+                assert_eq!(l.dim(0), l.dim(1), "Laplacian must be square");
+            }
+            ChebyFilter::Csr(m) => {
+                assert_eq!(m.rows(), m.cols(), "Laplacian must be square");
+                assert!(
+                    m.is_symmetric(),
+                    "CSR Cheby filter must be symmetric: the backward pass \
+                     multiplies by the same matrix instead of its transpose"
+                );
+            }
+        }
+    }
+}
+
+impl From<Tensor> for ChebyFilter {
+    fn from(l: Tensor) -> ChebyFilter {
+        ChebyFilter::Dense(l)
+    }
+}
+
+impl From<CsrMatrix> for ChebyFilter {
+    fn from(m: CsrMatrix) -> ChebyFilter {
+        ChebyFilter::Csr(Arc::new(m))
+    }
+}
+
+impl From<Arc<CsrMatrix>> for ChebyFilter {
+    fn from(m: Arc<CsrMatrix>) -> ChebyFilter {
+        ChebyFilter::Csr(m)
+    }
+}
+
+/// `y = L̃·x` for a CSR `L̃` and `x ∈ R^{B×N×F}`, differentiable in `x`.
+/// The gradient is `L̃ᵀ·g = L̃·g` (the filter is symmetric by
+/// construction), so forward and backward share the same deterministic
+/// spmm kernel.
+pub fn csr_propagate(tape: &mut Tape, m: Arc<CsrMatrix>, x: Var) -> Var {
+    let y = m.spmm_panel(tape.value(x));
+    tape.custom_op(
+        y,
+        &[x],
+        Box::new(move |g, _, _, needs| vec![needs[0].then(|| m.spmm_panel(g))]),
+    )
+}
+
+/// Per-`apply` propagation context: the dense path pins its Laplacian
+/// to the tape once (one constant node reused by every recurrence
+/// step), the CSR path carries the shared matrix.
+enum PropCtx {
+    Dense(Var),
+    Csr(Arc<CsrMatrix>),
+}
+
+impl PropCtx {
+    fn propagate(&self, tape: &mut Tape, x: Var) -> Var {
+        match self {
+            PropCtx::Dense(l) => tape.batched_matmul(*l, x),
+            PropCtx::Csr(m) => csr_propagate(tape, m.clone(), x),
+        }
+    }
+}
 
 /// A Chebyshev graph-convolution layer over a fixed graph.
 ///
-/// The scaled Laplacian is a fixed (non-learned) tensor owned by the layer;
-/// gradient propagation through it is skipped automatically because it
-/// enters the tape as a constant.
+/// The scaled Laplacian is a fixed (non-learned) operator owned by the
+/// layer; gradient propagation through it is skipped automatically
+/// because it enters the tape as a constant (dense) or a custom op that
+/// only differentiates the signal (CSR).
 pub struct ChebyConv {
-    /// Scaled Laplacian `L̃ ∈ R^{N×N}`.
-    laplacian: Tensor,
+    /// Scaled Laplacian `L̃`, dense or CSR.
+    filter: ChebyFilter,
     ws: ParamId,
     b: ParamId,
     order: usize,
@@ -35,26 +136,22 @@ impl ChebyConv {
     pub fn new(
         store: &mut ParamStore,
         prefix: &str,
-        laplacian: Tensor,
+        laplacian: impl Into<ChebyFilter>,
         order: usize,
         in_feat: usize,
         out_feat: usize,
         rng: &mut Rng64,
     ) -> Self {
         assert!(order >= 1, "Chebyshev order must be ≥ 1");
-        assert_eq!(laplacian.ndim(), 2, "Laplacian must be 2-D");
-        assert_eq!(
-            laplacian.dim(0),
-            laplacian.dim(1),
-            "Laplacian must be square"
-        );
+        let filter = laplacian.into();
+        filter.validate();
         let ws = store.register(
             format!("{prefix}.ws"),
             Tensor::glorot(&[order * in_feat, out_feat], rng),
         );
         let b = store.register(format!("{prefix}.b"), Tensor::zeros(&[out_feat]));
         ChebyConv {
-            laplacian,
+            filter,
             ws,
             b,
             order,
@@ -65,7 +162,12 @@ impl ChebyConv {
 
     /// Number of graph nodes the layer operates on.
     pub fn num_nodes(&self) -> usize {
-        self.laplacian.dim(0)
+        self.filter.num_nodes()
+    }
+
+    /// Whether propagation runs over the CSR (sparse) path.
+    pub fn is_sparse(&self) -> bool {
+        self.filter.is_sparse()
     }
 
     /// Chebyshev order `S`.
@@ -98,17 +200,20 @@ impl ChebyConv {
         assert_eq!(n, self.num_nodes(), "node count mismatch");
         assert_eq!(f, self.in_feat, "feature dim mismatch");
 
-        let l = tape.constant(self.laplacian.clone());
+        let ctx = match &self.filter {
+            ChebyFilter::Dense(l) => PropCtx::Dense(tape.constant(l.clone())),
+            ChebyFilter::Csr(m) => PropCtx::Csr(m.clone()),
+        };
 
         // Chebyshev recurrence on the node dimension.
         let mut basis: Vec<Var> = Vec::with_capacity(self.order);
         basis.push(x);
         if self.order >= 2 {
-            let t1 = tape.batched_matmul(l, x);
+            let t1 = ctx.propagate(tape, x);
             basis.push(t1);
         }
         for s in 2..self.order {
-            let lt = tape.batched_matmul(l, basis[s - 1]);
+            let lt = ctx.propagate(tape, basis[s - 1]);
             let two_lt = tape.scale(lt, 2.0);
             let t = tape.sub(two_lt, basis[s - 2]);
             basis.push(t);
@@ -241,6 +346,86 @@ mod tests {
         let gw = grads.get(store.id_of("gc.ws").unwrap()).unwrap();
         assert!(gw.frob_sq() > 0.0);
         assert!(grads.get(store.id_of("gc.b").unwrap()).is_some());
+    }
+
+    #[test]
+    fn csr_filter_forward_matches_dense_within_ulp() {
+        // Same weights (same RNG stream), dense vs CSR filter: the CSR
+        // path accumulates only stored entries while the dense GEMM sums
+        // all N terms, so equality is tight-tolerance, not bitwise.
+        let lap = path3_scaled_laplacian();
+        let csr = CsrMatrix::from_dense(&lap);
+        let mut sd = ParamStore::new();
+        let mut ss = ParamStore::new();
+        let dense = ChebyConv::new(&mut sd, "gc", lap, 3, 2, 4, &mut Rng64::new(9));
+        let sparse = ChebyConv::new(&mut ss, "gc", csr, 3, 2, 4, &mut Rng64::new(9));
+        assert!(sparse.is_sparse() && !dense.is_sparse());
+        let x0 = Tensor::randn(&[2, 3, 2], 1.0, &mut Rng64::new(10));
+        let mut tape = Tape::new();
+        let x = tape.leaf(x0.clone());
+        let yd = dense.apply(&mut tape, &sd, x);
+        let ys = sparse.apply(&mut tape, &ss, x);
+        let (vd, vs) = (tape.value(yd), tape.value(ys));
+        assert!(
+            vd.max_abs_diff(vs) <= 1e-5,
+            "CSR/dense diverged: {}",
+            vd.max_abs_diff(vs)
+        );
+    }
+
+    #[test]
+    fn csr_filter_gradients_match_dense() {
+        let lap = path3_scaled_laplacian();
+        let csr = CsrMatrix::from_dense(&lap);
+        let x0 = Tensor::randn(&[2, 3, 2], 0.7, &mut Rng64::new(11));
+        let grads = |filter: ChebyFilter| {
+            let mut store = ParamStore::new();
+            let conv = ChebyConv::new(&mut store, "gc", filter, 3, 2, 2, &mut Rng64::new(12));
+            let mut tape = Tape::new();
+            let x = tape.leaf(x0.clone());
+            let y = conv.apply(&mut tape, &store, x);
+            let sq = tape.mul(y, y);
+            let loss = tape.sum_all(sq);
+            let g = tape.backward(loss);
+            let gx = tape.backward_wrt(loss, &[x])[0]
+                .clone()
+                .expect("input grad");
+            (g.get(store.id_of("gc.ws").unwrap()).unwrap().clone(), gx)
+        };
+        let (gw_d, gx_d) = grads(ChebyFilter::from(lap));
+        let (gw_s, gx_s) = grads(ChebyFilter::from(csr));
+        assert!(gw_d.max_abs_diff(&gw_s) <= 1e-4, "ws grads diverged");
+        assert!(gx_d.max_abs_diff(&gx_s) <= 1e-4, "input grads diverged");
+    }
+
+    #[test]
+    fn csr_propagate_gradcheck() {
+        let lap = path3_scaled_laplacian();
+        let csr = std::sync::Arc::new(CsrMatrix::from_dense(&lap));
+        let x0 = Tensor::randn(&[2, 3, 2], 0.5, &mut Rng64::new(13));
+        crate::gradcheck::assert_grad_ok(&[x0], move |t, v| {
+            let t1 = csr_propagate(t, csr.clone(), v[0]);
+            let t2 = csr_propagate(t, csr.clone(), t1);
+            let sq = t.mul(t2, t2);
+            t.sum_all(sq)
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_csr_filter_rejected() {
+        let mut w = Tensor::zeros(&[3, 3]);
+        w.set(&[0, 1], 1.0);
+        let mut store = ParamStore::new();
+        ChebyConv::new(
+            &mut store,
+            "gc",
+            CsrMatrix::from_dense(&w),
+            2,
+            1,
+            1,
+            &mut Rng64::new(0),
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! convolution layer"). We implement the standard gated form above, which
 //! is also what the authors' released TensorFlow code does.
 
-use crate::layers::ChebyConv;
+use crate::layers::{ChebyConv, ChebyFilter};
 use crate::params::ParamStore;
 use crate::tape::{Tape, Var};
 use stod_tensor::rng::Rng64;
@@ -42,18 +42,19 @@ impl GcGruCell {
     pub fn new(
         store: &mut ParamStore,
         prefix: &str,
-        laplacian: Tensor,
+        laplacian: impl Into<ChebyFilter>,
         order: usize,
         in_feat: usize,
         hidden_feat: usize,
         rng: &mut Rng64,
     ) -> Self {
-        let num_nodes = laplacian.dim(0);
+        let filter = laplacian.into();
+        let num_nodes = filter.num_nodes();
         let cat = in_feat + hidden_feat;
         let conv_s = ChebyConv::new(
             store,
             &format!("{prefix}.gate_s"),
-            laplacian.clone(),
+            filter.clone(),
             order,
             cat,
             hidden_feat,
@@ -62,7 +63,7 @@ impl GcGruCell {
         let conv_u = ChebyConv::new(
             store,
             &format!("{prefix}.gate_u"),
-            laplacian.clone(),
+            filter.clone(),
             order,
             cat,
             hidden_feat,
@@ -71,7 +72,7 @@ impl GcGruCell {
         let conv_h = ChebyConv::new(
             store,
             &format!("{prefix}.gate_h"),
-            laplacian,
+            filter,
             order,
             cat,
             hidden_feat,

@@ -3,10 +3,11 @@
 //! rolls out predictions for the `h` future intervals, feeding each output
 //! back as the next decoder input.
 
-use crate::layers::{ChebyConv, GcGruCell, GruCell, Linear};
+use crate::layers::{ChebyConv, ChebyFilter, GcGruCell, GruCell, Linear};
 use crate::params::ParamStore;
 use crate::tape::{Tape, Var};
 use stod_tensor::rng::Rng64;
+#[cfg(test)]
 use stod_tensor::Tensor;
 
 /// GRU encoder–decoder over flat feature vectors `[B, D]` (the basic
@@ -85,17 +86,18 @@ impl GcGruSeq2Seq {
     pub fn new(
         store: &mut ParamStore,
         prefix: &str,
-        laplacian: Tensor,
+        laplacian: impl Into<ChebyFilter>,
         order: usize,
         feat: usize,
         hidden_feat: usize,
         rng: &mut Rng64,
     ) -> Self {
+        let filter = laplacian.into();
         GcGruSeq2Seq {
             encoder: GcGruCell::new(
                 store,
                 &format!("{prefix}.enc"),
-                laplacian.clone(),
+                filter.clone(),
                 order,
                 feat,
                 hidden_feat,
@@ -104,7 +106,7 @@ impl GcGruSeq2Seq {
             decoder: GcGruCell::new(
                 store,
                 &format!("{prefix}.dec"),
-                laplacian.clone(),
+                filter.clone(),
                 order,
                 feat,
                 hidden_feat,
@@ -113,7 +115,7 @@ impl GcGruSeq2Seq {
             head: ChebyConv::new(
                 store,
                 &format!("{prefix}.head"),
-                laplacian,
+                filter,
                 order,
                 hidden_feat,
                 feat,

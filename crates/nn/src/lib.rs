@@ -19,6 +19,7 @@
 //! Every differentiable op ships with a gradient-check test; the layers are
 //! additionally checked end-to-end through composed losses.
 
+pub mod f16;
 pub mod gradcheck;
 pub mod layers;
 pub mod optim;

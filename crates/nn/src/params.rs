@@ -25,6 +25,16 @@ pub enum StoreError {
     },
     /// The file could not be read at all.
     Io(std::io::Error),
+    /// A weight cannot be stored as f16 within the quantization error
+    /// bound (non-finite, or magnitude ≥ 65520 rounds to infinity).
+    /// Saturation is typed, never silent: the compact codec refuses the
+    /// whole store rather than write a weight that decodes wrong.
+    Unquantizable {
+        /// Name of the offending parameter.
+        name: String,
+        /// The value that does not fit in f16.
+        value: f32,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -36,6 +46,11 @@ impl std::fmt::Display for StoreError {
                 "parameter store checksum mismatch: footer {expected:#010x}, payload {found:#010x}"
             ),
             StoreError::Io(e) => write!(f, "parameter store io error: {e}"),
+            StoreError::Unquantizable { name, value } => write!(
+                f,
+                "parameter '{name}' has value {value} outside the f16 range; \
+                 refusing to write a saturated compact checkpoint"
+            ),
         }
     }
 }
@@ -177,6 +192,39 @@ impl ParamStore {
         out.freeze()
     }
 
+    /// Serializes all parameters with f16 weight data — format version 3,
+    /// identical to version 2 except the per-parameter data is u16 f16
+    /// bits (LE), roughly halving the checkpoint size. Quantization is
+    /// round-to-nearest-even; a weight outside the f16 range is a typed
+    /// [`StoreError::Unquantizable`], never a silently saturated value.
+    pub fn to_bytes_f16(&self) -> Result<Bytes, StoreError> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"STPW");
+        buf.put_u32_le(3);
+        buf.put_u32_le(self.values.len() as u32);
+        for (name, value) in self.names.iter().zip(self.values.iter()) {
+            buf.put_u32_le(name.len() as u32);
+            buf.put_slice(name.as_bytes());
+            buf.put_u32_le(value.ndim() as u32);
+            for &d in value.dims() {
+                buf.put_u64_le(d as u64);
+            }
+            for &x in value.data() {
+                let h = crate::f16::quantize(x).map_err(|e| StoreError::Unquantizable {
+                    name: name.clone(),
+                    value: e.0,
+                })?;
+                buf.put_u16_le(h);
+            }
+        }
+        let body = buf.freeze();
+        let crc = crc32(&body);
+        let mut out = BytesMut::with_capacity(body.len() + 4);
+        out.put_slice(&body);
+        out.put_u32_le(crc);
+        Ok(out.freeze())
+    }
+
     /// Deserializes a store written by [`ParamStore::to_bytes`].
     ///
     /// The CRC footer is verified before the payload is interpreted, so a
@@ -197,11 +245,13 @@ impl ParamStore {
             ));
         }
         let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-        if version != 2 {
+        if version != 2 && version != 3 {
             return Err(StoreError::Malformed(format!(
-                "unsupported format version {version} (this build writes 2)"
+                "unsupported format version {version} (this build reads 2 and 3)"
             )));
         }
+        // Version 3 stores f16 weight data, dequantized to f32 on load.
+        let elem_size = if version == 3 { 2 } else { 4 };
         let body_end = bytes.len() - 4;
         let expected = u32::from_le_bytes(bytes[body_end..].try_into().expect("4 bytes"));
         let found = crc32(&bytes[..body_end]);
@@ -231,10 +281,16 @@ impl ParamStore {
             }
             let dims: Vec<usize> = (0..rank).map(|_| body.get_u64_le() as usize).collect();
             let numel: usize = dims.iter().product();
-            if body.remaining() < numel * 4 {
+            if body.remaining() < numel * elem_size {
                 return Err(fail(&format!("data of '{name}'")));
             }
-            let data: Vec<f32> = (0..numel).map(|_| body.get_f32_le()).collect();
+            let data: Vec<f32> = if version == 3 {
+                (0..numel)
+                    .map(|_| crate::f16::f32_from_f16_bits(body.get_u16_le()))
+                    .collect()
+            } else {
+                (0..numel).map(|_| body.get_f32_le()).collect()
+            };
             store.register(name, Tensor::from_vec(&dims, data));
         }
         // A well-formed checkpoint ends exactly with its payload; trailing
@@ -254,6 +310,14 @@ impl ParamStore {
     /// checkpoint at `path` intact.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
         stod_faultline::io::atomic_write(path, &self.to_bytes())
+    }
+
+    /// [`ParamStore::save`] with the compact f16 codec (format version
+    /// 3). Fails with [`StoreError::Unquantizable`] before touching the
+    /// filesystem if any weight is outside the f16 range.
+    pub fn save_f16(&self, path: &std::path::Path) -> Result<(), StoreError> {
+        let bytes = self.to_bytes_f16()?;
+        stod_faultline::io::atomic_write(path, &bytes).map_err(StoreError::Io)
     }
 
     /// Reads a store from a file written by [`ParamStore::save`].
@@ -329,6 +393,70 @@ mod tests {
         assert_eq!(back.name(ParamId(0)), "layer.weight");
         assert_eq!(back.get(ParamId(0)).data(), s.get(ParamId(0)).data());
         assert_eq!(back.get(ParamId(1)).dims(), &[2]);
+    }
+
+    #[test]
+    fn f16_roundtrip_within_bound_and_compact() {
+        let mut s = ParamStore::new();
+        let vals: Vec<f32> = (0..257)
+            .map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.37)
+            .collect();
+        s.register("w", Tensor::from_vec(&[257], vals.clone()));
+        s.register("b", Tensor::from_vec(&[3], vec![65504.0, -6.1e-5, 0.0]));
+        let f32_bytes = s.to_bytes();
+        let f16_bytes = s.to_bytes_f16().unwrap();
+        assert!(
+            f16_bytes.len() * 100 <= f32_bytes.len() * 55,
+            "f16 store must be ≤55% of f32 size: {} vs {}",
+            f16_bytes.len(),
+            f32_bytes.len()
+        );
+        let back = ParamStore::from_bytes(f16_bytes).unwrap();
+        assert_eq!(back.name(ParamId(0)), "w");
+        for (a, b) in back.get(ParamId(0)).data().iter().zip(&vals) {
+            let bound = (b.abs() / 2048.0).max(1.0 / 33_554_432.0);
+            assert!((a - b).abs() <= bound, "{b} decoded as {a}");
+        }
+        // Exactly-representable extremes roundtrip bitwise.
+        assert_eq!(back.get(ParamId(1)).data()[0], 65504.0);
+    }
+
+    #[test]
+    fn f16_out_of_range_weight_is_typed_error() {
+        let mut s = ParamStore::new();
+        s.register("ok", Tensor::ones(&[2]));
+        s.register("huge", Tensor::from_vec(&[2], vec![1.0, 70000.0]));
+        match s.to_bytes_f16() {
+            Err(StoreError::Unquantizable { name, value }) => {
+                assert_eq!(name, "huge");
+                assert_eq!(value, 70000.0);
+            }
+            other => panic!("expected Unquantizable, got {other:?}"),
+        }
+        let mut s = ParamStore::new();
+        s.register("nan", Tensor::from_vec(&[1], vec![f32::NAN]));
+        assert!(matches!(
+            s.to_bytes_f16(),
+            Err(StoreError::Unquantizable { .. })
+        ));
+    }
+
+    #[test]
+    fn f16_bit_flips_caught_by_checksum() {
+        let mut s = ParamStore::new();
+        s.register("w", Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]));
+        let clean = s.to_bytes_f16().unwrap().to_vec();
+        for pos in 8..clean.len() - 4 {
+            let mut bad = clean.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                matches!(
+                    ParamStore::from_bytes(Bytes::from(bad)),
+                    Err(StoreError::Checksum { .. })
+                ),
+                "flip at {pos} must be a checksum error"
+            );
+        }
     }
 
     #[test]

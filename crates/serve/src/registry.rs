@@ -84,6 +84,17 @@ pub enum RegistryError {
     /// The checkpoint's parameters do not match the configured
     /// architecture (wrong count, name or shape).
     LayoutMismatch(String),
+    /// The checkpoint's resident (dequantized f32) size exceeds the
+    /// per-version serving memory budget (`STOD_MODEL_MEM`, bytes).
+    OverBudget {
+        /// Bytes the version would hold resident.
+        needed: u64,
+        /// The configured budget in bytes.
+        budget: u64,
+    },
+    /// `STOD_MODEL_MEM` is set but not a valid byte count. Typed, never a
+    /// silent default — the same contract as every other `STOD_*` knob.
+    Config(stod_tensor::KnobError),
     /// No version with this number is registered.
     UnknownVersion(u32),
 }
@@ -98,6 +109,11 @@ impl std::fmt::Display for RegistryError {
             ),
             RegistryError::Malformed(d) => write!(f, "checkpoint malformed: {d}"),
             RegistryError::LayoutMismatch(d) => write!(f, "checkpoint layout mismatch: {d}"),
+            RegistryError::OverBudget { needed, budget } => write!(
+                f,
+                "checkpoint needs {needed} resident bytes, over the STOD_MODEL_MEM budget of {budget}"
+            ),
+            RegistryError::Config(e) => write!(f, "registry config error: {e}"),
             RegistryError::UnknownVersion(v) => write!(f, "unknown model version {v}"),
         }
     }
@@ -111,6 +127,11 @@ impl From<stod_nn::StoreError> for RegistryError {
                 RegistryError::Corrupt { expected, found }
             }
             stod_nn::StoreError::Malformed(d) => RegistryError::Malformed(d),
+            // Quantization failures happen on *save*; a registry only ever
+            // loads, so this arm exists for exhaustiveness.
+            stod_nn::StoreError::Unquantizable { name, value } => RegistryError::Malformed(
+                format!("parameter {name} value {value} is not representable in f16"),
+            ),
         }
     }
 }
@@ -141,6 +162,13 @@ impl ServedModel {
     pub fn export_store(&self) -> ParamStore {
         ParamStore::from_bytes(self.model.params().to_bytes())
             .expect("round-tripping an in-memory ParamStore cannot fail")
+    }
+
+    /// Resident parameter memory of this version in bytes (weights are
+    /// always dequantized to f32 in memory, whatever the checkpoint
+    /// stored). This is the quantity `STOD_MODEL_MEM` budgets.
+    pub fn mem_bytes(&self) -> u64 {
+        store_mem_bytes(self.model.params())
     }
 
     /// Runs one deterministic evaluation forward pass and materializes the
@@ -194,23 +222,52 @@ impl ScrubReport {
     }
 }
 
+/// Where the per-version memory budget comes from.
+enum MemBudget {
+    /// Read `STOD_MODEL_MEM` at each registration (the serving default:
+    /// operators can tighten the budget without restarting).
+    FromEnv,
+    /// A fixed budget (or none), for tests and embedders that already
+    /// resolved their configuration.
+    Fixed(Option<u64>),
+}
+
 /// The versioned checkpoint registry.
 pub struct Registry {
     config: ModelConfig,
     versions: RwLock<Vec<VersionEntry>>,
     active: RwLock<Option<Arc<ServedModel>>>,
     stats: Arc<ServeStats>,
+    mem_budget: MemBudget,
 }
 
 impl Registry {
     /// An empty registry for one architecture. Nothing is active until a
-    /// checkpoint is registered and promoted.
+    /// checkpoint is registered and promoted. The per-version memory
+    /// budget is read from `STOD_MODEL_MEM` (bytes; unset means
+    /// unlimited) at each registration.
     pub fn new(config: ModelConfig, stats: Arc<ServeStats>) -> Registry {
         Registry {
             config,
             versions: RwLock::new(Vec::new()),
             active: RwLock::new(None),
             stats,
+            mem_budget: MemBudget::FromEnv,
+        }
+    }
+
+    /// [`Registry::new`] with an explicit per-version memory budget in
+    /// bytes (`None` = unlimited), bypassing `STOD_MODEL_MEM` — so tests
+    /// can exercise the budget without mutating the process-global,
+    /// test-parallel environment.
+    pub fn with_mem_budget(
+        config: ModelConfig,
+        stats: Arc<ServeStats>,
+        budget: Option<u64>,
+    ) -> Registry {
+        Registry {
+            mem_budget: MemBudget::Fixed(budget),
+            ..Registry::new(config, stats)
         }
     }
 
@@ -263,6 +320,17 @@ impl Registry {
         crc: u32,
         source: Option<std::path::PathBuf>,
     ) -> Result<u32, RegistryError> {
+        let budget = match &self.mem_budget {
+            MemBudget::Fixed(b) => *b,
+            MemBudget::FromEnv => stod_tensor::env_knob("STOD_MODEL_MEM", 1, u64::MAX)
+                .map_err(RegistryError::Config)?,
+        };
+        if let Some(budget) = budget {
+            let needed = store_mem_bytes(&store);
+            if needed > budget {
+                return Err(RegistryError::OverBudget { needed, budget });
+            }
+        }
         let mut model = self.config.build(0);
         validate_layout(model.params(), &store)?;
         model.params_mut().copy_from(&store);
@@ -401,6 +469,14 @@ impl Registry {
     pub fn num_versions(&self) -> usize {
         self.versions.read().len()
     }
+}
+
+/// Resident f32 bytes of a parameter store: Σ numel × 4.
+fn store_mem_bytes(store: &ParamStore) -> u64 {
+    store
+        .iter()
+        .map(|(_, _, val)| val.data().len() as u64 * 4)
+        .sum()
 }
 
 /// Checks that `store` has exactly the parameters (names, order, shapes)
@@ -644,6 +720,81 @@ mod tests {
         assert!(report.is_clean());
         assert_eq!(report.checked, 1);
         assert_eq!(reg.active_version(), Some(v));
+    }
+
+    /// An f16 checkpoint (ParamStore format v3) registers, promotes and
+    /// serves; the dequantized weights forecast within the codec's error
+    /// bound of the f32 original.
+    #[test]
+    fn f16_checkpoint_registers_and_forecasts_close_to_f32() {
+        let config = bf_config(4);
+        let reg = Registry::new(config.clone(), Arc::new(ServeStats::new()));
+        let model = config.build(5);
+        let f32_bytes = model.params().to_bytes();
+        let f16_bytes = model.params().to_bytes_f16().unwrap();
+        assert!(
+            f16_bytes.len() * 100 <= f32_bytes.len() * 55,
+            "f16 checkpoint is {} bytes vs f32 {}",
+            f16_bytes.len(),
+            f32_bytes.len()
+        );
+        let path = write_tmp_file("half.stpw", &f16_bytes);
+        let v16 = reg.register_file(&path).unwrap();
+        let v32 = reg
+            .register_store(ParamStore::from_bytes(f32_bytes).unwrap())
+            .unwrap();
+        reg.promote(v16).unwrap();
+
+        let input = stack(&[&Tensor::ones(&[4, 4, 7])], 0);
+        let half = reg
+            .get(v16)
+            .unwrap()
+            .forecast(std::slice::from_ref(&input), 1);
+        let full = reg
+            .get(v32)
+            .unwrap()
+            .forecast(std::slice::from_ref(&input), 1);
+        let worst = half[0]
+            .data()
+            .iter()
+            .zip(full[0].data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(
+            worst < 1e-2,
+            "f16 forecast drifted {worst} from the f32 oracle"
+        );
+    }
+
+    /// A version over the `STOD_MODEL_MEM` budget is refused with a typed
+    /// error and the registry is left untouched; raising the budget
+    /// admits the same checkpoint.
+    #[test]
+    fn mem_budget_rejects_oversized_versions() {
+        let config = bf_config(4);
+        let stats = Arc::new(ServeStats::new());
+        let needed = {
+            let model = config.build(1);
+            model
+                .params()
+                .iter()
+                .map(|(_, _, v)| v.data().len() as u64 * 4)
+                .sum::<u64>()
+        };
+        let tight = Registry::with_mem_budget(config.clone(), stats.clone(), Some(needed - 1));
+        match tight.register_store(checkpoint_for(&config, 1)) {
+            Err(RegistryError::OverBudget { needed: n, budget }) => {
+                assert_eq!(n, needed);
+                assert_eq!(budget, needed - 1);
+            }
+            other => panic!("expected OverBudget, got {other:?}"),
+        }
+        assert_eq!(tight.num_versions(), 0);
+        assert_eq!(stats.snapshot().checkpoint_rejects, 1);
+
+        let roomy = Registry::with_mem_budget(config.clone(), stats, Some(needed));
+        let v = roomy.register_store(checkpoint_for(&config, 1)).unwrap();
+        assert_eq!(roomy.get(v).unwrap().mem_bytes(), needed);
     }
 
     #[test]

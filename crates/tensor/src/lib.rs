@@ -17,14 +17,18 @@
 //! maximum Laplacian eigenvalue used by Chebyshev graph convolutions.
 
 pub mod arena;
+pub mod knob;
 pub mod linalg;
 pub mod ops;
 pub mod par;
 pub mod rng;
 pub mod shape;
+pub mod sparse;
 pub mod tensor;
 
+pub use knob::{env_knob, parse_knob, KnobError};
 pub use shape::{broadcast_shapes, Shape};
+pub use sparse::{CsrBuilder, CsrMatrix};
 pub use tensor::Tensor;
 
 pub use ops::elementwise::{self, binary_op, unary_op};

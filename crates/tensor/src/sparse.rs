@@ -1,0 +1,437 @@
+//! CSR sparse matrices for city-scale graph operators.
+//!
+//! The thresholded-Gaussian proximity matrices (and the scaled
+//! Laplacians derived from them) are ~99% zero once a city has hundreds
+//! of regions: each region only neighbours the handful of regions within
+//! the kernel radius. Dense `N×N` storage and `O(N²)` propagation are
+//! the scaling wall ROADMAP item 4 names, so the graph side of the model
+//! gets a compressed-sparse-row representation and a sparse-matrix ×
+//! dense-panel product ([`CsrMatrix::spmm_panel`]) that the Cheby
+//! recurrence runs on instead of a dense GEMM.
+//!
+//! # Determinism contract
+//!
+//! `spmm_panel` and `matvec` follow the same rule as every kernel in
+//! this crate: the value of each output element is a pure function of
+//! its coordinates — row `i` accumulates its stored entries in CSR
+//! order (column-ascending), never a reduction whose order depends on
+//! thread count. Parallelism partitions *rows* across the `par` pool,
+//! so results are bitwise identical at any `STOD_THREADS`.
+//!
+//! Equivalence with the *dense* kernels is a different, weaker contract:
+//! CSR accumulates only stored entries while the blocked GEMM of PR 8
+//! accumulates all `N` terms in its own panel order, so CSR-vs-dense is
+//! ULP-bounded (proven against the f64 oracles in `crates/conformance`),
+//! not bitwise. Dense↔CSR *storage* roundtrips are bitwise: values are
+//! moved, never recomputed.
+
+use crate::tensor::Tensor;
+use crate::{arena, par};
+
+/// A compressed-sparse-row f32 matrix (square or rectangular), with the
+/// column indices of every row stored in ascending order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// `row_ptr[i]..row_ptr[i+1]` indexes row `i`'s entries. Length
+    /// `rows + 1`; `row_ptr[rows] == nnz`.
+    row_ptr: Vec<usize>,
+    /// Column of each stored entry, ascending within a row.
+    col_idx: Vec<usize>,
+    /// Value of each stored entry (explicit zeros are allowed — the
+    /// scaled Laplacian stores its diagonal unconditionally).
+    vals: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds from raw CSR arrays. Panics if the invariants don't hold
+    /// (monotone `row_ptr`, in-range ascending columns, matching
+    /// lengths) — builders are trusted code, so this is an assert, not a
+    /// typed error.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        vals: Vec<f32>,
+    ) -> CsrMatrix {
+        assert_eq!(row_ptr.len(), rows + 1, "row_ptr must have rows+1 entries");
+        assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
+        assert_eq!(*row_ptr.last().unwrap(), vals.len(), "row_ptr tail ≠ nnz");
+        assert_eq!(col_idx.len(), vals.len(), "col/val length mismatch");
+        for i in 0..rows {
+            assert!(row_ptr[i] <= row_ptr[i + 1], "row_ptr must be monotone");
+            let r = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+            for w in r.windows(2) {
+                assert!(w[0] < w[1], "columns must be strictly ascending per row");
+            }
+            if let Some(&last) = r.last() {
+                assert!(last < cols, "column index out of range");
+            }
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Converts a dense `[rows, cols]` tensor, keeping exactly the
+    /// non-zero entries (bitwise — values are copied, not recomputed;
+    /// `-0.0` counts as zero so roundtrips stay canonical).
+    pub fn from_dense(dense: &Tensor) -> CsrMatrix {
+        assert_eq!(dense.ndim(), 2, "CsrMatrix::from_dense wants a matrix");
+        let (rows, cols) = (dense.dim(0), dense.dim(1));
+        let data = dense.data();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for i in 0..rows {
+            for (j, &v) in data[i * cols..(i + 1) * cols].iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(j);
+                    vals.push(v);
+                }
+            }
+            row_ptr.push(vals.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Expands back to a dense tensor (bitwise inverse of
+    /// [`CsrMatrix::from_dense`] when no explicit zeros are stored).
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros(&[self.rows, self.cols]);
+        let data = out.data_mut();
+        for i in 0..self.rows {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                data[i * self.cols + self.col_idx[k]] = self.vals[k];
+            }
+        }
+        out
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries (including explicit zeros).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Stored-entry density in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+    }
+
+    /// Approximate heap footprint in bytes (index + value arrays).
+    pub fn mem_bytes(&self) -> usize {
+        self.row_ptr.len() * size_of::<usize>()
+            + self.col_idx.len() * size_of::<usize>()
+            + self.vals.len() * size_of::<f32>()
+    }
+
+    /// Row `i`'s `(column, value)` pairs, column-ascending.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let r = self.row_ptr[i]..self.row_ptr[i + 1];
+        self.col_idx[r.clone()]
+            .iter()
+            .zip(&self.vals[r])
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// True iff the matrix equals its transpose *bitwise*. The sparse
+    /// Cheby backward pass multiplies by `self` again instead of
+    /// materialising a transpose, which is only sound for symmetric
+    /// operators (scaled Laplacians are).
+    pub fn is_symmetric(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let j = self.col_idx[k];
+                // Binary search row j for column i.
+                let r = &self.col_idx[self.row_ptr[j]..self.row_ptr[j + 1]];
+                match r.binary_search(&i) {
+                    Ok(p) => {
+                        let v = self.vals[self.row_ptr[j] + p];
+                        if v.to_bits() != self.vals[k].to_bits() {
+                            return false;
+                        }
+                    }
+                    Err(_) => {
+                        if self.vals[k] != 0.0 {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Sparse matrix × dense vector in f64 accumulation, mirroring
+    /// `linalg::power_iteration_lambda_max`'s dense mat-vec (per-row f64
+    /// sum over ascending columns) so the sparse power iteration sees
+    /// the same arithmetic on the stored entries.
+    pub fn matvec_f64(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols);
+        (0..self.rows)
+            .map(|i| self.row(i).map(|(j, w)| w as f64 * v[j]).sum::<f64>())
+            .collect()
+    }
+
+    /// Sparse matrix × dense panel: `out[b, i, f] = Σ_j A[i, j] ·
+    /// x[b, j, f]` for a `[B, N, F]` panel (or `[N, F]`, treated as
+    /// `B = 1`). This is the workhorse under the sparse Cheby
+    /// recurrence: each output row touches only `deg(i)` input rows
+    /// instead of all `N`.
+    ///
+    /// Deterministic at any thread count: rows are partitioned across
+    /// the pool, and each `(b, i, f)` accumulates row `i`'s entries in
+    /// CSR (column-ascending) order with f32 adds.
+    pub fn spmm_panel(&self, x: &Tensor) -> Tensor {
+        let (batch, n, feat) = match x.dims() {
+            [n, f] => (1, *n, *f),
+            [b, n, f] => (*b, *n, *f),
+            other => panic!("spmm_panel wants [N,F] or [B,N,F], got {other:?}"),
+        };
+        assert_eq!(n, self.cols, "panel node dim must match matrix cols");
+        let xd = x.data();
+        let rows_total = batch * self.rows;
+        let mut out = arena::alloc_filled(rows_total * feat, 0.0);
+        // Fan out over (batch, row) pairs; each output row is written by
+        // exactly one worker and reads only its own row's entries.
+        let work = self.nnz().max(1) / self.rows.max(1) * rows_total * feat;
+        if par::should_parallelize(work) {
+            par::for_each_row_chunk(&mut out, rows_total, feat, |range, chunk| {
+                for (local, bi) in range.clone().enumerate() {
+                    let (b, i) = (bi / self.rows, bi % self.rows);
+                    let orow = &mut chunk[local * feat..(local + 1) * feat];
+                    for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                        let a = self.vals[k];
+                        let xrow = &xd[(b * n + self.col_idx[k]) * feat..][..feat];
+                        for (o, &xv) in orow.iter_mut().zip(xrow) {
+                            *o += a * xv;
+                        }
+                    }
+                }
+            });
+        } else {
+            for bi in 0..rows_total {
+                let (b, i) = (bi / self.rows, bi % self.rows);
+                let orow = &mut out[bi * feat..(bi + 1) * feat];
+                for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                    let a = self.vals[k];
+                    let xrow = &xd[(b * n + self.col_idx[k]) * feat..][..feat];
+                    for (o, &xv) in orow.iter_mut().zip(xrow) {
+                        *o += a * xv;
+                    }
+                }
+            }
+        }
+        let dims: Vec<usize> = if x.ndim() == 2 {
+            vec![self.rows, feat]
+        } else {
+            vec![batch, self.rows, feat]
+        };
+        Tensor::from_vec(&dims, out)
+    }
+}
+
+/// Incremental builder: push rows in order, entries column-ascending.
+/// Lets graph-side code build CSR matrices directly at city scale
+/// without ever materialising the dense `N×N` intermediate.
+#[derive(Debug, Default)]
+pub struct CsrBuilder {
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    vals: Vec<f32>,
+}
+
+impl CsrBuilder {
+    /// A builder for matrices with `cols` columns.
+    pub fn new(cols: usize) -> CsrBuilder {
+        CsrBuilder {
+            cols,
+            row_ptr: vec![0],
+            col_idx: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Appends one row from `(column, value)` pairs; columns must be
+    /// strictly ascending and in range.
+    pub fn push_row(&mut self, entries: impl IntoIterator<Item = (usize, f32)>) {
+        let start = self.col_idx.len();
+        for (c, v) in entries {
+            assert!(c < self.cols, "column {c} out of range");
+            if let Some(&last) = self.col_idx[start..].last() {
+                assert!(c > last, "columns must be strictly ascending per row");
+            }
+            self.col_idx.push(c);
+            self.vals.push(v);
+        }
+        self.row_ptr.push(self.col_idx.len());
+    }
+
+    /// Finishes the builder into a [`CsrMatrix`].
+    pub fn finish(self) -> CsrMatrix {
+        let rows = self.row_ptr.len() - 1;
+        CsrMatrix::from_raw(rows, self.cols, self.row_ptr, self.col_idx, self.vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    fn random_sparse(n: usize, m: usize, density: f64, seed: u64) -> Tensor {
+        let mut rng = Rng64::new(seed);
+        let mut t = Tensor::zeros(&[n, m]);
+        for v in t.data_mut() {
+            if rng.next_f64() < density {
+                *v = (rng.next_f64() * 2.0 - 1.0) as f32;
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn dense_roundtrip_is_bitwise() {
+        for seed in 0..4 {
+            let d = random_sparse(17, 23, 0.2, 100 + seed);
+            let csr = CsrMatrix::from_dense(&d);
+            let back = csr.to_dense();
+            assert_eq!(d.dims(), back.dims());
+            for (a, b) in d.data().iter().zip(back.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_rows_and_empty_matrix() {
+        let zero = Tensor::zeros(&[5, 5]);
+        let csr = CsrMatrix::from_dense(&zero);
+        assert_eq!(csr.nnz(), 0);
+        let x = Tensor::ones(&[5, 3]);
+        let y = csr.spmm_panel(&x);
+        assert_eq!(y.dims(), &[5, 3]);
+        assert!(y.data().iter().all(|&v| v == 0.0));
+        assert!(csr.is_symmetric());
+    }
+
+    #[test]
+    fn spmm_matches_naive_dense_product() {
+        let a = random_sparse(13, 13, 0.3, 7);
+        let csr = CsrMatrix::from_dense(&a);
+        let x = random_sparse(13, 5, 1.0, 8);
+        let y = csr.spmm_panel(&x);
+        // Naive reference with the same per-row ascending accumulation.
+        for i in 0..13 {
+            for f in 0..5 {
+                let mut acc = 0.0f32;
+                for j in 0..13 {
+                    acc += a.at(&[i, j]) * x.at(&[j, f]);
+                }
+                // Same order (dense j-ascending includes the zeros, which
+                // add exactly 0.0 and cannot perturb the f32 sum unless a
+                // signed zero flips; values here are finite non-signed).
+                assert!((y.at(&[i, f]) - acc).abs() <= 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_batched_matches_per_slice() {
+        let a = random_sparse(9, 9, 0.4, 21);
+        let csr = CsrMatrix::from_dense(&a);
+        let x = random_sparse(9 * 3, 4, 1.0, 22).reshaped(&[3, 9, 4]);
+        let y = csr.spmm_panel(&x);
+        assert_eq!(y.dims(), &[3, 9, 4]);
+        for b in 0..3 {
+            let slice = Tensor::from_vec(&[9, 4], x.data()[b * 36..(b + 1) * 36].to_vec());
+            let yb = csr.spmm_panel(&slice);
+            for i in 0..9 {
+                for f in 0..4 {
+                    assert_eq!(
+                        y.at(&[b, i, f]).to_bits(),
+                        yb.at(&[i, f]).to_bits(),
+                        "batched slice must be bitwise equal to unbatched"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_bitwise_identical_across_thread_counts() {
+        let a = random_sparse(64, 64, 0.1, 31);
+        let csr = CsrMatrix::from_dense(&a);
+        let x = random_sparse(64 * 8, 32, 1.0, 32).reshaped(&[8, 64, 32]);
+        let y1 = par::with_forced_threads(1, || csr.spmm_panel(&x));
+        let y4 = par::with_forced_threads(4, || csr.spmm_panel(&x));
+        for (a, b) in y1.data().iter().zip(y4.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn symmetry_check_sees_asymmetry() {
+        let mut d = Tensor::zeros(&[3, 3]);
+        d.set(&[0, 1], 2.0);
+        d.set(&[1, 0], 2.0);
+        assert!(CsrMatrix::from_dense(&d).is_symmetric());
+        d.set(&[1, 0], 3.0);
+        assert!(!CsrMatrix::from_dense(&d).is_symmetric());
+        d.set(&[1, 0], 0.0);
+        assert!(!CsrMatrix::from_dense(&d).is_symmetric());
+    }
+
+    #[test]
+    fn builder_matches_from_dense() {
+        let d = random_sparse(11, 7, 0.25, 77);
+        let mut b = CsrBuilder::new(7);
+        for i in 0..11 {
+            let row: Vec<(usize, f32)> = (0..7)
+                .filter_map(|j| {
+                    let v = d.at(&[i, j]);
+                    (v != 0.0).then_some((j, v))
+                })
+                .collect();
+            b.push_row(row);
+        }
+        assert_eq!(b.finish(), CsrMatrix::from_dense(&d));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn builder_rejects_unsorted_columns() {
+        let mut b = CsrBuilder::new(4);
+        b.push_row([(2, 1.0), (1, 1.0)]);
+    }
+}

@@ -151,6 +151,67 @@ impl CityModel {
         c
     }
 
+    /// Metropolis preset for the big-city scale tier: `n ∈ [500, 5000]`
+    /// regions organized into districts. District centres sit on a
+    /// jittered sunflower spiral inside a disc whose radius grows with
+    /// `√n`, so mean region spacing — and hence the density of the
+    /// thresholded-Gaussian proximity graph under the paper-default
+    /// kernel (σ = 1 km, α = 0.1) — stays roughly constant as the city
+    /// scales: ≈ 1–3 % non-zeros at `n = 1000`. Regions scatter
+    /// Gaussian around their district centre; district populations are
+    /// heavy-tailed (a CBD district collects the most regions and the
+    /// highest attractions).
+    pub fn metropolis(n: usize, seed: u64) -> CityModel {
+        assert!(
+            (500..=5000).contains(&n),
+            "metropolis tier covers 500–5000 regions, got {n}"
+        );
+        let mut rng = Rng64::new(seed ^ 0x4D4554); // "MET"
+        let radius_km = 0.5 * (n as f64).sqrt();
+        let districts = (n / 75).clamp(6, 48);
+
+        // District centres + heavy-tailed population weights (district 0
+        // is the CBD: innermost and most attractive).
+        let mut centers = Vec::with_capacity(districts);
+        let mut weights = Vec::with_capacity(districts);
+        for k in 0..districts {
+            let theta = 2.399963 * k as f64; // golden angle
+            let r = 0.82 * radius_km * ((k as f64 + 0.5) / districts as f64).sqrt();
+            centers.push((
+                r * theta.cos() + rng.uniform(-1.0, 1.0),
+                r * theta.sin() + rng.uniform(-1.0, 1.0),
+            ));
+            weights.push((k as f64 + 1.0).powf(-0.6));
+        }
+        // District spread: tight enough that districts are visible
+        // clusters, wide enough that neighbouring districts overlap.
+        let spread = 0.3 * radius_km / (districts as f64).sqrt();
+
+        let mut regions = Vec::with_capacity(n);
+        for id in 0..n {
+            let k = rng.sample_weighted(&weights);
+            let (cx, cy) = centers[k];
+            let centroid = (
+                cx + spread * rng.next_gaussian(),
+                cy + spread * rng.next_gaussian(),
+            );
+            // Attraction: district-core gravity (CBD strongest) plus
+            // heavy-tailed commercial hot spots, as in `irregular`.
+            let dd = ((centroid.0 - cx).powi(2) + (centroid.1 - cy).powi(2)).sqrt();
+            let core = weights[k] * (1.0 - dd / (3.0 * spread)).max(0.0);
+            let hot = (-rng.next_f64().max(1e-9).ln()).powf(1.5) * 0.3;
+            regions.push(Region {
+                id,
+                centroid: (centroid.0 + radius_km, centroid.1 + radius_km),
+                attraction: 0.2 + core + hot,
+            });
+        }
+        CityModel {
+            name: format!("metropolis{n}"),
+            regions,
+        }
+    }
+
     /// Small test city: an `n`-region compact grid (n must have an integer
     /// factorization close to square; any `n` works, extra cells dropped).
     pub fn small(n: usize) -> CityModel {
@@ -230,8 +291,83 @@ mod tests {
             CityModel::nyc_like(1),
             CityModel::chengdu_like(1),
             CityModel::small(9),
+            CityModel::metropolis(500, 1),
         ] {
             assert!(city.regions.iter().all(|r| r.attraction > 0.0));
         }
+    }
+
+    #[test]
+    fn metropolis_is_deterministic_and_sized() {
+        let a = CityModel::metropolis(600, 11);
+        let b = CityModel::metropolis(600, 11);
+        assert_eq!(a.regions, b.regions);
+        assert_eq!(a.num_regions(), 600);
+        assert_ne!(a.regions, CityModel::metropolis(600, 12).regions);
+    }
+
+    #[test]
+    #[should_panic(expected = "metropolis tier covers 500–5000")]
+    fn metropolis_rejects_small_n() {
+        CityModel::metropolis(100, 1);
+    }
+
+    /// The whole point of the tier: under the paper-default proximity
+    /// kernel (σ = 1 km, cutoff ≈ 1.5 km) the metropolis graph must be
+    /// sparse — a few percent non-zeros — so CSR propagation pays off.
+    #[test]
+    fn metropolis_proximity_graph_is_sparse() {
+        let c = CityModel::metropolis(600, 3);
+        let cents = c.centroids();
+        let cutoff2 = 1.5169f64 * 1.5169; // σ√ln(1/α) for σ=1, α=0.1
+        let mut nnz = 0usize;
+        for i in 0..cents.len() {
+            for j in 0..cents.len() {
+                if i == j {
+                    continue;
+                }
+                let (dx, dy) = (cents[i].0 - cents[j].0, cents[i].1 - cents[j].1);
+                if dx * dx + dy * dy <= cutoff2 {
+                    nnz += 1;
+                }
+            }
+        }
+        let density = nnz as f64 / (cents.len() * cents.len()) as f64;
+        assert!(
+            (0.002..0.08).contains(&density),
+            "expected a sparse but connected proximity graph, density = {density:.4}"
+        );
+    }
+
+    fn mean_nearest_neighbour_km(cents: &[(f64, f64)]) -> f64 {
+        let mut nn_sum = 0.0;
+        for i in 0..cents.len() {
+            let mut best = f64::MAX;
+            for j in 0..cents.len() {
+                if i == j {
+                    continue;
+                }
+                let (dx, dy) = (cents[i].0 - cents[j].0, cents[i].1 - cents[j].1);
+                best = best.min((dx * dx + dy * dy).sqrt());
+            }
+            nn_sum += best;
+        }
+        nn_sum / cents.len() as f64
+    }
+
+    /// Districts must be visible: regions huddle around district
+    /// centres, so nearest-neighbour distances are clearly tighter than
+    /// a uniform scatter (`irregular`) over the same nominal disc.
+    #[test]
+    fn metropolis_has_district_structure() {
+        let n = 500;
+        let metro = mean_nearest_neighbour_km(&CityModel::metropolis(n, 7).centroids());
+        let radius_km = 0.5 * (n as f64).sqrt();
+        let uniform = mean_nearest_neighbour_km(&CityModel::irregular(n, radius_km, 7).centroids());
+        assert!(
+            metro < 0.8 * uniform,
+            "regions should clump into districts: metro NN = {metro:.3} km \
+             vs uniform NN = {uniform:.3} km"
+        );
     }
 }

@@ -6,13 +6,22 @@
 #   scripts/bench_gate.sh --bless   # regenerate two fresh probe runs and
 #                                   # bless their min-merge as the new
 #                                   # baseline (commit the result)
+#   scripts/bench_gate.sh --city    # big-city CSR propagation gate: rerun
+#                                   # the city probe (M=city) and fail if
+#                                   # any csr_ms row at N >= 500 regressed
+#                                   # more than 60% over the blessed
+#                                   # results/BENCH_city.json (commit the
+#                                   # fresh artifact to re-bless)
 #
 # The gate compares the element-wise minimum of the probe runs' span
 # totals (best-of-N) against the baseline and fails on >25% wall-time
 # regression in any gated span, on any span-tree or counter drift, and on
 # any header (threads/scale) mismatch. Probe runs are pinned to
 # STOD_THREADS=2 so the pool spans are exercised and the span tree is
-# comparable across machines.
+# comparable across machines. The city gate mirrors the matmul_512 gate
+# in scripts/verify.sh: blessed values are read before the rerun
+# overwrites the artifact, and the fresh run is pinned to STOD_THREADS=2
+# so timings are comparable with the committed baseline.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -35,7 +44,55 @@ ensure_runs() {
   fi
 }
 
+CITY=results/BENCH_city.json
+
+# "<n> <csr_ms>" pairs from a BENCH_city.json propagation row list.
+city_rows() {
+  sed -n 's/.*"name": "propagate_[0-9]*", "n": \([0-9]*\),.*"csr_ms": \([0-9.]*\),.*/\1 \2/p' \
+    "$1" 2>/dev/null
+}
+
+city_gate() {
+  if [[ ! -f "$CITY" ]]; then
+    echo "bench_gate.sh: no blessed city artifact at $CITY" >&2
+    echo "bench_gate.sh: generate one with: STOD_THREADS=2 M=city STOD_SCALE=city cargo run --release -p stod-bench --bin probe" >&2
+    exit 1
+  fi
+  local blessed fresh
+  blessed=$(city_rows "$CITY")
+  echo "bench_gate.sh: rerunning city probe (STOD_THREADS=2, M=city)"
+  STOD_THREADS=2 M=city STOD_SCALE=city \
+    cargo run -q --release -p stod-bench --bin probe
+  fresh=$(city_rows "$CITY")
+  if [[ -z "$blessed" ]]; then
+    echo "bench_gate.sh: blessed artifact had no propagation rows — fresh artifact written; commit $CITY to bless"
+    exit 0
+  fi
+  local failed=0
+  while read -r n blessed_ms; do
+    [[ "$n" -lt 500 ]] && continue
+    local fresh_ms
+    fresh_ms=$(awk -v n="$n" '$1 == n { print $2 }' <<<"$fresh")
+    if [[ -z "$fresh_ms" ]]; then
+      echo "bench_gate.sh: FAIL — fresh city artifact lost the n=$n propagation row" >&2
+      failed=1
+    elif ! awk -v f="$fresh_ms" -v b="$blessed_ms" 'BEGIN { exit !(f <= b * 1.6) }'; then
+      echo "bench_gate.sh: FAIL — CSR propagation n=$n: ${fresh_ms} ms regressed >60% over blessed ${blessed_ms} ms" >&2
+      failed=1
+    else
+      echo "CSR propagation n=$n: ${fresh_ms} ms vs blessed ${blessed_ms} ms (limit 1.6x) — OK"
+    fi
+  done <<<"$blessed"
+  if [[ "$failed" == 1 ]]; then
+    echo "bench_gate.sh: (if intentional, re-bless by committing the fresh $CITY)" >&2
+    exit 1
+  fi
+}
+
 case "${1:-}" in
+  --city)
+    city_gate
+    ;;
   --bless)
     ensure_runs force
     cargo run -q --release -p stod-bench --bin bench_gate -- \
@@ -52,7 +109,7 @@ case "${1:-}" in
       "$RUN1" "$RUN2" "$BASELINE"
     ;;
   *)
-    echo "usage: scripts/bench_gate.sh [--bless]" >&2
+    echo "usage: scripts/bench_gate.sh [--bless | --city]" >&2
     exit 2
     ;;
 esac

@@ -2,6 +2,7 @@
 # Repo verification gate. Run from anywhere; operates on the repo root.
 #
 #   scripts/verify.sh                 # tier-1 gate + format + lint
+#   scripts/verify.sh --quick         # alias for the default gate (fmt + clippy + tier-1)
 #   scripts/verify.sh --full          # additionally run the whole workspace suite
 #   scripts/verify.sh --conformance   # additionally run the oracle gate
 #   scripts/verify.sh --chaos         # additionally run the fault-injection gate
@@ -9,10 +10,15 @@
 #   scripts/verify.sh --load          # additionally run the fleet load/SLO gate
 #   scripts/verify.sh --adapt         # additionally run the streaming-adaptation gate
 #   scripts/verify.sh --durability    # additionally run the crash-consistency gate
+#   scripts/verify.sh --scale         # additionally run the big-city scale gate
 #   scripts/verify.sh --all           # every stage, with a per-stage timing summary
 #
 # Tier-1 (the gate CI enforces) is the root package: its integration
 # tests in tests/ exercise every crate end-to-end.
+#
+# Stages that sweep kernel thread counts (conformance, chaos, durability,
+# scale) run at STOD_THREADS=1 and 4 by default; STOD_VERIFY_THREADS
+# overrides the list (e.g. STOD_VERIFY_THREADS=4 in a CI matrix leg).
 #
 # --conformance runs the differential fuzzer + metamorphic suite in
 # crates/conformance at a bounded budget (STOD_FUZZ_CASES, default 256
@@ -52,6 +58,16 @@
 # clients are served, and lands results/BENCH_adapt.json (fine-tune wall,
 # shadow-eval wall, promote latency, serve p99 during adaptation).
 #
+# --scale runs the big-city scale gate: the CSR/dense equivalence slice
+# (sparse-vs-dense AF model tests + the sparse spmm metamorphic test) at
+# each thread count, then the city probe (`M=city`, STOD_SCALE=city) —
+# the dense-vs-CSR propagation sweep with its >= 3x speedup assert at
+# N = 1000, the 500-region end-to-end train slice, the f16 <= 55%
+# checkpoint-size and 1e-2 forecast-error gates, and the STOD_MODEL_MEM
+# serving budget — and finally the CSR propagation regression gate
+# (scripts/bench_gate.sh --city) against the blessed
+# results/BENCH_city.json.
+#
 # --durability runs the crash-consistency gate (tests/durability_gate.rs)
 # at its full matrix (STOD_CHAOS=full widens the tier-1 kill-point slice)
 # at 1 and 4 threads: the seeded kill-anywhere sweep (recovered fleet
@@ -74,8 +90,10 @@ bench=0
 load=0
 adapt=0
 durability=0
+scale=0
 for arg in "$@"; do
   case "$arg" in
+    --quick) ;; # the default gate, named so CI jobs read clearly
     --full) full=1 ;;
     --conformance) conformance=1 ;;
     --chaos) chaos=1 ;;
@@ -83,10 +101,14 @@ for arg in "$@"; do
     --load) load=1 ;;
     --adapt) adapt=1 ;;
     --durability) durability=1 ;;
-    --all) full=1; conformance=1; chaos=1; bench=1; load=1; adapt=1; durability=1 ;;
+    --scale) scale=1 ;;
+    --all) full=1; conformance=1; chaos=1; bench=1; load=1; adapt=1; durability=1; scale=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
+
+# Thread counts the sweeping stages iterate (CI matrixes over this).
+VERIFY_THREADS="${STOD_VERIFY_THREADS:-1 4}"
 
 summary=()
 run_stage() {
@@ -126,8 +148,9 @@ stage_conformance() {
   local budget="${STOD_FUZZ_CASES:-256}"
   echo "==> differential fuzzer + metamorphic suite (${budget} cases/kernel)"
   rm -f results/conformance/*.json
-  STOD_THREADS=1 STOD_FUZZ_CASES="$budget" cargo test -q -p stod-conformance
-  STOD_THREADS=4 STOD_FUZZ_CASES="$budget" cargo test -q -p stod-conformance
+  for t in $VERIFY_THREADS; do
+    STOD_THREADS="$t" STOD_FUZZ_CASES="$budget" cargo test -q -p stod-conformance
+  done
   local dumps
   dumps=$(find results/conformance -name '*.json' 2>/dev/null | head -5 || true)
   if [[ -n "$dumps" ]]; then
@@ -139,7 +162,7 @@ stage_conformance() {
 }
 
 stage_chaos() {
-  for t in 1 4; do
+  for t in $VERIFY_THREADS; do
     echo "==> chaos gate, STOD_THREADS=$t"
     STOD_THREADS="$t" STOD_CHAOS=full cargo test -q --test chaos_gate
     STOD_THREADS="$t" cargo test -q --test serve_stress
@@ -203,12 +226,26 @@ stage_adapt() {
 }
 
 stage_durability() {
-  for t in 1 4; do
+  for t in $VERIFY_THREADS; do
     echo "==> durability gate, full kill-point matrix, STOD_THREADS=$t"
     STOD_THREADS="$t" STOD_CHAOS=full cargo test -q --test durability_gate
   done
   echo "==> WAL frame-codec property suite"
   STOD_THREADS=1 cargo test -q -p stod-serve --test wal_props
+}
+
+stage_scale() {
+  cargo build -q --release -p stod-bench
+  for t in $VERIFY_THREADS; do
+    echo "==> CSR/dense equivalence slice, STOD_THREADS=$t"
+    STOD_THREADS="$t" cargo test -q -p stod-core sparse_mode
+    STOD_THREADS="$t" cargo test -q -p stod-conformance --test metamorphic csr_spmm
+    echo "==> city probe gates (M=city, STOD_THREADS=$t)"
+    STOD_THREADS="$t" M=city STOD_SCALE=city STOD_CITY_OUT="results/BENCH_city_t$t.json" \
+      cargo run -q --release -p stod-bench --bin probe
+  done
+  echo "==> city CSR propagation regression gate vs blessed results/BENCH_city.json"
+  scripts/bench_gate.sh --city
 }
 
 run_stage "fmt" stage_fmt
@@ -221,6 +258,7 @@ run_stage "tier-1 (×2 thread counts)" stage_tier1
 [[ "$load" == 1 ]] && run_stage "load" stage_load
 [[ "$adapt" == 1 ]] && run_stage "adapt" stage_adapt
 [[ "$durability" == 1 ]] && run_stage "durability" stage_durability
+[[ "$scale" == 1 ]] && run_stage "scale" stage_scale
 
 echo "-- stage timing --"
 printf '%s\n' "${summary[@]}"
